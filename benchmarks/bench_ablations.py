@@ -1,0 +1,53 @@
+"""Ablation bench: quantify the design choices the paper argues for.
+
+Not a paper figure — these runs back the paper's qualitative design
+arguments with numbers from the model (DESIGN.md calls these out):
+
+* §4.2: SET support matters (vs the GET-only memcached table [55]);
+* §4.3: the pointer prefetcher hides software refill latency;
+* §4.4: multi-byte processing beats the 1 B/cycle prior design [68]
+  (which cannot even beat SSE software);
+* §4.5: content sifting provides most of the regexp benefit on
+  texturize-style sets; reuse adds the URL-scan tail.
+"""
+
+from __future__ import annotations
+
+from conftest import EVAL_REQUESTS
+
+from repro.core.ablation import run_ablations
+from repro.core.report import format_table, pct
+
+
+def bench_ablations(benchmark, report_sink):
+    results = benchmark.pedantic(
+        lambda: run_ablations(requests=EVAL_REQUESTS),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [r.name, pct(r.efficiency), pct(r.efficiency_loss),
+         ", ".join(f"{k}={v:.3f}" for k, v in r.detail.items())]
+        for r in results
+    ]
+    report_sink(
+        "ablations",
+        format_table(
+            ["variant", "category efficiency", "benefit given up", "detail"],
+            rows,
+            title="Ablations: accelerator design choices (WordPress)",
+        ),
+    )
+
+    by_name = {r.name: r for r in results}
+    # §4.2: GET-only loses most of the hash benefit.
+    assert by_name["hash: GET-only (memcached-style [55])"].efficiency_loss \
+        > 0.25
+    # §4.3: removing the prefetcher hurts (hit rate and efficiency).
+    assert by_name["heap: no prefetcher"].efficiency_loss > 0.0
+    # §4.4: a 1 B/cycle datapath cannot beat SSE software.
+    assert by_name["string: 1 B/cycle (prior work [68])"].efficiency < 0.1
+    # §4.5: sifting carries most of the regexp benefit.
+    sift_loss = by_name["regex: no content sifting"].efficiency_loss
+    reuse_loss = by_name["regex: no content reuse"].efficiency_loss
+    assert sift_loss > reuse_loss
+    assert by_name["regex: neither technique"].efficiency < 0.05

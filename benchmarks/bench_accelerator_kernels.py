@@ -1,0 +1,82 @@
+"""Microbenchmarks of the accelerator kernels themselves.
+
+These are throughput benchmarks of the *simulator* (useful when
+modifying the models); the quantities the paper reports come from the
+figure benches, not from these timings.
+"""
+
+from __future__ import annotations
+
+from repro.accel.hash_table import HardwareHashTable
+from repro.accel.heap_manager import HardwareHeapManager
+from repro.accel.regex_accel import ContentSifter
+from repro.accel.string_accel import StringAccelerator
+from repro.common.rng import DeterministicRng
+from repro.regex.engine import CompiledRegex
+from repro.runtime.slab import SlabAllocator
+from repro.workloads.text import ContentSpec, TextCorpus
+
+BASE = 0x6800_0000
+
+
+def bench_hash_table_get_set(benchmark):
+    ht = HardwareHashTable()
+    ht.writeback_handler = lambda b, k, v: None
+    keys = [f"key_{i}" for i in range(256)]
+    for i, k in enumerate(keys):
+        ht.set(k, BASE, i)
+
+    def kernel():
+        for k in keys:
+            ht.get(k, BASE)
+            ht.set(k, BASE, 1)
+
+    benchmark(kernel)
+
+
+def bench_heap_manager_churn(benchmark):
+    hm = HardwareHeapManager(SlabAllocator())
+
+    def kernel():
+        addrs = [hm.hmmalloc(48).address for _ in range(64)]
+        for a in addrs:
+            hm.hmfree(a, 48)
+
+    benchmark(kernel)
+
+
+def bench_string_find(benchmark):
+    accel = StringAccelerator()
+    subject = ("lorem ipsum dolor sit amet " * 40) + "needle" + " tail" * 10
+
+    def kernel():
+        return accel.find(subject, "needle")
+
+    result = benchmark(kernel)
+    assert result.value == subject.find("needle")
+
+
+def bench_sifted_scan_vs_full(benchmark):
+    corpus = TextCorpus(DeterministicRng(11))
+    content = corpus.post(ContentSpec(special_segment_fraction=0.25))
+    sifter = ContentSifter(StringAccelerator())
+    hv, _ = sifter.build_hint_vector(content)
+    rx = CompiledRegex(r"<[a-z]+")
+
+    def kernel():
+        return sifter.shadow_findall(rx, content, hv)
+
+    result = benchmark(kernel)
+    want, _ = CompiledRegex(r"<[a-z]+").findall(content)
+    assert len(result.matches) == len(want)
+
+
+def bench_regex_engine_findall(benchmark):
+    corpus = TextCorpus(DeterministicRng(12))
+    content = corpus.post(ContentSpec())
+    rx = CompiledRegex(r"'[A-Za-z]")
+
+    def kernel():
+        return rx.findall(content)
+
+    benchmark(kernel)

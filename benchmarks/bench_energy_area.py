@@ -1,0 +1,46 @@
+"""Section 5.1/5.2: accelerator area budget and CPU energy savings.
+
+Paper: combined accelerator area 0.22 mm² (0.89 % of a 24.7 mm²
+Nehalem-class core); energy savings 26.06 % (WordPress), 16.75 %
+(Drupal), 19.81 % (MediaWiki), 21.01 % average, using
+dynamic-instruction reduction as the proxy.
+"""
+
+from __future__ import annotations
+
+from conftest import EVAL_REQUESTS
+
+from repro.core.experiment import full_evaluation
+from repro.core.report import energy_report, format_table, pct
+from repro.power.area import NEHALEM_CORE_MM2, accelerator_area_report
+
+
+def bench_area_budget(benchmark, report_sink):
+    report = benchmark(accelerator_area_report)
+    rows = [[name, f"{mm2:.4f}"] for name, mm2 in report.rows()]
+    rows.append(["TOTAL", f"{report.total_mm2:.4f}"])
+    rows.append(["fraction of Nehalem core", pct(report.core_fraction)])
+    report_sink(
+        "area_budget",
+        format_table(
+            ["structure", "area (mm², 45 nm)"], rows,
+            title="Section 5.1: accelerator area "
+                  "(paper: 0.22 mm² total, 0.89 % of a 24.7 mm² core)",
+        ),
+    )
+    assert abs(report.total_mm2 - 0.22) < 0.04
+    assert report.core_fraction < 0.012
+
+
+def bench_energy_savings(benchmark, report_sink):
+    results = benchmark.pedantic(
+        lambda: full_evaluation(requests=EVAL_REQUESTS),
+        rounds=1, iterations=1,
+    )
+    report_sink("energy_savings", energy_report(results))
+
+    e = {r.app: r.energy_saving for r in results}
+    # Paper ordering: WordPress (26.06) > MediaWiki (19.81) > Drupal (16.75).
+    assert e["wordpress"] > e["mediawiki"] > e["drupal"]
+    avg = sum(e.values()) / len(e)
+    assert 0.15 <= avg <= 0.30  # paper: 21.01 %

@@ -1,0 +1,28 @@
+"""Figure 4: categorization of WordPress leaf functions into the four
+accelerated activity classes (hash map access, heap management, string
+manipulation, regular expression processing).
+"""
+
+from __future__ import annotations
+
+from repro.core.experiment import categorization
+from repro.core.report import format_table, pct
+from repro.workloads.apps import wordpress
+
+
+def bench_fig04_categories(benchmark, report_sink):
+    shares = benchmark(lambda: categorization(wordpress()))
+
+    report_sink(
+        "fig04_categories",
+        format_table(
+            ["category", "share of post-mitigation time"],
+            [[k, pct(v)] for k, v in shares.items()],
+            title="Figure 4: WordPress leaf functions by accelerated "
+                  "category",
+        ),
+    )
+
+    four = sum(v for k, v in shares.items() if k != "other")
+    assert 0.25 <= four <= 0.45
+    assert abs(sum(shares.values()) - 1.0) < 1e-9

@@ -1,0 +1,35 @@
+"""Figure 5: post-mitigation execution-time breakdown of all three
+applications across the four target categories.
+
+Paper: Drupal "shows the least opportunity" — it has the smallest
+string + regexp share (Section 5.3 ties this to its small regexp
+benefit later).
+"""
+
+from __future__ import annotations
+
+from repro.core.experiment import post_mitigation_breakdown
+from repro.core.report import format_table, pct
+
+
+def bench_fig05_breakdown(benchmark, report_sink):
+    breakdown = benchmark(post_mitigation_breakdown)
+
+    categories = ["hash", "heap", "string", "regex", "other"]
+    rows = [
+        [app] + [pct(b[c]) for c in categories]
+        for app, b in breakdown.items()
+    ]
+    report_sink(
+        "fig05_breakdown",
+        format_table(
+            ["app"] + categories, rows,
+            title="Figure 5: execution-time breakdown after mitigating "
+                  "the abstraction overheads",
+        ),
+    )
+
+    sr = {app: b["string"] + b["regex"] for app, b in breakdown.items()}
+    assert sr["drupal"] == min(sr.values())
+    four = {app: 1.0 - b["other"] for app, b in breakdown.items()}
+    assert all(0.15 <= f <= 0.45 for f in four.values())

@@ -1,0 +1,62 @@
+"""Future-work benches: the SLB data-dependent-branch predictor the
+paper points to ([35]) and the introduction's datacenter framing.
+"""
+
+from __future__ import annotations
+
+from conftest import EVAL_REQUESTS
+
+from repro.core.report import format_table, pct
+from repro.core.throughput import fleet_summary, throughput_analysis
+from repro.uarch.slb import measure_slb_headroom
+from repro.uarch.trace import TraceProfile
+
+
+def bench_slb_headroom(benchmark, report_sink):
+    profile = TraceProfile(instructions=200_000)
+    result = benchmark.pedantic(
+        lambda: measure_slb_headroom(profile), rounds=1, iterations=1
+    )
+    report_sink(
+        "future_slb",
+        format_table(
+            ["metric", "value"],
+            [
+                ["TAGE MPKI", f"{result['tage_mpki']:.2f}"],
+                ["TAGE + SLB MPKI", f"{result['slb_mpki']:.2f}"],
+                ["MPKI improvement", pct(result["improvement"])],
+                ["SLB queue hit rate", pct(result["queue_hit_rate"])],
+            ],
+            title="Future work (§2, ref [35]): SLB prediction of "
+                  "data-dependent branches",
+        ),
+    )
+    assert result["slb_mpki"] < result["tage_mpki"]
+
+
+def bench_fleet_throughput(benchmark, report_sink):
+    def run():
+        analysis = throughput_analysis(requests=EVAL_REQUESTS)
+        return analysis, fleet_summary(analysis)
+
+    analysis, summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [t.app, f"{t.baseline_rps:.1f}", f"{t.accelerated_rps:.1f}",
+         pct(t.capacity_gain)]
+        for t in analysis
+    ]
+    rows.append([
+        "fleet (1M rps)",
+        f"{summary['baseline_cores']:.0f} cores",
+        f"{summary['accelerated_cores']:.0f} cores",
+        pct(summary["fleet_reduction"]),
+    ])
+    report_sink(
+        "future_fleet",
+        format_table(
+            ["app", "baseline", "accelerated", "gain"], rows,
+            title="Introduction framing: per-core request throughput "
+                  "and fleet sizing",
+        ),
+    )
+    assert 0.2 <= summary["fleet_reduction"] <= 0.4

@@ -1,0 +1,45 @@
+"""End-to-end template-rendering latency distributions.
+
+Not a paper figure: renders real MiniPHP pages for all three
+applications on the software and accelerated backends and reports
+per-request latency quantiles — the request-level view behind the
+intro's datacenter motivation.  Pages must be byte-identical.
+"""
+
+from __future__ import annotations
+
+from repro.core.latency import request_latency_report
+from repro.core.report import format_table
+
+
+def bench_request_latency(benchmark, report_sink):
+    def run():
+        return {
+            app: request_latency_report(app, requests=25)
+            for app in ("wordpress", "drupal", "mediawiki")
+        }
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for app, r in reports.items():
+        rows.append([
+            app,
+            f"{r.software.p(50):.0f} / {r.software.p(99):.0f}",
+            f"{r.accelerated.p(50):.0f} / {r.accelerated.p(99):.0f}",
+            f"{r.mean_speedup:.2f}x",
+            f"{r.p99_speedup:.2f}x",
+            "yes" if r.pages_identical else "NO",
+        ])
+    report_sink(
+        "latency",
+        format_table(
+            ["app", "software p50/p99 (cyc)", "accel p50/p99 (cyc)",
+             "mean speedup", "p99 speedup", "pages identical"],
+            rows,
+            title="Per-request backend latency over the MiniPHP "
+                  "templates (accelerated-category cycles only)",
+        ),
+    )
+    for r in reports.values():
+        assert r.pages_identical
+        assert r.mean_speedup > 1.2

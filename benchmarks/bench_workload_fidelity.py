@@ -1,0 +1,43 @@
+"""Workload card: every distributional anchor from the paper, checked.
+
+Prints the fidelity scorecard of all three synthetic applications —
+the evidence that the generated traffic matches what the paper
+measured on the real WordPress/Drupal/MediaWiki deployments.
+"""
+
+from __future__ import annotations
+
+from conftest import EVAL_REQUESTS
+
+from repro.core.report import format_table
+from repro.workloads.apps import php_applications
+from repro.workloads.validation import fidelity_failures, validate_app
+
+
+def bench_workload_fidelity(benchmark, report_sink):
+    def run():
+        return {
+            app.name: validate_app(app, requests=EVAL_REQUESTS)
+            for app in php_applications()
+        }
+
+    cards = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for app, anchors in cards.items():
+        for a in anchors:
+            rows.append([
+                app, a.name, f"{a.measured:.3f}",
+                f"[{a.low:.2f}, {a.high:.2f}]",
+                "ok" if a.ok else "FAIL", a.source,
+            ])
+    report_sink(
+        "workload_fidelity",
+        format_table(
+            ["app", "anchor", "measured", "band", "", "paper source"],
+            rows,
+            title="Workload fidelity card: generated traffic vs the "
+                  "paper's measured facts",
+        ),
+    )
+    for anchors in cards.values():
+        assert not fidelity_failures(anchors)

@@ -1,0 +1,44 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one of the paper's figures (the data, in
+the paper's own layout) and times the underlying simulation kernel
+with pytest-benchmark.  Reports are printed (run with ``-s`` to see
+them) and also written under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Trace length for the microarchitectural sweeps; override with
+#: REPRO_UARCH_INSTRUCTIONS for higher-fidelity (slower) runs.
+UARCH_INSTRUCTIONS = int(os.environ.get("REPRO_UARCH_INSTRUCTIONS", "400000"))
+
+#: Shorter trace for the 15-configuration BTB × I-cache sweep.
+SWEEP_INSTRUCTIONS = int(os.environ.get("REPRO_SWEEP_INSTRUCTIONS", "150000"))
+
+#: Requests per application for the end-to-end evaluation benches.
+EVAL_REQUESTS = int(os.environ.get("REPRO_EVAL_REQUESTS", "5"))
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def report_sink(out_dir):
+    """Callable that prints a report and persists it to out/<name>.txt."""
+
+    def sink(name: str, text: str) -> None:
+        print()
+        print(text)
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+
+    return sink

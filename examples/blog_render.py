@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Render a real MiniPHP blog template on both execution paths.
+
+The template uses the constructs the paper's workloads hammer:
+``extract`` into the scope (dynamic-key hash SETs), insertion-ordered
+``foreach`` over posts, HTML escaping and case conversion (string
+accelerator), and a texturize-style ``preg_replace`` (content sifting).
+
+Both backends must produce byte-identical HTML; the accelerated one
+does so with most of its work off the core.
+
+Run:  python examples/blog_render.py
+"""
+
+from __future__ import annotations
+
+from repro.runtime import (
+    AcceleratedBackend,
+    MiniPhpInterpreter,
+    SoftwareBackend,
+)
+
+TEMPLATE = """<!doctype html>
+<html><head><title><?= htmlspecialchars($site_name) ?></title></head>
+<body>
+<h1><?= strtoupper($site_name) ?></h1>
+<?php $meta = array('generator' => 'minute-php', 'charset' => 'utf-8'); ?>
+<?php extract($meta); ?>
+<meta charset="<?= $charset ?>" generator="<?= $generator ?>">
+<main>
+<?php foreach ($posts as $slug => $post): ?>
+  <article id="post-<?= $slug ?>">
+    <h2><?= htmlspecialchars($post['title']) ?></h2>
+    <div class="body"><?= preg_replace("'[A-Za-z]+", "&rsquo;s", htmlspecialchars($post['body'])) ?></div>
+    <p class="words"><?= strlen($post['body']) ?> characters</p>
+  </article>
+<?php endforeach; ?>
+</main>
+<?php if (count($posts) > 2): ?>
+<nav><a href="/page/2">older posts</a></nav>
+<?php else: ?>
+<nav>that's all</nav>
+<?php endif; ?>
+<footer><?= trim($footer) ?></footer>
+</body></html>"""
+
+POSTS = {
+    "isca-camera-ready": {
+        "title": "Camera-ready 'done' at last",
+        "body": "The reviewers' comments are in & the paper's shipping. "
+                "More <soon>.",
+    },
+    "hhvm-profiling": {
+        "title": "Profiling HHVM leaf functions",
+        "body": "Nothing's hotter than 12% — the profile's flat as 'Kansas.",
+    },
+    "accelerator-rtl": {
+        "title": "String accelerator RTL",
+        "body": "64 bytes in 3 cycles; the matching matrix's diagonal "
+                "AND is the trick.",
+    },
+}
+
+
+def build_vars(interp: MiniPhpInterpreter) -> dict:
+    posts = interp.new_array()
+    for slug, fields in POSTS.items():
+        post = interp.new_array()
+        for key, value in fields.items():
+            interp.array_set(post, key, value)
+        interp.array_set(posts, slug, post)
+    return {
+        "site_name": "Lipasti Lab notebook",
+        "posts": posts,
+        "footer": "   powered by a 0.22 mm2 accelerator complex   ",
+    }
+
+
+def main() -> None:
+    software = MiniPhpInterpreter(SoftwareBackend())
+    html_sw = software.render(TEMPLATE, build_vars(software))
+
+    accelerated = MiniPhpInterpreter(AcceleratedBackend())
+    html_hw = accelerated.render(TEMPLATE, build_vars(accelerated))
+
+    print(html_hw)
+    print("-" * 64)
+    identical = html_sw == html_hw
+    print(f"software and accelerated outputs identical: {identical}")
+    assert identical
+
+    complex_ = accelerated.backend.complex
+    print(f"page size: {len(html_hw)} bytes")
+    print(f"software backend cycles  : {software.backend.cost_cycles():8.0f}")
+    print(f"accelerated backend cycles: {accelerated.backend.cost_cycles():8.0f}")
+    print(
+        "hardware activity: "
+        f"{complex_.string.stats.get('hwstring.ops')} string ops, "
+        f"{complex_.hash_table.stats.get('hwhash.sets')} hash SETs, "
+        f"{complex_.hash_table.stats.get('hwhash.gets')} hash GETs, "
+        f"{complex_.hash_table.stats.get('hwhash.foreach_syncs')} foreach syncs"
+    )
+
+
+if __name__ == "__main__":
+    main()

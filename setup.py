@@ -1,0 +1,10 @@
+"""Compatibility shim for environments without PEP 660 support.
+
+``pip install -e . --no-build-isolation`` uses pyproject.toml; this
+file additionally enables ``python setup.py develop`` on toolchains
+that lack the ``wheel`` package (as some offline sandboxes do).
+"""
+
+from setuptools import setup
+
+setup()

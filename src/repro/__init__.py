@@ -1,0 +1,24 @@
+"""repro — behavioral reproduction of *Architectural Support for
+Server-Side PHP Processing* (Gope, Schlais, Lipasti; ISCA 2017).
+
+The package is organized bottom-up:
+
+* :mod:`repro.common`    — deterministic RNG, stat counters
+* :mod:`repro.runtime`   — HHVM-like software substrate (values, PHP
+  arrays, slab allocator, string library, symbol tables)
+* :mod:`repro.regex`     — PCRE-subset engine (parser/NFA/DFA/FSM)
+* :mod:`repro.uarch`     — trace-driven microarchitecture models
+  (TAGE, BTB, caches, core timing)
+* :mod:`repro.workloads` — WordPress/Drupal/MediaWiki/SPECWeb-like
+  operation-trace generators and the load driver
+* :mod:`repro.optim`     — the four prior-work abstraction-overhead
+  mitigations (Section 3)
+* :mod:`repro.accel`     — the paper's contribution: the four
+  accelerators (Section 4)
+* :mod:`repro.isa`       — ISA extensions and dispatch (Section 4.6)
+* :mod:`repro.power`     — CACTI/McPAT-like energy & area models
+* :mod:`repro.core`      — experiment harness reproducing Sections 2,
+  3, and 5 (every figure)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Regenerates the paper's figures from the terminal without writing any
+code.  ``python -m repro all`` reproduces the whole evaluation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.rng import DEFAULT_SEED
+
+
+def _cmd_fig14(args) -> None:
+    from repro.core import figure14_report, full_evaluation
+    print(figure14_report(full_evaluation(seed=args.seed,
+                                          requests=args.requests)))
+
+
+def _cmd_fig15(args) -> None:
+    from repro.core import figure15_report, full_evaluation
+    print(figure15_report(full_evaluation(seed=args.seed,
+                                          requests=args.requests)))
+
+
+def _cmd_energy(args) -> None:
+    from repro.core import energy_report, full_evaluation
+    print(energy_report(full_evaluation(seed=args.seed,
+                                        requests=args.requests)))
+
+
+def _cmd_fig1(args) -> None:
+    from repro.core import leaf_distribution
+    from repro.core.report import format_table, pct
+    dist = leaf_distribution(seed=args.seed)
+    checkpoints = [1, 5, 10, 26, 50, 100]
+    rows = [
+        [name] + [pct(cum[min(n, len(cum)) - 1], 1) for n in checkpoints]
+        for name, cum in sorted(dist.items())
+    ]
+    print(format_table(
+        ["workload"] + [f"top {n}" for n in checkpoints], rows,
+        title="Figure 1: cumulative cycle share over leaf functions",
+    ))
+
+
+def _cmd_uarch(args) -> None:
+    from repro.core.experiment import uarch_characterization
+    from repro.core.report import format_table
+    from repro.workloads.apps import php_applications
+    rows = []
+    for app in php_applications():
+        r = uarch_characterization(
+            app, seed=args.seed, instructions=args.instructions
+        )
+        rows.append([
+            app.name, f"{r.branch_mpki:.2f}",
+            f"{100 * r.btb_hit_rate_4k:.2f}%",
+            f"{100 * r.btb_hit_rate_64k:.2f}%",
+            f"{r.l1i_mpki:.2f}", f"{r.l1d_mpki:.2f}", f"{r.l2_mpki:.2f}",
+        ])
+    print(format_table(
+        ["app", "branch MPKI", "BTB 4K", "BTB 64K",
+         "L1I MPKI", "L1D MPKI", "L2 MPKI"],
+        rows, title="Section 2: microarchitectural characterization",
+    ))
+
+
+def _cmd_fig7(args) -> None:
+    from repro.core.experiment import hash_hit_rate_sweep
+    from repro.core.report import format_table, pct
+    from repro.workloads.apps import wordpress
+    sizes = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+    sweep = hash_hit_rate_sweep(
+        wordpress(), sizes=sizes, seed=args.seed, requests=args.requests
+    )
+    print(format_table(
+        ["entries", "hit rate"],
+        [[str(s), pct(sweep[s])] for s in sizes],
+        title="Figure 7: hardware hash-table hit rate vs entries",
+    ))
+
+
+def _cmd_fig12(args) -> None:
+    from repro.core.experiment import regex_opportunity
+    from repro.core.report import format_table, pct
+    opp = regex_opportunity(seed=args.seed, requests=args.requests)
+    print(format_table(
+        ["app", "skippable content"],
+        [[app, pct(v)] for app, v in opp.items()],
+        title="Figure 12: content sifting + reuse opportunity",
+    ))
+
+
+def _cmd_area(args) -> None:
+    from repro.core.report import format_table, pct
+    from repro.power import accelerator_area_report
+    report = accelerator_area_report()
+    rows = [[name, f"{mm2:.4f}"] for name, mm2 in report.rows()]
+    rows.append(["TOTAL", f"{report.total_mm2:.4f}"])
+    rows.append(["fraction of core", pct(report.core_fraction)])
+    print(format_table(["structure", "mm² (45 nm)"], rows,
+                       title="Section 5.1: accelerator area"))
+
+
+def _cmd_ablation(args) -> None:
+    from repro.core.ablation import run_ablations
+    from repro.core.report import format_table, pct
+    results = run_ablations(requests=args.requests, seed=args.seed)
+    print(format_table(
+        ["variant", "efficiency", "benefit given up"],
+        [[r.name, pct(r.efficiency), pct(r.efficiency_loss)]
+         for r in results],
+        title="Accelerator design ablations (WordPress)",
+    ))
+
+
+def _cmd_export(args) -> None:
+    from repro.core.export import save_evaluation_json
+    out = save_evaluation_json(
+        args.out, seed=args.seed, requests=args.requests
+    )
+    print(f"wrote {out}")
+
+
+def _cmd_all(args) -> None:
+    for fn in (_cmd_fig1, _cmd_uarch, _cmd_fig7, _cmd_fig12,
+               _cmd_fig14, _cmd_fig15, _cmd_energy, _cmd_area):
+        fn(args)
+        print()
+
+
+_COMMANDS = {
+    "fig1": (_cmd_fig1, "Figure 1: leaf-function distribution"),
+    "uarch": (_cmd_uarch, "Section 2 / Figure 2: µarch characterization"),
+    "fig7": (_cmd_fig7, "Figure 7: hash-table hit-rate sweep"),
+    "fig12": (_cmd_fig12, "Figure 12: regexp skip opportunity"),
+    "fig14": (_cmd_fig14, "Figure 14: execution-time results"),
+    "fig15": (_cmd_fig15, "Figure 15: per-accelerator benefits"),
+    "energy": (_cmd_energy, "Section 5.2: energy savings"),
+    "area": (_cmd_area, "Section 5.1: area budget"),
+    "ablation": (_cmd_ablation, "design-choice ablations"),
+    "export": (_cmd_export, "write the evaluation as JSON"),
+    "all": (_cmd_all, "everything above"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate results from 'Architectural Support for "
+                    "Server-Side PHP Processing' (ISCA 2017).",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS),
+                        help="which result to regenerate")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--requests", type=int, default=5,
+                        help="requests per app for evaluation commands")
+    parser.add_argument("--instructions", type=int, default=400_000,
+                        help="trace length for uarch characterization")
+    parser.add_argument("--out", type=str, default="results.json",
+                        help="output path for the export command")
+    args = parser.parse_args(argv)
+    _COMMANDS[args.command][0](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,188 @@
+"""Hardware heap manager (Section 4.3).
+
+A comparator gates requests at 128 bytes; a size-class table selects
+one of 8 hardware free lists (32 entries each) whose head serves
+pops/pushes in a single cycle; a pointer prefetcher refills lists from
+the software slab allocator in the background so the common case never
+waits on software.
+
+Coherence is *lazy* (contrast with Mallacc [48], which eagerly updates
+memory): the software heap's data structures are updated only on free-
+list overflow (a single store rewires the memory free list) and on
+context switches (``hmflush``), "not causing any correctness errors or
+memory leaks."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.common.stats import StatRegistry
+from repro.runtime.slab import SlabAllocator
+
+
+@dataclass
+class HeapManagerConfig:
+    """Geometry/latency of the accelerator (paper defaults)."""
+
+    max_request_bytes: int = 128
+    size_classes: int = 8          # 16-byte granularity up to 128 B
+    entries_per_class: int = 32
+    access_cycles: int = 1
+    #: prefetcher refills a list up to this level when it drops below half
+    refill_low_water: int = 8
+    refill_target: int = 24
+    #: ablation: without the pointer prefetcher every empty-list malloc
+    #: waits on the software heap manager (§4.3 argues the prefetcher
+    #: "can hide the latency of software involvement")
+    prefetch_enabled: bool = True
+
+    def class_bytes(self, cls_index: int) -> int:
+        """Upper bound of hardware size class ``cls_index``."""
+        step = self.max_request_bytes // self.size_classes
+        return (cls_index + 1) * step
+
+    def class_for(self, size: int) -> int | None:
+        """Hardware size class for a request, None when too large."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        if size > self.max_request_bytes:
+            return None
+        step = self.max_request_bytes // self.size_classes
+        return (size + step - 1) // step - 1
+
+
+@dataclass
+class HeapOpOutcome:
+    """Result of one hmmalloc/hmfree."""
+
+    address: int | None = None
+    cycles: int = 0
+    software_fallback: bool = False
+    #: software stores issued by the overflow handler (hmfree path)
+    overflow_stores: int = 0
+
+
+class HardwareHeapManager:
+    """The Section 4.3 accelerator over a software slab allocator."""
+
+    def __init__(
+        self,
+        slab: SlabAllocator,
+        config: HeapManagerConfig | None = None,
+    ) -> None:
+        self.config = config or HeapManagerConfig()
+        self.slab = slab
+        self.stats = StatRegistry("hwheap")
+        self._free_lists: list[deque[int]] = [
+            deque() for _ in range(self.config.size_classes)
+        ]
+        #: hardware class index -> software slab class for refills
+        self._slab_class: list[int] = []
+        from repro.runtime.slab import slab_class_for
+        for i in range(self.config.size_classes):
+            sw = slab_class_for(self.config.class_bytes(i))
+            assert sw is not None
+            self._slab_class.append(sw)
+
+    # -- the ISA-visible operations ------------------------------------------------
+
+    def hmmalloc(self, size: int) -> HeapOpOutcome:
+        """Allocate; zero flag (fallback) when gated or list empty."""
+        self.stats.bump("hwheap.mallocs")
+        cls = self.config.class_for(size)
+        if cls is None:
+            # Comparator rejects: software handles large requests.
+            self.stats.bump("hwheap.oversize_bypass")
+            return HeapOpOutcome(software_fallback=True, cycles=1)
+        free_list = self._free_lists[cls]
+        if not free_list:
+            # Zero flag: software refills and completes the allocation.
+            self.stats.bump("hwheap.malloc_misses")
+            address = self.slab.pop_free_block(self._slab_class[cls])
+            self._prefetch(cls)
+            return HeapOpOutcome(
+                address=address, software_fallback=True,
+                cycles=self.config.access_cycles,
+            )
+        address = free_list.popleft()
+        self.stats.bump("hwheap.malloc_hits")
+        self._prefetch(cls)
+        return HeapOpOutcome(address=address, cycles=self.config.access_cycles)
+
+    def hmfree(self, address: int, size: int) -> HeapOpOutcome:
+        """Free; on overflow, one block spills to memory (one store)."""
+        self.stats.bump("hwheap.frees")
+        cls = self.config.class_for(size)
+        if cls is None:
+            self.stats.bump("hwheap.oversize_bypass")
+            return HeapOpOutcome(software_fallback=True, cycles=1)
+        free_list = self._free_lists[cls]
+        overflow_stores = 0
+        fallback = False
+        if len(free_list) >= self.config.entries_per_class:
+            # Zero flag: software appends the evicted tail block to the
+            # memory free list ("a single str instruction").
+            victim = free_list.pop()
+            self.slab.push_free_block(self._slab_class[cls], victim)
+            self.stats.bump("hwheap.free_overflows")
+            overflow_stores = 1
+            fallback = True
+        free_list.appendleft(address)
+        self.stats.bump("hwheap.free_hits")
+        return HeapOpOutcome(
+            cycles=self.config.access_cycles,
+            software_fallback=fallback,
+            overflow_stores=overflow_stores,
+        )
+
+    def hmflush(self) -> int:
+        """Context switch: flush every cached block back to memory.
+
+        Resumable in hardware (page faults mid-flush restart where they
+        left off); here it returns the number of blocks flushed.
+        """
+        self.stats.bump("hwheap.flushes")
+        flushed = 0
+        for cls, free_list in enumerate(self._free_lists):
+            while free_list:
+                self.slab.push_free_block(self._slab_class[cls], free_list.pop())
+                flushed += 1
+        self.stats.bump("hwheap.flushed_blocks", flushed)
+        return flushed
+
+    # -- prefetcher -----------------------------------------------------------------
+
+    def _prefetch(self, cls: int) -> None:
+        """Pointer prefetcher: refill toward target below low water.
+
+        Prefetches run off the critical path (the tail pointer side);
+        they are counted for energy but charge no core cycles.
+        """
+        if not self.config.prefetch_enabled:
+            return
+        free_list = self._free_lists[cls]
+        capacity = self.config.entries_per_class
+        low_water = min(self.config.refill_low_water, capacity // 2)
+        target = min(self.config.refill_target, capacity)
+        if len(free_list) >= max(1, low_water):
+            return
+        while len(free_list) < target:
+            block = self.slab.pop_free_block(self._slab_class[cls])
+            if block is None:
+                break
+            free_list.append(block)
+            self.stats.bump("hwheap.prefetches")
+
+    # -- derived metrics ----------------------------------------------------------------
+
+    def hit_rate(self) -> float:
+        """Fraction of in-range mallocs served without software."""
+        hits = self.stats.get("hwheap.malloc_hits")
+        misses = self.stats.get("hwheap.malloc_misses")
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def cached_blocks(self) -> int:
+        return sum(len(fl) for fl in self._free_lists)

@@ -1,0 +1,381 @@
+"""Regular-expression accelerator: content sifting + content reuse
+(Section 4.5).
+
+Neither technique is a regexp engine; both *skip work* for the
+software FSM by exploiting content locality:
+
+* **Content sifting** — the first regexp of a consecutive set (the
+  *sieve*) scans the content once; the string accelerator concurrently
+  emits a **hint vector** (HV) with one bit per 32-byte segment
+  marking segments that may contain special characters.  The following
+  *shadow* regexps consult the HV and only run the FSM inside marked
+  segments (count-leading-zeros hops between them), because every
+  texturize/sanitize-class pattern begins with a special character.
+  When a mutating set rewrites content, whitespace padding keeps the
+  segment boundaries aligned to the existing HV (the HTML spec allows
+  arbitrary linear whitespace in the response body).
+
+* **Content reuse** — a 32-entry table indexed by regexp PC + ASID
+  memoizes up to 32 bytes of previously seen content, the matched
+  size, and the FSM state the automaton reached; a later scan whose
+  content shares that prefix jumps straight to the memoized state and
+  resumes after the prefix (Figure 13's author-URL example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.stats import StatRegistry
+from repro.regex.charset import SPECIAL_CHARS, CharSet
+from repro.regex.dfa import DEAD
+from repro.regex.engine import CompiledRegex, MatchResult
+from repro.accel.string_accel import StringAccelerator
+
+#: Hint-vector segment granularity (bytes).
+SEGMENT_BYTES = 32
+
+
+@dataclass
+class HintVector:
+    """One bit per content segment: may the segment contain specials?"""
+
+    segment_bytes: int
+    bits: list[bool]
+    content_length: int
+
+    def special_segments(self) -> list[int]:
+        return [i for i, b in enumerate(self.bits) if b]
+
+    def skippable_chars(self) -> int:
+        """Characters inside clean segments (the Figure 12 numerator)."""
+        total = 0
+        for i, bit in enumerate(self.bits):
+            if not bit:
+                start = i * self.segment_bytes
+                end = min(self.content_length, start + self.segment_bytes)
+                total += end - start
+        return total
+
+    def scan_spans(self) -> list[tuple[int, int]]:
+        """Merged [start, end) spans of marked segments.
+
+        The shadow regexp uses count-leading-zeros over the HV to hop
+        straight to the next marked segment; adjacent marked segments
+        coalesce into one span.
+        """
+        spans: list[tuple[int, int]] = []
+        for i in self.special_segments():
+            start = i * self.segment_bytes
+            end = min(self.content_length, start + self.segment_bytes)
+            if spans and spans[-1][1] == start:
+                spans[-1] = (spans[-1][0], end)
+            else:
+                spans.append((start, end))
+        return spans
+
+
+def pattern_starts_special(regex: CompiledRegex) -> bool:
+    """Safety check: can this pattern only begin with a special char?
+
+    Sifting is sound for a shadow regexp only when no match can start
+    inside an all-regular segment.  The FSM makes this decidable: if
+    every character with a transition out of the start state is
+    special, matches must begin at special characters.  (Texturize,
+    shortcode, sanitize, and wikitext patterns all satisfy this.)
+    """
+    fsm = regex.fsm
+    start_row = fsm.transitions[fsm.start]
+    for code in range(128):
+        cls = fsm.class_of[code]
+        if start_row[cls] != DEAD and not SPECIAL_CHARS.contains_code(code):
+            return False
+    return True
+
+
+@dataclass
+class SiftScanResult:
+    """Shadow scan outcome: matches plus the work bookkeeping."""
+
+    matches: list[MatchResult]
+    chars_examined: int
+    chars_skipped: int
+    used_sifting: bool
+
+
+class ContentSifter:
+    """Sieve/shadow orchestration over the string accelerator."""
+
+    def __init__(
+        self,
+        string_accel: StringAccelerator,
+        segment_bytes: int = SEGMENT_BYTES,
+    ) -> None:
+        self.string_accel = string_accel
+        self.segment_bytes = segment_bytes
+        self.stats = StatRegistry("sifter")
+
+    # -- sieve ---------------------------------------------------------------------
+
+    def build_hint_vector(self, content: str) -> tuple[HintVector, int]:
+        """Generate the HV via the string accelerator's class scan.
+
+        Returns (hv, cycles).  Runs concurrently with the sieve
+        regexp's own matching in hardware, so the cycles are the string
+        accelerator's block cost, not an extra FSM pass.
+        """
+        outcome = self.string_accel.char_class_bitmap(
+            content, SPECIAL_CHARS, self.segment_bytes
+        )
+        hv = HintVector(self.segment_bytes, list(outcome.value), len(content))
+        self.stats.bump("sifter.hvs_built")
+        return hv, outcome.cycles
+
+    # -- shadow scans ----------------------------------------------------------------
+
+    def shadow_findall(
+        self, regex: CompiledRegex, content: str, hv: HintVector
+    ) -> SiftScanResult:
+        """All matches of a shadow regexp, scanning only marked spans.
+
+        Falls back to a full scan (and says so) when the pattern could
+        legally start at a regular character.
+        """
+        if not pattern_starts_special(regex):
+            self.stats.bump("sifter.unsafe_full_scans")
+            matches, examined = regex.findall(content)
+            return SiftScanResult(matches, examined, 0, used_sifting=False)
+
+        self.stats.bump("sifter.shadow_scans")
+        matches: list[MatchResult] = []
+        examined = 0
+        pos = 0
+        for span_start, span_end in hv.scan_spans():
+            # Count-leading-zeros hop: candidate starts are confined to
+            # the marked span; matches may extend beyond it.
+            pos = max(pos, span_start)
+            while pos < span_end:
+                outcome = regex.search(content, pos, start_limit=span_end)
+                examined += outcome.chars_examined
+                if outcome.match is None:
+                    break
+                matches.append(outcome.match)
+                pos = (
+                    outcome.match.end
+                    if outcome.match.end > outcome.match.start
+                    else pos + 1
+                )
+        skipped = max(0, len(content) - examined)
+        self.stats.bump("sifter.chars_skipped", skipped)
+        return SiftScanResult(matches, examined, skipped, used_sifting=True)
+
+    # -- mutation with whitespace padding -----------------------------------------------
+
+    def replace_with_padding(
+        self,
+        content: str,
+        matches: list[MatchResult],
+        replacement: str,
+        hv: HintVector,
+    ) -> tuple[str, HintVector, int]:
+        """Apply replacements, padding segments to preserve HV alignment.
+
+        Each segment is rewritten independently; when the rewritten
+        segment's length changes, linear whitespace pads it back up to
+        a multiple of the segment size (HTML permits this), so all
+        *following* segment boundaries — and hence the already-built
+        HV — stay valid.  Returns (new_content, new_hv, pad_chars).
+        """
+        seg = self.segment_bytes
+        n_segments = (len(content) + seg - 1) // seg
+        by_segment: dict[int, list[MatchResult]] = {}
+        for m in matches:
+            by_segment.setdefault(m.start // seg, []).append(m)
+
+        out: list[str] = []
+        new_bits: list[bool] = []
+        pad_chars = 0
+        for i in range(n_segments):
+            start, end = i * seg, min(len(content), (i + 1) * seg)
+            piece = content[start:end]
+            seg_matches = by_segment.get(i, [])
+            if seg_matches:
+                rebuilt: list[str] = []
+                cursor = start
+                for m in sorted(seg_matches, key=lambda m: m.start):
+                    clipped_end = min(m.end, end)
+                    rebuilt.append(content[cursor:m.start])
+                    rebuilt.append(replacement)
+                    cursor = clipped_end
+                rebuilt.append(content[cursor:end])
+                piece = "".join(rebuilt)
+            if len(piece) == seg or i == n_segments - 1:
+                padded = piece
+            elif len(piece) < seg:
+                pad_chars += seg - len(piece)
+                padded = piece + " " * (seg - len(piece))
+            else:
+                # Growth: pad to the next multiple of the segment size;
+                # the extra segments inherit the marked bit.
+                target = ((len(piece) + seg - 1) // seg) * seg
+                pad_chars += target - len(piece)
+                padded = piece + " " * (target - len(piece))
+            out.append(padded)
+            extra_segments = max(1, (len(padded) + seg - 1) // seg)
+            bit = hv.bits[i] if i < len(hv.bits) else True
+            new_bits.extend([bit] * extra_segments)
+
+        new_content = "".join(out)
+        self.stats.bump("sifter.pad_chars", pad_chars)
+        new_hv = HintVector(seg, new_bits, len(new_content))
+        return new_content, new_hv, pad_chars
+
+
+# -- content reuse ---------------------------------------------------------------------
+
+
+@dataclass
+class _ReuseEntry:
+    content: str                 # up to 32 bytes of last-seen content
+    size: int = 0                # matched prefix size (0 = cleared)
+    next_state: Optional[int] = None
+    last_accept: Optional[int] = None
+    last_access: int = 0
+
+
+@dataclass
+class ReuseOutcome:
+    """One scan through the reuse table + FSM."""
+
+    match_end: Optional[int]
+    chars_examined: int
+    chars_skipped: int
+    scenario: str  # 'jump' | 'learn' | 'install'
+
+
+@dataclass
+class ReuseTableConfig:
+    entries: int = 32
+    content_bytes: int = 32     # "limited to a maximum of 32 bytes"
+    lookup_cycles: int = 1
+
+
+class ContentReuseTable:
+    """The Section 4.5 / Figure 13 hardware reuse table."""
+
+    def __init__(self, config: ReuseTableConfig | None = None) -> None:
+        self.config = config or ReuseTableConfig()
+        self.stats = StatRegistry("reuse")
+        self._entries: dict[tuple[int, int], _ReuseEntry] = {}
+        self._clock = 0
+
+    # -- the regexlookup / regexset instructions -----------------------------------------
+
+    def regexlookup(self, pc: int, asid: int, content: str) -> tuple[str, int]:
+        """Search the table; returns (scenario, matching_size).
+
+        Scenarios follow the paper exactly:
+        * ``jump``   — PC, ASID and content match the stored size:
+          software may jump to the stored FSM state.
+        * ``install``— PC/ASID miss or first content byte differs:
+          entry (re)installed, size and FSM state cleared.
+        * ``learn``  — PC+ASID hit with a different non-zero matching
+          size: content/size updated; software traverses and then
+          writes the state back with ``regexset``.
+        """
+        self._clock += 1
+        self.stats.bump("reuse.lookups")
+        key = (pc, asid)
+        entry = self._entries.get(key)
+        prefix = content[: self.config.content_bytes]
+        if entry is None or not entry.content or not prefix or \
+                entry.content[0] != prefix[0]:
+            self._install(key, prefix)
+            self.stats.bump("reuse.installs")
+            return "install", 0
+        entry.last_access = self._clock
+        matching = self._common_prefix_len(entry.content, prefix)
+        if matching == entry.size and entry.size > 0 and entry.next_state is not None:
+            self.stats.bump("reuse.jumps")
+            return "jump", matching
+        entry.content = prefix
+        entry.size = matching
+        entry.next_state = None
+        entry.last_accept = None
+        self.stats.bump("reuse.learns")
+        return "learn", matching
+
+    def regexset(
+        self, pc: int, asid: int, state: int, last_accept: Optional[int]
+    ) -> None:
+        """Software hands back the FSM state for the learned size."""
+        entry = self._entries.get((pc, asid))
+        if entry is None:
+            return
+        entry.next_state = state
+        entry.last_accept = last_accept
+        self.stats.bump("reuse.sets")
+
+    def stored_state(self, pc: int, asid: int) -> tuple[int, Optional[int], int]:
+        """(state, last_accept, size) of a jump-ready entry."""
+        entry = self._entries[(pc, asid)]
+        assert entry.next_state is not None
+        return entry.next_state, entry.last_accept, entry.size
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def _install(self, key: tuple[int, int], prefix: str) -> None:
+        if key not in self._entries and \
+                len(self._entries) >= self.config.entries:
+            lru_key = min(self._entries, key=lambda k: self._entries[k].last_access)
+            del self._entries[lru_key]
+            self.stats.bump("reuse.evictions")
+        self._entries[key] = _ReuseEntry(content=prefix, last_access=self._clock)
+
+    @staticmethod
+    def _common_prefix_len(a: str, b: str) -> int:
+        n = min(len(a), len(b))
+        for i in range(n):
+            if a[i] != b[i]:
+                return i
+        return n
+
+
+class ReuseAcceleratedMatcher:
+    """Anchored matching through the reuse table (the Figure 13 flow)."""
+
+    def __init__(self, table: ContentReuseTable) -> None:
+        self.table = table
+
+    def match(
+        self, regex: CompiledRegex, content: str, pc: int, asid: int = 0
+    ) -> ReuseOutcome:
+        """Match ``content`` against an anchored regexp with reuse.
+
+        On a jump, the FSM resumes from the memoized state after the
+        shared prefix; otherwise the software traverses normally and
+        teaches the table.
+        """
+        scenario, size = self.table.regexlookup(pc, asid, content)
+        if scenario == "jump":
+            state, last_accept, size = self.table.stored_state(pc, asid)
+            end, examined = regex.resume(state, last_accept, content, size)
+            return ReuseOutcome(end, examined, size, "jump")
+        # Software path: full traverse; learn the state when asked to.
+        state, last_accept = regex.state_after(content, 0, size if size else None)
+        if scenario == "learn" and size > 0 and state != DEAD:
+            self.table.regexset(pc, asid, state, last_accept)
+        # state_after above consumed min(size, len) chars when learning,
+        # or nothing extra when installing (size == 0 → full run below).
+        if size > 0 and state != DEAD:
+            end, examined = regex.resume(state, last_accept, content, size)
+            examined += size  # the prefix was traversed in software too
+        else:
+            full_state, full_accept = regex.state_after(content, 0)
+            end = full_accept
+            if regex.anchored_end:
+                ok = full_state != DEAD and regex.fsm.is_accepting(full_state)
+                end = len(content) if ok else None
+            examined = len(content)
+        return ReuseOutcome(end, examined, 0, scenario)

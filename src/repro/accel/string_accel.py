@@ -1,0 +1,378 @@
+"""Multi-byte string accelerator (Section 4.4).
+
+One generalized datapath supports the whole string-function family by
+composing shared sub-blocks (Figure 10):
+
+* **ASCII compare** — a matching matrix whose rows hold pattern bytes
+  (or, for 6 rows, *inequality* bounds for ranges) and whose columns
+  are the bytes of the current subject block; populated combinationally
+  each cycle.
+* **Diagonal AND** — multi-character matches are found by ANDing the
+  matrix along diagonals (position i matches pattern byte r at row r).
+* **Priority encoder** — index of the first valid match.
+* **Output logic / shifting** — substituted characters are written to
+  the aligned result string.
+* **Glue buffering** — the previous block's matrix tail is carried
+  across block boundaries so matches spanning blocks are not lost.
+
+The model processes ``block_bytes`` (64) of subject per invocation in
+``cycles_per_block`` (3) cycles at 2 GHz, the paper's synthesized
+figure, and computes *real* results — every operation is checked
+against Python string semantics in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.stats import StatRegistry
+from repro.regex.charset import CharSet
+
+
+@dataclass
+class StringAccelConfig:
+    """Geometry/latency of the accelerator (paper defaults)."""
+
+    block_bytes: int = 64       # subject bytes per invocation
+    pattern_rows: int = 16      # matching-matrix rows (max pattern bytes)
+    inequality_rows: int = 6    # rows supporting <=/>= compare (ranges)
+    cycles_per_block: int = 3   # synthesis result @2 GHz
+    setup_cycles: int = 1
+
+
+@dataclass
+class MatrixConfigState:
+    """The strreadconfig/strwriteconfig-visible accelerator state.
+
+    ``rows`` holds per-row predicates: either an exact byte or an
+    inclusive (lo, hi) range for the inequality-capable rows.
+    """
+
+    rows: tuple[tuple[int, int], ...] = ()
+    op_label: str = ""
+
+    @staticmethod
+    def exact(pattern: str, label: str = "") -> "MatrixConfigState":
+        return MatrixConfigState(
+            rows=tuple((ord(c), ord(c)) for c in pattern), op_label=label
+        )
+
+    @staticmethod
+    def ranges(bounds: list[tuple[int, int]], label: str = "") -> "MatrixConfigState":
+        return MatrixConfigState(rows=tuple(bounds), op_label=label)
+
+
+@dataclass
+class StringOpOutcome:
+    """Result value plus the hardware cost of producing it."""
+
+    value: object
+    cycles: int
+    blocks: int
+    bytes_processed: int
+
+
+class StringAccelerator:
+    """The Section 4.4 accelerator."""
+
+    def __init__(self, config: StringAccelConfig | None = None) -> None:
+        self.config = config or StringAccelConfig()
+        self.stats = StatRegistry("hwstring")
+        #: current matrix configuration (context-switch save/restore)
+        self._config_state = MatrixConfigState()
+
+    # -- strreadconfig / strwriteconfig -------------------------------------------------
+
+    def strreadconfig(self, state: MatrixConfigState) -> int:
+        """Load a matrix configuration (returns cycles spent).
+
+        No-op (1 cycle) when the requested configuration is already
+        loaded — the paper populates the matrix "if it is not already
+        configured."
+        """
+        if state == self._config_state:
+            self.stats.bump("hwstring.config_reuse")
+            return 1
+        if len(state.rows) > self.config.pattern_rows:
+            raise ValueError(
+                f"pattern needs {len(state.rows)} rows; matrix has "
+                f"{self.config.pattern_rows}"
+            )
+        ranges = sum(1 for lo, hi in state.rows if lo != hi)
+        if ranges > self.config.inequality_rows:
+            raise ValueError(
+                f"{ranges} range rows requested; only "
+                f"{self.config.inequality_rows} support inequality"
+            )
+        self._config_state = state
+        self.stats.bump("hwstring.config_loads")
+        # One cycle per 4 rows loaded from memory.
+        return 1 + (len(state.rows) + 3) // 4
+
+    def strwriteconfig(self) -> MatrixConfigState:
+        """Save current configuration (before a context switch)."""
+        self.stats.bump("hwstring.config_saves")
+        return self._config_state
+
+    # -- the matching matrix ------------------------------------------------------------
+
+    def _matrix_for_block(
+        self, block: str, rows: tuple[tuple[int, int], ...]
+    ) -> list[list[bool]]:
+        """ASCII-compare sub-block: rows × block-bytes match bits."""
+        matrix: list[list[bool]] = []
+        for lo, hi in rows:
+            matrix.append([lo <= ord(ch) <= hi for ch in block])
+        return matrix
+
+    def _charge(self, op: str, nbytes: int, per_block_extra: int = 0) -> tuple[int, int]:
+        """Cycle cost of scanning ``nbytes`` of subject."""
+        cfg = self.config
+        blocks = max(1, (nbytes + cfg.block_bytes - 1) // cfg.block_bytes)
+        cycles = cfg.setup_cycles + blocks * (cfg.cycles_per_block + per_block_extra)
+        self.stats.bump("hwstring.ops")
+        self.stats.bump(f"hwstring.{op}.ops")
+        self.stats.bump("hwstring.blocks", blocks)
+        self.stats.bump("hwstring.cycles", cycles)
+        self.stats.bump("hwstring.bytes", nbytes)
+        return cycles, blocks
+
+    # -- operations ----------------------------------------------------------------------
+
+    def find(self, subject: str, pattern: str, start: int = 0) -> StringOpOutcome:
+        """string_find: first index of ``pattern`` in ``subject``.
+
+        Implemented literally on the matrix: per block, pattern rows are
+        compared against the block (ASCII compare), diagonals are ANDed
+        (with the previous block's tail buffered for wrap-around), and
+        the priority encoder picks the first full-diagonal match.
+        """
+        if not pattern:
+            raise ValueError("empty pattern")
+        if len(pattern) > self.config.pattern_rows:
+            raise ValueError("pattern exceeds matching-matrix rows")
+        rows = MatrixConfigState.exact(pattern).rows
+        cfg = self.config
+        m = len(pattern)
+        found = -1
+        scanned_to = len(subject)
+        # carry[r] = the diagonal progress from the previous block:
+        # carry[r] true means a candidate needs rows r..m-1 to continue.
+        carry: list[int] = []  # candidate start offsets still alive
+        pending: dict[int, int] = {}  # start position -> rows matched so far
+        pos = start
+        while pos < len(subject):
+            block = subject[pos:pos + cfg.block_bytes]
+            matrix = self._matrix_for_block(block, rows)
+            # Continue candidates from the previous block (glue logic).
+            for cand_start in sorted(pending):
+                matched = pending[cand_start]
+                i = 0
+                while matched < m and i < len(block) and matrix[matched][i]:
+                    matched += 1
+                    i += 1
+                if matched == m:
+                    found = cand_start
+                    break
+                if i >= len(block):
+                    pending[cand_start] = matched  # still alive
+                else:
+                    del pending[cand_start]
+            if found >= 0:
+                scanned_to = pos + len(block)
+                break
+            pending = {
+                s: r for s, r in pending.items()
+                if r + len(block) >= m  # can never complete otherwise
+            }
+            # New candidates starting in this block (diagonal AND).
+            for col in range(len(block)):
+                if not matrix[0][col]:
+                    continue
+                r = 0
+                c = col
+                while r < m and c < len(block) and matrix[r][c]:
+                    r += 1
+                    c += 1
+                if r == m:
+                    found = pos + col
+                    break
+                if c >= len(block):
+                    pending[pos + col] = r
+            if found >= 0:
+                scanned_to = pos + len(block)
+                break
+            pos += cfg.block_bytes
+        nbytes = max(0, min(scanned_to, len(subject)) - start)
+        cycles, blocks = self._charge("find", nbytes)
+        return StringOpOutcome(found, cycles, blocks, nbytes)
+
+    def compare(self, a: str, b: str) -> StringOpOutcome:
+        """string_compare: three-way compare, block-parallel."""
+        limit = min(len(a), len(b))
+        diverge = limit
+        for i in range(limit):
+            if a[i] != b[i]:
+                diverge = i
+                break
+        value = (a > b) - (a < b)
+        cycles, blocks = self._charge("compare", diverge + 1)
+        return StringOpOutcome(value, cycles, blocks, diverge + 1)
+
+    def translate(self, subject: str, mapping: dict[str, str]) -> StringOpOutcome:
+        """string_translate (strtr): substitute single characters.
+
+        Each mapped source character occupies a matrix row; output
+        logic forwards the substituted byte on a row match, the
+        original byte otherwise.
+        """
+        if len(mapping) > self.config.pattern_rows:
+            raise ValueError("translate map exceeds matrix rows")
+        table = str.maketrans(mapping)
+        value = subject.translate(table)
+        cycles, blocks = self._charge("translate", len(subject))
+        return StringOpOutcome(value, cycles, blocks, len(subject))
+
+    def _case_convert(self, subject: str, to_upper: bool) -> StringOpOutcome:
+        """Case conversion via two inequality rows (the a–z / A–Z range).
+
+        This is the paper's example of a *complex* function requiring
+        ``strreadconfig``: the range bounds are not derivable from the
+        source operands.
+        """
+        lo, hi = ("a", "z") if to_upper else ("A", "Z")
+        state = MatrixConfigState.ranges(
+            [(ord(lo), ord(hi))], label="toupper" if to_upper else "tolower"
+        )
+        config_cycles = self.strreadconfig(state)
+        value = subject.upper() if to_upper else subject.lower()
+        op = "toupper" if to_upper else "tolower"
+        cycles, blocks = self._charge(op, len(subject))
+        return StringOpOutcome(value, cycles + config_cycles, blocks, len(subject))
+
+    def to_upper(self, subject: str) -> StringOpOutcome:
+        return self._case_convert(subject, to_upper=True)
+
+    def to_lower(self, subject: str) -> StringOpOutcome:
+        return self._case_convert(subject, to_upper=False)
+
+    def trim(self, subject: str, chars: str = " \t\n\r\0\x0b") -> StringOpOutcome:
+        """string_trim: strip boundary characters (matrix row per char)."""
+        if len(chars) > self.config.pattern_rows:
+            raise ValueError("trim set exceeds matrix rows")
+        value = subject.strip(chars)
+        # Hardware scans only the stripped margins (plus one probe each).
+        scanned = (len(subject) - len(value)) + 2
+        cycles, blocks = self._charge("trim", scanned)
+        return StringOpOutcome(value, cycles, blocks, scanned)
+
+    def replace(self, subject: str, search: str, replacement: str) -> StringOpOutcome:
+        """string_replace built on find + shifted copy-through."""
+        if not search:
+            raise ValueError("empty search string")
+        pieces: list[str] = []
+        cursor = 0
+        total_cycles = 0
+        total_blocks = 0
+        total_bytes = 0
+        while True:
+            outcome = self.find(subject, search, cursor)
+            total_cycles += outcome.cycles
+            total_blocks += outcome.blocks
+            total_bytes += outcome.bytes_processed
+            idx = outcome.value
+            if idx < 0:
+                break
+            pieces.append(subject[cursor:idx])
+            pieces.append(replacement)
+            cursor = idx + len(search)
+        pieces.append(subject[cursor:])
+        value = "".join(pieces)
+        # Output shifting: one extra pass over the written bytes.
+        write_cycles, write_blocks = self._charge("replace", len(value))
+        return StringOpOutcome(
+            value, total_cycles + write_cycles,
+            total_blocks + write_blocks, total_bytes + len(value),
+        )
+
+    def find_unicode(self, subject: str, pattern: str) -> StringOpOutcome:
+        """string_find over UTF-8 text (Section 4.4's Unicode note).
+
+        "Multi-byte character sets (Unicode) can be handled by grouping
+        the single-byte characters comparisons": the pattern is encoded
+        to UTF-8 and matched byte-wise — a multi-byte code point simply
+        occupies several adjacent matrix rows — then the byte offset is
+        mapped back to a character index.  UTF-8's self-synchronization
+        guarantees a byte-level match of a whole-character pattern
+        always lands on a character boundary.
+        """
+        subject_bytes = subject.encode("utf-8")
+        pattern_bytes = pattern.encode("utf-8")
+        if not pattern_bytes:
+            raise ValueError("empty pattern")
+        if len(pattern_bytes) > self.config.pattern_rows:
+            raise ValueError(
+                f"UTF-8 pattern needs {len(pattern_bytes)} rows; matrix "
+                f"has {self.config.pattern_rows}"
+            )
+        subject_latin = subject_bytes.decode("latin-1")
+        pattern_latin = pattern_bytes.decode("latin-1")
+        outcome = self.find(subject_latin, pattern_latin)
+        byte_index = outcome.value
+        if byte_index < 0:
+            return outcome
+        char_index = len(subject_bytes[:byte_index].decode("utf-8"))
+        return StringOpOutcome(
+            char_index, outcome.cycles, outcome.blocks,
+            outcome.bytes_processed,
+        )
+
+    def copy(self, subject: str) -> StringOpOutcome:
+        """Aligned block copy through the shifting logic.
+
+        Backs ``substr`` extraction and concatenation writes: the
+        shifting sub-block aligns the subject to the destination
+        offset, one block per cycle group.
+        """
+        cycles, blocks = self._charge("copy", len(subject))
+        return StringOpOutcome(subject, cycles, blocks, len(subject))
+
+    def html_escape(self, subject: str, escapes: dict[str, str]) -> StringOpOutcome:
+        """htmlspecialchars: matrix rows match the metacharacters,
+        output logic emits the (multi-byte) entity expansions.
+
+        Expansion makes the write side longer than the read side; the
+        model charges a second pass over the written bytes.
+        """
+        if len(escapes) > self.config.pattern_rows:
+            raise ValueError("escape map exceeds matrix rows")
+        out: list[str] = []
+        for ch in subject:
+            out.append(escapes.get(ch, ch))
+        value = "".join(out)
+        read_cycles, read_blocks = self._charge("htmlescape", len(subject))
+        write_cycles, write_blocks = self._charge("htmlescape", len(value))
+        return StringOpOutcome(
+            value, read_cycles + write_cycles,
+            read_blocks + write_blocks, len(subject) + len(value),
+        )
+
+    def char_class_bitmap(
+        self, subject: str, char_class: CharSet, segment_bytes: int
+    ) -> StringOpOutcome:
+        """Hint-vector generation for the regexp accelerator.
+
+        Marks each ``segment_bytes`` segment that contains at least one
+        character of ``char_class`` — the "may have some special
+        characters" bit of Section 4.5.  Character classes wider than
+        the matrix rows use the inequality rows as range comparators
+        (the class is the *complement* of a few ranges, which is how
+        {A-Za-z0-9_.,-} fits 6 range rows).
+        """
+        bits: list[bool] = []
+        for seg_start in range(0, len(subject), segment_bytes):
+            chunk = subject[seg_start:seg_start + segment_bytes]
+            bits.append(any(char_class.contains(c) for c in chunk))
+        cycles, blocks = self._charge("charclass", len(subject))
+        return StringOpOutcome(bits, cycles, blocks, len(subject))

@@ -1,0 +1,20 @@
+"""Shared utilities: deterministic randomness and statistics plumbing."""
+
+from repro.common.rng import DEFAULT_SEED, DeterministicRng
+from repro.common.stats import (
+    Counter,
+    Histogram,
+    StatRegistry,
+    geometric_mean,
+    weighted_mean,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "DeterministicRng",
+    "Counter",
+    "Histogram",
+    "StatRegistry",
+    "geometric_mean",
+    "weighted_mean",
+]

@@ -1,0 +1,195 @@
+"""Ablation studies of the accelerator design choices.
+
+The paper justifies several design decisions by argument; these
+ablations quantify them in the model:
+
+* **GET-only hash table** — the memcached prior work [55] serves only
+  GETs; Section 4.2 argues PHP's 15–25 % SET share makes SET support
+  essential ("a hash table deployed for such applications should
+  respond to both GET and SET requests").
+* **No pointer prefetcher** — Section 4.3's prefetcher hides software
+  refill latency; without it every empty-list malloc stalls.
+* **Single-byte string datapath** — the prior string accelerator [68]
+  "processes a single character every cycle"; Section 4.4 processes
+  64 bytes per 3 cycles.
+* **No content sifting** — shadow regexps scan everything.
+* **No content reuse** — every anchored scan traverses from state 0.
+* **Narrow probe (1 vs 4)** — the parallel probe bounds lookup work.
+
+Each ablation reruns the affected category simulation with one knob
+turned off and reports the efficiency delta against the full design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accel.hash_table import HashTableConfig
+from repro.accel.heap_manager import HeapManagerConfig
+from repro.accel.string_accel import StringAccelConfig
+from repro.common.rng import DEFAULT_SEED, DeterministicRng
+from repro.core.costs import DEFAULT_COSTS
+from repro.core.execute import (
+    HashSimulator,
+    HeapSimulator,
+    RegexSimulator,
+    StringSimulator,
+)
+from repro.isa.dispatch import AcceleratorComplex, ComplexConfig
+from repro.workloads.apps import AppWorkload, wordpress
+from repro.workloads.loadgen import LoadGenerator
+
+
+@dataclass
+class AblationResult:
+    """One design variant's outcome on one category."""
+
+    name: str
+    category: str
+    efficiency: float            # 1 - hw/sw cycles
+    baseline_efficiency: float   # the full design's efficiency
+    detail: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def efficiency_loss(self) -> float:
+        """Benefit given up by removing the feature (fraction)."""
+        return self.baseline_efficiency - self.efficiency
+
+
+def _run_hash(
+    app: AppWorkload, config: HashTableConfig, requests: int, seed: int
+) -> tuple[float, dict[str, float]]:
+    complex_ = AcceleratorComplex(config=ComplexConfig(hash_table=config))
+    lg_sw = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
+    lg_hw = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
+    sw = HashSimulator("software", lg_sw.hash_generator, DEFAULT_COSTS)
+    hw = HashSimulator(
+        "accelerated", lg_hw.hash_generator, DEFAULT_COSTS, complex_
+    )
+    for _ in range(requests):
+        sw.execute(lg_sw.next_request().hash_ops)
+        hw.execute(lg_hw.next_request().hash_ops)
+    eff = hw.finish().efficiency_vs(sw.finish())
+    return eff, {"hit_rate": complex_.hash_table.hit_rate()}
+
+
+def _run_heap(
+    app: AppWorkload, config: HeapManagerConfig, requests: int, seed: int
+) -> tuple[float, dict[str, float]]:
+    complex_ = AcceleratorComplex(config=ComplexConfig(heap_manager=config))
+    lg_sw = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
+    lg_hw = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
+    sw = HeapSimulator("software", DEFAULT_COSTS)
+    hw = HeapSimulator("accelerated", DEFAULT_COSTS, complex_)
+    for _ in range(requests):
+        sw.execute(lg_sw.next_request().alloc_ops)
+        hw.execute(lg_hw.next_request().alloc_ops)
+    eff = hw.finish().efficiency_vs(sw.finish())
+    return eff, {"hit_rate": complex_.heap_manager.hit_rate()}
+
+
+def _run_string(
+    app: AppWorkload, config: StringAccelConfig, requests: int, seed: int
+) -> tuple[float, dict[str, float]]:
+    complex_ = AcceleratorComplex(config=ComplexConfig(string=config))
+    lg_sw = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
+    lg_hw = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
+    sw = StringSimulator("software", DEFAULT_COSTS)
+    hw = StringSimulator("accelerated", DEFAULT_COSTS, complex_)
+    for _ in range(requests):
+        sw.execute(lg_sw.next_request().str_ops)
+        hw.execute(lg_hw.next_request().str_ops)
+    eff = hw.finish().efficiency_vs(sw.finish())
+    return eff, {}
+
+
+def _run_regex(
+    app: AppWorkload, requests: int, seed: int,
+    sifting: bool, reuse: bool,
+) -> tuple[float, dict[str, float]]:
+    complex_ = AcceleratorComplex()
+    lg_sw = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
+    lg_hw = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
+    sw = RegexSimulator("software", DEFAULT_COSTS)
+    hw = RegexSimulator("accelerated", DEFAULT_COSTS, complex_)
+    for _ in range(requests):
+        sw_trace = lg_sw.next_request()
+        hw_trace = lg_hw.next_request()
+        sw.execute_sift(sw_trace.sift_tasks)
+        sw.execute_reuse(sw_trace.reuse_tasks)
+        if sifting:
+            hw.execute_sift(hw_trace.sift_tasks)
+        else:
+            hw.execute_sift_unsifted(hw_trace.sift_tasks)
+        if reuse:
+            hw.execute_reuse(hw_trace.reuse_tasks)
+        else:
+            hw.execute_reuse_unmemoized(hw_trace.reuse_tasks)
+    eff = hw.finish().efficiency_vs(sw.finish())
+    return eff, {"skip_fraction": hw.skip_fraction()}
+
+
+def run_ablations(
+    app: AppWorkload | None = None,
+    requests: int = 4,
+    seed: int = DEFAULT_SEED,
+) -> list[AblationResult]:
+    """Run the full ablation matrix; returns one result per variant."""
+    app = app or wordpress()
+    results: list[AblationResult] = []
+
+    # -- hash table -----------------------------------------------------------
+    base_eff, base_detail = _run_hash(app, HashTableConfig(), requests, seed)
+    for name, config in (
+        ("hash: GET-only (memcached-style [55])",
+         HashTableConfig(support_sets=False)),
+        ("hash: single-entry probe",
+         HashTableConfig(probe_width=1)),
+        ("hash: 64 entries",
+         HashTableConfig(entries=64)),
+    ):
+        eff, detail = _run_hash(app, config, requests, seed)
+        results.append(AblationResult(name, "hash", eff, base_eff, detail))
+    results.insert(0, AblationResult(
+        "hash: full design", "hash", base_eff, base_eff, base_detail
+    ))
+
+    # -- heap manager -----------------------------------------------------------
+    base_eff, base_detail = _run_heap(app, HeapManagerConfig(), requests, seed)
+    results.append(AblationResult(
+        "heap: full design", "heap", base_eff, base_eff, base_detail
+    ))
+    for name, config in (
+        ("heap: no prefetcher", HeapManagerConfig(prefetch_enabled=False)),
+        ("heap: 4-entry free lists", HeapManagerConfig(entries_per_class=4)),
+    ):
+        eff, detail = _run_heap(app, config, requests, seed)
+        results.append(AblationResult(name, "heap", eff, base_eff, detail))
+
+    # -- string accelerator --------------------------------------------------------
+    base_eff, _ = _run_string(app, StringAccelConfig(), requests, seed)
+    results.append(AblationResult(
+        "string: 64 B / 3 cycles", "string", base_eff, base_eff
+    ))
+    eff, _ = _run_string(
+        app, StringAccelConfig(block_bytes=1, cycles_per_block=1),
+        requests, seed,
+    )
+    results.append(AblationResult(
+        "string: 1 B/cycle (prior work [68])", "string", eff, base_eff
+    ))
+
+    # -- regexp accelerator -----------------------------------------------------------
+    base_eff, base_detail = _run_regex(app, requests, seed, True, True)
+    results.append(AblationResult(
+        "regex: sifting + reuse", "regex", base_eff, base_eff, base_detail
+    ))
+    for name, sifting, reuse in (
+        ("regex: no content sifting", False, True),
+        ("regex: no content reuse", True, False),
+        ("regex: neither technique", False, False),
+    ):
+        eff, detail = _run_regex(app, requests, seed, sifting, reuse)
+        results.append(AblationResult(name, "regex", eff, base_eff, detail))
+
+    return results

@@ -1,0 +1,97 @@
+"""Per-request latency distributions over the MiniPHP templates.
+
+Runs a stream of template-rendering requests (the executable
+per-application templates of :mod:`repro.workloads.templates`) on the
+software and accelerated backends, recording each request's backend
+cycles.  Because requests vary in content size and structure, this
+yields latency *distributions* — p50/p95/p99 — rather than the single
+averaged ratio of Figure 14, and verifies byte-identical pages along
+the way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.rng import DEFAULT_SEED, DeterministicRng
+from repro.isa.dispatch import AcceleratorComplex
+from repro.runtime.interp import (
+    AcceleratedBackend,
+    MiniPhpInterpreter,
+    SoftwareBackend,
+)
+from repro.workloads.templates import render_app_page
+
+
+def percentile(values: list[float], p: float) -> float:
+    """Classic nearest-rank percentile of a non-empty sample."""
+    if not values:
+        raise ValueError("no samples")
+    import math
+    ordered = sorted(values)
+    rank = math.ceil(p / 100 * len(ordered)) - 1
+    return ordered[max(0, min(len(ordered) - 1, rank))]
+
+
+@dataclass
+class LatencyDistribution:
+    """Summary of one backend's per-request cycles."""
+
+    samples: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    def p(self, q: float) -> float:
+        return percentile(self.samples, q)
+
+
+@dataclass
+class LatencyReport:
+    """Both backends' distributions for one application."""
+
+    app: str
+    software: LatencyDistribution
+    accelerated: LatencyDistribution
+    pages_identical: bool
+
+    @property
+    def mean_speedup(self) -> float:
+        return self.software.mean / self.accelerated.mean
+
+    @property
+    def p99_speedup(self) -> float:
+        return self.software.p(99) / self.accelerated.p(99)
+
+
+def request_latency_report(
+    app: str,
+    requests: int = 30,
+    seed: int = DEFAULT_SEED,
+) -> LatencyReport:
+    """Render ``requests`` pages per backend; summarize latencies.
+
+    The accelerated backend shares one warm accelerator complex across
+    requests (heap free lists and string configuration persist, as on
+    a real core serving a request stream); each request still gets a
+    fresh interpreter scope.
+    """
+    complex_ = AcceleratorComplex()
+    sw = LatencyDistribution()
+    hw = LatencyDistribution()
+    identical = True
+    for i in range(requests):
+        rng_seed = DeterministicRng(seed).fork(f"req-{i}")
+        sw_interp = MiniPhpInterpreter(SoftwareBackend())
+        page_sw = render_app_page(app, sw_interp, rng_seed)
+        sw.samples.append(sw_interp.backend.cost_cycles())
+
+        rng_seed = DeterministicRng(seed).fork(f"req-{i}")
+        hw_interp = MiniPhpInterpreter(AcceleratedBackend(complex_))
+        start = hw_interp.backend.cost_cycles()
+        page_hw = render_app_page(app, hw_interp, rng_seed)
+        hw.samples.append(hw_interp.backend.cost_cycles() - start)
+
+        identical = identical and (page_sw == page_hw)
+    return LatencyReport(app, sw, hw, identical)

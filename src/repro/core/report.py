@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment results in the paper's layout."""
+
+from __future__ import annotations
+
+from repro.core.experiment import AppResult
+
+
+def format_table(
+    headers: list[str], rows: list[list[str]], title: str = ""
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def pct(x: float, digits: int = 2) -> str:
+    return f"{100 * x:.{digits}f}%"
+
+
+def figure14_report(results: list[AppResult]) -> str:
+    """Execution time normalized to unmodified HHVM (Figure 14)."""
+    rows = []
+    for r in results:
+        rows.append([
+            r.app,
+            "100.00%",
+            pct(r.time_with_priors),
+            pct(r.time_with_accelerators),
+            pct(r.accel_benefit_total),
+        ])
+    n = len(results)
+    rows.append([
+        "average",
+        "100.00%",
+        pct(sum(r.time_with_priors for r in results) / n),
+        pct(sum(r.time_with_accelerators for r in results) / n),
+        pct(sum(r.accel_benefit_total for r in results) / n),
+    ])
+    return format_table(
+        ["app", "unmodified", "w/ prior opts", "w/ accelerators",
+         "accel benefit (vs opt)"],
+        rows,
+        title="Figure 14: execution time normalized to unmodified HHVM",
+    )
+
+
+def figure15_report(results: list[AppResult]) -> str:
+    """Per-accelerator benefit breakdown (Figure 15)."""
+    keys = ["heap", "hash", "string", "regex"]
+    rows = []
+    for r in results:
+        rows.append([r.app] + [pct(r.benefits[k]) for k in keys])
+    n = len(results)
+    rows.append(
+        ["average"]
+        + [pct(sum(r.benefits[k] for r in results) / n) for k in keys]
+    )
+    return format_table(
+        ["app", "heap mgr", "hash table", "string accel", "regex accel"],
+        rows,
+        title="Figure 15: per-accelerator execution-time benefit "
+              "(fraction of optimized time)",
+    )
+
+
+def energy_report(results: list[AppResult]) -> str:
+    """Section 5.2 energy savings."""
+    rows = [[r.app, pct(r.energy_saving)] for r in results]
+    rows.append([
+        "average",
+        pct(sum(r.energy_saving for r in results) / len(results)),
+    ])
+    return format_table(
+        ["app", "energy saving"], rows,
+        title="Section 5.2: CPU energy savings vs optimized baseline",
+    )

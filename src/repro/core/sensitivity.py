@@ -1,0 +1,139 @@
+"""Sensitivity sweeps over accelerator parameters.
+
+Beyond the ablations (feature on/off), these sweeps trace how the key
+results move as the paper's sizing constants change — the analysis a
+design-space exploration would run before committing to 512 entries /
+4 probes / 32-byte segments / 32-entry reuse tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.hash_table import HashTableConfig
+from repro.accel.regex_accel import ContentSifter, ContentReuseTable, \
+    ReuseAcceleratedMatcher, ReuseTableConfig
+from repro.accel.string_accel import StringAccelerator
+from repro.common.rng import DEFAULT_SEED, DeterministicRng
+from repro.core.costs import DEFAULT_COSTS
+from repro.core.execute import HashSimulator
+from repro.isa.dispatch import AcceleratorComplex, ComplexConfig
+from repro.regex.engine import CompiledRegex
+from repro.workloads.apps import AppWorkload, wordpress
+from repro.workloads.loadgen import LoadGenerator
+from repro.workloads.regexops import AUTHOR_URL_PATTERN
+from repro.workloads.text import ContentSpec, TextCorpus
+
+
+def sweep_probe_width(
+    widths: tuple[int, ...] = (1, 2, 4, 8),
+    app: AppWorkload | None = None,
+    requests: int = 3,
+    seed: int = DEFAULT_SEED,
+) -> dict[int, float]:
+    """Hash-table hit rate vs parallel probe width (paper: 4)."""
+    app = app or wordpress()
+    out: dict[int, float] = {}
+    for width in widths:
+        complex_ = AcceleratorComplex(config=ComplexConfig(
+            hash_table=HashTableConfig(probe_width=width)
+        ))
+        lg = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
+        sim = HashSimulator(
+            "accelerated", lg.hash_generator, DEFAULT_COSTS, complex_
+        )
+        for _ in range(requests):
+            sim.execute(lg.next_request().hash_ops)
+        out[width] = complex_.hash_table.hit_rate()
+    return out
+
+
+def sweep_segment_size(
+    sizes: tuple[int, ...] = (8, 16, 32, 64, 128),
+    special_fraction: float = 0.3,
+    paragraphs: int = 12,
+    seed: int = DEFAULT_SEED,
+) -> dict[int, dict[str, float]]:
+    """Content-sifting effectiveness vs hint-vector segment size.
+
+    Small segments skip more precisely but cost more HV bits and more
+    CLZ hops; large segments over-mark.  The paper picks 32 bytes.
+    Returns per-size {skip_fraction, hv_bits}.
+    """
+    corpus = TextCorpus(DeterministicRng(seed))
+    spec = ContentSpec(
+        paragraphs=paragraphs, special_segment_fraction=special_fraction
+    )
+    content = corpus.post(spec)
+    shadow = CompiledRegex(r"<[a-z]+")
+    out: dict[int, dict[str, float]] = {}
+    for size in sizes:
+        sifter = ContentSifter(StringAccelerator(), segment_bytes=size)
+        hv, _ = sifter.build_hint_vector(content)
+        result = sifter.shadow_findall(shadow, content, hv)
+        out[size] = {
+            "skip_fraction": result.chars_skipped / len(content),
+            "hv_bits": float(len(hv.bits)),
+        }
+    return out
+
+
+def sweep_reuse_content_bytes(
+    sizes: tuple[int, ...] = (8, 16, 32, 64),
+    stream_length: int = 40,
+    authors: int = 6,
+    seed: int = DEFAULT_SEED,
+) -> dict[int, float]:
+    """Content-reuse skip rate vs memoized-content capacity.
+
+    The author-URL prefix is 26 bytes: capacities below that truncate
+    the shared prefix and skip less; the paper's 32 bytes covers it.
+    """
+    rng = DeterministicRng(seed)
+    corpus = TextCorpus(rng.fork("corpus"))
+    names = [corpus.rng.ascii_word(3, 7) for _ in range(authors)]
+    urls = [
+        corpus.author_url(rng.choice(names)) for _ in range(stream_length)
+    ]
+    regex = CompiledRegex(AUTHOR_URL_PATTERN)
+    out: dict[int, float] = {}
+    for size in sizes:
+        table = ContentReuseTable(ReuseTableConfig(content_bytes=size))
+        matcher = ReuseAcceleratedMatcher(table)
+        skipped = 0
+        total = 0
+        for url in urls:
+            outcome = matcher.match(regex, url, pc=0x42)
+            skipped += outcome.chars_skipped
+            total += len(url)
+        out[size] = skipped / total if total else 0.0
+    return out
+
+
+def sweep_reuse_entries(
+    entries: tuple[int, ...] = (2, 8, 32, 128),
+    call_sites: int = 24,
+    rounds: int = 6,
+    seed: int = DEFAULT_SEED,
+) -> dict[int, float]:
+    """Reuse-table jump rate vs entry count under call-site pressure.
+
+    With more live regexp call sites than entries, LRU churn destroys
+    the memoized states; the paper sizes the table at 32.
+    """
+    rng = DeterministicRng(seed)
+    corpus = TextCorpus(rng.fork("corpus"))
+    author = corpus.rng.ascii_word(4, 6)
+    regex = CompiledRegex(AUTHOR_URL_PATTERN)
+    out: dict[int, float] = {}
+    for n in entries:
+        table = ContentReuseTable(ReuseTableConfig(entries=n))
+        matcher = ReuseAcceleratedMatcher(table)
+        for _ in range(rounds):
+            for site in range(call_sites):
+                other = corpus.rng.ascii_word(3, 7)
+                url = corpus.author_url(author if site % 2 else other)
+                matcher.match(regex, url, pc=0x100 + site)
+        lookups = table.stats.get("reuse.lookups")
+        out[n] = table.stats.get("reuse.jumps") / lookups if lookups else 0.0
+    return out

@@ -1,0 +1,91 @@
+"""Request throughput and datacenter-cost framing.
+
+The paper's introduction motivates everything in fleet terms: "since
+these PHP applications run on live datacenters hosting millions of
+such web applications, even small improvements in performance or
+utilization will translate into immense cost savings."  This module
+converts the Figure 14 execution-time ratios into the quantities an
+operator reasons about: requests/second per core, cores needed for a
+target load, and the serving-capacity gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import DEFAULT_SEED
+from repro.core.experiment import AppResult, full_evaluation
+
+#: Nominal cycles one request costs on unmodified HHVM (sets the
+#: absolute scale only; all comparisons are ratios).
+BASELINE_CYCLES_PER_REQUEST = 25_000_000
+#: Evaluation clock (the paper's synthesis point).
+CLOCK_HZ = 2_000_000_000
+
+
+@dataclass
+class ThroughputResult:
+    """Serving capacity of one app under the three configurations."""
+
+    app: str
+    baseline_rps: float
+    optimized_rps: float
+    accelerated_rps: float
+
+    @property
+    def capacity_gain(self) -> float:
+        """Extra load one core absorbs with the accelerators (vs base)."""
+        return self.accelerated_rps / self.baseline_rps - 1.0
+
+    def cores_for(self, target_rps: float, config: str = "accelerated") -> int:
+        """Cores needed to serve ``target_rps`` (ceil)."""
+        per_core = {
+            "baseline": self.baseline_rps,
+            "optimized": self.optimized_rps,
+            "accelerated": self.accelerated_rps,
+        }[config]
+        import math
+        return max(1, math.ceil(target_rps / per_core))
+
+
+def throughput_analysis(
+    seed: int = DEFAULT_SEED,
+    requests: int | None = None,
+    results: list[AppResult] | None = None,
+) -> list[ThroughputResult]:
+    """Turn Figure 14 ratios into per-core requests/second."""
+    if results is None:
+        results = full_evaluation(seed=seed, requests=requests)
+    out: list[ThroughputResult] = []
+    base_rps = CLOCK_HZ / BASELINE_CYCLES_PER_REQUEST
+    for r in results:
+        out.append(ThroughputResult(
+            app=r.app,
+            baseline_rps=base_rps,
+            optimized_rps=base_rps / r.time_with_priors,
+            accelerated_rps=base_rps / r.time_with_accelerators,
+        ))
+    return out
+
+
+def fleet_summary(
+    analysis: list[ThroughputResult],
+    fleet_rps: float = 1_000_000.0,
+) -> dict[str, float]:
+    """Fleet sizing for a nominal 1M-rps service mix (equal thirds)."""
+    import math
+
+    def cores(config: str) -> int:
+        per_app_rps = fleet_rps / len(analysis)
+        return sum(t.cores_for(per_app_rps, config) for t in analysis)
+
+    baseline = cores("baseline")
+    optimized = cores("optimized")
+    accelerated = cores("accelerated")
+    return {
+        "baseline_cores": float(baseline),
+        "optimized_cores": float(optimized),
+        "accelerated_cores": float(accelerated),
+        "cores_saved_vs_baseline": float(baseline - accelerated),
+        "fleet_reduction": 1.0 - accelerated / baseline,
+    }

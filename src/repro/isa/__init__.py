@@ -1,0 +1,23 @@
+"""ISA extensions (Section 4.6) and the accelerator complex."""
+
+from repro.isa.dispatch import AcceleratorComplex, ComplexConfig
+from repro.isa.multicore import CoherenceEvent, MulticoreSystem
+from repro.isa.instructions import (
+    ISA_EXTENSIONS,
+    Instruction,
+    REGEX_API,
+    Unit,
+    instruction,
+)
+
+__all__ = [
+    "AcceleratorComplex",
+    "ComplexConfig",
+    "MulticoreSystem",
+    "CoherenceEvent",
+    "ISA_EXTENSIONS",
+    "Instruction",
+    "REGEX_API",
+    "Unit",
+    "instruction",
+]

@@ -1,0 +1,113 @@
+"""ISA extensions (Section 4.6).
+
+Every accelerator is invoked through new instructions; "the zero flag
+is raised upon a miss ... in which case the code branches to the
+software handler fallback."  This module defines the instruction set
+as data — mnemonic, operands, flag semantics, which unit it drives —
+so the dispatcher, the documentation, and the tests all share one
+source of truth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Unit(enum.Enum):
+    """The accelerator a new instruction talks to."""
+
+    HASH_TABLE = "hardware hash table"
+    HEAP_MANAGER = "hardware heap manager"
+    STRING = "string accelerator"
+    REGEX = "regexp accelerator (reuse table / HV plumbing)"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One ISA extension."""
+
+    mnemonic: str
+    unit: Unit
+    operands: str
+    sets_zero_flag: bool
+    zero_flag_meaning: str
+    description: str
+
+
+ISA_EXTENSIONS: dict[str, Instruction] = {
+    i.mnemonic: i
+    for i in (
+        Instruction(
+            "hashtableget", Unit.HASH_TABLE, "rdst, rkey, rbase",
+            True, "GET missed: branch to software hash-map walk",
+            "Look up (base address, key); on hit rdst holds the value "
+            "pointer and the entry's LRU stamp is refreshed.",
+        ),
+        Instruction(
+            "hashtableset", Unit.HASH_TABLE, "rkey, rbase, rval",
+            True, "hash table overflow: branch to software insert",
+            "Insert/update (base address, key) → value pointer; marks "
+            "the entry dirty; silent with respect to memory.",
+        ),
+        Instruction(
+            "hmmalloc", Unit.HEAP_MANAGER, "rdst, rsize",
+            True, "requested size class empty: software refills",
+            "Pop a block from the hardware free list selected by the "
+            "size-class table (requests ≤ 128 B).",
+        ),
+        Instruction(
+            "hmfree", Unit.HEAP_MANAGER, "raddr, rsize",
+            True, "size class full: software spills one block (1 str)",
+            "Push a block onto the hardware free list.",
+        ),
+        Instruction(
+            "hmflush", Unit.HEAP_MANAGER, "(none)",
+            False, "",
+            "Flush all hardware free-list entries to the memory heap "
+            "structures at a context switch; resumable across page "
+            "faults to guarantee forward progress.",
+        ),
+        Instruction(
+            "stringop", Unit.STRING, "op6, rdst, rsrc1, rsrc2",
+            False, "",
+            "Invoke the string accelerator; a 6-bit sub-opcode selects "
+            "the function (trim, find, translate, ...).",
+        ),
+        Instruction(
+            "strreadconfig", Unit.STRING, "raddr",
+            False, "",
+            "Populate the matching-matrix rows from memory if not "
+            "already configured (complex functions; after context "
+            "switches).",
+        ),
+        Instruction(
+            "strwriteconfig", Unit.STRING, "raddr",
+            False, "",
+            "Store the accelerator's current matrix configuration to "
+            "memory (before a context switch).",
+        ),
+        Instruction(
+            "regexlookup", Unit.REGEX, "rdst, rpc, rcontent",
+            True, "no jumpable entry: software traverses the FSM",
+            "Search the content-reuse table for a PC, ASID, and "
+            "content match; on a hit rdst holds the FSM state to jump "
+            "to.",
+        ),
+        Instruction(
+            "regexset", Unit.REGEX, "rpc, rstate",
+            False, "",
+            "Write the FSM state for the learned content size back "
+            "into the reuse table (issued by the software handler).",
+        ),
+    )
+}
+
+#: The two API entry points that replace PCRE library calls (§4.6) —
+#: not instructions, but part of the software-visible interface.
+REGEX_API = ("regexp_sieve", "regexp_shadow")
+
+
+def instruction(mnemonic: str) -> Instruction:
+    """Look up one extension; raises ``KeyError`` for unknown names."""
+    return ISA_EXTENSIONS[mnemonic]

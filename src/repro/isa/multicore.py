@@ -1,0 +1,146 @@
+"""Multicore coherence scenarios (Sections 4.1e and 4.2).
+
+The accelerators "participate in the cache coherence mechanism": each
+hardware hash table holds exclusive permission over the address ranges
+of the maps it caches; remote requests are forwarded via the RTT and
+flush the map.  The paper's empirical claim — "in practice ... there
+is virtually no coherence activity due to the hash map accelerator"
+because the target maps are small, process-private and short-lived —
+is reproduced by the scenario tests built on this module.
+
+The model is directory-based at map granularity: one owner per map
+base address, with flush-on-remote-access, which is what the paper's
+range-based exclusive-permission scheme degenerates to for the small
+maps involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.stats import StatRegistry
+from repro.isa.dispatch import AcceleratorComplex
+from repro.runtime.phparray import PhpArray
+
+
+@dataclass
+class CoherenceEvent:
+    """One directory action, for inspection in tests/examples."""
+
+    kind: str          # 'acquire' | 'forward_flush' | 'migration_flush'
+    base_address: int
+    from_core: Optional[int]
+    to_core: Optional[int]
+    flushed_entries: int = 0
+
+
+class MulticoreSystem:
+    """N cores, each with its own accelerator complex, one directory."""
+
+    def __init__(self, cores: int = 2) -> None:
+        if cores < 1:
+            raise ValueError("need at least one core")
+        self.cores = [AcceleratorComplex() for _ in range(cores)]
+        self.stats = StatRegistry("multicore")
+        self._owner: dict[int, int] = {}   # map base -> core id
+        self.events: list[CoherenceEvent] = []
+        self._next_base = 0x7000_0000
+
+    # -- map management -----------------------------------------------------------
+
+    def new_shared_map(self) -> PhpArray:
+        """Create a software map visible to every core."""
+        self._next_base += 0x400
+        array = PhpArray(base_address=self._next_base)
+        for core in self.cores:
+            core.register_map(array)
+        return array
+
+    # -- coherent accelerator access -------------------------------------------------
+
+    def _acquire(self, core_id: int, base_address: int) -> int:
+        """Take exclusive permission for a map; flush any remote owner.
+
+        Returns the number of hardware entries flushed remotely (0 in
+        the private-map common case).
+        """
+        owner = self._owner.get(base_address)
+        if owner is None:
+            self._owner[base_address] = core_id
+            self.stats.bump("multicore.acquires")
+            self.events.append(CoherenceEvent(
+                "acquire", base_address, None, core_id
+            ))
+            return 0
+        if owner == core_id:
+            return 0
+        flushed = self.cores[owner].remote_request(base_address)
+        self._owner[base_address] = core_id
+        self.stats.bump("multicore.forward_flushes")
+        self.events.append(CoherenceEvent(
+            "forward_flush", base_address, owner, core_id, flushed
+        ))
+        return flushed
+
+    def hash_set(self, core_id: int, array: PhpArray, key: str, value) -> None:
+        """Coherent hashtableset from ``core_id``."""
+        self._acquire(core_id, array.base_address)
+        outcome = self.cores[core_id].hash_table.set(
+            key, array.base_address, value
+        )
+        if outcome.software_fallback:
+            array.set(key, value)
+
+    def hash_get(self, core_id: int, array: PhpArray, key: str):
+        """Coherent hashtableget from ``core_id``."""
+        self._acquire(core_id, array.base_address)
+        complex_ = self.cores[core_id]
+        outcome = complex_.hash_table.get(key, array.base_address)
+        if outcome.hit:
+            return outcome.value_ptr
+        value = array.get_default(key)
+        if value is not None:
+            complex_.hash_table.insert_clean(
+                key, array.base_address, value
+            )
+        return value
+
+    def free_map(self, core_id: int, array: PhpArray) -> None:
+        """RTT bulk invalidate + directory release."""
+        self.cores[core_id].hash_table.free_map(array.base_address)
+        self._owner.pop(array.base_address, None)
+        for core in self.cores:
+            core.drop_map(array.base_address)
+
+    # -- process migration ---------------------------------------------------------------
+
+    def migrate_process(self, from_core: int, to_core: int) -> dict[str, int]:
+        """Context-switch a process to another core (§4.6 choreography).
+
+        * the heap manager flushes its free lists (``hmflush``),
+        * the string unit saves its matrix (``strwriteconfig``) and the
+          destination restores it (``strreadconfig``),
+        * the hash table needs no bulk action ("hardware coherent"):
+          its maps flush lazily when the destination core touches them.
+        """
+        heap_flushed, saved = self.cores[from_core].context_switch_out()
+        restore_cycles = self.cores[to_core].context_switch_in(saved)
+        migrated = [
+            base for base, owner in self._owner.items() if owner == from_core
+        ]
+        self.stats.bump("multicore.migrations")
+        self.events.append(CoherenceEvent(
+            "migration_flush", 0, from_core, to_core, heap_flushed
+        ))
+        return {
+            "heap_blocks_flushed": heap_flushed,
+            "string_restore_cycles": restore_cycles,
+            "hash_maps_pending_lazy_flush": len(migrated),
+        }
+
+    # -- reporting ----------------------------------------------------------------------------
+
+    def coherence_traffic(self) -> int:
+        """Remote flushes observed (the paper: 'virtually no' such)."""
+        return self.stats.get("multicore.forward_flushes")

@@ -1,0 +1,43 @@
+"""The Section 3 prior-work mitigations, as mechanisms.
+
+Each module implements one of the four optimizations the paper applies
+before designing hardware, so the mitigation factors used by
+:func:`repro.workloads.profiles.apply_mitigations` are *grounded* by
+measurement rather than assumed:
+
+* :mod:`repro.optim.inline_cache` — hidden classes, inline caches,
+  hash map inlining (refs [31, 32, 40]);
+* :mod:`repro.optim.typecheck`    — checked-load type checks ([22]);
+* :mod:`repro.optim.refcount`     — RC coalescing buffer ([46]);
+* :mod:`repro.optim.alloc_tuning` — kernel-call tuning.
+"""
+
+from repro.optim.alloc_tuning import (
+    TunedSlabAllocator,
+    TuningConfig,
+    measure_alloc_tuning,
+)
+from repro.optim.inline_cache import (
+    HashMapInliner,
+    HiddenClass,
+    InlineCache,
+    POLYMORPHIC_LIMIT,
+    ShapeTree,
+)
+from repro.optim.refcount import RcCoalescingBuffer, measure_rc_mitigation
+from repro.optim.typecheck import CheckedLoadCache, measure_typecheck_mitigation
+
+__all__ = [
+    "HiddenClass",
+    "ShapeTree",
+    "InlineCache",
+    "HashMapInliner",
+    "POLYMORPHIC_LIMIT",
+    "RcCoalescingBuffer",
+    "measure_rc_mitigation",
+    "CheckedLoadCache",
+    "measure_typecheck_mitigation",
+    "TunedSlabAllocator",
+    "TuningConfig",
+    "measure_alloc_tuning",
+]

@@ -1,0 +1,240 @@
+"""Inline caching and hash map inlining (Section 3, refs [31, 32, 40]).
+
+Modern JITs specialize member accesses on dynamically-typed objects
+with **inline caches** (IC): each access site remembers the *hidden
+class* (shape) it last saw and the member's offset within it, so the
+access becomes "check shape, load offset".  **Hash map inlining**
+(HMI, Gope & Lipasti PACT'16 [40]) extends the idea to hash maps
+"with variable though predictable key names": a site that observes a
+stable key sequence gets the bucket offsets burned into its inline
+cache.
+
+The paper's point — the reason the hardware hash table exists — is
+that real PHP applications perform many accesses with *dynamic* key
+names that neither technique can capture.  This module implements the
+software machinery (hidden classes, mono/poly/megamorphic ICs, HMI
+site profiling) so that the mitigation factor applied in Section 3's
+re-weighting is *derived* from trace behavior rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.stats import StatRegistry
+from repro.workloads.hashops import HashOp
+
+#: IC sites track at most this many shapes before going megamorphic.
+POLYMORPHIC_LIMIT = 4
+#: µop costs of the access flavors.
+UOPS_OFFSET_ACCESS = 3     # shape check + offset load
+UOPS_POLY_DISPATCH = 7     # chain of shape compares
+UOPS_MEGAMORPHIC = 12      # IC miss path into the runtime lookup
+
+
+@dataclass(frozen=True)
+class HiddenClass:
+    """A shape: an ordered tuple of property names with fixed offsets.
+
+    Adding a property transitions to a (cached) successor shape, as in
+    SELF/V8; two objects built with the same property order share a
+    shape, which is what lets an IC specialize on it.
+    """
+
+    properties: tuple[str, ...]
+
+    def offset_of(self, name: str) -> Optional[int]:
+        try:
+            return self.properties.index(name)
+        except ValueError:
+            return None
+
+
+class ShapeTree:
+    """The transition tree interning hidden classes."""
+
+    def __init__(self) -> None:
+        self.root = HiddenClass(())
+        self._transitions: dict[tuple[HiddenClass, str], HiddenClass] = {}
+        self.stats = StatRegistry("shapes")
+
+    def transition(self, shape: HiddenClass, name: str) -> HiddenClass:
+        """Shape after adding property ``name`` (interned)."""
+        if shape.offset_of(name) is not None:
+            return shape
+        key = (shape, name)
+        nxt = self._transitions.get(key)
+        if nxt is None:
+            nxt = HiddenClass(shape.properties + (name,))
+            self._transitions[key] = nxt
+            self.stats.bump("shapes.created")
+        return nxt
+
+    @property
+    def shape_count(self) -> int:
+        return len(self._transitions) + 1
+
+
+@dataclass
+class _IcEntry:
+    shape: HiddenClass
+    offset: int
+
+
+class InlineCache:
+    """One access site's inline cache (mono → poly → megamorphic)."""
+
+    def __init__(self, site: int) -> None:
+        self.site = site
+        self.entries: list[_IcEntry] = []
+        self.megamorphic = False
+
+    @property
+    def state(self) -> str:
+        if self.megamorphic:
+            return "megamorphic"
+        if not self.entries:
+            return "uninitialized"
+        return "monomorphic" if len(self.entries) == 1 else "polymorphic"
+
+    def access(self, shape: HiddenClass, name: str) -> tuple[bool, int]:
+        """Look up ``name`` on an object of ``shape`` at this site.
+
+        Returns ``(specialized, uops)``: whether the access stayed on
+        the IC fast path, and what it cost.
+        """
+        if self.megamorphic:
+            return False, UOPS_MEGAMORPHIC
+        for i, entry in enumerate(self.entries):
+            if entry.shape == shape:
+                cost = UOPS_OFFSET_ACCESS if i == 0 else UOPS_POLY_DISPATCH
+                # Move-to-front keeps the hot shape on the cheap path.
+                if i:
+                    self.entries.insert(0, self.entries.pop(i))
+                return True, cost
+        offset = shape.offset_of(name)
+        if offset is None:
+            return False, UOPS_MEGAMORPHIC
+        self.entries.insert(0, _IcEntry(shape, offset))
+        if len(self.entries) > POLYMORPHIC_LIMIT:
+            self.megamorphic = True
+            self.entries.clear()
+            return False, UOPS_MEGAMORPHIC
+        return True, UOPS_MEGAMORPHIC  # the miss that installed the entry
+
+
+@dataclass
+class _HmiSite:
+    """HMI profile of one hash-access site (PACT'16 [40], §3)."""
+
+    expected_sequence: list[str] = field(default_factory=list)
+    position: int = 0
+    confirmations: int = 0
+    recording: bool = True
+    broken: bool = False
+
+    CONFIDENT_AFTER = 3   # sequence repetitions before specializing
+    MAX_SEQUENCE = 64     # longer sequences are not worth inlining
+
+    def observe(self, key: str) -> bool:
+        """Feed the next key; returns True when the access may inline.
+
+        The site records keys until the sequence wraps (the first key
+        recurs), then verifies the learned cycle on subsequent passes;
+        once confirmed, accesses follow offset loads until a key
+        deviates, which permanently de-specializes the site (HMI falls
+        back to the normal walk).
+        """
+        if self.broken:
+            return False
+        if self.recording:
+            if self.expected_sequence and key == self.expected_sequence[0]:
+                # The cycle wrapped: switch to verification.
+                self.recording = False
+                self.position = 1
+                return False
+            self.expected_sequence.append(key)
+            if len(self.expected_sequence) > self.MAX_SEQUENCE:
+                self.broken = True
+            return False
+        if self.position >= len(self.expected_sequence):
+            self.position = 0
+            self.confirmations += 1
+        if self.expected_sequence[self.position] != key:
+            self.broken = True
+            return False
+        self.position += 1
+        return self.confirmations >= self.CONFIDENT_AFTER
+
+
+class HashMapInliner:
+    """Applies IC + HMI to a hash-op trace.
+
+    Classifies every GET/SET as *specialized* (IC/HMI fast path) or
+    *residual* (dynamic keys — what the hardware hash table targets),
+    and accounts the µops of each.  The residual fraction is the
+    empirical grounding of the Section 3 IC/HMI mitigation factor.
+    """
+
+    def __init__(self) -> None:
+        self.stats = StatRegistry("hmi")
+        self._sites: dict[int, _HmiSite] = {}
+
+    def site_for(self, op: HashOp) -> int:
+        """Access-site identity for an op.
+
+        Site identity in a JIT is the bytecode location; the generator
+        encodes it in the op stream: global-table accesses come from a
+        handful of template sites (map_id), short-lived-map traffic
+        from extract/scope sites whose keys are dynamic per request.
+        """
+        if op.map_id < 0:
+            return -op.map_id  # template site per global table
+        return 1_000_000 + (op.map_id % 7)  # extract/scope call sites
+
+    def filter(self, ops: list[HashOp]) -> list[HashOp]:
+        """Split a trace: specialized accesses are absorbed, the
+        *residual* ops (dynamic keys) are returned for the hash map —
+        and, in the accelerated configuration, the hardware hash table.
+        Non-access ops (alloc/free/foreach) always pass through.
+        """
+        residual: list[HashOp] = []
+        for op in ops:
+            if op.kind not in ("get", "set"):
+                residual.append(op)
+                continue
+            site = self._sites.setdefault(self.site_for(op), _HmiSite())
+            if op.map_id > 0:
+                # Dynamic key names (extract, scope communication):
+                # "cannot be converted to regular offset accesses by
+                # software methods".
+                site.broken = True
+            if site.observe(op.key):
+                self.stats.bump("hmi.specialized")
+                self.stats.bump("hmi.fast_uops", UOPS_OFFSET_ACCESS)
+            else:
+                self.stats.bump("hmi.residual")
+                residual.append(op)
+        return residual
+
+    def process(self, ops: list[HashOp]) -> dict[str, float]:
+        """Run the trace; returns the specialization summary."""
+        before = self.stats.snapshot()
+        self.filter(ops)
+        delta = self.stats.diff(before)
+        specialized = delta.get("hmi.specialized", 0)
+        residual = delta.get("hmi.residual", 0)
+        total = specialized + residual
+        return {
+            "specialized": float(specialized),
+            "residual": float(residual),
+            "specialized_fraction": specialized / total if total else 0.0,
+            "fast_path_uops": float(delta.get("hmi.fast_uops", 0)),
+        }
+
+    def specialized_fraction(self) -> float:
+        """Lifetime fraction of accesses absorbed by IC/HMI."""
+        specialized = self.stats.get("hmi.specialized")
+        total = specialized + self.stats.get("hmi.residual")
+        return specialized / total if total else 0.0

@@ -1,0 +1,158 @@
+"""Hardware reference counting (Section 3, ref [46]).
+
+Joao, Mutlu & Patt (ISCA'09) fold reference-count updates into the
+cache subsystem: RC deltas accumulate in a small coalescing buffer
+next to the L1 and are applied lazily, so the vast majority of
+incref/decref pairs annihilate without ever executing core µops or
+touching memory.  The paper adopts this as the largest Section 3
+mitigation (≈ 4.42 % of execution time on average).
+
+This module implements the coalescing buffer over the event stream
+that :class:`repro.runtime.values.ValueRuntime` records, so the
+mitigation's effectiveness — the fraction of RC µops elided — is
+measured, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.common.stats import StatRegistry
+from repro.runtime.values import PhpValue, ValueRuntime
+
+
+@dataclass
+class _RcEntry:
+    delta: int
+    last_touch: int
+
+
+class RcCoalescingBuffer:
+    """A small CAM of pending reference-count deltas.
+
+    * incref/decref on a buffered object just adjusts its delta
+      (1 buffer access, no core µops),
+    * entries whose deltas annihilate to zero retire silently,
+    * capacity evictions flush the delta to the object's counter in
+      memory (the only time software-cost work happens),
+    * a zero-reaching flush hands the object to the destructor path,
+      exactly like a software decref-to-zero would.
+    """
+
+    def __init__(self, entries: int = 64) -> None:
+        self.capacity = entries
+        self.stats = StatRegistry("rcbuf")
+        self._entries: dict[int, _RcEntry] = {}
+        self._clock = 0
+
+    def _touch(self, obj_id: int, delta: int, value: PhpValue) -> None:
+        self._clock += 1
+        self.stats.bump("rcbuf.updates")
+        entry = self._entries.get(obj_id)
+        if entry is not None:
+            entry.delta += delta
+            entry.last_touch = self._clock
+            if entry.delta == 0:
+                del self._entries[obj_id]
+                self.stats.bump("rcbuf.annihilations")
+            return
+        if len(self._entries) >= self.capacity:
+            self._evict_lru(value)
+        self._entries[obj_id] = _RcEntry(delta, self._clock)
+
+    def _evict_lru(self, carrier: PhpValue) -> None:
+        victim_id = min(self._entries, key=lambda k: self._entries[k].last_touch)
+        victim = self._entries.pop(victim_id)
+        self.stats.bump("rcbuf.evictions")
+        # The flush applies the delta in memory: one cache write.
+        self.stats.bump("rcbuf.flush_writes")
+
+    def incref(self, value: PhpValue) -> None:
+        if value.type.is_refcounted:
+            value.refcount += 1
+            self._touch(id(value), +1, value)
+
+    def decref(self, value: PhpValue) -> bool:
+        if not value.type.is_refcounted:
+            return False
+        value.refcount -= 1
+        self._touch(id(value), -1, value)
+        if value.refcount <= 0:
+            self.stats.bump("rcbuf.destroys")
+            self._entries.pop(id(value), None)
+            return True
+        return False
+
+    def flush_all(self) -> int:
+        """Context switch / GC safepoint: apply every pending delta."""
+        flushed = len(self._entries)
+        self.stats.bump("rcbuf.flush_writes", flushed)
+        self._entries.clear()
+        return flushed
+
+    # -- effectiveness ------------------------------------------------------------
+
+    def elision_rate(self) -> float:
+        """Fraction of RC updates that never became core/memory work.
+
+        Every update costs one buffer access; only evictions and final
+        flushes produce real work (a cache write each).  The paper's
+        mitigation factor (≈85 % of refcount time removed) corresponds
+        to this rate on PHP-like churn.
+        """
+        updates = self.stats.get("rcbuf.updates")
+        if not updates:
+            return 0.0
+        flushed = self.stats.get("rcbuf.flush_writes")
+        return 1.0 - flushed / updates
+
+
+def measure_rc_mitigation(
+    churn_objects: int = 600,
+    operations: int = 20_000,
+    buffer_entries: int = 64,
+    seed: int = 7,
+) -> dict[str, float]:
+    """Drive software vs hardware RC over identical churn.
+
+    Returns software µops, hardware equivalent work, and the derived
+    mitigation factor — validated against the Section 3 constant in
+    tests.
+    """
+    from repro.common.rng import DeterministicRng
+
+    rng = DeterministicRng(seed)
+    software = ValueRuntime()
+    hardware = RcCoalescingBuffer(buffer_entries)
+    sw_values = [PhpValue.of_string(f"s{i}") for i in range(churn_objects)]
+    hw_values = [PhpValue.of_string(f"s{i}") for i in range(churn_objects)]
+
+    # Typical VM churn: references are taken (argument passing, array
+    # insertion) and dropped a little later; many objects are in
+    # flight at once, so deltas only annihilate if the buffer can hold
+    # the object until its balancing update arrives.
+    pending: list[tuple[int, int]] = []  # (release_at, object index)
+    for t in range(operations):
+        while pending and pending[0][0] <= t:
+            _, idx = pending.pop(0)
+            software.decref(sw_values[idx])
+            hardware.decref(hw_values[idx])
+        idx = rng.zipf(churn_objects, 1.0)
+        software.incref(sw_values[idx])
+        hardware.incref(hw_values[idx])
+        pending.append((t + 1 + rng.geometric(0.012, cap=2000), idx))
+        pending.sort()
+    for _, idx in pending:
+        software.decref(sw_values[idx])
+        hardware.decref(hw_values[idx])
+
+    sw_uops = software.refcount_uops
+    elision = hardware.elision_rate()
+    hw_uops = sw_uops * (1.0 - elision)
+    return {
+        "software_uops": float(sw_uops),
+        "hardware_uops": hw_uops,
+        "elision_rate": elision,
+        "mitigation_factor": elision,
+    }

@@ -1,0 +1,61 @@
+"""CACTI-like SRAM energy/latency/area estimation (45 nm).
+
+The paper uses CACTI 6.5+ to size the non-synthesized accelerators and
+McPAT for core power (Section 5.1).  This module provides an
+analytical stand-in: energy and area scale with the array's bit count
+(bitcell array) and its square root (wordline/bitline and peripheral
+overheads), with constants chosen for a 45 nm process so that the four
+accelerators together land at the paper's 0.22 mm² combined footprint.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: 45 nm 6T SRAM bitcell + macro overhead, mm² per bit.
+MM2_PER_BIT = 0.50e-6
+#: Fixed peripheral area per array (decoders, sense amps), mm².
+ARRAY_OVERHEAD_MM2 = 0.0015
+#: Dynamic read/write energy: per-bit and per-sqrt(bit) terms, pJ.
+PJ_PER_BIT = 0.00009
+PJ_PER_SQRT_BIT = 0.011
+PJ_FIXED = 0.45
+#: Leakage, mW per mm² of array at 45 nm.
+LEAKAGE_MW_PER_MM2 = 18.0
+
+
+@dataclass(frozen=True)
+class SramEstimate:
+    """CACTI-style outputs for one SRAM structure."""
+
+    name: str
+    bits: int
+    area_mm2: float
+    read_energy_pj: float
+    write_energy_pj: float
+    latency_cycles: int
+    leakage_mw: float
+
+
+def estimate_sram(name: str, entries: int, bits_per_entry: int,
+                  ports: int = 1) -> SramEstimate:
+    """Estimate one array; multi-ported arrays pay quadratic-ish area.
+
+    ``latency_cycles`` is at the paper's 2 GHz clock: small accelerator
+    arrays are single-cycle, larger ones two.
+    """
+    if entries <= 0 or bits_per_entry <= 0:
+        raise ValueError("entries and bits_per_entry must be positive")
+    bits = entries * bits_per_entry
+    port_factor = 1.0 + 0.6 * (ports - 1)
+    area = bits * MM2_PER_BIT * port_factor + ARRAY_OVERHEAD_MM2
+    read = PJ_FIXED + bits_per_entry * PJ_PER_BIT * 8 + math.sqrt(bits) * PJ_PER_SQRT_BIT
+    write = read * 1.15
+    latency = 1 if bits <= 64 * 1024 else 2
+    leakage = area * LEAKAGE_MW_PER_MM2
+    return SramEstimate(
+        name=name, bits=bits, area_mm2=area,
+        read_energy_pj=read, write_energy_pj=write,
+        latency_cycles=latency, leakage_mw=leakage,
+    )

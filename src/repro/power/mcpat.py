@@ -1,0 +1,63 @@
+"""McPAT-like core energy model.
+
+Section 5.2: "We consider the reduction of dynamic CPU instructions
+(after using our accelerators) as a simple proxy for estimating the
+CPU energy savings.  We calculate total energy consumption of our
+accelerators by using simulation counters of the cycles offloaded to
+each accelerator, in combination with the accelerator energy numbers
+provided by CACTI and Verilog synthesis."
+
+This module implements exactly that accounting: core energy scales
+with dynamic µops (a per-µop energy covering fetch/decode/execute/
+retire and the cache slice), accelerator energy is events × per-access
+energy from the CACTI-like model, and savings compare the two sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power.cacti import estimate_sram
+
+#: Core energy per dynamic µop (fetch through retire, 45 nm OoO), nJ.
+NJ_PER_UOP = 0.35
+#: Extra energy per data-cache access already folded into the µop cost;
+#: the accelerators *save* some of these (hardware traversal), modeled
+#: via their saved µops, so no separate term is needed here.
+
+#: Per-access energies for accelerator events, pJ (CACTI-like).
+_HASH_ACCESS_PJ = estimate_sram("hash", 512, 362, ports=2).read_energy_pj
+_HEAP_ACCESS_PJ = estimate_sram("heap", 256, 64).read_energy_pj
+_STRING_BLOCK_PJ = 6.5   # synthesized datapath, per 64-byte block
+_REUSE_ACCESS_PJ = estimate_sram("reuse", 32, 361).read_energy_pj
+
+
+@dataclass
+class EnergyLedger:
+    """Accumulates energy on both sides of a comparison."""
+
+    core_uops: int = 0
+    hash_accesses: int = 0
+    heap_accesses: int = 0
+    string_blocks: int = 0
+    reuse_accesses: int = 0
+
+    def add_core(self, uops: int) -> None:
+        self.core_uops += uops
+
+    def total_nj(self) -> float:
+        accel_pj = (
+            self.hash_accesses * _HASH_ACCESS_PJ
+            + self.heap_accesses * _HEAP_ACCESS_PJ
+            + self.string_blocks * _STRING_BLOCK_PJ
+            + self.reuse_accesses * _REUSE_ACCESS_PJ
+        )
+        return self.core_uops * NJ_PER_UOP + accel_pj / 1000.0
+
+
+def energy_savings(baseline: EnergyLedger, accelerated: EnergyLedger) -> float:
+    """Fractional energy saving of the accelerated run."""
+    base = baseline.total_nj()
+    if base <= 0:
+        return 0.0
+    return 1.0 - accelerated.total_nj() / base

@@ -1,0 +1,156 @@
+"""Character sets as 256-bit masks.
+
+The regexp compiler works over the byte alphabet (0–255).  Unicode in
+PHP content arrives as UTF-8 byte sequences, matching how the paper's
+string accelerator "groups the single-byte character comparisons"
+(Section 4.4).  A :class:`CharSet` is an immutable bitmask with set
+algebra, the building block for character classes and DFA alphabet
+partitioning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+ALPHABET_SIZE = 256
+_FULL_MASK = (1 << ALPHABET_SIZE) - 1
+
+
+class CharSet:
+    """Immutable set of byte values backed by a 256-bit integer."""
+
+    __slots__ = ("mask",)
+
+    def __init__(self, mask: int = 0) -> None:
+        if not 0 <= mask <= _FULL_MASK:
+            raise ValueError("mask out of range for a 256-char alphabet")
+        self.mask = mask
+
+    # -- constructors ------------------------------------------------------------
+
+    @staticmethod
+    def empty() -> "CharSet":
+        return CharSet(0)
+
+    @staticmethod
+    def full() -> "CharSet":
+        return CharSet(_FULL_MASK)
+
+    @staticmethod
+    def of(chars: str) -> "CharSet":
+        mask = 0
+        for ch in chars:
+            code = ord(ch)
+            if code >= ALPHABET_SIZE:
+                raise ValueError(f"character {ch!r} outside byte alphabet")
+            mask |= 1 << code
+        return CharSet(mask)
+
+    @staticmethod
+    def char_range(lo: str, hi: str) -> "CharSet":
+        lo_c, hi_c = ord(lo), ord(hi)
+        if lo_c > hi_c:
+            raise ValueError(f"bad range {lo!r}-{hi!r}")
+        mask = ((1 << (hi_c + 1)) - 1) & ~((1 << lo_c) - 1)
+        return CharSet(mask)
+
+    @staticmethod
+    def dot() -> "CharSet":
+        """PCRE default ``.``: any byte except newline."""
+        return CharSet.full().difference(CharSet.of("\n"))
+
+    # -- set algebra ---------------------------------------------------------------
+
+    def union(self, other: "CharSet") -> "CharSet":
+        return CharSet(self.mask | other.mask)
+
+    def intersection(self, other: "CharSet") -> "CharSet":
+        return CharSet(self.mask & other.mask)
+
+    def difference(self, other: "CharSet") -> "CharSet":
+        return CharSet(self.mask & ~other.mask)
+
+    def complement(self) -> "CharSet":
+        return CharSet(~self.mask & _FULL_MASK)
+
+    def case_fold(self) -> "CharSet":
+        """Close the set under ASCII case: 'a' ∈ S ⇒ 'A' ∈ fold(S)."""
+        mask = self.mask
+        for code in list(self.codes()):
+            if ord("a") <= code <= ord("z"):
+                mask |= 1 << (code - 32)
+            elif ord("A") <= code <= ord("Z"):
+                mask |= 1 << (code + 32)
+        return CharSet(mask)
+
+    # -- queries --------------------------------------------------------------------
+
+    def contains(self, ch: str) -> bool:
+        code = ord(ch)
+        return code < ALPHABET_SIZE and bool(self.mask >> code & 1)
+
+    def contains_code(self, code: int) -> bool:
+        return 0 <= code < ALPHABET_SIZE and bool(self.mask >> code & 1)
+
+    def is_empty(self) -> bool:
+        return self.mask == 0
+
+    def __len__(self) -> int:
+        return bin(self.mask).count("1")
+
+    def codes(self) -> Iterator[int]:
+        """Iterate member byte values in ascending order."""
+        mask = self.mask
+        code = 0
+        while mask:
+            if mask & 1:
+                yield code
+            mask >>= 1
+            code += 1
+
+    def sample_char(self) -> str:
+        """Any single member character (for tests/debug output)."""
+        for code in self.codes():
+            return chr(code)
+        raise ValueError("empty CharSet has no sample")
+
+    # -- value semantics ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CharSet) and self.mask == other.mask
+
+    def __hash__(self) -> int:
+        return hash(self.mask)
+
+    def __repr__(self) -> str:
+        if self.mask == _FULL_MASK:
+            return "CharSet(full)"
+        members = list(self.codes())
+        if len(members) <= 8:
+            text = "".join(
+                chr(c) if 32 <= c < 127 else f"\\x{c:02x}" for c in members
+            )
+            return f"CharSet({text!r})"
+        return f"CharSet(<{len(members)} chars>)"
+
+
+# -- named classes used by the parser ------------------------------------------------
+
+DIGIT = CharSet.char_range("0", "9")
+WORD = (
+    CharSet.char_range("a", "z")
+    .union(CharSet.char_range("A", "Z"))
+    .union(DIGIT)
+    .union(CharSet.of("_"))
+)
+SPACE = CharSet.of(" \t\n\r\x0b\f")
+
+#: Section 4.5's split of the byte alphabet: "we classify the following
+#: characters {A-Za-z0-9_.,-} as regular characters and the remaining
+#: ASCII characters as special characters."  The space character is
+#: included as regular here: prose is mostly words separated by spaces,
+#: and treating the separator as special would make *every* text
+#: segment unskippable, contradicting the paper's Figure 12 skip rates
+#: (the texturize-class regexps never key on a bare space either).
+REGULAR_CHARS = WORD.union(CharSet.of(".,- "))
+SPECIAL_CHARS = CharSet(((1 << 128) - 1)).difference(REGULAR_CHARS)

@@ -1,0 +1,182 @@
+"""Subset construction: NFA → DFA with a partitioned alphabet.
+
+The DFA transition table produced here is the "FSM table" the paper
+refers to throughout Section 4.5 — the object the regular-expression
+manager publishes into a hash map keyed by the pattern string, and the
+object whose *states* the content-reuse table memoizes ("the state in
+the FSM table that the regexp can advance to if the incoming content
+finds a match").
+
+To keep tables small, the 256-byte alphabet is first partitioned into
+equivalence classes induced by the character sets on the NFA's edges;
+transitions are stored per class, exactly as hardware FSM tables do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.regex.charset import ALPHABET_SIZE, CharSet
+from repro.regex.nfa import Nfa
+
+#: Sentinel for "no transition" (the dead state).
+DEAD = -1
+
+#: Guardrail on subset-construction blowups.
+MAX_DFA_STATES = 10_000
+
+
+def partition_alphabet(edge_sets: list[CharSet]) -> tuple[list[int], int]:
+    """Partition 0..255 into equivalence classes w.r.t. ``edge_sets``.
+
+    Returns ``(class_of, class_count)`` where ``class_of[code]`` maps a
+    byte value to its class id.  Two bytes share a class iff every edge
+    set either contains both or neither, so DFA transitions can be
+    stored per class without loss.
+    """
+    # Signature of a byte = the subset of edge sets containing it.
+    signatures: dict[tuple[bool, ...], int] = {}
+    class_of = [0] * ALPHABET_SIZE
+    for code in range(ALPHABET_SIZE):
+        sig = tuple(cs.contains_code(code) for cs in edge_sets)
+        cls = signatures.setdefault(sig, len(signatures))
+        class_of[code] = cls
+    return class_of, len(signatures)
+
+
+@dataclass
+class FsmTable:
+    """The DFA in tabular form (what the reuse table's states index).
+
+    Attributes
+    ----------
+    transitions:
+        ``transitions[state][char_class]`` → next state or :data:`DEAD`.
+    accepting:
+        Set of accepting state ids.
+    class_of:
+        Byte value → character-class id.
+    start:
+        Initial state id.
+    live:
+        ``live[state]`` is False when no accepting state is reachable —
+        scanning can stop the moment it enters such a state.
+    """
+
+    transitions: list[list[int]]
+    accepting: frozenset[int]
+    class_of: list[int]
+    start: int
+    live: list[bool] = field(default_factory=list)
+
+    @property
+    def state_count(self) -> int:
+        return len(self.transitions)
+
+    @property
+    def class_count(self) -> int:
+        return len(self.transitions[0]) if self.transitions else 0
+
+    def step(self, state: int, ch: str) -> int:
+        """Advance one character; returns :data:`DEAD` on no-match."""
+        if state == DEAD:
+            return DEAD
+        code = ord(ch)
+        if code >= ALPHABET_SIZE:
+            return DEAD
+        return self.transitions[state][self.class_of[code]]
+
+    def is_accepting(self, state: int) -> bool:
+        return state in self.accepting
+
+    def is_live(self, state: int) -> bool:
+        return state != DEAD and self.live[state]
+
+    def table_bytes(self) -> int:
+        """Approximate storage footprint of the table (2 B per cell)."""
+        return self.state_count * self.class_count * 2
+
+
+def build_dfa(nfa: Nfa) -> FsmTable:
+    """Determinize ``nfa`` via subset construction."""
+    edge_sets: list[CharSet] = []
+    seen_masks: set[int] = set()
+    for state in nfa.states:
+        for chars, _ in state.edges:
+            if chars.mask not in seen_masks:
+                seen_masks.add(chars.mask)
+                edge_sets.append(chars)
+    class_of, class_count = partition_alphabet(edge_sets)
+
+    # Representative byte for each class (to evaluate CharSet membership).
+    rep_of_class = [0] * class_count
+    for code in range(ALPHABET_SIZE):
+        rep_of_class[class_of[code]] = code
+
+    start_set = nfa.epsilon_closure(frozenset({nfa.start}))
+    subset_ids: dict[frozenset[int], int] = {start_set: 0}
+    worklist = [start_set]
+    transitions: list[list[int]] = []
+    accepting: set[int] = set()
+
+    while worklist:
+        subset = worklist.pop()
+        sid = subset_ids[subset]
+        while len(transitions) <= sid:
+            transitions.append([DEAD] * class_count)
+        if nfa.accept in subset:
+            accepting.add(sid)
+        for cls in range(class_count):
+            rep = rep_of_class[cls]
+            moved: set[int] = set()
+            for nstate in subset:
+                for chars, target in nfa.states[nstate].edges:
+                    if chars.contains_code(rep):
+                        moved.add(target)
+            if not moved:
+                continue
+            closure = nfa.epsilon_closure(frozenset(moved))
+            nxt = subset_ids.get(closure)
+            if nxt is None:
+                if len(subset_ids) >= MAX_DFA_STATES:
+                    raise ValueError("DFA state explosion")
+                nxt = len(subset_ids)
+                subset_ids[closure] = nxt
+                worklist.append(closure)
+            transitions[sid][cls] = nxt
+
+    # Pad rows created late.
+    for row in transitions:
+        assert len(row) == class_count
+
+    live = _compute_liveness(transitions, accepting)
+    return FsmTable(
+        transitions=transitions,
+        accepting=frozenset(accepting),
+        class_of=class_of,
+        start=0,
+        live=live,
+    )
+
+
+def _compute_liveness(
+    transitions: list[list[int]], accepting: set[int]
+) -> list[bool]:
+    """States from which some accepting state is reachable."""
+    n = len(transitions)
+    reverse: list[list[int]] = [[] for _ in range(n)]
+    for src, row in enumerate(transitions):
+        for dst in row:
+            if dst != DEAD:
+                reverse[dst].append(src)
+    live = [False] * n
+    stack = [s for s in accepting]
+    for s in stack:
+        live[s] = True
+    while stack:
+        s = stack.pop()
+        for p in reverse[s]:
+            if not live[p]:
+                live[p] = True
+                stack.append(p)
+    return live

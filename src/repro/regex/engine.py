@@ -1,0 +1,266 @@
+"""Regexp matching engine with per-character cost accounting.
+
+The engine implements leftmost-longest matching over the FSM tables of
+:mod:`repro.regex.dfa`.  Every character the automaton consumes bumps
+``regex.chars_examined`` — the quantity the paper's two content
+filtering techniques (Section 4.5) exist to reduce, and the y-axis of
+its Figure 12 ("percentage of total textual content ... regexps can
+skip processing").
+
+The engine intentionally processes text character-at-a-time from each
+candidate start position, because that is precisely the software
+baseline the paper criticizes: "Traditional regular expression
+processing engines are built around a character-at-a-time sequential
+processing model."  Early termination on dead states is implemented —
+the baseline is honest, not a strawman.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.common.stats import StatRegistry
+from repro.regex.dfa import DEAD, FsmTable, build_dfa
+from repro.regex.nfa import build_nfa
+from repro.regex.parser import parse
+
+#: µops a software engine spends per character examined (table load,
+#: index computation, branch) — the character-at-a-time model.
+UOPS_PER_CHAR = 6
+#: Fixed per-call overhead (PCRE setup, option decoding).
+CALL_OVERHEAD_UOPS = 40
+
+
+@dataclass
+class MatchResult:
+    """One match: ``text[start:end]`` matched the pattern."""
+
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class ScanOutcome:
+    """A search/match call plus the work it performed."""
+
+    match: Optional[MatchResult]
+    chars_examined: int
+
+
+class CompiledRegex:
+    """A pattern compiled to an FSM table, with matching entry points."""
+
+    def __init__(self, pattern: str, stats: Optional[StatRegistry] = None) -> None:
+        self.pattern = pattern
+        body = pattern
+        self.ignore_case = body.startswith("(?i)")
+        if self.ignore_case:
+            body = body[4:]
+        nfa = build_nfa(parse(body), body, fold_case=self.ignore_case)
+        self.anchored_start = nfa.anchored_start
+        self.anchored_end = nfa.anchored_end
+        self.fsm: FsmTable = build_dfa(nfa)
+        self.stats = stats if stats is not None else StatRegistry("regex")
+
+    # -- low-level FSM access (used by the content-reuse accelerator) -----------
+
+    def state_after(
+        self, text: str, start: int = 0, length: Optional[int] = None
+    ) -> tuple[int, Optional[int]]:
+        """Run the anchored automaton over a prefix.
+
+        Returns ``(state, last_accept_end)`` after consuming
+        ``text[start:start+length]`` from the initial state.  This pair
+        is exactly what a content-reuse entry has to remember to resume
+        matching after a memoized prefix (Section 4.5, Figure 13).
+        """
+        fsm = self.fsm
+        state = fsm.start
+        last_accept = start if fsm.is_accepting(state) else None
+        stop = len(text) if length is None else min(len(text), start + length)
+        for pos in range(start, stop):
+            state = fsm.step(state, text[pos])
+            self._count(1)
+            if state == DEAD:
+                return DEAD, last_accept
+            if fsm.is_accepting(state):
+                last_accept = pos + 1
+        return state, last_accept
+
+    def resume(
+        self,
+        state: int,
+        last_accept: Optional[int],
+        text: str,
+        pos: int,
+    ) -> tuple[Optional[int], int]:
+        """Continue an anchored match from a memoized FSM state.
+
+        Returns ``(match_end, chars_examined)`` where ``match_end`` is
+        the longest accept position (or None).  Used by the reuse
+        accelerator to finish a match after jumping over a shared
+        content prefix.
+        """
+        fsm = self.fsm
+        examined = 0
+        best = last_accept
+        current = state
+        while pos < len(text) and fsm.is_live(current):
+            current = fsm.step(current, text[pos])
+            examined += 1
+            pos += 1
+            if current == DEAD:
+                break
+            if fsm.is_accepting(current):
+                best = pos
+        self._count(examined)
+        if self.anchored_end and best is not None and best != len(text):
+            best = None if not fsm.is_accepting(current) or pos != len(text) else best
+        return best, examined
+
+    # -- matching entry points ------------------------------------------------------
+
+    def match_prefix(self, text: str, start: int = 0) -> ScanOutcome:
+        """Longest match beginning exactly at ``start`` (PCRE-anchored)."""
+        self.stats.bump("regex.calls")
+        state, last_accept = self.state_after(text, start)
+        examined = 0  # state_after already counted
+        best = last_accept
+        if self.anchored_end:
+            ok = state != DEAD and self.fsm.is_accepting(state)
+            best = len(text) if ok else None
+        if best is None:
+            return ScanOutcome(None, examined)
+        return ScanOutcome(MatchResult(start, best), examined)
+
+    def search(
+        self, text: str, start: int = 0, start_limit: Optional[int] = None
+    ) -> ScanOutcome:
+        """Leftmost-longest match starting in ``[start, start_limit)``.
+
+        Scans candidate start positions left to right, running the
+        anchored automaton at each; dead-state liveness pruning stops a
+        candidate as soon as no accept remains reachable.
+        ``start_limit`` bounds where a match may *begin* (matches may
+        extend past it) — the hook content sifting uses to confine
+        candidate starts to hint-vector-marked segments.
+        """
+        self.stats.bump("regex.calls")
+        fsm = self.fsm
+        total_examined = 0
+        limit = len(text) + 1 if start_limit is None else min(start_limit, len(text) + 1)
+        positions = [start] if self.anchored_start else range(start, limit)
+        for s in positions:
+            state = fsm.start
+            best: Optional[int] = s if fsm.is_accepting(state) else None
+            pos = s
+            while pos < len(text) and fsm.is_live(state):
+                state = fsm.step(state, text[pos])
+                total_examined += 1
+                pos += 1
+                if state == DEAD:
+                    break
+                if fsm.is_accepting(state):
+                    best = pos
+            if self.anchored_end and best is not None and best != len(text):
+                best = None
+            if best is not None:
+                self._count(total_examined)
+                return ScanOutcome(MatchResult(s, best), total_examined)
+        self._count(total_examined)
+        return ScanOutcome(None, total_examined)
+
+    def findall(self, text: str) -> tuple[list[MatchResult], int]:
+        """All non-overlapping matches, left to right."""
+        matches: list[MatchResult] = []
+        examined = 0
+        pos = 0
+        while pos <= len(text):
+            outcome = self.search(text, pos)
+            examined += outcome.chars_examined
+            if outcome.match is None:
+                break
+            matches.append(outcome.match)
+            # Empty matches advance one char to guarantee progress.
+            pos = outcome.match.end if outcome.match.length > 0 else pos + 1
+            if self.anchored_start:
+                break
+        return matches, examined
+
+    def sub(
+        self,
+        replacement: str | Callable[[str], str],
+        text: str,
+    ) -> tuple[str, int, int]:
+        """PHP ``preg_replace``: returns (result, n_replaced, chars)."""
+        matches, examined = self.findall(text)
+        if not matches:
+            return text, 0, examined
+        out: list[str] = []
+        cursor = 0
+        for m in matches:
+            out.append(text[cursor:m.start])
+            piece = text[m.start:m.end]
+            out.append(replacement(piece) if callable(replacement) else replacement)
+            cursor = m.end
+        out.append(text[cursor:])
+        return "".join(out), len(matches), examined
+
+    # -- accounting -------------------------------------------------------------------
+
+    def _count(self, chars: int) -> None:
+        if chars:
+            self.stats.bump("regex.chars_examined", chars)
+            self.stats.bump("regex.uops", chars * UOPS_PER_CHAR)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledRegex({self.pattern!r}, states={self.fsm.state_count}, "
+            f"classes={self.fsm.class_count})"
+        )
+
+
+class RegexManager:
+    """Compile cache — the paper's "regular expression manager".
+
+    Section 4.2: "the regular expression manager shares a search
+    pattern (key) and its FSM table (value) with other appropriate
+    functions through a hash map."  When given a symbol table, this
+    manager publishes compiled FSM tables through it, which is one of
+    the dynamic-key hash-map access patterns the hardware hash table
+    accelerates.
+    """
+
+    def __init__(
+        self,
+        stats: Optional[StatRegistry] = None,
+        pattern_table=None,
+    ) -> None:
+        self.stats = stats if stats is not None else StatRegistry("regexmgr")
+        self._cache: dict[str, CompiledRegex] = {}
+        self._pattern_table = pattern_table  # optional SymbolTable
+
+    def compile(self, pattern: str) -> CompiledRegex:
+        """Fetch-or-compile; publishes the FSM table when configured."""
+        found = self._cache.get(pattern)
+        if found is not None:
+            self.stats.bump("regexmgr.cache_hits")
+            if self._pattern_table is not None:
+                # Consumers re-fetch the FSM table via the hash map.
+                self._pattern_table.lookup(pattern)
+            return found
+        self.stats.bump("regexmgr.compiles")
+        compiled = CompiledRegex(pattern, stats=self.stats)
+        self._cache[pattern] = compiled
+        if self._pattern_table is not None:
+            self._pattern_table.define(pattern, compiled.fsm)
+        return compiled
+
+    @property
+    def chars_examined(self) -> int:
+        return self.stats.get("regex.chars_examined")

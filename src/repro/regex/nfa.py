@@ -1,0 +1,202 @@
+"""Thompson NFA construction.
+
+Converts the parser's AST into a nondeterministic finite automaton
+with character-set edges and epsilon edges.  Anchors are supported at
+the pattern boundaries only (``^`` first, ``$`` last), which covers
+the texturize/sanitize patterns the PHP workloads use; they surface as
+flags on the built NFA rather than automaton states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.regex.charset import CharSet
+from repro.regex.parser import (
+    AltNode,
+    AnchorNode,
+    CharNode,
+    ConcatNode,
+    EmptyNode,
+    Node,
+    RegexSyntaxError,
+    RepeatNode,
+)
+
+#: Guardrail against state-space blowups from counted repetition.
+MAX_NFA_STATES = 20_000
+
+
+@dataclass
+class NfaState:
+    """One NFA state: char-set edges plus epsilon edges."""
+
+    id: int
+    edges: list[tuple[CharSet, int]] = field(default_factory=list)
+    epsilons: list[int] = field(default_factory=list)
+
+
+@dataclass
+class Nfa:
+    """A complete automaton with a single start and single accept state."""
+
+    states: list[NfaState]
+    start: int
+    accept: int
+    anchored_start: bool = False
+    anchored_end: bool = False
+
+    @property
+    def state_count(self) -> int:
+        return len(self.states)
+
+    def epsilon_closure(self, seed: frozenset[int]) -> frozenset[int]:
+        """All states reachable from ``seed`` via epsilon edges."""
+        stack = list(seed)
+        seen = set(seed)
+        while stack:
+            sid = stack.pop()
+            for nxt in self.states[sid].epsilons:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return frozenset(seen)
+
+
+class _Builder:
+    """Thompson construction with fresh-state bookkeeping."""
+
+    def __init__(self, pattern: str, fold_case: bool = False) -> None:
+        self.pattern = pattern
+        self.fold_case = fold_case
+        self.states: list[NfaState] = []
+
+    def fresh(self) -> int:
+        if len(self.states) >= MAX_NFA_STATES:
+            raise RegexSyntaxError(self.pattern, 0, "pattern too large")
+        state = NfaState(id=len(self.states))
+        self.states.append(state)
+        return state.id
+
+    def build(self, node: Node) -> tuple[int, int]:
+        """Return (start, accept) fragment for ``node``."""
+        if isinstance(node, EmptyNode):
+            s = self.fresh()
+            a = self.fresh()
+            self.states[s].epsilons.append(a)
+            return s, a
+        if isinstance(node, CharNode):
+            s = self.fresh()
+            a = self.fresh()
+            chars = node.chars.case_fold() if self.fold_case else node.chars
+            self.states[s].edges.append((chars, a))
+            return s, a
+        if isinstance(node, ConcatNode):
+            first_start, prev_accept = self.build(node.parts[0])
+            for part in node.parts[1:]:
+                nxt_start, nxt_accept = self.build(part)
+                self.states[prev_accept].epsilons.append(nxt_start)
+                prev_accept = nxt_accept
+            return first_start, prev_accept
+        if isinstance(node, AltNode):
+            s = self.fresh()
+            a = self.fresh()
+            for option in node.options:
+                o_start, o_accept = self.build(option)
+                self.states[s].epsilons.append(o_start)
+                self.states[o_accept].epsilons.append(a)
+            return s, a
+        if isinstance(node, RepeatNode):
+            return self._build_repeat(node)
+        if isinstance(node, AnchorNode):
+            raise RegexSyntaxError(
+                self.pattern, 0,
+                "anchors are only supported at the pattern boundaries",
+            )
+        raise TypeError(f"unknown AST node {node!r}")
+
+    def _build_repeat(self, node: RepeatNode) -> tuple[int, int]:
+        lo, hi = node.lo, node.hi
+        if lo == 0 and hi is None:  # star
+            s = self.fresh()
+            a = self.fresh()
+            c_start, c_accept = self.build(node.child)
+            self.states[s].epsilons.extend((c_start, a))
+            self.states[c_accept].epsilons.extend((c_start, a))
+            return s, a
+        if lo == 1 and hi is None:  # plus
+            c_start, c_accept = self.build(node.child)
+            tail_start, tail_accept = self._build_repeat(
+                RepeatNode(node.child, 0, None)
+            )
+            self.states[c_accept].epsilons.append(tail_start)
+            return c_start, tail_accept
+        if lo == 0 and hi == 1:  # question
+            s = self.fresh()
+            a = self.fresh()
+            c_start, c_accept = self.build(node.child)
+            self.states[s].epsilons.extend((c_start, a))
+            self.states[c_accept].epsilons.append(a)
+            return s, a
+        # Counted {m,n} / {m,} — unrolled copies.
+        start = self.fresh()
+        current = start
+        for _ in range(lo):
+            c_start, c_accept = self.build(node.child)
+            self.states[current].epsilons.append(c_start)
+            current = c_accept
+        if hi is None:
+            star_start, star_accept = self._build_repeat(
+                RepeatNode(node.child, 0, None)
+            )
+            self.states[current].epsilons.append(star_start)
+            return start, star_accept
+        accept = self.fresh()
+        self.states[current].epsilons.append(accept)
+        for _ in range(hi - lo):
+            c_start, c_accept = self.build(node.child)
+            self.states[current].epsilons.append(c_start)
+            self.states[c_accept].epsilons.append(accept)
+            current = c_accept
+        return start, accept
+
+
+def _strip_anchors(node: Node, pattern: str) -> tuple[Node, bool, bool]:
+    """Pull boundary anchors off the AST, returning (body, ^, $)."""
+    anchored_start = False
+    anchored_end = False
+    if isinstance(node, AnchorNode):
+        if node.kind == "start":
+            return EmptyNode(), True, False
+        return EmptyNode(), False, True
+    if isinstance(node, ConcatNode):
+        parts = list(node.parts)
+        if parts and isinstance(parts[0], AnchorNode) and parts[0].kind == "start":
+            anchored_start = True
+            parts = parts[1:]
+        if parts and isinstance(parts[-1], AnchorNode) and parts[-1].kind == "end":
+            anchored_end = True
+            parts = parts[:-1]
+        if not parts:
+            return EmptyNode(), anchored_start, anchored_end
+        body: Node = parts[0] if len(parts) == 1 else ConcatNode(tuple(parts))
+        return body, anchored_start, anchored_end
+    return node, False, False
+
+
+def build_nfa(node: Node, pattern: str = "", fold_case: bool = False) -> Nfa:
+    """Compile a parsed AST into a Thompson NFA.
+
+    ``fold_case`` implements the PCRE ``(?i)`` flag by closing every
+    character set under ASCII case at construction time.
+    """
+    body, anchored_start, anchored_end = _strip_anchors(node, pattern)
+    builder = _Builder(pattern, fold_case=fold_case)
+    start, accept = builder.build(body)
+    return Nfa(
+        states=builder.states,
+        start=start,
+        accept=accept,
+        anchored_start=anchored_start,
+        anchored_end=anchored_end,
+    )

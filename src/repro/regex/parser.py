@@ -1,0 +1,328 @@
+"""Regular-expression parser (PCRE subset → AST).
+
+The three PHP applications drive their texturize/sanitize passes
+through PCRE.  This parser covers the constructs those call sites use:
+literals, escapes, character classes with ranges and negation, ``.``,
+alternation, grouping (capturing and ``(?:...)``), the standard
+quantifiers (``* + ? {m} {m,} {m,n}``), and the ``^``/``$`` anchors.
+
+Grammar (recursive descent)::
+
+    pattern     := alternation
+    alternation := concat ('|' concat)*
+    concat      := repeat*
+    repeat      := atom quantifier?
+    atom        := literal | class | '.' | '(' pattern ')' | anchor
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.regex.charset import DIGIT, SPACE, WORD, CharSet
+
+
+class RegexSyntaxError(ValueError):
+    """Raised for patterns outside the supported subset."""
+
+    def __init__(self, pattern: str, position: int, message: str) -> None:
+        super().__init__(f"{message} at position {position} in {pattern!r}")
+        self.pattern = pattern
+        self.position = position
+
+
+# -- AST --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class for AST nodes."""
+
+
+@dataclass(frozen=True)
+class CharNode(Node):
+    """Match any single character in ``chars``."""
+
+    chars: CharSet
+
+
+@dataclass(frozen=True)
+class ConcatNode(Node):
+    parts: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class AltNode(Node):
+    options: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class RepeatNode(Node):
+    """``child`` repeated between ``lo`` and ``hi`` times (hi=None → ∞)."""
+
+    child: Node
+    lo: int
+    hi: int | None
+
+
+@dataclass(frozen=True)
+class AnchorNode(Node):
+    """``^`` (kind='start') or ``$`` (kind='end')."""
+
+    kind: str
+
+
+@dataclass(frozen=True)
+class EmptyNode(Node):
+    """Matches the empty string (e.g. an empty alternation branch)."""
+
+
+_ESCAPE_CLASSES: dict[str, CharSet] = {
+    "d": DIGIT,
+    "D": DIGIT.complement(),
+    "w": WORD,
+    "W": WORD.complement(),
+    "s": SPACE,
+    "S": SPACE.complement(),
+}
+
+_ESCAPE_LITERALS: dict[str, str] = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "f": "\f",
+    "v": "\x0b",
+    "0": "\0",
+    "a": "\x07",
+    "e": "\x1b",
+}
+
+#: Metacharacters that ``\`` makes literal.
+_META = set("\\^$.|?*+()[]{}/-")
+
+#: Hard cap on counted repetition so pathological patterns can't explode
+#: the NFA.
+MAX_COUNTED_REPEAT = 64
+
+
+class RegexParser:
+    """Single-use recursive-descent parser for one pattern string."""
+
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+
+    # -- scanning helpers ---------------------------------------------------------
+
+    def _peek(self) -> str | None:
+        return self.pattern[self.pos] if self.pos < len(self.pattern) else None
+
+    def _take(self) -> str:
+        ch = self._peek()
+        if ch is None:
+            raise RegexSyntaxError(self.pattern, self.pos, "unexpected end")
+        self.pos += 1
+        return ch
+
+    def _expect(self, ch: str) -> None:
+        if self._peek() != ch:
+            raise RegexSyntaxError(self.pattern, self.pos, f"expected {ch!r}")
+        self.pos += 1
+
+    def _error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(self.pattern, self.pos, message)
+
+    # -- grammar -------------------------------------------------------------------
+
+    def parse(self) -> Node:
+        node = self._alternation()
+        if self.pos != len(self.pattern):
+            raise self._error("trailing characters")
+        return node
+
+    def _alternation(self) -> Node:
+        options = [self._concat()]
+        while self._peek() == "|":
+            self._take()
+            options.append(self._concat())
+        if len(options) == 1:
+            return options[0]
+        return AltNode(tuple(options))
+
+    def _concat(self) -> Node:
+        parts: list[Node] = []
+        while True:
+            ch = self._peek()
+            if ch is None or ch in "|)":
+                break
+            parts.append(self._repeat())
+        if not parts:
+            return EmptyNode()
+        if len(parts) == 1:
+            return parts[0]
+        return ConcatNode(tuple(parts))
+
+    def _repeat(self) -> Node:
+        atom = self._atom()
+        ch = self._peek()
+        if ch == "*":
+            self._take()
+            return RepeatNode(atom, 0, None)
+        if ch == "+":
+            self._take()
+            return RepeatNode(atom, 1, None)
+        if ch == "?":
+            self._take()
+            return RepeatNode(atom, 0, 1)
+        if ch == "{":
+            saved = self.pos
+            counted = self._try_counted()
+            if counted is None:
+                self.pos = saved  # literal '{'
+                return atom
+            lo, hi = counted
+            if isinstance(atom, AnchorNode):
+                raise self._error("cannot repeat an anchor")
+            return RepeatNode(atom, lo, hi)
+        return atom
+
+    def _try_counted(self) -> tuple[int, int | None] | None:
+        """Parse ``{m}``/``{m,}``/``{m,n}``; None when not a quantifier."""
+        self._expect("{")
+        digits = ""
+        while self._peek() is not None and self._peek().isdigit():
+            digits += self._take()
+        if not digits:
+            return None
+        lo = int(digits)
+        hi: int | None = lo
+        if self._peek() == ",":
+            self._take()
+            digits = ""
+            while self._peek() is not None and self._peek().isdigit():
+                digits += self._take()
+            hi = int(digits) if digits else None
+        if self._peek() != "}":
+            return None
+        self._take()
+        if hi is not None and hi < lo:
+            raise self._error("bad repeat interval {m,n} with n < m")
+        if lo > MAX_COUNTED_REPEAT or (hi or 0) > MAX_COUNTED_REPEAT:
+            raise self._error(f"counted repeat exceeds cap {MAX_COUNTED_REPEAT}")
+        return lo, hi
+
+    def _atom(self) -> Node:
+        ch = self._peek()
+        if ch is None:
+            raise self._error("expected an atom")
+        if ch == "(":
+            self._take()
+            if self._peek() == "?":
+                self._take()
+                mark = self._peek()
+                if mark == ":":
+                    self._take()
+                else:
+                    raise self._error(
+                        "only (?:...) groups are supported in this subset"
+                    )
+            inner = self._alternation()
+            self._expect(")")
+            return inner
+        if ch == "[":
+            return self._char_class()
+        if ch == ".":
+            self._take()
+            return CharNode(CharSet.dot())
+        if ch == "^":
+            self._take()
+            return AnchorNode("start")
+        if ch == "$":
+            self._take()
+            return AnchorNode("end")
+        if ch == "\\":
+            self._take()
+            return self._escape()
+        if ch in ")|":
+            raise self._error(f"unexpected {ch!r}")
+        if ch in "*+?":
+            raise self._error(f"quantifier {ch!r} with nothing to repeat")
+        self._take()
+        return CharNode(CharSet.of(ch))
+
+    def _escape(self) -> Node:
+        ch = self._take()
+        if ch in _ESCAPE_CLASSES:
+            return CharNode(_ESCAPE_CLASSES[ch])
+        if ch in _ESCAPE_LITERALS:
+            return CharNode(CharSet.of(_ESCAPE_LITERALS[ch]))
+        if ch == "x":
+            hex_digits = ""
+            for _ in range(2):
+                nxt = self._peek()
+                if nxt is None or nxt not in "0123456789abcdefABCDEF":
+                    raise self._error("\\x needs two hex digits")
+                hex_digits += self._take()
+            return CharNode(CharSet.of(chr(int(hex_digits, 16))))
+        if not ch.isalnum():
+            # PCRE: a backslash before any non-alphanumeric makes it
+            # literal, metacharacter or not.
+            return CharNode(CharSet.of(ch))
+        raise self._error(f"unsupported escape \\{ch}")
+
+    def _char_class(self) -> Node:
+        self._expect("[")
+        negate = False
+        if self._peek() == "^":
+            self._take()
+            negate = True
+        members = CharSet.empty()
+        first = True
+        while True:
+            ch = self._peek()
+            if ch is None:
+                raise self._error("unterminated character class")
+            if ch == "]" and not first:
+                self._take()
+                break
+            first = False
+            lo = self._class_char()
+            if self._peek() == "-" and self.pos + 1 < len(self.pattern) and \
+                    self.pattern[self.pos + 1] != "]":
+                self._take()  # '-'
+                hi = self._class_char()
+                if isinstance(lo, CharSet) or isinstance(hi, CharSet):
+                    raise self._error("ranges need plain characters")
+                members = members.union(CharSet.char_range(lo, hi))
+            else:
+                if isinstance(lo, CharSet):
+                    members = members.union(lo)
+                else:
+                    members = members.union(CharSet.of(lo))
+        if negate:
+            members = members.complement()
+        if members.is_empty():
+            raise self._error("empty character class")
+        return CharNode(members)
+
+    def _class_char(self) -> str | CharSet:
+        """One class member: a literal char, escape, or named class."""
+        ch = self._take()
+        if ch != "\\":
+            return ch
+        esc = self._take()
+        if esc in _ESCAPE_CLASSES:
+            return _ESCAPE_CLASSES[esc]
+        if esc in _ESCAPE_LITERALS:
+            return _ESCAPE_LITERALS[esc]
+        if esc == "x":
+            hex_digits = self._take() + self._take()
+            return chr(int(hex_digits, 16))
+        if not esc.isalnum():
+            return esc
+        raise self._error(f"unsupported escape \\{esc} in class")
+
+
+def parse(pattern: str) -> Node:
+    """Parse ``pattern`` into an AST; raises :class:`RegexSyntaxError`."""
+    return RegexParser(pattern).parse()

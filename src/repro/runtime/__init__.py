@@ -1,0 +1,51 @@
+"""Software runtime substrate: the HHVM-like layer the accelerators offload.
+
+Contents
+--------
+* :mod:`repro.runtime.values`   — typed PHP cells, refcount/type-check events
+* :mod:`repro.runtime.phparray` — insertion-ordered hash map (PHP array)
+* :mod:`repro.runtime.slab`     — slab allocator with per-class usage tracking
+* :mod:`repro.runtime.strings`  — SSE-cost-modeled string library
+* :mod:`repro.runtime.symbols`  — symbol tables, ``extract``/``compact``
+"""
+
+from repro.runtime.interp import (
+    AcceleratedBackend,
+    MiniPhpError,
+    MiniPhpInterpreter,
+    SoftwareBackend,
+    split_template,
+    tokenize_code,
+)
+from repro.runtime.phparray import PhpArray, php_array_hash
+from repro.runtime.slab import (
+    CHUNK_BYTES,
+    SLAB_CLASS_BOUNDS,
+    SlabAllocator,
+    slab_class_for,
+)
+from repro.runtime.strings import StringLibrary, StringOpResult
+from repro.runtime.symbols import ScopeStack, SymbolTable
+from repro.runtime.values import PhpType, PhpValue, ValueRuntime
+
+__all__ = [
+    "MiniPhpInterpreter",
+    "MiniPhpError",
+    "SoftwareBackend",
+    "AcceleratedBackend",
+    "split_template",
+    "tokenize_code",
+    "PhpArray",
+    "php_array_hash",
+    "SlabAllocator",
+    "slab_class_for",
+    "SLAB_CLASS_BOUNDS",
+    "CHUNK_BYTES",
+    "StringLibrary",
+    "StringOpResult",
+    "ScopeStack",
+    "SymbolTable",
+    "PhpType",
+    "PhpValue",
+    "ValueRuntime",
+]

@@ -1,0 +1,725 @@
+"""MiniPHP: a small PHP-flavored template interpreter.
+
+The paper's workloads are template-rendering applications; this module
+provides an executable stand-in so the accelerators can be exercised
+by *programs* rather than synthetic op streams.  It covers the subset
+the three applications' hot paths live in:
+
+* templates with ``<?php ... ?>`` code islands and ``<?= expr ?>``
+  echo tags,
+* variables (``$x``), string/int/bool literals, ``.`` concatenation,
+  comparisons, ``array('k' => v, ...)`` literals and ``$a['k']``
+  indexing,
+* ``foreach ($arr as $k => $v): ... endforeach;`` (PHP insertion-order
+  iteration), ``if/else/endif``, assignment, ``echo``,
+* the library functions the workloads use: ``strtoupper``,
+  ``strtolower``, ``trim``, ``strlen``, ``strpos``, ``str_replace``,
+  ``substr``, ``htmlspecialchars``, ``implode``, ``extract``,
+  ``preg_match``, ``preg_replace``.
+
+Execution is backend-pluggable: the *software* backend runs string and
+regexp work through :class:`~repro.runtime.strings.StringLibrary` and
+the plain engine; the *accelerated* backend routes the same calls
+through the :class:`~repro.isa.dispatch.AcceleratorComplex` (string
+matching matrix, content-reuse-ready regexps, hardware hash table for
+variable scopes).  Both must render byte-identical pages — integration
+tests assert it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.common.stats import StatRegistry
+from repro.regex.engine import RegexManager
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.isa.dispatch import AcceleratorComplex
+from repro.runtime.phparray import PhpArray
+from repro.runtime.strings import HTML_ESCAPES, StringLibrary
+
+
+class MiniPhpError(ValueError):
+    """Parse or runtime error in a MiniPHP template."""
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<var>\$[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>=>|==|!=|<=|>=|[=<>.,;:()\[\]])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"foreach", "endforeach", "as", "if", "else", "endif",
+             "echo", "true", "false", "null"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # 'number' | 'string' | 'var' | 'name' | 'op' | 'kw'
+    text: str
+
+
+def tokenize_code(code: str) -> list[Token]:
+    """Tokenize one ``<?php ... ?>`` island."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(code):
+        m = _TOKEN_RE.match(code, pos)
+        if m is None:
+            raise MiniPhpError(f"bad character {code[pos]!r} at {pos}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind == "ws":
+            continue
+        text = m.group()
+        if kind == "name" and text in _KEYWORDS:
+            kind = "kw"
+        tokens.append(Token(kind, text))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Template segmentation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Segment:
+    kind: str   # 'literal' | 'echo' | 'code'
+    body: str
+
+
+def split_template(source: str) -> list[Segment]:
+    """Split a template into literal, echo, and code segments."""
+    segments: list[Segment] = []
+    pos = 0
+    while pos < len(source):
+        open_tag = source.find("<?", pos)
+        if open_tag < 0:
+            segments.append(Segment("literal", source[pos:]))
+            break
+        if open_tag > pos:
+            segments.append(Segment("literal", source[pos:open_tag]))
+        close_tag = source.find("?>", open_tag)
+        if close_tag < 0:
+            raise MiniPhpError("unterminated <?php tag")
+        inner = source[open_tag + 2:close_tag]
+        if inner.startswith("="):
+            segments.append(Segment("echo", inner[1:].strip()))
+        else:
+            if inner.startswith("php"):
+                inner = inner[3:]
+            segments.append(Segment("code", inner.strip()))
+        pos = close_tag + 2
+    return [s for s in segments if s.body or s.kind == "literal"]
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class SoftwareBackend:
+    """Runs library calls on the software substrate."""
+
+    name = "software"
+
+    def __init__(self) -> None:
+        self.strings = StringLibrary()
+        self.regex = RegexManager()
+        self.stats = StatRegistry("interp-sw")
+
+    # string ops return plain values; costs accrue in the components
+    def strtoupper(self, s: str) -> str:
+        return self.strings.strtoupper(s).value
+
+    def strtolower(self, s: str) -> str:
+        return self.strings.strtolower(s).value
+
+    def trim(self, s: str) -> str:
+        return self.strings.trim(s).value
+
+    def strlen(self, s: str) -> int:
+        return self.strings.strlen(s).value
+
+    def strpos(self, haystack: str, needle: str) -> int:
+        return self.strings.strpos(haystack, needle).value
+
+    def str_replace(self, search: str, replace: str, subject: str) -> str:
+        return self.strings.str_replace(search, replace, subject).value
+
+    def substr(self, s: str, start: int, length: Optional[int] = None) -> str:
+        return self.strings.substr(s, start, length).value
+
+    def htmlspecialchars(self, s: str) -> str:
+        return self.strings.htmlspecialchars(s).value
+
+    def concat(self, parts: list[str]) -> str:
+        return self.strings.concat(parts).value
+
+    def preg_match(self, pattern: str, subject: str) -> int:
+        compiled = self.regex.compile(pattern)
+        return 1 if compiled.search(subject).match else 0
+
+    def preg_replace(self, pattern: str, replacement: str, subject: str) -> str:
+        compiled = self.regex.compile(pattern)
+        out, _, _ = compiled.sub(replacement, subject)
+        return out
+
+    def cost_cycles(self) -> float:
+        """Approximate cycles spent in backend library work."""
+        return (
+            self.strings.total_uops / 2.9
+            + self.regex.stats.get("regex.uops") / 2.9
+        )
+
+
+class AcceleratedBackend(SoftwareBackend):
+    """Routes the same calls through the accelerator complex."""
+
+    name = "accelerated"
+
+    def __init__(self, complex_: Optional["AcceleratorComplex"] = None) -> None:
+        super().__init__()
+        if complex_ is None:
+            from repro.isa.dispatch import AcceleratorComplex
+            complex_ = AcceleratorComplex()
+        self.complex = complex_
+        self._cycles = 0.0
+
+    def _charge(self, outcome) -> Any:
+        self._cycles += outcome.cycles
+        return outcome.value
+
+    def strtoupper(self, s: str) -> str:
+        return self._charge(self.complex.string.to_upper(s))
+
+    def strtolower(self, s: str) -> str:
+        return self._charge(self.complex.string.to_lower(s))
+
+    def trim(self, s: str) -> str:
+        return self._charge(self.complex.string.trim(s))
+
+    def strpos(self, haystack: str, needle: str) -> int:
+        return self._charge(self.complex.string.find(haystack, needle))
+
+    def str_replace(self, search: str, replace: str, subject: str) -> str:
+        return self._charge(
+            self.complex.string.replace(subject, search, replace)
+        )
+
+    def substr(self, s: str, start: int, length: Optional[int] = None) -> str:
+        piece = s[start:] if length is None else s[start:start + length]
+        return self._charge(self.complex.string.copy(piece))
+
+    def htmlspecialchars(self, s: str) -> str:
+        return self._charge(
+            self.complex.string.html_escape(s, HTML_ESCAPES)
+        )
+
+    def concat(self, parts: list[str]) -> str:
+        return self._charge(self.complex.string.copy("".join(parts)))
+
+    def preg_replace(self, pattern: str, replacement: str, subject: str) -> str:
+        compiled = self.regex.compile(pattern)
+        hv, cycles = self.complex.sifter.build_hint_vector(subject)
+        self._cycles += cycles
+        result = self.complex.sifter.shadow_findall(compiled, subject, hv)
+        if not result.matches:
+            return subject
+        out: list[str] = []
+        cursor = 0
+        for m in result.matches:
+            out.append(subject[cursor:m.start])
+            out.append(replacement)
+            cursor = m.end
+        out.append(subject[cursor:])
+        return "".join(out)
+
+    def cost_cycles(self) -> float:
+        return super().cost_cycles() + self._cycles
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+# ---------------------------------------------------------------------------
+
+
+class _ExprParser:
+    """Recursive-descent evaluator over a token list.
+
+    Grammar::
+
+        expr    := compare
+        compare := concat (('=='|'!='|'<'|'>'|'<='|'>=') concat)?
+        concat  := unit ('.' unit)*
+        unit    := literal | var index* | call | '(' expr ')' | array
+        index   := '[' expr ']'
+    """
+
+    def __init__(self, tokens: list[Token], interp: "MiniPhpInterpreter") -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.interp = interp
+
+    def _peek(self) -> Optional[Token]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _take(self) -> Token:
+        tok = self._peek()
+        if tok is None:
+            raise MiniPhpError("unexpected end of expression")
+        self.pos += 1
+        return tok
+
+    def _expect(self, text: str) -> None:
+        tok = self._take()
+        if tok.text != text:
+            raise MiniPhpError(f"expected {text!r}, got {tok.text!r}")
+
+    def parse(self) -> Any:
+        value = self._compare()
+        if self._peek() is not None:
+            raise MiniPhpError(f"trailing tokens at {self._peek().text!r}")
+        return value
+
+    def _compare(self) -> Any:
+        left = self._concat()
+        tok = self._peek()
+        if tok and tok.text in ("==", "!=", "<", ">", "<=", ">="):
+            op = self._take().text
+            right = self._concat()
+            return {
+                "==": left == right, "!=": left != right,
+                "<": left < right, ">": left > right,
+                "<=": left <= right, ">=": left >= right,
+            }[op]
+        return left
+
+    def _concat(self) -> Any:
+        first = self._unit()
+        parts = None
+        while self._peek() and self._peek().text == ".":
+            self._take()
+            if parts is None:
+                parts = [self.interp.to_string(first)]
+            parts.append(self.interp.to_string(self._unit()))
+        if parts is None:
+            return first
+        return self.interp.backend.concat(parts)
+
+    def _unit(self) -> Any:
+        tok = self._take()
+        if tok.kind == "number":
+            return int(tok.text)
+        if tok.kind == "string":
+            return self._unquote(tok.text)
+        if tok.kind == "kw" and tok.text in ("true", "false", "null"):
+            return {"true": True, "false": False, "null": None}[tok.text]
+        if tok.kind == "var":
+            value = self.interp.get_variable(tok.text[1:])
+            return self._maybe_index(value)
+        if tok.kind == "name" and tok.text == "array":
+            return self._array_literal()
+        if tok.kind == "name":
+            return self._call(tok.text)
+        if tok.text == "(":
+            value = self._compare()
+            self._expect(")")
+            return value
+        raise MiniPhpError(f"unexpected token {tok.text!r}")
+
+    def _maybe_index(self, value: Any) -> Any:
+        while self._peek() and self._peek().text == "[":
+            self._take()
+            key = self._compare()
+            self._expect("]")
+            if not isinstance(value, PhpArray):
+                raise MiniPhpError("indexing a non-array value")
+            value = self.interp.array_get(value, self.interp.to_string(key))
+        return value
+
+    def _array_literal(self) -> PhpArray:
+        self._expect("(")
+        array = self.interp.new_array()
+        index = 0
+        while self._peek() and self._peek().text != ")":
+            first = self._compare()
+            if self._peek() and self._peek().text == "=>":
+                self._take()
+                value = self._compare()
+                self.interp.array_set(
+                    array, self.interp.to_string(first), value
+                )
+            else:
+                self.interp.array_set(array, str(index), first)
+                index += 1
+            if self._peek() and self._peek().text == ",":
+                self._take()
+        self._expect(")")
+        return array
+
+    def _call(self, name: str) -> Any:
+        self._expect("(")
+        args: list[Any] = []
+        while self._peek() and self._peek().text != ")":
+            args.append(self._compare())
+            if self._peek() and self._peek().text == ",":
+                self._take()
+        self._expect(")")
+        return self.interp.call_function(name, args)
+
+    @staticmethod
+    def _unquote(text: str) -> str:
+        body = text[1:-1]
+        return (
+            body.replace("\\n", "\n").replace("\\t", "\t")
+            .replace("\\'", "'").replace('\\"', '"')
+            .replace("\\\\", "\\")
+        )
+
+
+# ---------------------------------------------------------------------------
+# Interpreter
+# ---------------------------------------------------------------------------
+
+
+class MiniPhpInterpreter:
+    """Renders MiniPHP templates over a pluggable backend."""
+
+    def __init__(self, backend: Optional[SoftwareBackend] = None) -> None:
+        self.backend = backend or SoftwareBackend()
+        self.stats = StatRegistry("interp")
+        self._globals: dict[str, Any] = {}
+        self._next_base = 0x6C00_0000
+        self._output: list[str] = []
+
+    # -- variables & arrays ----------------------------------------------------
+
+    def set_variable(self, name: str, value: Any) -> None:
+        self.stats.bump("interp.var_sets")
+        self._globals[name] = value
+
+    def get_variable(self, name: str) -> Any:
+        self.stats.bump("interp.var_gets")
+        try:
+            return self._globals[name]
+        except KeyError:
+            raise MiniPhpError(f"undefined variable ${name}")
+
+    def new_array(self) -> PhpArray:
+        self._next_base += 0x200
+        array = PhpArray(base_address=self._next_base)
+        complex_ = getattr(self.backend, "complex", None)
+        if complex_ is not None:
+            # The allocator may hand back an address range a freed map
+            # used earlier (strong reuse!); any hardware state keyed on
+            # that base address belongs to the dead map and must go —
+            # this is the Free/invalidate the RTT makes cheap (§4.2).
+            complex_.hash_table.free_map(array.base_address)
+            complex_.register_map(array)
+        return array
+
+    def array_set(self, array: PhpArray, key: str, value: Any) -> None:
+        complex_ = getattr(self.backend, "complex", None)
+        if complex_ is not None:
+            outcome = complex_.hash_table.set(key, array.base_address, value)
+            if not outcome.software_fallback:
+                return
+        array.set(key, value)
+
+    def array_get(self, array: PhpArray, key: str) -> Any:
+        complex_ = getattr(self.backend, "complex", None)
+        if complex_ is not None:
+            outcome = complex_.hash_table.get(key, array.base_address)
+            if outcome.hit:
+                return outcome.value_ptr
+            value = array.get(key)
+            complex_.hash_table.insert_clean(key, array.base_address, value)
+            return value
+        return array.get(key)
+
+    def array_items(self, array: PhpArray) -> list[tuple[str, Any]]:
+        complex_ = getattr(self.backend, "complex", None)
+        if complex_ is not None:
+            order, _ = complex_.hash_table.foreach_sync(array.base_address)
+            if order:
+                return [
+                    (k, array.get_default(k)) for k in order
+                    if array.get_default(k) is not None
+                ]
+        return list(array.items())
+
+    # -- functions -----------------------------------------------------------------
+
+    def call_function(self, name: str, args: list[Any]) -> Any:
+        self.stats.bump("interp.calls")
+        b = self.backend
+        table: dict[str, Callable[..., Any]] = {
+            "strtoupper": lambda s: b.strtoupper(self.to_string(s)),
+            "strtolower": lambda s: b.strtolower(self.to_string(s)),
+            "trim": lambda s: b.trim(self.to_string(s)),
+            "strlen": lambda s: b.strlen(self.to_string(s)),
+            "strpos": lambda h, n: b.strpos(self.to_string(h),
+                                            self.to_string(n)),
+            "str_replace": lambda s, r, subj: b.str_replace(
+                self.to_string(s), self.to_string(r), self.to_string(subj)),
+            "substr": lambda s, start, *rest: b.substr(
+                self.to_string(s), int(start), *(int(r) for r in rest)),
+            "htmlspecialchars": lambda s: b.htmlspecialchars(
+                self.to_string(s)),
+            "preg_match": lambda p, s: b.preg_match(self.to_string(p),
+                                                    self.to_string(s)),
+            "preg_replace": lambda p, r, s: b.preg_replace(
+                self.to_string(p), self.to_string(r), self.to_string(s)),
+            "implode": self._implode,
+            "extract": self._extract,
+            "count": self._count,
+        }
+        fn = table.get(name)
+        if fn is None:
+            raise MiniPhpError(f"unknown function {name}()")
+        return fn(*args)
+
+    def _implode(self, glue: Any, array: Any) -> str:
+        if not isinstance(array, PhpArray):
+            raise MiniPhpError("implode() needs an array")
+        glue_s = self.to_string(glue)
+        parts: list[str] = []
+        for i, (_, value) in enumerate(self.array_items(array)):
+            if i:
+                parts.append(glue_s)
+            parts.append(self.to_string(value))
+        return self.backend.concat(parts)
+
+    def _extract(self, array: Any) -> int:
+        if not isinstance(array, PhpArray):
+            raise MiniPhpError("extract() needs an array")
+        count = 0
+        for key, value in self.array_items(array):
+            self.set_variable(key, value)
+            count += 1
+        return count
+
+    def _count(self, array: Any) -> int:
+        if not isinstance(array, PhpArray):
+            raise MiniPhpError("count() needs an array")
+        return len(array)
+
+    # -- statements ---------------------------------------------------------------------
+
+    def to_string(self, value: Any) -> str:
+        if isinstance(value, str):
+            return value
+        if isinstance(value, bool):
+            return "1" if value else ""
+        if value is None:
+            return ""
+        if isinstance(value, int):
+            return str(value)
+        if isinstance(value, PhpArray):
+            return "Array"
+        return str(value)
+
+    def _eval(self, tokens: list[Token]) -> Any:
+        return _ExprParser(tokens, self).parse()
+
+    def render(self, source: str, variables: dict[str, Any] | None = None) -> str:
+        """Render a template to its output string."""
+        self._output = []
+        for name, value in (variables or {}).items():
+            self.set_variable(name, value)
+        segments = split_template(source)
+        self._run_block(segments, 0, len(segments))
+        return "".join(self._output)
+
+    def _run_block(self, segments: list[Segment], start: int, end: int) -> None:
+        i = start
+        while i < end:
+            seg = segments[i]
+            if seg.kind == "literal":
+                self._output.append(seg.body)
+                i += 1
+            elif seg.kind == "echo":
+                value = self._eval(tokenize_code(seg.body))
+                self._output.append(self.to_string(value))
+                i += 1
+            else:
+                i = self._run_code(segments, i, end)
+
+    def _run_code(self, segments: list[Segment], i: int, end: int) -> int:
+        tokens = tokenize_code(segments[i].body)
+        if not tokens:
+            return i + 1
+        head = tokens[0]
+        if head.kind == "kw" and head.text == "foreach":
+            return self._run_foreach(segments, i, end, tokens)
+        if head.kind == "kw" and head.text == "if":
+            return self._run_if(segments, i, end, tokens)
+        # Simple statements, ';'-separated inside one island.
+        for statement in self._split_statements(tokens):
+            self._run_statement(statement)
+        return i + 1
+
+    @staticmethod
+    def _split_statements(tokens: list[Token]) -> list[list[Token]]:
+        out: list[list[Token]] = []
+        current: list[Token] = []
+        for tok in tokens:
+            if tok.text == ";":
+                if current:
+                    out.append(current)
+                current = []
+            else:
+                current.append(tok)
+        if current:
+            out.append(current)
+        return out
+
+    def _run_statement(self, tokens: list[Token]) -> None:
+        if tokens[0].kind == "kw" and tokens[0].text == "echo":
+            value = self._eval(tokens[1:])
+            self._output.append(self.to_string(value))
+            return
+        if (
+            len(tokens) >= 2 and tokens[0].kind == "var"
+            and tokens[1].text == "="
+            and (len(tokens) < 3 or tokens[2].text != "=")
+        ):
+            value = self._eval(tokens[2:])
+            self.set_variable(tokens[0].text[1:], value)
+            return
+        if (
+            tokens[0].kind == "var" and len(tokens) > 2
+            and tokens[1].text == "["
+        ):
+            # $arr['k'] = expr;
+            close = self._matching_bracket(tokens, 1)
+            if close + 1 < len(tokens) and tokens[close + 1].text == "=":
+                array = self.get_variable(tokens[0].text[1:])
+                key = self.to_string(self._eval(tokens[2:close]))
+                value = self._eval(tokens[close + 2:])
+                if not isinstance(array, PhpArray):
+                    raise MiniPhpError("indexed assignment on a non-array")
+                self.array_set(array, key, value)
+                return
+        # Expression statement (function call for effect).
+        self._eval(tokens)
+
+    @staticmethod
+    def _matching_bracket(tokens: list[Token], open_index: int) -> int:
+        depth = 0
+        for j in range(open_index, len(tokens)):
+            if tokens[j].text == "[":
+                depth += 1
+            elif tokens[j].text == "]":
+                depth -= 1
+                if depth == 0:
+                    return j
+        raise MiniPhpError("unbalanced [ ]")
+
+    # -- control flow ----------------------------------------------------------------------
+
+    def _find_matching(
+        self, segments: list[Segment], start: int, end: int,
+        opener: str, closers: tuple[str, ...],
+    ) -> int:
+        """Index of the matching closer code segment for block syntax."""
+        depth = 0
+        for j in range(start + 1, end):
+            seg = segments[j]
+            if seg.kind != "code":
+                continue
+            tokens = tokenize_code(seg.body)
+            if not tokens or tokens[0].kind != "kw":
+                continue
+            word = tokens[0].text
+            if word == opener:
+                depth += 1
+            elif word in closers:
+                if depth == 0:
+                    return j
+                if word == closers[-1]:  # the true closer unwinds depth
+                    depth -= 1
+        raise MiniPhpError(f"missing {closers[-1]} for {opener}")
+
+    def _run_foreach(
+        self, segments: list[Segment], i: int, end: int, tokens: list[Token]
+    ) -> int:
+        # foreach ( $arr as $v ):   |   foreach ( $arr as $k => $v ):
+        body = [t for t in tokens[1:] if t.text not in ("(", ")", ":")]
+        if len(body) == 3 and body[1].text == "as":
+            array_tok, _, value_tok = body
+            key_name = None
+        elif len(body) == 5 and body[1].text == "as" and body[3].text == "=>":
+            array_tok, _, key_tok, _, value_tok = body
+            key_name = key_tok.text[1:]
+        else:
+            raise MiniPhpError("malformed foreach header")
+        close = self._find_matching(
+            segments, i, end, "foreach", ("endforeach",)
+        )
+        array = self.get_variable(array_tok.text[1:])
+        if not isinstance(array, PhpArray):
+            raise MiniPhpError("foreach over a non-array")
+        for key, value in self.array_items(array):
+            if key_name is not None:
+                self.set_variable(key_name, key)
+            self.set_variable(value_tok.text[1:], value)
+            self._run_block(segments, i + 1, close)
+        return close + 1
+
+    def _run_if(
+        self, segments: list[Segment], i: int, end: int, tokens: list[Token]
+    ) -> int:
+        condition_tokens = [t for t in tokens[1:] if t.text != ":"]
+        if condition_tokens and condition_tokens[0].text == "(":
+            # strip the outer parens (keep inner structure intact)
+            condition_tokens = condition_tokens[1:]
+            depth = 1
+            for idx, t in enumerate(condition_tokens):
+                if t.text == "(":
+                    depth += 1
+                elif t.text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        condition_tokens = (
+                            condition_tokens[:idx]
+                            + condition_tokens[idx + 1:]
+                        )
+                        break
+        endif = self._find_matching(segments, i, end, "if", ("endif",))
+        else_at = None
+        depth = 0
+        for j in range(i + 1, endif):
+            seg = segments[j]
+            if seg.kind != "code":
+                continue
+            toks = tokenize_code(seg.body)
+            if not toks or toks[0].kind != "kw":
+                continue
+            if toks[0].text == "if":
+                depth += 1
+            elif toks[0].text == "endif":
+                depth -= 1
+            elif toks[0].text == "else" and depth == 0:
+                else_at = j
+                break
+        condition = bool(self._eval(condition_tokens))
+        if condition:
+            self._run_block(segments, i + 1, else_at or endif)
+        elif else_at is not None:
+            self._run_block(segments, else_at + 1, endif)
+        return endif + 1

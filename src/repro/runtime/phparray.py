@@ -1,0 +1,265 @@
+"""Ordered hash map with PHP array semantics (the software hash map).
+
+PHP arrays are ordered dictionaries: iteration (``foreach``) visits
+key/value pairs in insertion order, while lookups go through a hash
+table.  HHVM's ``MixedArray`` implements this with a bucket array of
+indices into an insertion-ordered entry vector; this module mirrors
+that layout because the paper's hardware hash table must stay coherent
+with exactly this structure (Section 4.2, "the software hash map
+stores each key/value pair in a table ordered based on insertion, and
+also stores a pointer to that table in a hash table for fast lookup").
+
+Cost accounting
+---------------
+Every operation records the probes and key comparisons it performed.
+The paper measures that a software hash-map walk averages **90.66 x86
+µops** (Section 5.2); :mod:`repro.core.costs` converts the probe/byte
+counters kept here into µops calibrated against that number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.common.stats import StatRegistry
+
+#: Tombstone marker in the bucket array.
+_TOMBSTONE = -2
+#: Empty marker in the bucket array.
+_EMPTY = -1
+
+
+def php_array_hash(key: str) -> int:
+    """Deterministic string hash (DJB2 variant, as in Zend/HHVM).
+
+    The hardware hash table uses a *simplified* hash (Section 4.2,
+    Design considerations); this is the full-cost software one.
+    """
+    h = 5381
+    for ch in key:
+        h = ((h << 5) + h + ord(ch)) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+@dataclass
+class _Entry:
+    key: str
+    value: Any
+    hash: int
+
+
+class PhpArray:
+    """Insertion-ordered hash map, HHVM ``MixedArray`` style.
+
+    Parameters
+    ----------
+    base_address:
+        The simulated memory address of the array structure.  The
+        hardware hash table hashes ``(base_address, key)`` pairs, and
+        the reverse translation table is indexed by this address.
+    stats:
+        Optional shared registry; per-instance registries are created
+        otherwise.
+    """
+
+    INITIAL_CAPACITY = 8
+    MAX_LOAD = 0.75
+
+    def __init__(
+        self,
+        base_address: int = 0,
+        stats: Optional[StatRegistry] = None,
+        capacity: int = INITIAL_CAPACITY,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.base_address = base_address
+        self.stats = stats if stats is not None else StatRegistry("phparray")
+        self._mask = self._round_up_pow2(capacity) - 1
+        self._buckets: list[int] = [_EMPTY] * (self._mask + 1)
+        self._entries: list[Optional[_Entry]] = []
+        self._used = 0  # live entries (excludes holes)
+        #: set by the hardware hash table when it flushes stale state
+        self.stale_hash_flag = False
+
+    @staticmethod
+    def _round_up_pow2(n: int) -> int:
+        p = 1
+        while p < n:
+            p <<= 1
+        return p
+
+    # -- core operations -------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        """Look up ``key``; raises ``KeyError`` when absent.
+
+        Records ``walk.probes`` and ``walk.key_bytes`` for the cost
+        model, and one ``walk.ops`` event.
+        """
+        self._maybe_rebuild()
+        idx = self._find(key)
+        self.stats.bump("walk.ops")
+        if idx is None:
+            self.stats.bump("walk.misses")
+            raise KeyError(key)
+        entry = self._entries[idx]
+        assert entry is not None
+        return entry.value
+
+    def get_default(self, key: str, default: Any = None) -> Any:
+        """Lookup returning ``default`` instead of raising."""
+        try:
+            return self.get(key)
+        except KeyError:
+            return default
+
+    def set(self, key: str, value: Any) -> None:
+        """Insert or update ``key``; updates keep insertion order."""
+        self._maybe_rebuild()
+        self.stats.bump("walk.ops")
+        idx = self._find(key)
+        if idx is not None:
+            entry = self._entries[idx]
+            assert entry is not None
+            entry.value = value
+            return
+        self._insert_new(key, value)
+
+    def unset(self, key: str) -> bool:
+        """Delete ``key``; returns whether it existed."""
+        self._maybe_rebuild()
+        self.stats.bump("walk.ops")
+        h = php_array_hash(key)
+        slot = h & self._mask
+        while True:
+            self.stats.bump("walk.probes")
+            ref = self._buckets[slot]
+            if ref == _EMPTY:
+                return False
+            if ref != _TOMBSTONE:
+                entry = self._entries[ref]
+                if entry is not None and entry.hash == h and entry.key == key:
+                    self.stats.bump("walk.key_bytes", len(key))
+                    self._buckets[slot] = _TOMBSTONE
+                    self._entries[ref] = None
+                    self._used -= 1
+                    return True
+            slot = (slot + 1) & self._mask
+
+    def __contains__(self, key: str) -> bool:
+        self._maybe_rebuild()
+        return self._find(key) is not None
+
+    def __len__(self) -> int:
+        return self._used
+
+    def items(self) -> Iterator[tuple[str, Any]]:
+        """``foreach`` iteration: key/value pairs in insertion order."""
+        self._maybe_rebuild()
+        for entry in self._entries:
+            if entry is not None:
+                self.stats.bump("foreach.visits")
+                yield entry.key, entry.value
+
+    def keys(self) -> list[str]:
+        return [k for k, _ in self.items()]
+
+    def hardware_writeback(self, key: str, value: Any) -> None:
+        """Apply a dirty value evicted from the hardware hash table.
+
+        The accelerator writes the insertion-ordered entry table
+        directly (it holds the value pointer) — no bucket walk happens
+        and no walk cost is recorded.  When the key is new to memory,
+        the entry is appended and the bucket array becomes stale; the
+        next software access rebuilds it (Section 4.2's stale-flag
+        protocol).
+        """
+        self.stats.bump("walk.hw_writebacks")
+        h = php_array_hash(key)
+        for entry in self._entries:
+            if entry is not None and entry.hash == h and entry.key == key:
+                entry.value = value
+                return
+        self._entries.append(_Entry(key, value, h))
+        self._used += 1
+        self.stale_hash_flag = True
+
+    # -- internals ---------------------------------------------------------------
+
+    def _find(self, key: str) -> Optional[int]:
+        """Linear-probe lookup recording probe/compare costs."""
+        h = php_array_hash(key)
+        slot = h & self._mask
+        while True:
+            self.stats.bump("walk.probes")
+            ref = self._buckets[slot]
+            if ref == _EMPTY:
+                return None
+            if ref != _TOMBSTONE:
+                entry = self._entries[ref]
+                if entry is not None and entry.hash == h:
+                    self.stats.bump("walk.key_bytes", len(key))
+                    if entry.key == key:
+                        return ref
+            slot = (slot + 1) & self._mask
+
+    def _insert_new(self, key: str, value: Any) -> None:
+        if (self._used + 1) > self.MAX_LOAD * (self._mask + 1):
+            self._grow()
+        h = php_array_hash(key)
+        slot = h & self._mask
+        while self._buckets[slot] not in (_EMPTY, _TOMBSTONE):
+            self.stats.bump("walk.probes")
+            slot = (slot + 1) & self._mask
+        self._entries.append(_Entry(key, value, h))
+        self._buckets[slot] = len(self._entries) - 1
+        self._used += 1
+
+    def _grow(self) -> None:
+        self.stats.bump("walk.rehashes")
+        old_entries = [e for e in self._entries if e is not None]
+        self._mask = (self._mask + 1) * 2 - 1
+        self._buckets = [_EMPTY] * (self._mask + 1)
+        self._entries = []
+        self._used = 0
+        for entry in old_entries:
+            self._insert_entry_raw(entry)
+
+    def _insert_entry_raw(self, entry: _Entry) -> None:
+        slot = entry.hash & self._mask
+        while self._buckets[slot] != _EMPTY:
+            slot = (slot + 1) & self._mask
+        self._entries.append(_Entry(entry.key, entry.value, entry.hash))
+        self._buckets[slot] = len(self._entries) - 1
+        self._used += 1
+
+    def _maybe_rebuild(self) -> None:
+        """Reconstruct the bucket array if the hardware marked it stale.
+
+        Section 4.2: the hardware hash table writes back only the
+        ordered entry table and "marks a flag in the software hash map
+        to indicate that the hash table ... is now stale. Subsequent
+        software accesses ... reconstruct the hash table if the flag is
+        set."  Rare in practice (process migration); modeled for
+        correctness and counted.
+        """
+        if not self.stale_hash_flag:
+            return
+        self.stale_hash_flag = False
+        self.stats.bump("walk.stale_rebuilds")
+        live = [e for e in self._entries if e is not None]
+        while len(live) > self.MAX_LOAD * (self._mask + 1):
+            self._mask = (self._mask + 1) * 2 - 1
+        self._buckets = [_EMPTY] * (self._mask + 1)
+        self._entries = []
+        self._used = 0
+        for entry in live:
+            self._insert_entry_raw(entry)
+
+    def __repr__(self) -> str:
+        return (
+            f"PhpArray(base=0x{self.base_address:x}, len={self._used}, "
+            f"cap={self._mask + 1})"
+        )

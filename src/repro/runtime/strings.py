@@ -1,0 +1,189 @@
+"""Software string library with an SSE-class cost model.
+
+Section 4.4 motivates the string accelerator against "the currently
+optimal software with SSE extensions": scan-type operations process
+16 bytes per cycle in the best case, with per-call fixed overhead and
+per-byte work for the transforming operations.  This module implements
+the PHP string functions the three applications exercise —
+find/compare/replace/trim/case-conversion/translate plus
+``htmlspecialchars`` — over real Python strings while charging a
+calibrated µop/cycle cost for each call.
+
+The results are functionally exact (tests compare against Python's own
+string methods); only the cost accounting is a model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.stats import StatRegistry
+
+#: Bytes an SSE4.2-class implementation inspects per cycle on the scan path.
+SSE_BYTES_PER_CYCLE = 16
+#: Fixed call overhead in µops (dispatch, length checks, setup).
+CALL_OVERHEAD_UOPS = 18
+#: µops issued per scanned 16-byte block (load, pcmpestri, branch, ptr add).
+UOPS_PER_SSE_BLOCK = 4
+#: µops per byte for (partially vectorized) transform passes.
+UOPS_PER_TAIL_BYTE = 1.4
+
+#: The HTML special characters ``htmlspecialchars`` rewrites.
+HTML_ESCAPES = {
+    "&": "&amp;",
+    '"': "&quot;",
+    "'": "&#039;",
+    "<": "&lt;",
+    ">": "&gt;",
+}
+
+
+@dataclass
+class StringOpResult:
+    """Outcome of one library call: the value plus its modeled cost."""
+
+    value: object
+    uops: int
+    cycles: int
+    bytes_processed: int
+
+
+class StringLibrary:
+    """PHP-style string functions with per-call cost accounting.
+
+    All methods return a :class:`StringOpResult`; the raw result value
+    is in ``.value``.  Costs accumulate into ``self.stats`` under
+    ``strlib.*`` so the experiment harness can compare against the
+    hardware accelerator's counters.
+    """
+
+    def __init__(self, stats: Optional[StatRegistry] = None) -> None:
+        self.stats = stats if stats is not None else StatRegistry("strlib")
+
+    # -- cost plumbing -----------------------------------------------------------
+
+    def _charge_scan(self, op: str, nbytes: int) -> tuple[int, int]:
+        """Cost of scanning ``nbytes`` with SSE compare instructions."""
+        blocks = (nbytes + SSE_BYTES_PER_CYCLE - 1) // SSE_BYTES_PER_CYCLE
+        uops = CALL_OVERHEAD_UOPS + blocks * UOPS_PER_SSE_BLOCK
+        cycles = max(1, blocks) + CALL_OVERHEAD_UOPS // 4
+        self._record(op, uops, cycles, nbytes)
+        return uops, cycles
+
+    def _charge_transform(self, op: str, nbytes: int) -> tuple[int, int]:
+        """Cost of a transforming pass (reads + writes every byte)."""
+        uops = CALL_OVERHEAD_UOPS + int(nbytes * UOPS_PER_TAIL_BYTE)
+        cycles = max(1, uops // 4)
+        self._record(op, uops, cycles, nbytes)
+        return uops, cycles
+
+    def _record(self, op: str, uops: int, cycles: int, nbytes: int) -> None:
+        self.stats.bump("strlib.calls")
+        self.stats.bump(f"strlib.{op}.calls")
+        self.stats.bump("strlib.uops", uops)
+        self.stats.bump("strlib.cycles", cycles)
+        self.stats.bump("strlib.bytes", nbytes)
+
+    # -- scan-class functions ------------------------------------------------------
+
+    def strlen(self, s: str) -> StringOpResult:
+        """Length; PHP strings carry explicit lengths so this is O(1)."""
+        self._record("strlen", CALL_OVERHEAD_UOPS // 3, 1, 0)
+        return StringOpResult(len(s), CALL_OVERHEAD_UOPS // 3, 1, 0)
+
+    def strpos(self, haystack: str, needle: str, offset: int = 0) -> StringOpResult:
+        """First index of ``needle`` at/after ``offset``; -1 when absent."""
+        index = haystack.find(needle, offset)
+        scanned = (index - offset + len(needle)) if index >= 0 else (len(haystack) - offset)
+        uops, cycles = self._charge_scan("strpos", max(scanned, 0))
+        return StringOpResult(index, uops, cycles, max(scanned, 0))
+
+    def strcmp(self, a: str, b: str) -> StringOpResult:
+        """Three-way comparison (-1/0/1)."""
+        limit = min(len(a), len(b))
+        diverge = limit
+        for i in range(limit):
+            if a[i] != b[i]:
+                diverge = i
+                break
+        uops, cycles = self._charge_scan("strcmp", diverge + 1)
+        result = (a > b) - (a < b)
+        return StringOpResult(result, uops, cycles, diverge + 1)
+
+    def strspn_class(self, s: str, allowed: str) -> StringOpResult:
+        """Length of the prefix made only of ``allowed`` characters."""
+        n = 0
+        allowed_set = set(allowed)
+        for ch in s:
+            if ch not in allowed_set:
+                break
+            n += 1
+        uops, cycles = self._charge_scan("strspn", n + 1)
+        return StringOpResult(n, uops, cycles, n + 1)
+
+    # -- transform-class functions ---------------------------------------------------
+
+    def str_replace(self, search: str, replace: str, subject: str) -> StringOpResult:
+        """Replace all occurrences (PHP ``str_replace``)."""
+        value = subject.replace(search, replace)
+        uops, cycles = self._charge_transform("replace", len(subject))
+        return StringOpResult(value, uops, cycles, len(subject))
+
+    def strtolower(self, s: str) -> StringOpResult:
+        value = s.lower()
+        uops, cycles = self._charge_transform("tolower", len(s))
+        return StringOpResult(value, uops, cycles, len(s))
+
+    def strtoupper(self, s: str) -> StringOpResult:
+        value = s.upper()
+        uops, cycles = self._charge_transform("toupper", len(s))
+        return StringOpResult(value, uops, cycles, len(s))
+
+    def trim(self, s: str, chars: str = " \t\n\r\0\x0b") -> StringOpResult:
+        """PHP ``trim``: strip leading/trailing characters in ``chars``."""
+        value = s.strip(chars)
+        scanned = (len(s) - len(value)) + 2
+        uops, cycles = self._charge_scan("trim", scanned)
+        return StringOpResult(value, uops, cycles, scanned)
+
+    def strtr(self, s: str, mapping: dict[str, str]) -> StringOpResult:
+        """PHP ``strtr`` with single-character mappings (translate)."""
+        table = str.maketrans(mapping)
+        value = s.translate(table)
+        uops, cycles = self._charge_transform("translate", len(s))
+        return StringOpResult(value, uops, cycles, len(s))
+
+    def substr(self, s: str, start: int, length: Optional[int] = None) -> StringOpResult:
+        """PHP ``substr`` (copy cost proportional to the slice)."""
+        if length is None:
+            value = s[start:]
+        else:
+            value = s[start:start + length] if length >= 0 else s[start:length]
+        uops, cycles = self._charge_transform("substr", len(value))
+        return StringOpResult(value, uops, cycles, len(value))
+
+    def concat(self, parts: list[str]) -> StringOpResult:
+        """String concatenation (the HTML-tag assembly workhorse)."""
+        value = "".join(parts)
+        uops, cycles = self._charge_transform("concat", len(value))
+        return StringOpResult(value, uops, cycles, len(value))
+
+    def htmlspecialchars(self, s: str) -> StringOpResult:
+        """Escape HTML metacharacters (PHP ``htmlspecialchars``)."""
+        out: list[str] = []
+        for ch in s:
+            out.append(HTML_ESCAPES.get(ch, ch))
+        value = "".join(out)
+        uops, cycles = self._charge_transform("htmlspecialchars", len(s))
+        return StringOpResult(value, uops, cycles, len(s))
+
+    # -- summary ------------------------------------------------------------------
+
+    @property
+    def total_uops(self) -> int:
+        return self.stats.get("strlib.uops")
+
+    @property
+    def total_cycles(self) -> int:
+        return self.stats.get("strlib.cycles")

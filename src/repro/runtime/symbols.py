@@ -1,0 +1,114 @@
+"""Symbol tables and the ``extract`` idiom.
+
+Section 4.2: "the PHP ``extract`` command is commonly used to import
+key-value pairs from a hash map into a local symbol table in order to
+communicate their values later to an appropriate application template
+... Populating such a symbol table always occurs using dynamic key
+names."  A symbol table *is* a hash map (footnote 3), so this module
+is a thin veneer over :class:`repro.runtime.phparray.PhpArray` that
+names the two access idioms the workload generators model:
+
+* ``extract``  — bulk import with dynamic keys (always-dynamic SETs),
+* scoped communication — a function publishing values (for example a
+  compiled regexp's FSM table under its pattern string) for later
+  functions to GET.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.common.stats import StatRegistry
+from repro.runtime.phparray import PhpArray
+
+
+class SymbolTable:
+    """A named scope mapping variable names to values."""
+
+    def __init__(
+        self,
+        name: str,
+        base_address: int = 0,
+        stats: Optional[StatRegistry] = None,
+    ) -> None:
+        self.name = name
+        self.array = PhpArray(base_address=base_address, stats=stats)
+
+    def define(self, key: str, value: Any) -> None:
+        """Bind ``key`` in this scope (a dynamic-key SET)."""
+        self.array.set(key, value)
+
+    def lookup(self, key: str) -> Any:
+        """Resolve ``key``; raises ``KeyError`` when unbound."""
+        return self.array.get(key)
+
+    def extract(self, source: PhpArray, prefix: str = "") -> int:
+        """PHP ``extract()``: import every pair of ``source``.
+
+        Returns the number of symbols imported.  Every import is a
+        dynamic-key SET — exactly the access pattern software methods
+        (inline caching / hash map inlining) cannot specialize and the
+        hardware hash table targets.
+        """
+        imported = 0
+        for key, value in source.items():
+            self.define(prefix + key, value)
+            imported += 1
+        return imported
+
+    def compact(self, names: list[str]) -> PhpArray:
+        """PHP ``compact()``: export named bindings into a fresh array."""
+        out = PhpArray(base_address=self.array.base_address ^ 0x5A5A)
+        for name in names:
+            try:
+                out.set(name, self.lookup(name))
+            except KeyError:
+                continue
+        return out
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.array
+
+    def __len__(self) -> int:
+        return len(self.array)
+
+    def __repr__(self) -> str:
+        return f"SymbolTable({self.name!r}, {len(self)} bindings)"
+
+
+class ScopeStack:
+    """Global scope plus a stack of per-call local scopes."""
+
+    def __init__(self, stats: Optional[StatRegistry] = None) -> None:
+        self._stats = stats
+        self._next_base = 0x7F00_0000
+        self.globals = SymbolTable("globals", self._fresh_base(), stats)
+        self._locals: list[SymbolTable] = []
+
+    def _fresh_base(self) -> int:
+        base = self._next_base
+        self._next_base += 0x100
+        return base
+
+    def push(self, name: str) -> SymbolTable:
+        """Enter a function: allocate a short-lived local symbol table."""
+        table = SymbolTable(name, self._fresh_base(), self._stats)
+        self._locals.append(table)
+        return table
+
+    def pop(self) -> SymbolTable:
+        """Leave a function: its symbol table becomes dead (short-lived)."""
+        if not self._locals:
+            raise IndexError("no local scope to pop")
+        return self._locals.pop()
+
+    @property
+    def current(self) -> SymbolTable:
+        return self._locals[-1] if self._locals else self.globals
+
+    def resolve(self, key: str) -> Any:
+        """PHP-style resolution: current scope, then globals."""
+        try:
+            return self.current.lookup(key)
+        except KeyError:
+            return self.globals.lookup(key)

@@ -1,0 +1,146 @@
+"""PHP value model: dynamic types and reference counting.
+
+HHVM represents every PHP value as a typed cell (a ``TypedValue``)
+whose heap-allocated payloads (strings, arrays, objects) carry a
+reference count.  The paper identifies two abstraction overheads tied
+to this representation:
+
+* **dynamic type checks** guarding the specialized code that inline
+  caching emits, and
+* **reference counting**, "spread across compiled code and many
+  library functions", the single largest mitigated overhead
+  (4.42 % of execution time on average, Section 5.2).
+
+This module models both: every value operation that real HHVM would
+refcount or type-check bumps a counter here, so the mitigation passes
+in :mod:`repro.optim` have an honest event stream to act on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.stats import StatRegistry
+
+
+class PhpType(enum.Enum):
+    """The dynamic types a PHP cell can hold (HHVM DataType subset)."""
+
+    NULL = "null"
+    BOOL = "bool"
+    INT = "int"
+    DOUBLE = "double"
+    STRING = "string"
+    ARRAY = "array"
+    OBJECT = "object"
+
+    @property
+    def is_refcounted(self) -> bool:
+        """Heap-allocated payloads carry refcounts; scalars do not."""
+        return self in (PhpType.STRING, PhpType.ARRAY, PhpType.OBJECT)
+
+
+@dataclass
+class PhpValue:
+    """A typed PHP cell with a reference count on heap payloads.
+
+    ``payload`` holds the Python-native representation; the simulation
+    treats it as opaque except for strings and arrays where the
+    accelerators need the actual content.
+    """
+
+    type: PhpType
+    payload: Any = None
+    refcount: int = 1
+
+    @staticmethod
+    def null() -> "PhpValue":
+        return PhpValue(PhpType.NULL, None)
+
+    @staticmethod
+    def of_int(v: int) -> "PhpValue":
+        return PhpValue(PhpType.INT, v)
+
+    @staticmethod
+    def of_bool(v: bool) -> "PhpValue":
+        return PhpValue(PhpType.BOOL, v)
+
+    @staticmethod
+    def of_double(v: float) -> "PhpValue":
+        return PhpValue(PhpType.DOUBLE, v)
+
+    @staticmethod
+    def of_string(v: str) -> "PhpValue":
+        return PhpValue(PhpType.STRING, v)
+
+    @staticmethod
+    def of_array(v: Any) -> "PhpValue":
+        return PhpValue(PhpType.ARRAY, v)
+
+    def __repr__(self) -> str:
+        return f"PhpValue({self.type.value}, {self.payload!r}, rc={self.refcount})"
+
+
+class ValueRuntime:
+    """Tracks refcount and type-check events over PHP values.
+
+    The counters recorded here are the inputs to the two hardware
+    mitigations the paper adopts from prior work:
+
+    * ``refcount.incref`` / ``refcount.decref`` — events the hardware
+      reference-counting proposal (Joao et al., ISCA'09 [46]) absorbs,
+    * ``typecheck.checks`` — events the checked-load proposal
+      (Anderson et al., HPCA'11 [22]) folds into the cache subsystem.
+    """
+
+    #: x86 µops a software incref/decref costs (load, add, store, branch).
+    UOPS_PER_RC_OP = 4
+    #: x86 µops for a guard type check (cmp + branch).
+    UOPS_PER_TYPE_CHECK = 2
+
+    def __init__(self) -> None:
+        self.stats = StatRegistry("values")
+
+    # -- reference counting --------------------------------------------------
+
+    def incref(self, value: PhpValue) -> None:
+        """Take a new reference; counted only for refcounted payloads."""
+        if value.type.is_refcounted:
+            value.refcount += 1
+            self.stats.bump("refcount.incref")
+            self.stats.bump("refcount.uops", self.UOPS_PER_RC_OP)
+
+    def decref(self, value: PhpValue) -> bool:
+        """Drop a reference.  Returns True when the payload dies."""
+        if not value.type.is_refcounted:
+            return False
+        value.refcount -= 1
+        self.stats.bump("refcount.decref")
+        self.stats.bump("refcount.uops", self.UOPS_PER_RC_OP)
+        if value.refcount <= 0:
+            self.stats.bump("refcount.destroys")
+            return True
+        return False
+
+    # -- dynamic type checks --------------------------------------------------
+
+    def type_check(self, value: PhpValue, expected: PhpType) -> bool:
+        """Guard check emitted around inline-cache specialized code."""
+        self.stats.bump("typecheck.checks")
+        self.stats.bump("typecheck.uops", self.UOPS_PER_TYPE_CHECK)
+        passed = value.type is expected
+        if not passed:
+            self.stats.bump("typecheck.misses")
+        return passed
+
+    # -- derived views ---------------------------------------------------------
+
+    @property
+    def refcount_uops(self) -> int:
+        return self.stats.get("refcount.uops")
+
+    @property
+    def typecheck_uops(self) -> int:
+        return self.stats.get("typecheck.uops")

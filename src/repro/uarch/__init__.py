@@ -1,0 +1,71 @@
+"""Trace-driven microarchitecture models (the gem5 stand-in).
+
+Provides the Section 2 characterization pipeline: synthetic trace
+generation (:mod:`repro.uarch.trace`), a faithful TAGE predictor
+(:mod:`repro.uarch.tage`), a set-associative BTB
+(:mod:`repro.uarch.btb`), a prefetching cache hierarchy
+(:mod:`repro.uarch.caches`), and analytic core timing models
+(:mod:`repro.uarch.core`).
+"""
+
+from repro.uarch.btb import Btb
+from repro.uarch.caches import (
+    Cache,
+    CacheConfig,
+    CacheHierarchy,
+    HierarchyConfig,
+    LINE_BYTES,
+    StreamPrefetcher,
+)
+from repro.uarch.core import (
+    CharacterizationRun,
+    CoreConfig,
+    TraceCounts,
+    effective_issue_width,
+    estimate_cycles,
+    sweep_btb_and_icache,
+    sweep_cores,
+)
+from repro.uarch.predictors import Bimodal, GShare, compare_predictors
+from repro.uarch.slb import SlbAssistedPredictor, SlbConfig, measure_slb_headroom
+from repro.uarch.tage import FoldedHistory, Tage, TageConfig
+from repro.uarch.trace import (
+    BranchRecord,
+    FetchRecord,
+    MemRecord,
+    SPEC_LIKE_PROFILE,
+    TraceGenerator,
+    TraceProfile,
+)
+
+__all__ = [
+    "Btb",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "StreamPrefetcher",
+    "LINE_BYTES",
+    "CharacterizationRun",
+    "CoreConfig",
+    "TraceCounts",
+    "effective_issue_width",
+    "estimate_cycles",
+    "sweep_btb_and_icache",
+    "sweep_cores",
+    "Tage",
+    "TageConfig",
+    "Bimodal",
+    "GShare",
+    "compare_predictors",
+    "SlbAssistedPredictor",
+    "SlbConfig",
+    "measure_slb_headroom",
+    "FoldedHistory",
+    "BranchRecord",
+    "FetchRecord",
+    "MemRecord",
+    "TraceGenerator",
+    "TraceProfile",
+    "SPEC_LIKE_PROFILE",
+]

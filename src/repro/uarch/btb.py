@@ -1,0 +1,115 @@
+"""Branch target buffer.
+
+Section 2: "We simulate a BTB that resembles the BTB found in modern
+Intel server cores with 4K entries and 2-way set associativity ...
+Around 12% of all dynamic instructions are branches in the SPEC
+CPU2006 workloads, whereas in the PHP applications about 22% of all
+instructions are branches, thus adding more pressure on BTB ... even
+with 64K entries, the PHP application obtains a modest BTB hit rate of
+95.85%."
+
+A plain set-associative structure with true-LRU replacement; target
+mispredictions (indirect branches whose cached target is stale) are
+counted separately from capacity/conflict misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.stats import StatRegistry
+from repro.uarch.trace import BranchRecord
+
+
+@dataclass
+class _BtbEntry:
+    tag: int
+    target: int
+    lru: int
+
+
+class Btb:
+    """Set-associative branch target buffer.
+
+    Parameters
+    ----------
+    entries:
+        Total entry count (must be divisible by ``ways``).
+    ways:
+        Set associativity (Intel-like default: 2).
+    """
+
+    def __init__(self, entries: int = 4096, ways: int = 2) -> None:
+        if entries % ways != 0:
+            raise ValueError("entries must be divisible by ways")
+        self.entries = entries
+        self.ways = ways
+        self.sets = entries // ways
+        if self.sets & (self.sets - 1):
+            raise ValueError("set count must be a power of two")
+        self._table: list[list[_BtbEntry]] = [[] for _ in range(self.sets)]
+        self._clock = 0
+        self.stats = StatRegistry("btb")
+
+    def _locate(self, pc: int) -> tuple[int, int]:
+        index = (pc >> 2) & (self.sets - 1)
+        tag = pc >> 2
+        return index, tag
+
+    def lookup(self, branch: BranchRecord) -> bool:
+        """Probe-and-update for one dynamic branch.
+
+        Returns True on a useful hit (entry present and, for taken
+        branches, target correct).  Not-taken conditional branches do
+        not need a BTB entry to be fetched correctly, but Intel-style
+        BTBs still allocate on first sight; we allocate only for taken
+        branches, matching how misses were counted in the paper's
+        "taken branch needs a target" model.
+        """
+        self._clock += 1
+        self.stats.bump("btb.lookups")
+        index, tag = self._locate(branch.pc)
+        bucket = self._table[index]
+        for entry in bucket:
+            if entry.tag == tag:
+                entry.lru = self._clock
+                if branch.taken and entry.target != branch.target:
+                    # Indirect branch whose target changed: update in place.
+                    entry.target = branch.target
+                    self.stats.bump("btb.target_mispredicts")
+                    return False
+                self.stats.bump("btb.hits")
+                return True
+        if branch.taken:
+            self.stats.bump("btb.misses")
+            self._insert(index, tag, branch.target)
+            return False
+        # Not-taken and absent: fetch proceeds sequentially; no penalty.
+        self.stats.bump("btb.hits")
+        return True
+
+    def _insert(self, index: int, tag: int, target: int) -> None:
+        bucket = self._table[index]
+        if len(bucket) < self.ways:
+            bucket.append(_BtbEntry(tag, target, self._clock))
+            return
+        victim = min(bucket, key=lambda e: e.lru)
+        victim.tag = tag
+        victim.target = target
+        victim.lru = self._clock
+        self.stats.bump("btb.evictions")
+
+    # -- derived metrics ----------------------------------------------------------------
+
+    def hit_rate(self) -> float:
+        lookups = self.stats.get("btb.lookups")
+        if not lookups:
+            return 0.0
+        useful = self.stats.get("btb.hits")
+        return useful / lookups
+
+    def miss_count(self) -> int:
+        return (
+            self.stats.get("btb.misses")
+            + self.stats.get("btb.target_mispredicts")
+        )

@@ -1,0 +1,205 @@
+"""Cache hierarchy with prefetchers.
+
+Section 2's cache analysis (Figure 2b): "L1 instruction and data cache
+behavior are more typical of SPEC CPU-like workloads ... The L2 cache
+has very low MPKI, as the L1 filters out most of the cache references.
+Note that we simulate an aggressive memory system with prefetchers at
+every cache level."
+
+This module provides a set-associative cache with true-LRU
+replacement, a stream (next-line run) prefetcher attachable per cache,
+and a small hierarchy wrapper that walks L1 → L2 → memory and keeps
+per-level hit/miss statistics for the MPKI plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.stats import StatRegistry
+
+LINE_BYTES = 64
+
+
+@dataclass
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    latency: int  # cycles, load-to-use
+    prefetch: bool = True
+    prefetch_degree: int = 2
+    #: victim selection: 'lru' (default), 'fifo', or 'random'
+    replacement: str = "lru"
+
+    @property
+    def sets(self) -> int:
+        sets = self.size_bytes // (LINE_BYTES * self.ways)
+        if sets <= 0 or sets & (sets - 1):
+            raise ValueError(f"{self.name}: set count must be a power of two")
+        return sets
+
+
+class StreamPrefetcher:
+    """Detects ascending line streams and prefetches ahead.
+
+    A 16-entry stream table tracks recent miss lines; two consecutive
+    misses to adjacent lines arm a stream that prefetches
+    ``degree`` lines ahead on each subsequent access in the stream.
+    """
+
+    TABLE_SIZE = 16
+
+    def __init__(self, degree: int) -> None:
+        self.degree = degree
+        self._streams: list[int] = []  # last line seen per stream, MRU first
+
+    def observe_miss(self, line: int) -> list[int]:
+        """Report a miss; returns lines to prefetch.
+
+        On a stream match the training point advances to the farthest
+        prefetched line, so the stream keeps running even though the
+        prefetched lines themselves will hit (and never re-train it).
+        """
+        for i, last in enumerate(self._streams):
+            if last - self.degree <= line <= last + 1:
+                self._streams.pop(i)
+                self._streams.insert(0, line + self.degree)
+                return [line + d for d in range(1, self.degree + 1)]
+        self._streams.insert(0, line)
+        del self._streams[self.TABLE_SIZE:]
+        return []
+
+
+class Cache:
+    """One set-associative, true-LRU cache level."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        if config.replacement not in ("lru", "fifo", "random"):
+            raise ValueError(f"unknown replacement {config.replacement!r}")
+        self.config = config
+        self.stats = StatRegistry(config.name)
+        self._sets: list[dict[int, int]] = [dict() for _ in range(config.sets)]
+        self._clock = 0
+        self._rand_state = 0x9E3779B9  # xorshift for 'random' victims
+        self._prefetcher = (
+            StreamPrefetcher(config.prefetch_degree) if config.prefetch else None
+        )
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        line = addr // LINE_BYTES
+        return line % self.config.sets, line
+
+    def access(self, addr: int, is_prefetch: bool = False) -> bool:
+        """Look up ``addr``; allocate on miss.  Returns hit?"""
+        self._clock += 1
+        index, line = self._locate(addr)
+        bucket = self._sets[index]
+        if not is_prefetch:
+            self.stats.bump("cache.accesses")
+        if line in bucket:
+            if self.config.replacement == "lru":
+                bucket[line] = self._clock  # fifo/random keep insert time
+            if not is_prefetch:
+                self.stats.bump("cache.hits")
+            return True
+        if not is_prefetch:
+            self.stats.bump("cache.misses")
+        self._fill(index, line)
+        return False
+
+    def _fill(self, index: int, line: int) -> None:
+        bucket = self._sets[index]
+        if len(bucket) >= self.config.ways:
+            if self.config.replacement == "random":
+                self._rand_state ^= (self._rand_state << 13) & 0xFFFFFFFF
+                self._rand_state ^= self._rand_state >> 17
+                self._rand_state ^= (self._rand_state << 5) & 0xFFFFFFFF
+                keys = list(bucket)
+                victim = keys[self._rand_state % len(keys)]
+            else:
+                # lru: oldest access time; fifo: oldest insert time —
+                # both are the min of the stored stamps.
+                victim = min(bucket, key=lambda ln: bucket[ln])
+            del bucket[victim]
+            self.stats.bump("cache.evictions")
+        bucket[line] = self._clock
+
+    def prefetch_lines_for_miss(self, addr: int) -> list[int]:
+        if self._prefetcher is None:
+            return []
+        _, line = self._locate(addr)
+        return self._prefetcher.observe_miss(line)
+
+    # -- derived metrics ----------------------------------------------------------------
+
+    def miss_count(self) -> int:
+        return self.stats.get("cache.misses")
+
+    def mpki(self, instructions: int) -> float:
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.miss_count() / instructions
+
+
+@dataclass
+class HierarchyConfig:
+    """An L1I/L1D/shared-L2 hierarchy (the paper's simulated server)."""
+
+    l1i: CacheConfig
+    l1d: CacheConfig
+    l2: CacheConfig
+    memory_latency: int = 200
+
+    @staticmethod
+    def xeon_like(
+        l1i_kb: int = 32, l1d_kb: int = 32, l2_kb: int = 2048
+    ) -> "HierarchyConfig":
+        """Geometry similar to the paper's Intel Xeon baseline."""
+        return HierarchyConfig(
+            l1i=CacheConfig("l1i", l1i_kb * 1024, ways=8, latency=3),
+            l1d=CacheConfig("l1d", l1d_kb * 1024, ways=8, latency=4),
+            l2=CacheConfig("l2", l2_kb * 1024, ways=16, latency=14),
+        )
+
+
+class CacheHierarchy:
+    """Two-level hierarchy walker with per-level stats."""
+
+    def __init__(self, config: HierarchyConfig) -> None:
+        self.config = config
+        self.l1i = Cache(config.l1i)
+        self.l1d = Cache(config.l1d)
+        self.l2 = Cache(config.l2)
+        self.stats = StatRegistry("hierarchy")
+
+    def fetch(self, addr: int) -> int:
+        """Instruction fetch; returns access latency in cycles."""
+        return self._walk(self.l1i, addr)
+
+    def load_store(self, addr: int, is_write: bool) -> int:
+        """Data access; returns access latency in cycles."""
+        if is_write:
+            self.stats.bump("hierarchy.writes")
+        return self._walk(self.l1d, addr)
+
+    def _walk(self, l1: Cache, addr: int) -> int:
+        if l1.access(addr):
+            return l1.config.latency
+        for line in l1.prefetch_lines_for_miss(addr):
+            pf_addr = line * LINE_BYTES
+            l1.access(pf_addr, is_prefetch=True)
+            self.l2.access(pf_addr, is_prefetch=True)
+        if self.l2.access(addr):
+            return l1.config.latency + self.l2.config.latency
+        for line in self.l2.prefetch_lines_for_miss(addr):
+            self.l2.access(line * LINE_BYTES, is_prefetch=True)
+        self.stats.bump("hierarchy.memory_accesses")
+        return (
+            l1.config.latency
+            + self.l2.config.latency
+            + self.config.memory_latency
+        )

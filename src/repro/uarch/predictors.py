@@ -1,0 +1,138 @@
+"""Baseline branch predictors: bimodal and gshare.
+
+The paper evaluates with TAGE (noting its accuracy matches Intel
+server parts — footnote 1).  These simpler predictors exist to place
+that choice in context: the PHP applications' data-dependent branches
+are hard for *any* history-based predictor, and the gap between
+bimodal → gshare → TAGE quantifies how much history helps before the
+data-dependence wall (prior work [35] on data-dependent branches is
+the paper's suggested next step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.stats import StatRegistry
+
+
+class BranchPredictor:
+    """Interface shared with :class:`repro.uarch.tage.Tage`."""
+
+    stats: StatRegistry
+
+    def train(self, pc: int, taken: bool) -> bool:
+        raise NotImplementedError
+
+    def mpki(self, instructions: int) -> float:
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.stats.get("pred.mispredicts") / instructions
+
+
+class Bimodal(BranchPredictor):
+    """A table of 2-bit saturating counters indexed by PC."""
+
+    def __init__(self, index_bits: int = 14) -> None:
+        self.index_bits = index_bits
+        self._table = [1] * (1 << index_bits)  # weakly not-taken
+        self.stats = StatRegistry("bimodal")
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & ((1 << self.index_bits) - 1)
+
+    def train(self, pc: int, taken: bool) -> bool:
+        idx = self._index(pc)
+        counter = self._table[idx]
+        prediction = counter >= 2
+        correct = prediction == taken
+        self.stats.bump("pred.lookups")
+        if not correct:
+            self.stats.bump("pred.mispredicts")
+        if taken:
+            self._table[idx] = min(3, counter + 1)
+        else:
+            self._table[idx] = max(0, counter - 1)
+        return correct
+
+    def storage_bits(self) -> int:
+        return (1 << self.index_bits) * 2
+
+
+class GShare(BranchPredictor):
+    """Global-history XOR-indexed 2-bit counter table (McFarling)."""
+
+    def __init__(self, index_bits: int = 16, history_bits: int = 14) -> None:
+        self.index_bits = index_bits
+        self.history_bits = min(history_bits, index_bits)
+        self._table = [1] * (1 << index_bits)
+        self._history = 0
+        self.stats = StatRegistry("gshare")
+
+    def _index(self, pc: int) -> int:
+        mask = (1 << self.index_bits) - 1
+        hist = self._history & ((1 << self.history_bits) - 1)
+        return ((pc >> 2) ^ hist) & mask
+
+    def train(self, pc: int, taken: bool) -> bool:
+        idx = self._index(pc)
+        counter = self._table[idx]
+        prediction = counter >= 2
+        correct = prediction == taken
+        self.stats.bump("pred.lookups")
+        if not correct:
+            self.stats.bump("pred.mispredicts")
+        if taken:
+            self._table[idx] = min(3, counter + 1)
+        else:
+            self._table[idx] = max(0, counter - 1)
+        self._history = ((self._history << 1) | int(taken)) & (
+            (1 << self.history_bits) - 1
+        )
+        return correct
+
+    def storage_bits(self) -> int:
+        return (1 << self.index_bits) * 2
+
+
+def compare_predictors(
+    profile,
+    rng,
+    predictors: dict[str, BranchPredictor] | None = None,
+) -> dict[str, float]:
+    """Run one branch trace through several predictors; returns MPKI.
+
+    TAGE is included by default; extra predictors may be supplied.
+    Each sees the identical dynamic branch stream (one warmup pass plus
+    one measured pass), so the comparison is apples to apples.
+    """
+    from repro.uarch.tage import Tage
+    from repro.uarch.trace import TraceGenerator
+
+    if predictors is None:
+        predictors = {
+            "bimodal-4KB": Bimodal(index_bits=14),
+            "gshare-16KB": GShare(index_bits=16),
+            "tage-32KB": Tage(rng=rng.fork("tage")),
+        }
+
+    gen = TraceGenerator(profile, rng.fork("trace"))
+    warmup = [
+        b for b in gen.branch_stream(0) if b.is_conditional
+    ]
+    measured = [
+        b for b in gen.branch_stream(1) if b.is_conditional
+    ]
+
+    results: dict[str, float] = {}
+    for name, predictor in predictors.items():
+        for branch in warmup:
+            predictor.train(branch.pc, branch.taken)
+        if hasattr(predictor, "stats"):
+            predictor.stats.reset()
+        mispredicts = 0
+        for branch in measured:
+            if not predictor.train(branch.pc, branch.taken):
+                mispredicts += 1
+        results[name] = 1000.0 * mispredicts / profile.instructions
+    return results

@@ -1,0 +1,265 @@
+"""TAGE branch predictor (Seznec, MICRO-44 [63]).
+
+Section 2: "We experimented with the state-of-the-art TAGE branch
+predictor with 32KB storage budget.  The branch mispredictions per
+kilo-instructions (MPKI) for the three PHP applications considered in
+this work are 17.26, 14.48, and 15.14."
+
+This is a faithful TAGE implementation: a bimodal base predictor plus
+several partially-tagged tables indexed with geometrically increasing
+global-history lengths via folded (circular-shifted) histories, with
+usefulness counters steering allocation on mispredictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.rng import DeterministicRng
+from repro.common.stats import StatRegistry
+
+
+class FoldedHistory:
+    """Circular-shift compression of a long history into few bits.
+
+    Maintains ``compressed`` = the geometry-``orig_len`` history folded
+    onto ``comp_len`` bits, updated incrementally in O(1) per branch as
+    in Seznec's reference implementation.
+    """
+
+    def __init__(self, orig_len: int, comp_len: int) -> None:
+        self.orig_len = orig_len
+        self.comp_len = comp_len
+        self.compressed = 0
+        self._outpoint = orig_len % comp_len
+
+    def update(self, new_bit: int, dropped_bit: int) -> None:
+        self.compressed = (self.compressed << 1) | new_bit
+        self.compressed ^= dropped_bit << self._outpoint
+        self.compressed ^= self.compressed >> self.comp_len
+        self.compressed &= (1 << self.comp_len) - 1
+
+
+@dataclass
+class _TaggedEntry:
+    tag: int = 0
+    ctr: int = 0      # signed 3-bit: -4..3, >=0 predicts taken
+    useful: int = 0   # 2-bit usefulness
+
+
+@dataclass
+class TageConfig:
+    """Geometry of the predictor; defaults total ≈ 32 KB of state."""
+
+    bimodal_bits: int = 15           # 32K 2-bit counters = 8 KB
+    num_tables: int = 6
+    table_bits: int = 11             # 2K entries per tagged table
+    tag_bits: int = 11
+    min_history: int = 5
+    max_history: int = 130
+    use_alt_threshold: int = 8       # dynamic useAltOnNA counter midpoint
+
+    def history_lengths(self) -> list[int]:
+        """Geometric series from min to max history, one per table."""
+        if self.num_tables == 1:
+            return [self.min_history]
+        ratio = (self.max_history / self.min_history) ** (1 / (self.num_tables - 1))
+        lengths = []
+        for i in range(self.num_tables):
+            lengths.append(int(round(self.min_history * ratio ** i)))
+        return lengths
+
+    def storage_bits(self) -> int:
+        """Total predictor state, for checking the 32 KB budget."""
+        bimodal = (1 << self.bimodal_bits) * 2
+        per_entry = 3 + 2 + self.tag_bits  # ctr + useful + tag
+        tagged = self.num_tables * (1 << self.table_bits) * per_entry
+        return bimodal + tagged
+
+
+class Tage:
+    """TAGE predictor with per-branch predict/update interface."""
+
+    def __init__(
+        self,
+        config: TageConfig | None = None,
+        rng: DeterministicRng | None = None,
+    ) -> None:
+        self.config = config or TageConfig()
+        self.rng = rng or DeterministicRng(7)
+        self.stats = StatRegistry("tage")
+        cfg = self.config
+
+        self._bimodal = [1] * (1 << cfg.bimodal_bits)  # 2-bit, weakly not-taken
+        self._tables: list[list[_TaggedEntry]] = [
+            [_TaggedEntry() for _ in range(1 << cfg.table_bits)]
+            for _ in range(cfg.num_tables)
+        ]
+        self._hist_lengths = cfg.history_lengths()
+        self._ghist: list[int] = []  # newest first
+        self._index_fold = [
+            FoldedHistory(hl, cfg.table_bits) for hl in self._hist_lengths
+        ]
+        self._tag_fold_a = [
+            FoldedHistory(hl, cfg.tag_bits) for hl in self._hist_lengths
+        ]
+        self._tag_fold_b = [
+            FoldedHistory(hl, max(1, cfg.tag_bits - 1)) for hl in self._hist_lengths
+        ]
+        self._use_alt_on_na = cfg.use_alt_threshold  # 4-bit counter
+
+    # -- hashing ----------------------------------------------------------------------
+
+    def _bimodal_index(self, pc: int) -> int:
+        return (pc >> 2) & ((1 << self.config.bimodal_bits) - 1)
+
+    def _table_index(self, pc: int, t: int) -> int:
+        mask = (1 << self.config.table_bits) - 1
+        folded = self._index_fold[t].compressed
+        return ((pc >> 2) ^ (pc >> (self.config.table_bits + t + 1)) ^ folded) & mask
+
+    def _table_tag(self, pc: int, t: int) -> int:
+        mask = (1 << self.config.tag_bits) - 1
+        return ((pc >> 2) ^ self._tag_fold_a[t].compressed
+                ^ (self._tag_fold_b[t].compressed << 1)) & mask
+
+    # -- predict / update ----------------------------------------------------------------
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        provider, alt = self._lookup(pc)
+        pred, _, _ = self._resolve(pc, provider, alt)
+        return pred
+
+    def _lookup(self, pc: int):
+        provider = None  # (table, index, entry)
+        alt = None
+        for t in range(self.config.num_tables - 1, -1, -1):
+            idx = self._table_index(pc, t)
+            entry = self._tables[t][idx]
+            if entry.tag == self._table_tag(pc, t):
+                if provider is None:
+                    provider = (t, idx, entry)
+                elif alt is None:
+                    alt = (t, idx, entry)
+                    break
+        return provider, alt
+
+    def _resolve(self, pc: int, provider, alt):
+        """Choose between provider, altpred, and bimodal."""
+        bimodal_pred = self._bimodal[self._bimodal_index(pc)] >= 2
+        if provider is None:
+            return bimodal_pred, bimodal_pred, "bimodal"
+        _, _, entry = provider
+        provider_pred = entry.ctr >= 0
+        alt_pred = (alt[2].ctr >= 0) if alt is not None else bimodal_pred
+        newly_allocated = entry.ctr in (-1, 0) and entry.useful == 0
+        if newly_allocated and self._use_alt_on_na >= self.config.use_alt_threshold:
+            return alt_pred, provider_pred, "alt"
+        return provider_pred, alt_pred, "provider"
+
+    def train(self, pc: int, taken: bool) -> bool:
+        """Predict, update all state, and return prediction correctness."""
+        provider, alt = self._lookup(pc)
+        pred, alt_pred, source = self._resolve(pc, provider, alt)
+        correct = pred == taken
+
+        self.stats.bump("tage.lookups")
+        if not correct:
+            self.stats.bump("tage.mispredicts")
+
+        # useAltOnNA adaptation.
+        if provider is not None:
+            entry = provider[2]
+            if entry.ctr in (-1, 0) and entry.useful == 0:
+                provider_pred = entry.ctr >= 0
+                if provider_pred != alt_pred:
+                    if alt_pred == taken:
+                        self._use_alt_on_na = min(15, self._use_alt_on_na + 1)
+                    else:
+                        self._use_alt_on_na = max(0, self._use_alt_on_na - 1)
+
+        # Update provider (or bimodal when no provider).
+        if provider is not None:
+            t, idx, entry = provider
+            entry.ctr = self._bump_signed(entry.ctr, taken)
+            provider_pred = entry.ctr >= 0
+            if provider_pred != alt_pred:
+                if (entry.ctr >= 0) == taken:
+                    entry.useful = min(3, entry.useful + 1)
+                elif not correct:
+                    entry.useful = max(0, entry.useful - 1)
+        bidx = self._bimodal_index(pc)
+        if provider is None:
+            self._bimodal[bidx] = self._bump_unsigned(self._bimodal[bidx], taken)
+
+        # Allocate on misprediction into a longer-history table.
+        if not correct:
+            start = (provider[0] + 1) if provider is not None else 0
+            self._allocate(pc, taken, start)
+
+        self._push_history(pc, taken)
+        return correct
+
+    def _allocate(self, pc: int, taken: bool, start_table: int) -> None:
+        cfg = self.config
+        candidates = []
+        for t in range(start_table, cfg.num_tables):
+            idx = self._table_index(pc, t)
+            if self._tables[t][idx].useful == 0:
+                candidates.append((t, idx))
+        if not candidates:
+            # Decay usefulness to eventually free entries (graceful aging).
+            for t in range(start_table, cfg.num_tables):
+                idx = self._table_index(pc, t)
+                entry = self._tables[t][idx]
+                entry.useful = max(0, entry.useful - 1)
+            self.stats.bump("tage.alloc_failures")
+            return
+        # Prefer the shortest eligible history, with slight randomization
+        # (Seznec allocates 1-2 entries with geometric preference).
+        pick = candidates[0]
+        if len(candidates) > 1 and self.rng.random() < 0.33:
+            pick = candidates[1]
+        t, idx = pick
+        entry = self._tables[t][idx]
+        entry.tag = self._table_tag(pc, t)
+        entry.ctr = 0 if taken else -1
+        entry.useful = 0
+        self.stats.bump("tage.allocations")
+
+    def _push_history(self, pc: int, taken: bool) -> None:
+        bit = 1 if taken else 0
+        self._ghist.insert(0, bit)
+        max_hist = self._hist_lengths[-1] + 1
+        if len(self._ghist) > max_hist:
+            self._ghist.pop()
+        for t, hl in enumerate(self._hist_lengths):
+            dropped = self._ghist[hl] if len(self._ghist) > hl else 0
+            self._index_fold[t].update(bit, dropped)
+            self._tag_fold_a[t].update(bit, dropped)
+            self._tag_fold_b[t].update(bit, dropped)
+
+    @staticmethod
+    def _bump_signed(ctr: int, taken: bool) -> int:
+        if taken:
+            return min(3, ctr + 1)
+        return max(-4, ctr - 1)
+
+    @staticmethod
+    def _bump_unsigned(ctr: int, taken: bool) -> int:
+        if taken:
+            return min(3, ctr + 1)
+        return max(0, ctr - 1)
+
+    # -- derived metrics -------------------------------------------------------------------
+
+    def mpki(self, instructions: int) -> float:
+        """Mispredictions per kilo-instruction over ``instructions``."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.stats.get("tage.mispredicts") / instructions
+
+    @property
+    def storage_bits(self) -> int:
+        return self.config.storage_bits()

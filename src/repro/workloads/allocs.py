@@ -1,0 +1,127 @@
+"""Memory allocation/deallocation traces.
+
+Section 4.3's two empirical anchors drive this generator:
+
+1. "a majority of the allocation and deallocation requests retrieve at
+   most 128 bytes" (Figure 8a's cumulative distribution), and
+2. "these applications exhibit strong memory reuse": HTML-tag assembly
+   allocates small string buffers and recycles them as soon as the tag
+   is emitted, so live memory in the four smallest slabs stays *flat*
+   over time (Figures 8b/8c).
+
+The generator models both: a churning population of short-lived small
+objects (tag/attribute strings, zval buffers) over a bounded working
+set, plus a slow trickle of longer-lived, larger allocations
+(request-lifetime arenas, compiled artifacts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class AllocOp:
+    """One heap-manager request."""
+
+    kind: str      # 'malloc' | 'free'
+    size: int = 0  # malloc only
+    tag: int = 0   # identity linking a free to its malloc
+
+
+@dataclass
+class AllocWorkloadSpec:
+    """Shape of one application's allocation traffic."""
+
+    #: small-object churn events per request
+    churn_events: int = 400
+    #: size buckets for small objects with selection weights
+    #: (Figure 8a: ≤128 B dominates; 32 B steps)
+    small_sizes: tuple[tuple[int, int, float], ...] = (
+        (8, 32, 0.38),
+        (33, 64, 0.26),
+        (65, 96, 0.12),
+        (97, 128, 0.09),
+    )
+    #: weight of medium objects (129–512 B)
+    medium_weight: float = 0.10
+    #: weight of large objects (513–4096 B)
+    large_weight: float = 0.05
+    #: mean lifetime of a small object, in subsequent churn events
+    small_lifetime_mean: float = 6.0
+    #: fraction of objects that live to the end of the request
+    request_lifetime_fraction: float = 0.04
+
+
+class AllocOpGenerator:
+    """Generates per-request allocation-op streams."""
+
+    def __init__(self, spec: AllocWorkloadSpec, rng: DeterministicRng) -> None:
+        self.spec = spec
+        self.rng = rng
+        self._next_tag = 1
+
+    def _sample_size(self) -> int:
+        spec = self.spec
+        rng = self.rng
+        small_total = sum(w for _, _, w in spec.small_sizes)
+        total = small_total + spec.medium_weight + spec.large_weight
+        roll = rng.random() * total
+        acc = 0.0
+        for lo, hi, w in spec.small_sizes:
+            acc += w
+            if roll < acc:
+                return rng.randint(lo, hi)
+        acc += spec.medium_weight
+        if roll < acc:
+            return rng.randint(129, 512)
+        return rng.randint(513, 4096)
+
+    def request_ops(self) -> Iterator[AllocOp]:
+        """All allocation ops of one HTTP request.
+
+        Short-lived objects are freed after a geometric number of
+        subsequent events (strong reuse); request-lifetime objects are
+        all freed in the teardown burst at the end, as a request-scoped
+        VM heap would.
+        """
+        spec = self.spec
+        rng = self.rng
+        #: (die_at_event, tag) pending frees, kept sorted by discipline of use
+        pending: list[tuple[int, int]] = []
+        request_scoped: list[int] = []
+        p_die = 1.0 / spec.small_lifetime_mean
+
+        for event in range(spec.churn_events):
+            # Release everything whose lifetime expired.
+            due = [t for (when, t) in pending if when <= event]
+            if due:
+                pending = [(when, t) for (when, t) in pending if when > event]
+                for tag in due:
+                    yield AllocOp("free", tag=tag)
+            size = self._sample_size()
+            tag = self._next_tag
+            self._next_tag += 1
+            yield AllocOp("malloc", size=size, tag=tag)
+            if rng.random() < spec.request_lifetime_fraction:
+                request_scoped.append(tag)
+            else:
+                lifetime = 1 + rng.geometric(p_die, cap=200)
+                pending.append((event + lifetime, tag))
+
+        # Teardown: everything still live dies with the request.
+        for _, tag in pending:
+            yield AllocOp("free", tag=tag)
+        for tag in request_scoped:
+            yield AllocOp("free", tag=tag)
+
+
+def size_fraction_at_or_below(ops: list[AllocOp], threshold: int) -> float:
+    """Fraction of malloc requests at or below ``threshold`` bytes."""
+    sizes = [op.size for op in ops if op.kind == "malloc"]
+    if not sizes:
+        return 0.0
+    return sum(1 for s in sizes if s <= threshold) / len(sizes)

@@ -1,0 +1,183 @@
+"""Hash-map operation traces.
+
+Section 4.2 describes the access pattern the hardware hash table
+targets: "these real-world applications often tend to exercise hash
+maps in their execution environment with dynamic key names", mostly
+via *short-lived* maps — symbol tables populated by ``extract``,
+scope-communication tables, the regexp manager's pattern→FSM map —
+with two quantitative anchors:
+
+* SET share of 15–25 % ("relatively higher percentage of SET requests
+  ... when generating dynamic contents"), and
+* about 95 % of keys at most 24 bytes long.
+
+The generator below produces an operation stream with those
+properties: a churn of short-lived maps (alloc → dynamic-key SETs →
+GETs → optional ``foreach`` → free) interleaved with accesses to a set
+of long-lived global tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class HashOp:
+    """One hash-map operation in a trace."""
+
+    kind: str        # 'alloc' | 'get' | 'set' | 'unset' | 'foreach' | 'free'
+    map_id: int
+    key: str = ""
+    #: for foreach: how many entries iteration will visit
+    entries: int = 0
+
+
+@dataclass
+class HashWorkloadSpec:
+    """Shape of one application's hash-map traffic."""
+
+    #: short-lived map churn events per request
+    short_lived_maps: int = 12
+    #: key/value pairs imported into a short-lived map (extract size)
+    pairs_per_map: tuple[int, int] = (4, 14)
+    #: GET lookups per short-lived map after population
+    gets_per_map: tuple[int, int] = (14, 44)
+    #: probability a short-lived map is iterated with foreach before free
+    foreach_probability: float = 0.25
+    #: number of long-lived global tables
+    global_tables: int = 6
+    #: distinct keys per global table
+    global_keys: int = 400
+    #: Zipf exponent of global key popularity
+    global_key_zipf_s: float = 0.9
+    #: global accesses per request
+    global_accesses: int = 90
+    #: fraction of global accesses that are SETs
+    global_set_fraction: float = 0.1
+    #: fraction of keys longer than 24 bytes (paper: about 5 %)
+    long_key_fraction: float = 0.05
+    #: template reads with *literal* keys per request — the accesses
+    #: inline caching / hash map inlining specialize away (§3); the
+    #: hardware hash table only ever sees the residual dynamic traffic
+    literal_config_reads: int = 40
+    #: distinct literal keys in the config table
+    literal_config_keys: int = 10
+
+
+class HashOpGenerator:
+    """Generates per-request hash-op streams for a workload spec."""
+
+    GLOBAL_BASE = 0x6000_0000
+    SHORT_BASE = 0x6800_0000
+
+    def __init__(self, spec: HashWorkloadSpec, rng: DeterministicRng) -> None:
+        self.spec = spec
+        self.rng = rng
+        self._next_short_id = 1
+        # Pre-generate the global tables' key universes.
+        key_rng = rng.fork("global-keys")
+        self._global_keys: list[list[str]] = [
+            [self._make_key(key_rng) for _ in range(spec.global_keys)]
+            for _ in range(spec.global_tables)
+        ]
+        # The config table's literal keys, read in a fixed template
+        # order every request (wp_options-style).
+        config_rng = rng.fork("config-keys")
+        self._config_keys = [
+            config_rng.ascii_word(5, 12) for _ in range(spec.literal_config_keys)
+        ]
+
+    def _make_key(self, rng: DeterministicRng) -> str:
+        """Dynamic key with the paper's length distribution."""
+        if rng.random() < self.spec.long_key_fraction:
+            length = rng.randint(25, 48)
+        else:
+            length = rng.randint(4, 24)
+        word = rng.ascii_word(3, 8)
+        suffix = f"_{rng.randint(0, 9999)}"
+        base = (word + suffix) * 4
+        return base[:length]
+
+    def map_base_address(self, map_id: int) -> int:
+        """Simulated base address of a map structure (hash-table input)."""
+        if map_id < 0:
+            return self.GLOBAL_BASE + (-map_id) * 0x200
+        return self.SHORT_BASE + (map_id % 0x10000) * 0x200
+
+    # -- stream ------------------------------------------------------------------------
+
+    #: map_id of the literal-key config table (wp_options-style)
+    CONFIG_MAP_ID = -999
+
+    def request_ops(self) -> Iterator[HashOp]:
+        """All hash ops of one HTTP request, interleaved realistically."""
+        spec = self.spec
+        rng = self.rng
+        # Template prologue: literal config reads in a fixed order —
+        # exactly the accesses IC/HMI specialize to offset loads.
+        for i in range(spec.literal_config_reads):
+            key = self._config_keys[i % len(self._config_keys)]
+            yield HashOp("get", self.CONFIG_MAP_ID, key)
+        # Interleave short-lived map churn with global-table traffic.
+        global_budget = spec.global_accesses
+        for _ in range(spec.short_lived_maps):
+            yield from self._short_lived_map()
+            # A slice of global accesses between map lifetimes.
+            slice_n = max(1, global_budget // spec.short_lived_maps)
+            for _ in range(slice_n):
+                yield self._global_access()
+        for _ in range(global_budget % spec.short_lived_maps):
+            yield self._global_access()
+
+    def _short_lived_map(self) -> Iterator[HashOp]:
+        spec = self.spec
+        rng = self.rng
+        map_id = self._next_short_id
+        self._next_short_id += 1
+        yield HashOp("alloc", map_id)
+        pairs = rng.randint(*spec.pairs_per_map)
+        keys = [self._make_key(rng) for _ in range(pairs)]
+        for key in keys:
+            yield HashOp("set", map_id, key)
+        gets = rng.randint(*spec.gets_per_map)
+        for _ in range(gets):
+            # Lookups concentrate on the recently-imported symbols.
+            key = keys[rng.zipf(len(keys), 1.1)]
+            yield HashOp("get", map_id, key)
+            # Occasionally a value is rebound (template variable update).
+            if rng.random() < 0.06:
+                yield HashOp("set", map_id, key)
+        if rng.random() < spec.foreach_probability:
+            yield HashOp("foreach", map_id, entries=pairs)
+        yield HashOp("free", map_id)
+
+    def _global_access(self) -> HashOp:
+        spec = self.spec
+        rng = self.rng
+        table = rng.randint(0, spec.global_tables - 1)
+        map_id = -(table + 1)
+        keys = self._global_keys[table]
+        key = keys[rng.zipf(len(keys), spec.global_key_zipf_s)]
+        kind = "set" if rng.random() < spec.global_set_fraction else "get"
+        return HashOp(kind, map_id, key)
+
+
+def trace_statistics(ops: list[HashOp]) -> dict[str, float]:
+    """Summary facts a trace must satisfy (validated in tests).
+
+    Returns the SET share among GET+SET and the fraction of keys that
+    fit in 24 bytes — the two Section 4.2 anchors.
+    """
+    gets = sum(1 for op in ops if op.kind == "get")
+    sets = sum(1 for op in ops if op.kind == "set")
+    keys = [op.key for op in ops if op.kind in ("get", "set")]
+    short = sum(1 for k in keys if len(k) <= 24)
+    return {
+        "set_share": sets / (gets + sets) if gets + sets else 0.0,
+        "short_key_fraction": short / len(keys) if keys else 0.0,
+        "ops": float(len(ops)),
+    }

@@ -1,0 +1,245 @@
+"""Leaf-function execution profiles (Figures 1, 3, and 4).
+
+Figure 1 contrasts two profile shapes:
+
+* **SPECWeb2005** — "significant hotspots — with very few functions
+  responsible for about 90% of their execution time";
+* **real-world PHP apps** — "very flat execution profiles — the
+  hottest single function (JIT compiled code) is responsible for only
+  10–12% of cycles, and they take about 100 functions to account for
+  about 65% of cycles."
+
+This module synthesizes named leaf-function profiles with those
+shapes, assigns each function an activity category (the raw material
+for Figure 4's categorization and Figure 3's before/after bars), and
+implements the Section 3 re-weighting when the four mitigations are
+applied.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.rng import DeterministicRng
+
+
+class Activity(enum.Enum):
+    """What a leaf function spends its time doing."""
+
+    JIT = "jit-compiled code"
+    HASH = "hash map access"
+    HEAP = "heap management"
+    STRING = "string manipulation"
+    REGEX = "regular expression processing"
+    REFCOUNT = "reference counting"
+    TYPECHECK = "dynamic type checking"
+    IC_DISPATCH = "inline-cache dispatch"
+    KERNEL_ALLOC = "kernel memory calls"
+    OTHER = "other VM runtime"
+
+
+#: The four categories the accelerators target (Figure 4's color coding).
+ACCELERATED = (Activity.HASH, Activity.HEAP, Activity.STRING, Activity.REGEX)
+
+#: Categories that the Section 3 prior-work mitigations shrink, with the
+#: fraction of each category's time the mitigation removes.
+MITIGATION_FACTORS: dict[Activity, float] = {
+    Activity.REFCOUNT: 0.85,     # hardware reference counting [46]
+    Activity.TYPECHECK: 0.80,    # checked-load type checks [22]
+    Activity.IC_DISPATCH: 0.70,  # inline caching + hash map inlining [31,32,40]
+    Activity.KERNEL_ALLOC: 0.60, # allocation tuning (fewer kernel calls)
+}
+
+_FUNCTION_STEMS: dict[Activity, list[str]] = {
+    Activity.JIT: ["JIT::translated_code"],
+    Activity.HASH: [
+        "HPHP::MixedArray::GetStr", "HPHP::MixedArray::SetStr",
+        "HPHP::MixedArray::find", "HPHP::HashTable::findForInsert",
+        "HPHP::ArrayData::releaseWrapper", "HPHP::MixedArray::NextInsert",
+        "HPHP::ExecutionContext::lookupVar", "HPHP::extract_impl",
+    ],
+    Activity.HEAP: [
+        "HPHP::MemoryManager::mallocSmallSize",
+        "HPHP::MemoryManager::freeSmallSize",
+        "HPHP::MemoryManager::newSlab", "HPHP::tl_heap_alloc",
+        "je_malloc", "je_free", "HPHP::StringData::MakeUncounted",
+    ],
+    Activity.STRING: [
+        "HPHP::StringData::append", "HPHP::string_replace",
+        "HPHP::f_strtolower", "HPHP::f_trim", "HPHP::f_strpos",
+        "HPHP::f_htmlspecialchars", "HPHP::concat_ss", "memcpy_sse",
+        "HPHP::f_substr", "HPHP::f_strtr",
+    ],
+    Activity.REGEX: [
+        "pcre_exec", "php_pcre_replace", "HPHP::preg_match_impl",
+        "HPHP::preg_replace_impl", "pcre_study",
+    ],
+    Activity.REFCOUNT: [
+        "HPHP::tv_decref", "HPHP::tv_incref", "HPHP::decRefObj",
+        "HPHP::StringData::release",
+    ],
+    Activity.TYPECHECK: [
+        "HPHP::tvCheckType", "HPHP::checkTypeHint", "HPHP::VerifyParamType",
+    ],
+    Activity.IC_DISPATCH: [
+        "HPHP::SmashableCall::dispatch", "HPHP::funcPrologue",
+        "HPHP::MethodCache::lookup",
+    ],
+    Activity.KERNEL_ALLOC: ["madvise", "mmap_region", "page_fault"],
+    Activity.OTHER: [
+        "HPHP::ExecutionContext::invokeFunc", "HPHP::unserialize",
+        "HPHP::f_json_encode", "HPHP::VariableSerializer::serialize",
+        "HPHP::Unit::lookupFunc", "HPHP::ObjectData::newInstance",
+        "HPHP::c_Collator::compare", "HPHP::zend_hash_func",
+        "libc::memmove", "HPHP::req_root",
+    ],
+}
+
+
+@dataclass(frozen=True)
+class LeafFunction:
+    """One profile row: a named function, its category, its weight."""
+
+    name: str
+    activity: Activity
+    weight: float  # fraction of total cycles
+
+
+@dataclass
+class Profile:
+    """An execution-time profile over leaf functions (sums to 1.0)."""
+
+    workload: str
+    functions: list[LeafFunction]
+
+    def __post_init__(self) -> None:
+        total = sum(f.weight for f in self.functions)
+        if not 0.999 <= total <= 1.001:
+            raise ValueError(f"profile weights sum to {total}, expected 1.0")
+
+    def sorted_weights(self) -> list[float]:
+        return sorted((f.weight for f in self.functions), reverse=True)
+
+    def cumulative(self) -> list[float]:
+        """Cumulative cycle share over functions, hottest first (Fig 1)."""
+        out: list[float] = []
+        acc = 0.0
+        for w in self.sorted_weights():
+            acc += w
+            out.append(acc)
+        return out
+
+    def hottest_share(self) -> float:
+        return self.sorted_weights()[0]
+
+    def top_n_share(self, n: int) -> float:
+        return sum(self.sorted_weights()[:n])
+
+    def category_share(self, activity: Activity) -> float:
+        return sum(f.weight for f in self.functions if f.activity is activity)
+
+    def category_breakdown(self) -> dict[Activity, float]:
+        return {a: self.category_share(a) for a in Activity}
+
+    def four_category_share(self) -> float:
+        """Time in the four accelerator-targeted categories (Fig 4)."""
+        return sum(self.category_share(a) for a in ACCELERATED)
+
+
+def _names_for(activity: Activity, count: int) -> list[str]:
+    stems = _FUNCTION_STEMS[activity]
+    names = []
+    for i in range(count):
+        stem = stems[i % len(stems)]
+        suffix = "" if i < len(stems) else f"_{i // len(stems)}"
+        names.append(stem + suffix)
+    return names
+
+
+def flat_php_profile(
+    workload: str,
+    rng: DeterministicRng,
+    category_mix: dict[Activity, float],
+    function_count: int = 260,
+    jit_share: float = 0.11,
+    tail_zipf_s: float = 0.45,
+) -> Profile:
+    """A Figure-1-shaped flat profile.
+
+    The hottest entry is the JIT-compiled code at ``jit_share``; the
+    remaining weight spreads over ``function_count`` leaf functions
+    with a gentle Zipf decay so ~100 functions ≈ 65 % of cycles.
+    ``category_mix`` apportions the non-JIT weight across activities
+    (it need not sum to 1; it is normalized).
+    """
+    mix = {a: v for a, v in category_mix.items() if a is not Activity.JIT and v > 0}
+    total_mix = sum(mix.values())
+    # Zipf tail weights for the non-JIT functions.
+    raw = [1.0 / ((i + 1) ** tail_zipf_s) for i in range(function_count)]
+    raw_total = sum(raw)
+    tail_weight = 1.0 - jit_share
+    weights = [tail_weight * r / raw_total for r in raw]
+
+    # Deal activities onto the ranked functions so every category gets a
+    # spread of hot and cold members (interleaved proportional dealing).
+    activities = list(mix)
+    quotas = {a: mix[a] / total_mix * tail_weight for a in activities}
+    spent = {a: 0.0 for a in activities}
+    counts = {a: 0 for a in activities}
+    functions = [LeafFunction("JIT::translated_code", Activity.JIT, jit_share)]
+    for w in weights:
+        # Pick the activity lagging most behind its quota.
+        lagging = max(activities, key=lambda a: quotas[a] - spent[a])
+        spent[lagging] += w
+        counts[lagging] += 1
+        functions.append(LeafFunction("", lagging, w))
+    # Assign names per category now that counts are known.
+    name_pools = {a: iter(_names_for(a, counts[a])) for a in activities}
+    named = [functions[0]]
+    for f in functions[1:]:
+        named.append(LeafFunction(next(name_pools[f.activity]), f.activity, f.weight))
+    return Profile(workload, named)
+
+
+def hotspot_profile(workload: str, hot_functions: int = 5,
+                    hot_share: float = 0.9, tail_functions: int = 40) -> Profile:
+    """A SPECWeb2005-shaped profile: few functions ≈ 90 % of time."""
+    functions: list[LeafFunction] = []
+    hot_names = [
+        "specweb::request_dispatch", "specweb::session_lookup",
+        "specweb::render_template", "specweb::db_query", "specweb::md5",
+    ]
+    raw = [1.0 / (i + 1) for i in range(hot_functions)]
+    raw_total = sum(raw)
+    for i in range(hot_functions):
+        functions.append(
+            LeafFunction(hot_names[i % len(hot_names)], Activity.JIT,
+                         hot_share * raw[i] / raw_total)
+        )
+    tail_each = (1.0 - hot_share) / tail_functions
+    for i in range(tail_functions):
+        functions.append(
+            LeafFunction(f"specweb::helper_{i}", Activity.OTHER, tail_each)
+        )
+    return Profile(workload, functions)
+
+
+def apply_mitigations(profile: Profile) -> tuple[Profile, float]:
+    """Section 3: shrink the mitigated categories, keep absolute time.
+
+    Returns ``(new_profile, remaining_time)`` where ``remaining_time``
+    is the post-mitigation execution time as a fraction of the
+    original (the Figure 14 "w/ prior optimizations" bar), and the new
+    profile's weights are re-normalized fractions of that remaining
+    time (the Figure 3 right-hand bar).
+    """
+    new_weights: list[tuple[LeafFunction, float]] = []
+    for f in profile.functions:
+        factor = 1.0 - MITIGATION_FACTORS.get(f.activity, 0.0)
+        new_weights.append((f, f.weight * factor))
+    remaining = sum(w for _, w in new_weights)
+    functions = [
+        LeafFunction(f.name, f.activity, w / remaining) for f, w in new_weights
+    ]
+    return Profile(profile.workload, functions), remaining

@@ -1,0 +1,163 @@
+"""Regular-expression workload: sieve/shadow sets and reuse streams.
+
+Two Section 4.5 structures are generated here:
+
+1. **Consecutive regexp sets** — "The PHP applications process the
+   same unstructured textual content through a series of several
+   regexps during their execution" (Figure 11 shows four consecutive
+   texturize regexps all hunting special characters).  Each
+   :class:`RegexFunctionSet` is such a series: the first pattern is
+   the *sieve*, the rest are *shadows*.
+
+2. **Near-duplicate content streams** — "they sometimes scan URLs of
+   two author names with only the name field (last field) in them
+   changing from 'abc' to 'xyz'" — the content-reuse opportunity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.rng import DeterministicRng
+from repro.workloads.text import ContentSpec, TextCorpus
+
+
+@dataclass(frozen=True)
+class RegexFunctionSet:
+    """A PHP function that applies consecutive regexps to one content.
+
+    ``patterns[0]`` acts as the sieve; ``patterns[1:]`` are shadows.
+    ``mutating`` marks replace-style sets whose rewrites trigger the
+    whitespace-padding realignment described in Section 4.5.
+    """
+
+    name: str
+    patterns: tuple[str, ...]
+    mutating: bool = False
+
+
+@dataclass(frozen=True)
+class SiftTask:
+    """One invocation of a regexp function set over one content."""
+
+    function_set: RegexFunctionSet
+    content: str
+
+
+@dataclass(frozen=True)
+class ReuseTask:
+    """Anchored scans over a stream of nearly-identical contents."""
+
+    pattern: str
+    pc: int          # call-site identity (reuse table index key)
+    contents: tuple[str, ...]
+
+
+#: Texturize-style set modeled on the paper's Figure 11: four regexps
+#: over the same content, each seeking a special character (apostrophe,
+#: double quote, newline, opening angle bracket).
+WPTEXTURIZE_SET = RegexFunctionSet(
+    name="wptexturize",
+    patterns=(
+        r"'[A-Za-z]",          # apostrophe before a word (curly-quote lhs)
+        r"\"[A-Za-z]",         # double quote before a word
+        r"\n",                 # newline → <br /> conversion sites
+        r"<[a-z][a-z]*",       # opening HTML tag
+    ),
+    mutating=True,
+)
+
+#: Shortcode scanner set (WordPress do_shortcode pipeline).
+SHORTCODE_SET = RegexFunctionSet(
+    name="do_shortcode",
+    patterns=(
+        r"\[[a-z]+",                       # sieve: any opening shortcode
+        r"\[[a-z]+ [a-z]+=[0-9]+\]",       # full shortcode with attribute
+        r"\[/[a-z]+\]",                    # closing shortcode
+    ),
+    mutating=False,
+)
+
+#: Sanitizer set (esc_html/kses-style passes).
+SANITIZE_SET = RegexFunctionSet(
+    name="wp_kses",
+    patterns=(
+        r"[<>&]",                          # sieve: any markup metachar
+        r"<[a-z]+[^>]*>",                  # tags with attributes
+        r"&[a-z]+;",                       # existing entities
+    ),
+    mutating=True,
+)
+
+#: MediaWiki-style wikitext link/emphasis scanners.
+WIKITEXT_SET = RegexFunctionSet(
+    name="mw_parse_inline",
+    patterns=(
+        r"\[\[",                           # sieve: internal link opener
+        r"\[\[[A-Za-z ]+\]\]",             # full internal link
+        r"''",                             # emphasis marker
+        r"==+",                            # heading marker
+    ),
+    mutating=False,
+)
+
+#: The anchored author-URL pattern of the content-reuse example.
+AUTHOR_URL_PATTERN = r"https://[a-z]+/\?author=[a-z]+"
+
+
+@dataclass
+class RegexWorkloadSpec:
+    """Shape of one application's regexp traffic."""
+
+    #: function sets exercised by this application
+    function_sets: tuple[RegexFunctionSet, ...] = (
+        WPTEXTURIZE_SET, SHORTCODE_SET, SANITIZE_SET,
+    )
+    #: sift tasks (content × function-set applications) per request
+    sift_tasks_per_request: int = 6
+    #: content shape (its special-segment density sets skippability)
+    content: ContentSpec | None = None
+    #: reuse streams per request
+    reuse_tasks_per_request: int = 2
+    #: contents per reuse stream (e.g. author links on an index page)
+    reuse_stream_length: int = 12
+    #: number of distinct authors cycled through reuse streams
+    reuse_population: int = 5
+
+
+class RegexOpGenerator:
+    """Generates per-request sift and reuse tasks."""
+
+    def __init__(self, spec: RegexWorkloadSpec, rng: DeterministicRng) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.corpus = TextCorpus(rng.fork("regex-corpus"))
+        self._content = spec.content or ContentSpec()
+        self._authors = [self.corpus.rng.ascii_word(3, 7)
+                         for _ in range(spec.reuse_population)]
+
+    def sift_tasks(self) -> Iterator[SiftTask]:
+        """Consecutive-regexp applications for one request."""
+        for _ in range(self.spec.sift_tasks_per_request):
+            function_set = self.rng.choice(self.spec.function_sets)
+            content = self.corpus.post(self._content)
+            yield SiftTask(function_set, content)
+
+    def reuse_tasks(self) -> Iterator[ReuseTask]:
+        """Near-duplicate URL scans for one request.
+
+        Author-archive URLs share everything up to the author name; a
+        reuse stream interleaves a handful of authors, exactly the
+        'abc' → 'xyz' example of Section 4.5.
+        """
+        for site in range(self.spec.reuse_tasks_per_request):
+            contents = []
+            for _ in range(self.spec.reuse_stream_length):
+                author = self.rng.choice(self._authors)
+                contents.append(self.corpus.author_url(author))
+            yield ReuseTask(
+                pattern=AUTHOR_URL_PATTERN,
+                pc=0x77_0000 + site * 0x40,
+                contents=tuple(contents),
+            )

@@ -1,0 +1,131 @@
+"""String-function operation traces.
+
+Section 4.4: "These PHP applications exercise a variety of string
+copying, matching, and modifying functions to turn large volumes of
+unstructured textual data ... into appropriate HTML format.  ...
+These tasks include string finding, matching, replacing, trimming,
+comparing, etc."
+
+The generator below produces the operation mix of that pipeline:
+HTML-tag assembly (concatenation of attribute fragments), escaping,
+case normalization, trimming user input, smart-quote translation,
+substring finds, and log-line parsing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.rng import DeterministicRng
+from repro.workloads.text import ContentSpec, TextCorpus
+
+
+@dataclass(frozen=True)
+class StrOp:
+    """One string-library call."""
+
+    func: str                    # library entry point name
+    subject: str                 # primary string operand
+    pattern: str = ""            # needle / search / char set
+    replacement: str = ""        # for replace/translate
+    parts: tuple[str, ...] = ()  # for concat
+
+
+@dataclass
+class StringWorkloadSpec:
+    """Shape of one application's string traffic."""
+
+    #: string ops per request
+    ops_per_request: int = 160
+    #: relative weights of each operation family
+    mix: dict[str, float] | None = None
+    #: content shape for subjects
+    content: ContentSpec | None = None
+
+    def resolved_mix(self) -> dict[str, float]:
+        return self.mix or {
+            "concat_tag": 0.26,
+            "htmlspecialchars": 0.14,
+            "strpos": 0.16,
+            "replace": 0.12,
+            "tolower": 0.08,
+            "toupper": 0.03,
+            "trim": 0.09,
+            "translate": 0.05,
+            "substr": 0.04,
+            "strcmp": 0.03,
+        }
+
+
+#: The smart-quote translation map texturize-style passes apply.
+SMART_QUOTE_MAP = {"'": "’", '"': "”"}
+
+
+class StrOpGenerator:
+    """Generates per-request string-op streams."""
+
+    def __init__(self, spec: StringWorkloadSpec, rng: DeterministicRng) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.corpus = TextCorpus(rng.fork("str-corpus"))
+        self._content = spec.content or ContentSpec()
+
+    def request_ops(self) -> Iterator[StrOp]:
+        mix = self.spec.resolved_mix()
+        families = list(mix)
+        weights = [mix[f] for f in families]
+        for _ in range(self.spec.ops_per_request):
+            family = self.rng.weighted_choice(families, weights)
+            yield self._make_op(family)
+
+    # -- op construction ------------------------------------------------------------
+
+    def _make_op(self, family: str) -> StrOp:
+        corpus = self.corpus
+        rng = self.rng
+        if family == "concat_tag":
+            # Assemble an HTML tag from attribute fragments (Section 4.3's
+            # "concatenating those values to form the overall formatted tag").
+            name = rng.choice(["a", "div", "span", "img", "li"])
+            parts = [f"<{name}"]
+            for _ in range(rng.randint(1, 4)):
+                parts.append(f' {corpus.word()}="{corpus.word()}"')
+            parts.append(">")
+            return StrOp("concat", "", parts=tuple(parts))
+        if family == "htmlspecialchars":
+            return StrOp("htmlspecialchars", corpus.paragraph(self._content))
+        if family == "strpos":
+            subject = corpus.paragraph(self._content)
+            needle = rng.choice(["http", "<", corpus.word(), "[", "&"])
+            return StrOp("strpos", subject, pattern=needle)
+        if family == "replace":
+            subject = corpus.paragraph(self._content)
+            return StrOp(
+                "replace", subject,
+                pattern=rng.choice(["\n", "  ", "--", corpus.word()]),
+                replacement=rng.choice(["<br />", " ", "—", corpus.word()]),
+            )
+        if family == "tolower":
+            return StrOp("tolower", corpus.word().upper() + corpus.slug(2).upper())
+        if family == "toupper":
+            return StrOp("toupper", corpus.slug(2))
+        if family == "trim":
+            pad_left = " " * rng.randint(0, 6)
+            pad_right = " \t" * rng.randint(0, 3)
+            return StrOp("trim", pad_left + corpus.word() + pad_right)
+        if family == "translate":
+            return StrOp(
+                "translate", corpus.paragraph(self._content),
+                pattern="".join(SMART_QUOTE_MAP),
+                replacement="".join(SMART_QUOTE_MAP.values()),
+            )
+        if family == "substr":
+            subject = corpus.log_line()
+            return StrOp("substr", subject,
+                         pattern=str(rng.randint(0, max(1, len(subject) // 2))))
+        if family == "strcmp":
+            a = corpus.slug(2)
+            b = a if rng.random() < 0.4 else corpus.slug(2)
+            return StrOp("strcmp", a, pattern=b)
+        raise ValueError(f"unknown string-op family {family!r}")

@@ -1,0 +1,159 @@
+"""Synthetic textual content: the data PHP applications actually chew on.
+
+Section 4.3/4.4/4.5 describe the content pipeline of the three
+applications: "large volumes of unstructured textual data (such as
+social media updates, web documents, blog posts, news articles, and
+system logs)" that get turned into HTML via string functions and
+regexps.  This module synthesizes that content with explicit control
+over the property every regexp accelerator result depends on — the
+density of *special characters* (Section 4.5 classifies
+``{A-Za-z0-9_.,-}`` as regular, everything else as special) — plus
+URL/tag/attribute structure for the content-reuse scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import DeterministicRng
+
+#: Segment granularity used by content sifting hint vectors.
+SEGMENT_BYTES = 32
+
+#: Special characters that texturize-class regexps hunt for
+#: (apostrophe, double quote, newline, angle brackets — Figure 11).
+TEXTURIZE_SPECIALS = "'\"\n<"
+
+_WORD_SEEDS = (
+    "server side php processing web application content request "
+    "template database theme plugin filter cache page post user "
+    "comment article revision module node wiki category tag index "
+    "profile session token query render output buffer handler engine"
+).split()
+
+
+@dataclass
+class ContentSpec:
+    """Recipe for one piece of post/article content.
+
+    ``special_segment_fraction`` controls what fraction of 32-byte
+    segments contain at least one special character: this is exactly
+    (1 − the content a sieve regexp lets shadows skip), the paper's
+    Figure 12 opportunity metric.
+    """
+
+    paragraphs: int = 4
+    words_per_paragraph: int = 60
+    special_segment_fraction: float = 0.35
+    quote_probability: float = 0.5
+    tag_probability: float = 0.3
+    newline_probability: float = 0.4
+
+
+class TextCorpus:
+    """Deterministic generator of blog/wiki-flavoured content."""
+
+    def __init__(self, rng: DeterministicRng) -> None:
+        self.rng = rng
+
+    # -- low-level pieces -------------------------------------------------------
+
+    def word(self) -> str:
+        if self.rng.random() < 0.75:
+            return self.rng.choice(_WORD_SEEDS)
+        return self.rng.ascii_word(3, 9)
+
+    def slug(self, words: int = 3) -> str:
+        return "-".join(self.word() for _ in range(words))
+
+    def author_url(self, author: str, host: str = "localhost") -> str:
+        """The Section 4.5 content-reuse example URL shape."""
+        return f"https://{host}/?author={author}"
+
+    def html_tag(self, name: str | None = None) -> str:
+        """An HTML tag with a couple of attributes."""
+        name = name or self.rng.choice(["a", "em", "strong", "span", "div", "img"])
+        attrs = []
+        for _ in range(self.rng.randint(0, 2)):
+            attrs.append(f'{self.word()}="{self.word()}-{self.rng.randint(1, 99)}"')
+        inner = " " + " ".join(attrs) if attrs else ""
+        return f"<{name}{inner}>"
+
+    def shortcode(self) -> str:
+        """A WordPress-style ``[shortcode attr=value]``."""
+        return f"[{self.word()} {self.word()}={self.rng.randint(1, 50)}]"
+
+    # -- paragraph/post assembly ---------------------------------------------------
+
+    def paragraph(self, spec: ContentSpec) -> str:
+        """One paragraph honouring the special-segment density."""
+        rng = self.rng
+        pieces: list[str] = []
+        length = 0
+        specials_pending = False
+        next_special_check = SEGMENT_BYTES
+        while len(pieces) < spec.words_per_paragraph:
+            word = self.word()
+            pieces.append(word)
+            length += len(word) + 1
+            if length >= next_special_check:
+                next_special_check += SEGMENT_BYTES
+                if rng.random() < spec.special_segment_fraction:
+                    specials_pending = True
+            if specials_pending:
+                specials_pending = False
+                roll = rng.random()
+                if roll < spec.quote_probability * 0.5:
+                    pieces.append(f"'{self.word()}'")
+                elif roll < spec.quote_probability:
+                    pieces.append(f'"{self.word()}"')
+                elif roll < spec.quote_probability + spec.tag_probability:
+                    pieces.append(self.html_tag())
+                else:
+                    pieces.append(self.word() + "\n")
+        # Join with spaces; regular-character punctuation sprinkled in.
+        out: list[str] = []
+        for i, piece in enumerate(pieces):
+            out.append(piece)
+            if piece.endswith("\n"):
+                continue
+            if i + 1 < len(pieces):
+                out.append(", " if self.rng.random() < 0.08 else " ")
+        text = "".join(out)
+        return text.rstrip() + "."
+
+    def post(self, spec: ContentSpec) -> str:
+        """A multi-paragraph post/article body."""
+        return "\n\n".join(self.paragraph(spec) for _ in range(spec.paragraphs))
+
+    def clean_text(self, words: int = 80) -> str:
+        """Content with *no* special characters (fully siftable)."""
+        parts: list[str] = []
+        for i in range(words):
+            parts.append(self.word())
+            if i + 1 < words:
+                parts.append(", " if self.rng.random() < 0.1 else " ")
+        return "".join(parts)
+
+    def log_line(self) -> str:
+        """A system-log-ish line (string-function workload fodder)."""
+        return (
+            f"{self.rng.randint(10, 31)}/Jun/2017 "
+            f"{self.word()}.php req={self.rng.randint(1000, 9999)} "
+            f"path=/{self.slug(2)} status={self.rng.choice([200, 200, 200, 404, 301])}"
+        )
+
+
+def special_char_segments(text: str, segment: int = SEGMENT_BYTES) -> list[bool]:
+    """Per-segment "contains a special character" flags.
+
+    This is the ground truth the string accelerator's hint-vector
+    generation must reproduce; tests compare the two.
+    """
+    from repro.regex.charset import REGULAR_CHARS
+
+    flags: list[bool] = []
+    for start in range(0, len(text), segment):
+        chunk = text[start:start + segment]
+        flags.append(any(not REGULAR_CHARS.contains(c) for c in chunk))
+    return flags

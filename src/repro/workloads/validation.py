@@ -1,0 +1,108 @@
+"""Workload fidelity validation.
+
+The synthetic workloads stand in for WordPress/Drupal/MediaWiki, so
+every distributional fact the paper states about the real applications
+is encoded here as a checkable *anchor*.  ``validate_app`` measures a
+workload against all of them and returns a scorecard — run by tests,
+printable as the "workload card" bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import DEFAULT_SEED, DeterministicRng
+from repro.workloads.allocs import size_fraction_at_or_below
+from repro.workloads.apps import AppWorkload
+from repro.workloads.hashops import trace_statistics
+from repro.workloads.loadgen import LoadGenerator
+from repro.workloads.profiles import apply_mitigations
+from repro.workloads.text import special_char_segments
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One checkable distributional fact from the paper."""
+
+    name: str
+    source: str          # where the paper states it
+    measured: float
+    low: float
+    high: float
+
+    @property
+    def ok(self) -> bool:
+        return self.low <= self.measured <= self.high
+
+
+def validate_app(
+    app: AppWorkload,
+    requests: int = 4,
+    seed: int = DEFAULT_SEED,
+) -> list[Anchor]:
+    """Measure one application's generators against every anchor."""
+    rng = DeterministicRng(seed)
+    lg = LoadGenerator(app, rng, warmup_requests=0)
+    traces = [lg.next_request() for _ in range(requests)]
+
+    hash_ops = [op for t in traces for op in t.hash_ops]
+    alloc_ops = [op for t in traces for op in t.alloc_ops]
+    hash_stats = trace_statistics(hash_ops)
+
+    contents = [task.content for t in traces for task in t.sift_tasks]
+    segment_flags = [
+        flag for content in contents
+        for flag in special_char_segments(content)
+    ]
+    special_density = (
+        sum(segment_flags) / len(segment_flags) if segment_flags else 0.0
+    )
+
+    profile = app.profile(rng.fork("profile"))
+    optimized, remaining = apply_mitigations(profile)
+
+    anchors = [
+        Anchor(
+            "branch fraction", "§2: ~22% of instructions are branches",
+            app.trace_profile.branch_fraction, 0.18, 0.26,
+        ),
+        Anchor(
+            "SET share", "§4.2: 15–25% of hash requests are SETs",
+            hash_stats["set_share"], 0.14, 0.27,
+        ),
+        Anchor(
+            "keys ≤ 24 B", "§4.2: about 95% of keys fit 24 bytes",
+            hash_stats["short_key_fraction"], 0.90, 1.0,
+        ),
+        Anchor(
+            "allocations ≤ 128 B", "§4.3/Fig 8a: small objects dominate",
+            size_fraction_at_or_below(alloc_ops, 128), 0.72, 0.95,
+        ),
+        Anchor(
+            "special-segment density",
+            "§4.5/Fig 12: most content segments are skippable",
+            special_density, 0.15, 0.60,
+        ),
+        Anchor(
+            "hottest function share", "Fig 1: JIT code ≈ 10–12%",
+            profile.hottest_share(), 0.09, 0.13,
+        ),
+        Anchor(
+            "top-100 function share", "Fig 1: ~100 functions ≈ 65%",
+            profile.top_n_share(100), 0.55, 0.72,
+        ),
+        Anchor(
+            "post-mitigation time", "§5.2: prior opts leave ≈ 88.15%",
+            remaining, 0.85, 0.92,
+        ),
+        Anchor(
+            "four-category share",
+            "Fig 4/5: the accelerated categories dominate many leaves",
+            optimized.four_category_share(), 0.13, 0.45,
+        ),
+    ]
+    return anchors
+
+
+def fidelity_failures(anchors: list[Anchor]) -> list[Anchor]:
+    return [a for a in anchors if not a.ok]

@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.isa.dispatch import AcceleratorComplex
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    """A fresh deterministic stream per test."""
+    return DeterministicRng(1234)
+
+
+@pytest.fixture
+def complex_() -> AcceleratorComplex:
+    """A fresh accelerator complex per test."""
+    return AcceleratorComplex()

@@ -1,0 +1,93 @@
+"""Integration tests: the ablation harness and its design claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.hash_table import HardwareHashTable, HashTableConfig
+from repro.accel.heap_manager import HardwareHeapManager, HeapManagerConfig
+from repro.core.ablation import AblationResult, run_ablations
+from repro.runtime.slab import SlabAllocator
+
+
+@pytest.fixture(scope="module")
+def ablations():
+    return {r.name: r for r in run_ablations(requests=2)}
+
+
+class TestGetOnlyHashTable:
+    def test_sets_bypass_to_software(self):
+        ht = HardwareHashTable(HashTableConfig(support_sets=False))
+        out = ht.set("k", 0x9000, "v")
+        assert out.software_fallback
+        assert ht.stats.get("hwhash.set_bypass") == 1
+
+    def test_get_still_works_via_fill(self):
+        ht = HardwareHashTable(HashTableConfig(support_sets=False))
+        ht.set("k", 0x9000, "v")           # bypassed
+        assert not ht.get("k", 0x9000).hit  # miss: value is software-side
+        ht.insert_clean("k", 0x9000, "v")
+        assert ht.get("k", 0x9000).hit
+
+    def test_set_invalidates_stale_cached_value(self):
+        """A software SET must not leave a stale pointer in hardware."""
+        ht = HardwareHashTable(HashTableConfig(support_sets=False))
+        ht.insert_clean("k", 0x9000, "old")
+        ht.set("k", 0x9000, "new")          # bypassed, invalidates
+        assert not ht.get("k", 0x9000).hit  # forces refetch of "new"
+
+    def test_loses_most_of_the_benefit(self, ablations):
+        full = ablations["hash: full design"]
+        getonly = ablations["hash: GET-only (memcached-style [55])"]
+        assert getonly.efficiency < full.efficiency * 0.7
+        assert getonly.detail["hit_rate"] < full.detail["hit_rate"]
+
+
+class TestHeapAblations:
+    def test_no_prefetcher_misses_more(self):
+        def hit_rate(prefetch: bool) -> float:
+            hm = HardwareHeapManager(
+                SlabAllocator(),
+                HeapManagerConfig(prefetch_enabled=prefetch),
+            )
+            for _ in range(20):
+                addrs = [hm.hmmalloc(40).address for _ in range(40)]
+                for a in addrs:
+                    hm.hmfree(a, 40)
+            return hm.hit_rate()
+        assert hit_rate(False) <= hit_rate(True)
+
+    def test_ablation_ordering(self, ablations):
+        assert ablations["heap: no prefetcher"].efficiency <= \
+            ablations["heap: full design"].efficiency
+
+
+class TestStringAblation:
+    def test_single_byte_datapath_loses_to_sse(self, ablations):
+        """The §4.4 argument against the prior 1 B/cycle design [68]."""
+        assert ablations["string: 1 B/cycle (prior work [68])"].efficiency \
+            < 0.15
+        assert ablations["string: 64 B / 3 cycles"].efficiency > 0.5
+
+
+class TestRegexAblations:
+    def test_sifting_dominates(self, ablations):
+        sift_loss = ablations["regex: no content sifting"].efficiency_loss
+        reuse_loss = ablations["regex: no content reuse"].efficiency_loss
+        assert sift_loss > reuse_loss >= 0.0
+
+    def test_neither_technique_means_no_benefit(self, ablations):
+        neither = ablations["regex: neither technique"]
+        assert neither.efficiency < 0.05
+        assert neither.detail["skip_fraction"] == 0.0
+
+    def test_full_design_skips_content(self, ablations):
+        full = ablations["regex: sifting + reuse"]
+        assert full.detail["skip_fraction"] > 0.25
+
+
+class TestAblationResult:
+    def test_loss_arithmetic(self):
+        r = AblationResult("x", "hash", efficiency=0.4,
+                           baseline_efficiency=0.7)
+        assert r.efficiency_loss == pytest.approx(0.3)

@@ -1,0 +1,235 @@
+"""Unit + property tests: hardware hash table and RTT (Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.hash_table import (
+    HardwareHashTable,
+    HashTableConfig,
+    simplified_hash,
+)
+
+BASE_A = 0x6800_0000
+BASE_B = 0x6800_0200
+
+keys = st.text(alphabet="abcdefghij_0123456789", min_size=1, max_size=24)
+
+
+class TestSimplifiedHash:
+    def test_deterministic(self):
+        assert simplified_hash("k", 0x10) == simplified_hash("k", 0x10)
+
+    def test_base_address_matters(self):
+        assert simplified_hash("k", 0x10) != simplified_hash("k", 0x12345670)
+
+    def test_key_matters(self):
+        assert simplified_hash("ka", 0x10) != simplified_hash("kb", 0x10)
+
+    def test_fits_32_bits(self):
+        assert 0 <= simplified_hash("x" * 24, 2**48) < 2**32
+
+
+class TestGetSet:
+    def test_get_miss_raises_zero_flag(self):
+        ht = HardwareHashTable()
+        out = ht.get("nope", BASE_A)
+        assert not out.hit and out.software_fallback
+
+    def test_set_then_get(self):
+        ht = HardwareHashTable()
+        assert ht.set("k", BASE_A, "v").hit
+        out = ht.get("k", BASE_A)
+        assert out.hit and out.value_ptr == "v"
+
+    def test_set_updates_value(self):
+        ht = HardwareHashTable()
+        ht.set("k", BASE_A, "v1")
+        ht.set("k", BASE_A, "v2")
+        assert ht.get("k", BASE_A).value_ptr == "v2"
+        assert ht.occupancy() == 1
+
+    def test_maps_are_isolated_by_base_address(self):
+        ht = HardwareHashTable()
+        ht.set("k", BASE_A, "a")
+        ht.set("k", BASE_B, "b")
+        assert ht.get("k", BASE_A).value_ptr == "a"
+        assert ht.get("k", BASE_B).value_ptr == "b"
+
+    def test_long_keys_bypass_to_software(self):
+        ht = HardwareHashTable()
+        long_key = "x" * 25
+        assert ht.set(long_key, BASE_A, "v").software_fallback
+        assert ht.get(long_key, BASE_A).software_fallback
+        assert ht.stats.get("hwhash.long_key_bypass") == 2
+
+    def test_insert_clean_after_get_miss(self):
+        ht = HardwareHashTable()
+        ht.get("k", BASE_A)
+        ht.insert_clean("k", BASE_A, "mem")
+        out = ht.get("k", BASE_A)
+        assert out.hit and out.value_ptr == "mem"
+
+    def test_latency_is_constant(self):
+        cfg = HashTableConfig()
+        ht = HardwareHashTable(cfg)
+        out = ht.set("k", BASE_A, "v")
+        expected = cfg.hash_cycles + cfg.access_cycles
+        assert out.cycles in (expected, expected + 1)  # +1 on insert
+
+
+class TestReplacement:
+    def tiny(self) -> HardwareHashTable:
+        """4-entry table with a 4-wide probe: one fully shared window."""
+        return HardwareHashTable(HashTableConfig(entries=4, probe_width=4))
+
+    def test_clean_preferred_over_dirty(self):
+        ht = self.tiny()
+        ht.set("d1", BASE_A, "x")          # dirty
+        ht.insert_clean("c1", BASE_A, "y")  # clean
+        ht.insert_clean("c2", BASE_A, "y")
+        ht.insert_clean("c3", BASE_A, "y")
+        before = ht.stats.get("hwhash.dirty_evictions")
+        ht.set("new", BASE_A, "z")         # must evict a clean entry
+        assert ht.stats.get("hwhash.dirty_evictions") == before
+        assert ht.stats.get("hwhash.clean_evictions") >= 1
+        assert ht.get("d1", BASE_A).hit    # dirty entry survived
+
+    def test_dirty_lru_evicted_when_all_dirty(self):
+        ht = self.tiny()
+        writebacks = []
+        ht.writeback_handler = lambda b, k, v: writebacks.append((k, v))
+        for i in range(4):
+            ht.set(f"k{i}", BASE_A, i)
+        ht.set("k4", BASE_A, 4)
+        assert ht.stats.get("hwhash.dirty_evictions") == 1
+        assert len(writebacks) == 1
+        assert writebacks[0][0] == "k0"  # LRU
+
+    def test_sets_never_miss(self):
+        ht = self.tiny()
+        for i in range(50):
+            out = ht.set(f"key{i}", BASE_A, i)
+            assert out.hit
+        assert ht.hit_rate() > 0.9
+
+
+class TestFreeAndForeach:
+    def test_free_invalidates_whole_map(self):
+        ht = HardwareHashTable()
+        for i in range(8):
+            ht.set(f"k{i}", BASE_A, i)
+        assert ht.free_map(BASE_A) == 8
+        assert ht.occupancy() == 0
+        for i in range(8):
+            assert not ht.get(f"k{i}", BASE_A).hit
+
+    def test_free_does_not_write_back(self):
+        """Short-lived maps die without memory traffic (§4.2)."""
+        ht = HardwareHashTable()
+        writebacks = []
+        ht.writeback_handler = lambda b, k, v: writebacks.append(k)
+        for i in range(8):
+            ht.set(f"k{i}", BASE_A, i)
+        ht.free_map(BASE_A)
+        assert writebacks == []
+
+    def test_free_leaves_other_maps_alone(self):
+        ht = HardwareHashTable()
+        ht.set("k", BASE_A, 1)
+        ht.set("k", BASE_B, 2)
+        ht.free_map(BASE_A)
+        assert ht.get("k", BASE_B).hit
+
+    def test_foreach_order_is_insertion_order(self):
+        ht = HardwareHashTable()
+        names = [f"k{i}" for i in range(10)]
+        for i, k in enumerate(names):
+            ht.set(k, BASE_A, i)
+        order, synced = ht.foreach_sync(BASE_A)
+        assert order == names
+        assert synced == 10
+
+    def test_foreach_sync_cleans_entries(self):
+        ht = HardwareHashTable()
+        ht.set("k", BASE_A, 1)
+        ht.foreach_sync(BASE_A)
+        _, synced_again = ht.foreach_sync(BASE_A)
+        assert synced_again == 0
+
+    def test_order_survives_eviction_and_reinsert(self):
+        """The §4.2 invariant: RTT keeps insertion order across churn."""
+        ht = HardwareHashTable(HashTableConfig(entries=4, probe_width=4))
+        ht.writeback_handler = lambda b, k, v: None
+        for i in range(6):  # overflows the 4-entry table
+            ht.set(f"k{i}", BASE_A, i)
+        ht.set("k0", BASE_A, 99)  # re-insert an evicted key
+        order, _ = ht.foreach_sync(BASE_A)
+        assert order == [f"k{i}" for i in range(6)]
+
+
+class TestCoherence:
+    def test_flush_map_writes_back_dirty(self):
+        ht = HardwareHashTable()
+        writebacks = []
+        ht.writeback_handler = lambda b, k, v: writebacks.append((k, v))
+        ht.set("k", BASE_A, "v")
+        flushed = ht.flush_map(BASE_A)
+        assert flushed == 1
+        assert writebacks == [("k", "v")]
+        assert not ht.get("k", BASE_A).hit
+
+    def test_flush_clean_entries_no_writeback(self):
+        ht = HardwareHashTable()
+        writebacks = []
+        ht.writeback_handler = lambda b, k, v: writebacks.append(k)
+        ht.insert_clean("k", BASE_A, "v")
+        ht.flush_map(BASE_A)
+        assert writebacks == []
+
+
+class TestHitRateProperties:
+    @given(st.lists(st.tuples(keys, st.booleans()), min_size=1, max_size=200))
+    @settings(max_examples=40)
+    def test_hit_rate_bounded(self, script):
+        ht = HardwareHashTable(HashTableConfig(entries=16))
+        ht.writeback_handler = lambda b, k, v: None
+        for key, is_set in script:
+            if is_set:
+                ht.set(key, BASE_A, 1)
+            else:
+                out = ht.get(key, BASE_A)
+                if not out.hit:
+                    ht.insert_clean(key, BASE_A, 1)
+        assert 0.0 <= ht.hit_rate() <= 1.0
+
+    @given(st.lists(keys, min_size=1, max_size=64, unique=True))
+    @settings(max_examples=40)
+    def test_get_after_set_hits_in_big_table(self, key_list):
+        ht = HardwareHashTable(HashTableConfig(entries=512))
+        for i, k in enumerate(key_list):
+            ht.set(k, BASE_A, i)
+        for i, k in enumerate(key_list):
+            out = ht.get(k, BASE_A)
+            if out.hit:  # probe-window conflicts may evict a few
+                assert out.value_ptr == i
+
+    def test_monotone_hit_rate_with_size(self):
+        """Figure 7's shape: bigger tables never hit less (same trace)."""
+        from repro.common.rng import DeterministicRng
+        rates = []
+        for entries in (4, 32, 256):
+            rng = DeterministicRng(5)
+            ht = HardwareHashTable(HashTableConfig(entries=entries))
+            ht.writeback_handler = lambda b, k, v: None
+            universe = [f"key{i}" for i in range(300)]
+            for _ in range(3000):
+                key = universe[rng.zipf(len(universe), 1.0)]
+                if rng.random() < 0.25:
+                    ht.set(key, BASE_A, 1)
+                else:
+                    if not ht.get(key, BASE_A).hit:
+                        ht.insert_clean(key, BASE_A, 1)
+            rates.append(ht.hit_rate())
+        assert rates[0] < rates[1] < rates[2]

@@ -1,0 +1,146 @@
+"""Unit + property tests: hardware heap manager (Section 4.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.heap_manager import HardwareHeapManager, HeapManagerConfig
+from repro.runtime.slab import SlabAllocator
+
+
+def make_hm(**kwargs) -> HardwareHeapManager:
+    return HardwareHeapManager(SlabAllocator(), HeapManagerConfig(**kwargs))
+
+
+class TestConfig:
+    def test_class_bytes(self):
+        cfg = HeapManagerConfig()
+        assert cfg.class_bytes(0) == 16
+        assert cfg.class_bytes(7) == 128
+
+    def test_class_for_boundaries(self):
+        cfg = HeapManagerConfig()
+        assert cfg.class_for(1) == 0
+        assert cfg.class_for(16) == 0
+        assert cfg.class_for(17) == 1
+        assert cfg.class_for(128) == 7
+
+    def test_class_for_oversize(self):
+        assert HeapManagerConfig().class_for(129) is None
+
+    def test_class_for_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            HeapManagerConfig().class_for(0)
+
+
+class TestMallocFree:
+    def test_first_malloc_falls_back_then_prefetch_fills(self):
+        hm = make_hm()
+        first = hm.hmmalloc(40)
+        assert first.software_fallback and first.address is not None
+        second = hm.hmmalloc(40)
+        assert not second.software_fallback  # prefetcher refilled
+
+    def test_oversize_is_comparator_bypassed(self):
+        hm = make_hm()
+        out = hm.hmmalloc(200)
+        assert out.software_fallback and out.address is None
+        assert hm.stats.get("hwheap.oversize_bypass") == 1
+
+    def test_free_then_malloc_reuses_block(self):
+        hm = make_hm()
+        a = hm.hmmalloc(40)
+        hm.hmfree(a.address, 40)
+        b = hm.hmmalloc(40)
+        assert b.address == a.address  # head of the hardware free list
+
+    def test_free_overflow_spills_one_block(self):
+        hm = make_hm(entries_per_class=4)
+        addrs = [hm.hmmalloc(20).address for _ in range(8)]
+        # The prefetcher may have pre-staged blocks; frees first fill
+        # the remaining capacity, then every free spills exactly one
+        # tail block to memory (the paper's single-str overflow path).
+        headroom = 4 - hm.cached_blocks()
+        outcomes = [hm.hmfree(a, 20) for a in addrs]
+        overflows = [o for o in outcomes if o.software_fallback]
+        assert len(overflows) == 8 - headroom
+        assert all(o.overflow_stores == 1 for o in overflows)
+        assert hm.cached_blocks() == 4  # never exceeds capacity
+
+    def test_different_sizes_use_different_lists(self):
+        hm = make_hm()
+        a = hm.hmmalloc(10)
+        b = hm.hmmalloc(100)
+        hm.hmfree(a.address, 10)
+        hm.hmfree(b.address, 100)
+        assert hm.hmmalloc(100).address == b.address
+
+    def test_hit_rate_high_under_churn(self):
+        """Strong reuse ⇒ the common case never touches software."""
+        hm = make_hm()
+        for _ in range(500):
+            out = hm.hmmalloc(48)
+            hm.hmfree(out.address, 48)
+        assert hm.hit_rate() > 0.95
+
+
+class TestFlush:
+    def test_hmflush_empties_hardware(self):
+        hm = make_hm()
+        out = hm.hmmalloc(32)
+        hm.hmfree(out.address, 32)
+        flushed = hm.hmflush()
+        assert flushed == hm.stats.get("hwheap.flushed_blocks")
+        assert flushed > 0
+        assert hm.cached_blocks() == 0
+
+    def test_flushed_blocks_usable_by_software(self):
+        slab = SlabAllocator()
+        hm = HardwareHeapManager(slab)
+        out = hm.hmmalloc(32)
+        hm.hmfree(out.address, 32)
+        hm.hmflush()
+        # Software can now hand the same storage out again.
+        assert slab.pop_free_block(1) is not None
+
+    def test_context_switch_roundtrip(self):
+        hm = make_hm()
+        a = hm.hmmalloc(24)
+        hm.hmflush()
+        # After the flush the next malloc misses (lists are empty) but
+        # still succeeds through the software path.
+        b = hm.hmmalloc(24)
+        assert b.address is not None
+
+
+class TestAddressDiscipline:
+    @given(st.lists(st.integers(min_value=1, max_value=128), min_size=1,
+                    max_size=120))
+    @settings(max_examples=40)
+    def test_no_double_allocation(self, sizes):
+        """A live block is never handed out twice."""
+        hm = make_hm()
+        live: set[int] = set()
+        for i, size in enumerate(sizes):
+            out = hm.hmmalloc(size)
+            assert out.address not in live
+            live.add(out.address)
+            if i % 3 == 0:
+                addr = live.pop()
+                hm.hmfree(addr, size)
+
+    @given(st.lists(st.integers(min_value=1, max_value=200), max_size=80))
+    @settings(max_examples=40)
+    def test_alloc_free_cycle_never_leaks_hw_state(self, sizes):
+        hm = make_hm()
+        pairs = []
+        for size in sizes:
+            out = hm.hmmalloc(size)
+            if out.address is not None:
+                pairs.append((out.address, size))
+        for addr, size in pairs:
+            if HeapManagerConfig().class_for(size) is not None:
+                hm.hmfree(addr, size)
+        hm.hmflush()
+        assert hm.cached_blocks() == 0

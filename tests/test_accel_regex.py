@@ -1,0 +1,272 @@
+"""Unit + property tests: content sifting and content reuse (§4.5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.regex_accel import (
+    ContentReuseTable,
+    ContentSifter,
+    HintVector,
+    ReuseAcceleratedMatcher,
+    ReuseTableConfig,
+    pattern_starts_special,
+)
+from repro.accel.string_accel import StringAccelerator
+from repro.regex.engine import CompiledRegex
+from repro.workloads.text import special_char_segments
+
+
+@pytest.fixture
+def sifter() -> ContentSifter:
+    return ContentSifter(StringAccelerator())
+
+
+CLEAN = "plain words only here " * 6
+SPECIAL = "'quote' and <tag> plus \"double\""
+
+
+class TestHintVector:
+    def test_spans_merge_adjacent(self):
+        hv = HintVector(32, [True, True, False, True], 128)
+        assert hv.scan_spans() == [(0, 64), (96, 128)]
+
+    def test_skippable_chars(self):
+        hv = HintVector(32, [False, True], 50)
+        assert hv.skippable_chars() == 32
+
+    def test_short_tail_segment(self):
+        hv = HintVector(32, [False, False], 40)
+        assert hv.skippable_chars() == 40
+
+    def test_build_matches_ground_truth(self, sifter):
+        content = CLEAN + SPECIAL + CLEAN
+        hv, cycles = sifter.build_hint_vector(content)
+        assert hv.bits == special_char_segments(content, 32)
+        assert cycles > 0
+
+
+class TestPatternSafety:
+    @pytest.mark.parametrize("pattern", [
+        r"'[A-Za-z]", r"\"[A-Za-z]", r"\n", r"<[a-z][a-z]*",
+        r"\[[a-z]+", r"&[a-z]+;", r"==+", r"\[\[",
+    ])
+    def test_paper_patterns_are_safe(self, pattern):
+        assert pattern_starts_special(CompiledRegex(pattern))
+
+    @pytest.mark.parametrize("pattern", [r"[a-z]+", r"abc", r"\d+"])
+    def test_regular_starting_patterns_are_unsafe(self, pattern):
+        assert not pattern_starts_special(CompiledRegex(pattern))
+
+    def test_unsafe_pattern_falls_back_to_full_scan(self, sifter):
+        content = CLEAN + SPECIAL
+        hv, _ = sifter.build_hint_vector(content)
+        rx = CompiledRegex(r"[a-z]+")
+        result = sifter.shadow_findall(rx, content, hv)
+        assert not result.used_sifting
+        assert result.chars_skipped == 0
+
+
+class TestShadowScan:
+    def _reference(self, pattern: str, content: str):
+        matches, chars = CompiledRegex(pattern).findall(content)
+        return [(m.start, m.end) for m in matches], chars
+
+    @pytest.mark.parametrize("pattern", [
+        r"'[A-Za-z]", r"<[a-z]+>", r"\[[a-z]+\]", r"&[a-z]+;",
+    ])
+    def test_matches_equal_full_scan(self, sifter, pattern):
+        content = (
+            CLEAN + "'alpha' " + CLEAN + "<em> and [code] &amp; " + CLEAN
+        )
+        hv, _ = sifter.build_hint_vector(content)
+        rx = CompiledRegex(pattern)
+        result = sifter.shadow_findall(rx, content, hv)
+        ref_spans, ref_chars = self._reference(pattern, content)
+        assert [(m.start, m.end) for m in result.matches] == ref_spans
+        assert result.chars_examined <= ref_chars
+
+    def test_clean_content_is_fully_skipped(self, sifter):
+        hv, _ = sifter.build_hint_vector(CLEAN)
+        rx = CompiledRegex(r"'[A-Za-z]")
+        result = sifter.shadow_findall(rx, CLEAN, hv)
+        assert result.matches == []
+        assert result.chars_examined == 0
+        assert result.chars_skipped == len(CLEAN)
+
+    def test_match_spanning_into_clean_segment(self, sifter):
+        # Tag starts in a marked segment but extends into clean text.
+        content = "x" * 30 + "<" + "a" * 40 + ">" + " tail " * 10
+        hv, _ = sifter.build_hint_vector(content)
+        rx = CompiledRegex(r"<[a-z]+>")
+        result = sifter.shadow_findall(rx, content, hv)
+        assert [(m.start, m.end) for m in result.matches] == [(30, 72)]
+
+    @given(st.lists(st.sampled_from(
+        ["plain words ", "more text ", "'q' ", "<em> ", "filler here "]),
+        min_size=1, max_size=20))
+    @settings(max_examples=60)
+    def test_sift_equals_full_scan_property(self, pieces):
+        sifter = ContentSifter(StringAccelerator())
+        content = "".join(pieces)
+        hv, _ = sifter.build_hint_vector(content)
+        for pattern in (r"'[a-z]'", r"<[a-z]+>"):
+            rx = CompiledRegex(pattern)
+            got = sifter.shadow_findall(rx, content, hv)
+            want, _ = CompiledRegex(pattern).findall(content)
+            assert [(m.start, m.end) for m in got.matches] == \
+                   [(m.start, m.end) for m in want]
+
+
+class TestWhitespacePadding:
+    def test_same_length_replacement_keeps_alignment(self, sifter):
+        content = CLEAN + "'x" + CLEAN
+        hv, _ = sifter.build_hint_vector(content)
+        rx = CompiledRegex(r"'[a-z]")
+        matches, _ = rx.findall(content)
+        new_content, new_hv, pad = sifter.replace_with_padding(
+            content, matches, "’y", hv
+        )
+        assert len(new_content) == len(content)
+        assert pad == 0
+        assert new_hv.bits == hv.bits
+
+    def test_shrinking_replacement_pads_segment(self, sifter):
+        content = CLEAN + "<em>" + CLEAN
+        hv, _ = sifter.build_hint_vector(content)
+        rx = CompiledRegex(r"<[a-z]+>")
+        matches, _ = rx.findall(content)
+        new_content, new_hv, pad = sifter.replace_with_padding(
+            content, matches, "~", hv
+        )
+        assert pad == 3  # "<em>" → "~" plus 3 pad spaces
+        assert len(new_content) == len(content)
+
+    def test_growing_replacement_extends_marked_segment(self, sifter):
+        content = "x" * 31 + "\n" + "y" * 64
+        hv, _ = sifter.build_hint_vector(content)
+        rx = CompiledRegex(r"\n")
+        matches, _ = rx.findall(content)
+        new_content, new_hv, pad = sifter.replace_with_padding(
+            content, matches, "<br />", hv
+        )
+        # Following content still starts on a segment boundary.
+        assert new_content.index("y" * 64) % 32 == 0
+        # The grown segment stays marked.
+        assert new_hv.bits[0]
+
+    def test_shadow_scan_still_correct_after_padding(self, sifter):
+        content = CLEAN + "'x " + CLEAN + "<em> " + CLEAN
+        hv, _ = sifter.build_hint_vector(content)
+        rx1 = CompiledRegex(r"'[a-z]")
+        matches, _ = rx1.findall(content)
+        new_content, new_hv, _ = sifter.replace_with_padding(
+            content, matches, "’~", hv
+        )
+        rx2 = CompiledRegex(r"<[a-z]+>")
+        got = sifter.shadow_findall(rx2, new_content, new_hv)
+        want, _ = CompiledRegex(r"<[a-z]+>").findall(new_content)
+        assert [(m.start, m.end) for m in got.matches] == \
+               [(m.start, m.end) for m in want]
+
+
+URL = r"https://[a-z]+/\?author=[a-z]+"
+
+
+class TestContentReuseTable:
+    def test_install_then_learn_then_jump(self):
+        t = ContentReuseTable()
+        s1, m1 = t.regexlookup(0x77, 0, "https://localhost/?author=abc")
+        assert s1 == "install" and m1 == 0
+        s2, m2 = t.regexlookup(0x77, 0, "https://localhost/?author=xyz")
+        assert s2 == "learn" and m2 == 26
+        t.regexset(0x77, 0, state=9, last_accept=None)
+        s3, m3 = t.regexlookup(0x77, 0, "https://localhost/?author=qrs")
+        assert s3 == "jump" and m3 == 26
+
+    def test_first_byte_mismatch_reinstalls(self):
+        t = ContentReuseTable()
+        t.regexlookup(0x77, 0, "https://a/?author=x")
+        s, _ = t.regexlookup(0x77, 0, "ftp://b")
+        assert s == "install"
+
+    def test_pc_isolation(self):
+        t = ContentReuseTable()
+        t.regexlookup(0x77, 0, "https://a/?author=x")
+        s, _ = t.regexlookup(0x88, 0, "https://a/?author=x")
+        assert s == "install"
+
+    def test_asid_isolation(self):
+        t = ContentReuseTable()
+        t.regexlookup(0x77, 1, "https://a/?author=x")
+        s, _ = t.regexlookup(0x77, 2, "https://a/?author=x")
+        assert s == "install"
+
+    def test_lru_eviction_at_capacity(self):
+        t = ContentReuseTable(ReuseTableConfig(entries=2))
+        t.regexlookup(1, 0, "aaa")
+        t.regexlookup(2, 0, "bbb")
+        t.regexlookup(3, 0, "ccc")  # evicts PC 1
+        assert t.stats.get("reuse.evictions") == 1
+        s, _ = t.regexlookup(1, 0, "aaa")
+        assert s == "install"
+
+    def test_content_capped_at_32_bytes(self):
+        t = ContentReuseTable()
+        long_a = "x" * 40 + "abc"
+        long_b = "x" * 40 + "def"
+        t.regexlookup(1, 0, long_a)
+        s, m = t.regexlookup(1, 0, long_b)
+        # Only the first 32 bytes are compared; they match fully.
+        assert s == "learn" and m == 32
+
+
+class TestReuseAcceleratedMatcher:
+    def _software_end(self, pattern, content):
+        m = CompiledRegex(pattern).match_prefix(content).match
+        return m.end if m else None
+
+    def test_jump_gives_same_answer(self):
+        t = ContentReuseTable()
+        matcher = ReuseAcceleratedMatcher(t)
+        rx = CompiledRegex(URL)
+        urls = [
+            "https://localhost/?author=abc",
+            "https://localhost/?author=xyz",
+            "https://localhost/?author=abc",
+            "https://localhost/?author=pqr",
+        ]
+        for url in urls:
+            out = matcher.match(rx, url, pc=0x42)
+            assert out.match_end == self._software_end(URL, url), url
+
+    def test_jump_skips_prefix_work(self):
+        t = ContentReuseTable()
+        matcher = ReuseAcceleratedMatcher(t)
+        rx = CompiledRegex(URL)
+        matcher.match(rx, "https://localhost/?author=abc", pc=1)
+        matcher.match(rx, "https://localhost/?author=xyz", pc=1)
+        out = matcher.match(rx, "https://localhost/?author=pqr", pc=1)
+        assert out.scenario == "jump"
+        assert out.chars_skipped == 26
+        assert out.chars_examined == 3
+
+    def test_non_matching_content_correct(self):
+        t = ContentReuseTable()
+        matcher = ReuseAcceleratedMatcher(t)
+        rx = CompiledRegex(URL)
+        out = matcher.match(rx, "not a url at all", pc=7)
+        assert out.match_end is None
+
+    @given(st.lists(st.sampled_from(["abc", "xyz", "pqr", "aardvark", "ab"]),
+                    min_size=1, max_size=20))
+    @settings(max_examples=40)
+    def test_reuse_always_matches_software(self, authors):
+        t = ContentReuseTable()
+        matcher = ReuseAcceleratedMatcher(t)
+        rx = CompiledRegex(URL)
+        for author in authors:
+            url = f"https://localhost/?author={author}"
+            out = matcher.match(rx, url, pc=3)
+            assert out.match_end == self._software_end(URL, url)

@@ -1,0 +1,228 @@
+"""Unit + property tests: the matching-matrix string accelerator.
+
+Every operation's *value* must agree exactly with Python string
+semantics (and with the software StringLibrary); cycle costs must
+follow the block model (64 bytes per 3 cycles).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.string_accel import (
+    MatrixConfigState,
+    StringAccelConfig,
+    StringAccelerator,
+)
+from repro.regex.charset import SPECIAL_CHARS
+from repro.runtime.strings import HTML_ESCAPES
+
+text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=300
+)
+pattern = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1, max_size=12,
+)
+
+
+@pytest.fixture
+def accel() -> StringAccelerator:
+    return StringAccelerator()
+
+
+class TestFind:
+    def test_simple_find(self, accel):
+        assert accel.find("hello world", "world").value == 6
+
+    def test_missing(self, accel):
+        assert accel.find("hello", "zzz").value == -1
+
+    def test_match_at_start(self, accel):
+        assert accel.find("abc", "abc").value == 0
+
+    def test_overlapping_candidates(self, accel):
+        assert accel.find("aaab", "aab").value == 1
+
+    def test_repeated_prefix(self, accel):
+        assert accel.find("ababac", "abac").value == 2
+
+    def test_cross_block_match(self, accel):
+        """Wrap-around: a match spanning the 64-byte block boundary."""
+        subject = "x" * 60 + "needle" + "y" * 20
+        assert accel.find(subject, "needle").value == 60
+
+    def test_match_exactly_at_block_boundary(self, accel):
+        subject = "x" * 64 + "needle"
+        assert accel.find(subject, "needle").value == 64
+
+    def test_start_offset(self, accel):
+        assert accel.find("abcabc", "abc", start=1).value == 3
+
+    def test_pattern_longer_than_block_rejected(self, accel):
+        with pytest.raises(ValueError):
+            accel.find("x", "y" * 17)
+
+    def test_empty_pattern_rejected(self, accel):
+        with pytest.raises(ValueError):
+            accel.find("x", "")
+
+    @given(text, pattern)
+    @settings(max_examples=100)
+    def test_find_matches_python(self, subject, needle):
+        accel = StringAccelerator()
+        assert accel.find(subject, needle).value == subject.find(needle)
+
+    @given(st.integers(min_value=0, max_value=200),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=50)
+    def test_find_across_any_boundary(self, prefix_len, pat_len):
+        accel = StringAccelerator()
+        subject = "a" * prefix_len + "b" * pat_len + "a" * 30
+        assert accel.find(subject, "b" * pat_len).value == prefix_len
+
+
+class TestFindUnicode:
+    """Section 4.4's multi-byte note: grouped single-byte comparisons."""
+
+    def test_multibyte_pattern_found(self):
+        accel = StringAccelerator()
+        subject = "smart quotes: “hello” and —dashes—"
+        assert accel.find_unicode(subject, "“hello”").value == \
+            subject.find("“hello”")
+
+    def test_ascii_subject_matches_plain_find(self):
+        accel = StringAccelerator()
+        assert accel.find_unicode("hello world", "world").value == 6
+
+    def test_character_index_not_byte_index(self):
+        accel = StringAccelerator()
+        subject = "ééé needle"  # 2-byte chars before the match
+        assert accel.find_unicode(subject, "needle").value == \
+            subject.find("needle")
+
+    def test_missing_pattern(self):
+        accel = StringAccelerator()
+        assert accel.find_unicode("héllo", "wörld").value == -1
+
+    @given(st.text(alphabet="aé“”—né ", max_size=60),
+           st.text(alphabet="é“n", min_size=1, max_size=4))
+    @settings(max_examples=60)
+    def test_matches_python_on_unicode(self, subject, pattern):
+        accel = StringAccelerator()
+        assert accel.find_unicode(subject, pattern).value == \
+            subject.find(pattern)
+
+
+class TestTransforms:
+    def test_compare(self, accel):
+        assert accel.compare("abc", "abd").value == -1
+        assert accel.compare("abc", "abc").value == 0
+
+    def test_translate(self, accel):
+        out = accel.translate("a'b\"c", {"'": "X", '"': "Y"})
+        assert out.value == "aXbYc"
+
+    def test_case_conversion(self, accel):
+        assert accel.to_upper("Hello!").value == "HELLO!"
+        assert accel.to_lower("Hello!").value == "hello!"
+
+    def test_trim(self, accel):
+        assert accel.trim("  x\t ").value == "x"
+
+    def test_replace(self, accel):
+        assert accel.replace("a<b<c", "<", "&lt;").value == "a&lt;b&lt;c"
+
+    def test_replace_no_match(self, accel):
+        assert accel.replace("abc", "z", "_").value == "abc"
+
+    def test_copy(self, accel):
+        assert accel.copy("hello").value == "hello"
+
+    def test_html_escape(self, accel):
+        out = accel.html_escape("<b>&", HTML_ESCAPES)
+        assert out.value == "&lt;b&gt;&amp;"
+
+    @given(text)
+    @settings(max_examples=60)
+    def test_case_matches_python(self, s):
+        accel = StringAccelerator()
+        assert accel.to_upper(s).value == s.upper()
+        assert accel.to_lower(s).value == s.lower()
+
+    @given(text, st.sampled_from(["<", ">", "&", "'"]))
+    @settings(max_examples=60)
+    def test_replace_matches_python(self, s, needle):
+        accel = StringAccelerator()
+        assert accel.replace(s, needle, "__").value == s.replace(needle, "__")
+
+
+class TestHintVectorGeneration:
+    def test_char_class_bitmap_matches_ground_truth(self, accel):
+        from repro.workloads.text import special_char_segments
+        content = "clean words here " * 5 + "'x'" + " more clean " * 5
+        out = accel.char_class_bitmap(content, SPECIAL_CHARS, 32)
+        assert out.value == special_char_segments(content, 32)
+
+    def test_all_clean(self, accel):
+        out = accel.char_class_bitmap("abc def, ghi. " * 10, SPECIAL_CHARS, 32)
+        assert not any(out.value)
+
+    def test_all_special(self, accel):
+        out = accel.char_class_bitmap("<<<>>>" * 20, SPECIAL_CHARS, 32)
+        assert all(out.value)
+
+
+class TestCycleModel:
+    def test_blocks_scale_with_length(self, accel):
+        cfg = accel.config
+        short = accel.to_lower("x" * 10)
+        long = accel.to_lower("x" * (cfg.block_bytes * 4))
+        assert short.blocks == 1
+        assert long.blocks == 4
+        assert long.cycles > short.cycles
+
+    def test_three_cycles_per_block(self):
+        cfg = StringAccelConfig()
+        accel = StringAccelerator(cfg)
+        out = accel.translate("x" * cfg.block_bytes, {"a": "b"})
+        assert out.cycles == cfg.setup_cycles + cfg.cycles_per_block
+
+    def test_stats_accumulate(self, accel):
+        accel.find("hello", "l")
+        accel.trim(" x ")
+        assert accel.stats.get("hwstring.ops") == 2
+        assert accel.stats.get("hwstring.cycles") > 0
+
+
+class TestConfigInstructions:
+    def test_strreadconfig_loads_and_reuses(self, accel):
+        state = MatrixConfigState.exact("abc", label="find")
+        first = accel.strreadconfig(state)
+        again = accel.strreadconfig(state)
+        assert first > again == 1
+        assert accel.stats.get("hwstring.config_reuse") == 1
+
+    def test_strwriteconfig_roundtrip(self, accel):
+        state = MatrixConfigState.exact("abc")
+        accel.strreadconfig(state)
+        saved = accel.strwriteconfig()
+        assert saved == state
+
+    def test_too_many_rows_rejected(self, accel):
+        with pytest.raises(ValueError):
+            accel.strreadconfig(MatrixConfigState.exact("x" * 17))
+
+    def test_too_many_inequality_rows_rejected(self, accel):
+        bounds = [(0, 10)] * 7  # only 6 inequality rows exist
+        with pytest.raises(ValueError):
+            accel.strreadconfig(MatrixConfigState.ranges(bounds))
+
+    def test_case_conversion_uses_config(self, accel):
+        accel.to_upper("abc")
+        assert accel.stats.get("hwstring.config_loads") == 1
+        accel.to_upper("def")  # same config, no reload
+        assert accel.stats.get("hwstring.config_loads") == 1
+        accel.to_lower("ghi")  # different range, reload
+        assert accel.stats.get("hwstring.config_loads") == 2

@@ -1,0 +1,54 @@
+"""Smoke tests: the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_cli(capsys, *argv: str) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestCli:
+    def test_fig1(self, capsys):
+        out = run_cli(capsys, "fig1", "--seed", "3")
+        assert "Figure 1" in out
+        assert "wordpress" in out
+
+    def test_fig7(self, capsys):
+        out = run_cli(capsys, "fig7", "--requests", "2")
+        assert "Figure 7" in out
+        assert "512" in out
+
+    def test_fig14(self, capsys):
+        out = run_cli(capsys, "fig14", "--requests", "2")
+        assert "Figure 14" in out
+        assert "average" in out
+
+    def test_fig15(self, capsys):
+        out = run_cli(capsys, "fig15", "--requests", "2")
+        assert "regex accel" in out
+
+    def test_energy(self, capsys):
+        out = run_cli(capsys, "energy", "--requests", "2")
+        assert "energy saving" in out
+
+    def test_area(self, capsys):
+        out = run_cli(capsys, "area")
+        assert "hash-table" in out
+        assert "TOTAL" in out
+
+    def test_fig12(self, capsys):
+        out = run_cli(capsys, "fig12", "--requests", "2")
+        assert "Figure 12" in out
+
+    def test_ablation(self, capsys):
+        out = run_cli(capsys, "ablation", "--requests", "2")
+        assert "GET-only" in out
+
+    def test_unknown_command_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["make-coffee"])

@@ -1,0 +1,191 @@
+"""Unit tests: deterministic RNG and statistics plumbing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.rng import DeterministicRng
+from repro.common.stats import (
+    Counter,
+    Histogram,
+    StatRegistry,
+    geometric_mean,
+    weighted_mean,
+)
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.random() for _ in range(50)] == [b.random() for _ in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(8)
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_fork_is_deterministic(self):
+        a = DeterministicRng(7).fork("x")
+        b = DeterministicRng(7).fork("x")
+        assert a.random() == b.random()
+
+    def test_fork_labels_independent(self):
+        base = DeterministicRng(7)
+        assert base.fork("x").random() != base.fork("y").random()
+
+    def test_fork_does_not_disturb_parent(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        a.fork("child")
+        assert a.random() == b.random()
+
+    def test_zipf_range(self):
+        rng = DeterministicRng(1)
+        draws = [rng.zipf(100, 1.1) for _ in range(500)]
+        assert all(0 <= d < 100 for d in draws)
+
+    def test_zipf_is_skewed(self):
+        rng = DeterministicRng(1)
+        draws = [rng.zipf(1000, 1.2) for _ in range(2000)]
+        top_share = sum(1 for d in draws if d < 10) / len(draws)
+        assert top_share > 0.3  # top-1% of ranks gets >30% of draws
+
+    def test_zipf_cache_handles_multiple_shapes(self):
+        rng = DeterministicRng(1)
+        for _ in range(10):
+            assert 0 <= rng.zipf(10, 1.0) < 10
+            assert 0 <= rng.zipf(1000, 0.8) < 1000
+
+    def test_zipf_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).zipf(0)
+
+    def test_geometric_cap(self):
+        rng = DeterministicRng(1)
+        assert all(rng.geometric(0.01, cap=5) <= 5 for _ in range(200))
+
+    def test_geometric_p1_is_zero(self):
+        assert DeterministicRng(1).geometric(1.0) == 0
+
+    def test_geometric_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).geometric(0.0)
+
+    def test_ascii_word_alphabet(self):
+        rng = DeterministicRng(1)
+        for _ in range(50):
+            word = rng.ascii_word(3, 8)
+            assert 3 <= len(word) <= 8
+            assert word.isalpha() and word.islower()
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_any_seed_works(self, seed):
+        rng = DeterministicRng(seed)
+        assert 0.0 <= rng.random() < 1.0
+
+
+class TestCounter:
+    def test_add(self):
+        c = Counter("x")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+    def test_reset(self):
+        c = Counter("x", 9)
+        c.reset()
+        assert c.value == 0
+
+
+class TestStatRegistry:
+    def test_bump_and_get(self):
+        r = StatRegistry()
+        r.bump("a")
+        r.bump("a", 2)
+        assert r.get("a") == 3
+        assert r.get("missing") == 0
+
+    def test_ratio_guards_zero(self):
+        r = StatRegistry()
+        assert r.ratio("a", "b") == 0.0
+        r.bump("a", 3)
+        r.bump("b", 4)
+        assert r.ratio("a", "b") == pytest.approx(0.75)
+
+    def test_per_kilo(self):
+        r = StatRegistry()
+        r.bump("misses", 5)
+        r.bump("instructions", 1000)
+        assert r.per_kilo("misses", "instructions") == pytest.approx(5.0)
+
+    def test_snapshot_diff(self):
+        r = StatRegistry()
+        r.bump("a", 2)
+        snap = r.snapshot()
+        r.bump("a", 3)
+        r.bump("b")
+        assert r.diff(snap) == {"a": 3, "b": 1}
+
+    def test_merge(self):
+        a = StatRegistry()
+        b = StatRegistry()
+        a.bump("x", 1)
+        b.bump("x", 2)
+        b.bump("y", 5)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 5
+
+    def test_iter_sorted(self):
+        r = StatRegistry()
+        r.bump("b")
+        r.bump("a")
+        assert [k for k, _ in r] == ["a", "b"]
+
+
+class TestHistogram:
+    def test_record_and_cumulative(self):
+        h = Histogram(edges=[10, 20, 30])
+        for v in (5, 15, 15, 25, 99):
+            h.record(v)
+        assert h.counts == [1, 2, 1]
+        assert h.overflow == 1
+        assert h.cumulative() == pytest.approx([0.2, 0.6, 0.8])
+
+    def test_fraction_at_or_below(self):
+        h = Histogram(edges=[32, 64, 128])
+        h.record(10, weight=8)
+        h.record(100, weight=2)
+        assert h.fraction_at_or_below(64) == pytest.approx(0.8)
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=[3, 1])
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1))
+    def test_total_weight_conserved(self, values):
+        h = Histogram(edges=[50, 100, 150])
+        for v in values:
+            h.record(v)
+        assert sum(h.counts) + h.overflow == h.total_weight == len(values)
+
+
+class TestMeans:
+    def test_weighted_mean(self):
+        assert weighted_mean([(1.0, 1.0), (3.0, 3.0)]) == pytest.approx(2.5)
+
+    def test_weighted_mean_empty(self):
+        assert weighted_mean([]) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

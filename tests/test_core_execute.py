@@ -1,0 +1,188 @@
+"""Integration tests: accelerated execution ≡ software execution.
+
+The paper's design principles require the accelerators to be drop-in:
+"the VM still observes the same view of software data structures in
+memory."  These tests run identical operation traces through both
+paths and assert semantic equivalence (checksums over every observable
+result) plus the expected cost relationships.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.core.costs import DEFAULT_COSTS
+from repro.core.execute import (
+    HashSimulator,
+    HeapSimulator,
+    RegexSimulator,
+    StringSimulator,
+)
+from repro.isa.dispatch import AcceleratorComplex
+from repro.workloads.apps import wordpress
+from repro.workloads.loadgen import LoadGenerator
+
+
+def _traces(n: int = 3, seed: int = 99):
+    lg = LoadGenerator(wordpress(), DeterministicRng(seed), warmup_requests=0)
+    return lg, [lg.next_request() for _ in range(n)]
+
+
+class TestHashEquivalence:
+    def _run(self, mode, complex_=None, seed=99):
+        lg = LoadGenerator(
+            wordpress(), DeterministicRng(seed), warmup_requests=0
+        )
+        sim = HashSimulator(mode, lg.hash_generator, DEFAULT_COSTS, complex_)
+        for _ in range(3):
+            sim.execute(lg.next_request().hash_ops)
+        return sim
+
+    def test_checksums_match(self):
+        sw = self._run("software")
+        hw = self._run("accelerated", AcceleratorComplex())
+        assert sw.run.checksum == hw.run.checksum
+
+    def test_accelerated_is_cheaper(self):
+        sw = self._run("software").finish()
+        hw = self._run("accelerated", AcceleratorComplex()).finish()
+        assert hw.cycles < sw.cycles
+        assert hw.uops < sw.uops
+
+    def test_software_maps_match_after_flush(self):
+        """After flushing hardware state, memory views are identical."""
+        complex_ = AcceleratorComplex()
+        sw = self._run("software")
+        hw = self._run("accelerated", complex_)
+        for map_id, hw_array in hw.maps.items():
+            complex_.hash_table.flush_map(hw_array.base_address)
+        for map_id, sw_array in sw.maps.items():
+            hw_array = hw.maps[map_id]
+            assert sorted(sw_array.keys()) == sorted(hw_array.keys()), map_id
+            for key in sw_array.keys():
+                assert sw_array.get(key) == hw_array.get(key)
+
+    def test_walk_cost_calibration(self):
+        """§5.2: software hash walks average ≈ 90.66 µops."""
+        sw = self._run("software")
+        sw.finish()
+        assert sw.average_walk_uops() == pytest.approx(90.66, rel=0.05)
+
+    def test_hit_rate_in_paper_band(self):
+        """Figure 7: a 512-entry table sits in the ~80–90% band."""
+        complex_ = AcceleratorComplex()
+        self._run("accelerated", complex_)
+        assert 0.75 <= complex_.hash_table.hit_rate() <= 0.95
+
+    def test_mode_validation(self):
+        lg, _ = _traces()
+        with pytest.raises(ValueError):
+            HashSimulator("turbo", lg.hash_generator)
+        with pytest.raises(ValueError):
+            HashSimulator("accelerated", lg.hash_generator)
+
+
+class TestHeapEquivalence:
+    def _run(self, mode, complex_=None, seed=99):
+        lg = LoadGenerator(
+            wordpress(), DeterministicRng(seed), warmup_requests=0
+        )
+        sim = HeapSimulator(mode, DEFAULT_COSTS, complex_)
+        for _ in range(3):
+            sim.execute(lg.next_request().alloc_ops)
+        return sim
+
+    def test_checksums_match(self):
+        sw = self._run("software")
+        hw = self._run("accelerated", AcceleratorComplex())
+        assert sw.run.checksum == hw.run.checksum
+
+    def test_no_leaks_either_mode(self):
+        sw = self._run("software")
+        hw = self._run("accelerated", AcceleratorComplex())
+        assert sw.live_allocations == 0
+        assert hw.live_allocations == 0
+
+    def test_accelerated_is_cheaper(self):
+        sw = self._run("software").finish()
+        hw = self._run("accelerated", AcceleratorComplex()).finish()
+        assert hw.cycles < sw.cycles
+
+    def test_hit_rate_very_high(self):
+        """Strong reuse ⇒ the hardware lists serve almost everything."""
+        complex_ = AcceleratorComplex()
+        self._run("accelerated", complex_)
+        assert complex_.heap_manager.hit_rate() > 0.9
+
+
+class TestStringEquivalence:
+    def _run(self, mode, complex_=None, seed=99):
+        lg = LoadGenerator(
+            wordpress(), DeterministicRng(seed), warmup_requests=0
+        )
+        sim = StringSimulator(mode, DEFAULT_COSTS, complex_)
+        for _ in range(2):
+            sim.execute(lg.next_request().str_ops)
+        return sim
+
+    def test_checksums_match(self):
+        """Every string result is identical byte for byte."""
+        sw = self._run("software")
+        hw = self._run("accelerated", AcceleratorComplex())
+        assert sw.run.checksum == hw.run.checksum
+
+    def test_accelerated_is_cheaper(self):
+        sw = self._run("software").finish()
+        hw = self._run("accelerated", AcceleratorComplex()).finish()
+        assert hw.cycles < sw.cycles
+
+
+class TestRegexEquivalence:
+    def _sims(self, seed=99):
+        def run(mode, complex_=None):
+            lg = LoadGenerator(
+                wordpress(), DeterministicRng(seed), warmup_requests=0
+            )
+            sim = RegexSimulator(mode, DEFAULT_COSTS, complex_)
+            for _ in range(2):
+                trace = lg.next_request()
+                sim.execute_reuse(trace.reuse_tasks)
+            return sim
+        return run("software"), run("accelerated", AcceleratorComplex())
+
+    def test_reuse_results_match(self):
+        sw, hw = self._sims()
+        assert sw.run.checksum == hw.run.checksum
+
+    def test_reuse_skips_work(self):
+        sw, hw = self._sims()
+        assert hw.run.uops < sw.run.uops
+        assert hw.chars_skipped_reuse > 0
+
+    def test_sift_nonmutating_matches(self):
+        """Non-mutating sets produce identical match counts."""
+        from repro.workloads.regexops import SiftTask, SHORTCODE_SET
+        from repro.workloads.text import ContentSpec, TextCorpus
+        corpus = TextCorpus(DeterministicRng(7))
+        tasks = [
+            SiftTask(SHORTCODE_SET, corpus.post(ContentSpec()))
+            for _ in range(4)
+        ]
+        sw = RegexSimulator("software", DEFAULT_COSTS)
+        hw = RegexSimulator("accelerated", DEFAULT_COSTS, AcceleratorComplex())
+        sw.execute_sift(tasks)
+        hw.execute_sift(tasks)
+        assert sw.run.checksum == hw.run.checksum
+        assert hw.run.uops < sw.run.uops
+
+    def test_sifting_skips_content(self):
+        lg = LoadGenerator(
+            wordpress(), DeterministicRng(99), warmup_requests=0
+        )
+        hw = RegexSimulator("accelerated", DEFAULT_COSTS, AcceleratorComplex())
+        for _ in range(2):
+            trace = lg.next_request()
+            hw.execute_sift(trace.sift_tasks)
+        assert hw.chars_skipped_sifting > 0
+        assert 0.0 < hw.skip_fraction() < 1.0

@@ -1,0 +1,65 @@
+"""Unit tests: the cost model and report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costs import DEFAULT_COSTS, CostModel
+from repro.core.report import format_table, pct
+
+
+class TestCostModel:
+    def test_uops_to_cycles(self):
+        model = CostModel(effective_ipc=2.9)
+        assert model.uops_to_cycles(29.0) == pytest.approx(10.0)
+
+    def test_hash_walk_composition(self):
+        model = CostModel()
+        one_walk = model.hash_walk_uops(probes=2, key_bytes=10, ops=1)
+        assert one_walk == pytest.approx(
+            model.hash_walk_base_uops
+            + 2 * model.hash_walk_per_probe_uops
+            + 10 * model.hash_walk_per_key_byte_uops
+        )
+
+    def test_hash_walk_scales_linearly(self):
+        model = CostModel()
+        one = model.hash_walk_uops(1, 10, 1)
+        ten = model.hash_walk_uops(10, 100, 10)
+        assert ten == pytest.approx(10 * one)
+
+    def test_paper_constants(self):
+        """§5.2's measured software costs are the model's constants."""
+        assert DEFAULT_COSTS.malloc_uops == 69.0
+        assert DEFAULT_COSTS.free_uops == 37.0
+
+    def test_typical_walk_near_paper_average(self):
+        """Typical traversal (≈1.6 probes, ≈14 key bytes) ≈ 90.66 µops."""
+        model = CostModel()
+        typical = model.hash_walk_uops(probes=16, key_bytes=140, ops=10) / 10
+        assert typical == pytest.approx(90.66, rel=0.1)
+
+    def test_model_is_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COSTS.malloc_uops = 1.0
+
+
+class TestReportFormatting:
+    def test_pct(self):
+        assert pct(0.1234) == "12.34%"
+        assert pct(0.1234, digits=1) == "12.3%"
+        assert pct(1.0) == "100.00%"
+
+    def test_format_table_pads_columns(self):
+        out = format_table(["name", "v"], [["a", "1"], ["longer", "2"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_format_table_title(self):
+        out = format_table(["x"], [["1"]], title="My Title")
+        assert out.splitlines()[0] == "My Title"
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out

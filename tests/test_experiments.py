@@ -1,0 +1,199 @@
+"""Integration tests: the experiment harness reproduces the paper's
+result *shapes* (who wins, by roughly what factor, where trends bend).
+
+Exact paper values are recorded in EXPERIMENTS.md; these tests pin the
+qualitative claims with tolerant bands so the suite stays robust to
+seed changes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import (
+    categorization,
+    hash_hit_rate_sweep,
+    leaf_distribution,
+    mitigation_effect,
+    post_mitigation_breakdown,
+    regex_opportunity,
+    run_app_experiment,
+    uarch_characterization,
+)
+from repro.core.report import (
+    energy_report,
+    figure14_report,
+    figure15_report,
+    format_table,
+)
+from repro.workloads.apps import drupal, mediawiki, php_applications, wordpress
+
+
+@pytest.fixture(scope="module")
+def results():
+    """One full evaluation shared by all Figure 14/15 tests."""
+    return {
+        app.name: run_app_experiment(app, requests=4)
+        for app in php_applications()
+    }
+
+
+class TestFigure1:
+    def test_profile_shapes(self):
+        dist = leaf_distribution()
+        for name in ("wordpress", "drupal", "mediawiki"):
+            cum = dist[name]
+            assert 0.09 <= cum[0] <= 0.13          # hottest ≈ 10–12 %
+            assert 0.55 <= cum[99] <= 0.72         # ~100 fns ≈ 65 %
+        for name in ("specweb-banking", "specweb-ecommerce"):
+            assert dist[name][4] >= 0.88           # few fns ≈ 90 %
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def wp_uarch(self):
+        # Steady-state rates need a trace long enough to train the
+        # predictor across the hot-site population (≈400 k, as used by
+        # the Figure 2 bench); shorter traces inflate MPKI with cold
+        # noise.
+        return uarch_characterization(wordpress(), instructions=400_000)
+
+    def test_php_branch_mpki_band(self, wp_uarch):
+        """§2: PHP apps sit in the 14–18 MPKI band under 32 KB TAGE."""
+        assert 12.0 <= wp_uarch.branch_mpki <= 22.0
+
+    def test_btb_pressure(self, wp_uarch):
+        """Figure 2a: 64K-entry BTB hit rate is 'modest' (~96 %)."""
+        assert wp_uarch.btb_hit_rate_64k < 0.985
+        assert wp_uarch.btb_hit_rate_64k > wp_uarch.btb_hit_rate_4k
+
+    def test_cache_mpkis_modest(self, wp_uarch):
+        """Figure 2b: L1s behave like SPEC; L2 MPKI very low."""
+        assert wp_uarch.l1i_mpki < 20.0
+        assert wp_uarch.l2_mpki < wp_uarch.l1d_mpki
+
+
+class TestFigure3And4:
+    def test_mitigation_remaining_in_band(self):
+        for app in php_applications():
+            _, _, remaining = mitigation_effect(app)
+            assert 0.85 <= remaining <= 0.92  # §5.2: avg ≈ 88.15 %
+
+    def test_four_categories_dominate_post_mitigation(self):
+        shares = categorization(wordpress())
+        four = sum(v for k, v in shares.items() if k != "other")
+        assert 0.25 <= four <= 0.45
+
+
+class TestFigure5:
+    def test_breakdown_per_app(self):
+        breakdown = post_mitigation_breakdown()
+        assert set(breakdown) == {"wordpress", "drupal", "mediawiki"}
+        # Drupal's string+regex share is the smallest (Section 5.3).
+        sr = {app: b["string"] + b["regex"] for app, b in breakdown.items()}
+        assert sr["drupal"] == min(sr.values())
+        for b in breakdown.values():
+            assert abs(sum(b.values()) - 1.0) < 1e-6
+
+
+class TestFigure7:
+    def test_hit_rate_vs_size(self):
+        sweep = hash_hit_rate_sweep(
+            wordpress(), sizes=(1, 4, 32, 256, 512), requests=3
+        )
+        rates = [sweep[s] for s in (1, 4, 32, 256, 512)]
+        assert all(a <= b + 0.02 for a, b in zip(rates, rates[1:]))
+        # "Even a hash table with only 256 entries observes ... about 80%."
+        assert sweep[256] >= 0.70
+        # Tiny tables stay 'decent' because SETs never miss.
+        assert sweep[1] >= 0.15
+
+
+class TestFigure12:
+    def test_opportunity_per_app(self):
+        opp = regex_opportunity(requests=2)
+        for app, frac in opp.items():
+            assert 0.15 <= frac <= 0.85, app
+
+
+class TestFigure14(object):
+    def test_average_band(self, results):
+        priors = sum(r.time_with_priors for r in results.values()) / 3
+        final = sum(r.time_with_accelerators for r in results.values()) / 3
+        assert priors == pytest.approx(0.8815, abs=0.015)
+        assert final == pytest.approx(0.7022, abs=0.02)
+
+    def test_drupal_benefits_least(self, results):
+        benefits = {
+            name: r.accel_benefit_total for name, r in results.items()
+        }
+        assert benefits["drupal"] == min(benefits.values())
+
+    def test_monotone_improvement(self, results):
+        for r in results.values():
+            assert r.time_with_accelerators < r.time_with_priors < 1.0
+
+
+class TestFigure15:
+    def test_average_ordering(self, results):
+        """§5.3: heap 7.29 > hash 6.45 > string 4.51 > regex 1.96."""
+        avg = {
+            k: sum(r.benefits[k] for r in results.values()) / 3
+            for k in ("heap", "hash", "string", "regex")
+        }
+        assert avg["heap"] > avg["hash"] > avg["string"] > avg["regex"]
+        assert avg["heap"] == pytest.approx(0.0729, abs=0.012)
+        assert avg["hash"] == pytest.approx(0.0645, abs=0.012)
+        assert avg["string"] == pytest.approx(0.0451, abs=0.012)
+        assert avg["regex"] == pytest.approx(0.0196, abs=0.012)
+
+    def test_wordpress_leads_regex_benefit(self, results):
+        regex = {name: r.benefits["regex"] for name, r in results.items()}
+        assert regex["wordpress"] == max(regex.values())
+        assert regex["drupal"] == min(regex.values())
+
+    def test_refcount_is_largest_mitigation(self, results):
+        """§5.2: refcounting contributes ≈4.42 % of the 11.85 %."""
+        avg = sum(r.refcount_saving for r in results.values()) / 3
+        assert avg == pytest.approx(0.0442, abs=0.01)
+
+
+class TestEnergy:
+    def test_ordering_matches_paper(self, results):
+        """§5.2: WordPress −26.06 % > MediaWiki −19.81 % > Drupal −16.75 %."""
+        e = {name: r.energy_saving for name, r in results.items()}
+        assert e["wordpress"] > e["mediawiki"] > e["drupal"]
+        assert 0.10 <= e["drupal"] <= 0.25
+        assert 0.20 <= e["wordpress"] <= 0.32
+
+
+class TestReports:
+    def test_reports_render(self, results):
+        rs = list(results.values())
+        for text in (figure14_report(rs), figure15_report(rs),
+                     energy_report(rs)):
+            assert "wordpress" in text
+            assert "average" in text
+            assert "%" in text
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:2])
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = run_app_experiment(drupal(), seed=5, requests=2)
+        b = run_app_experiment(drupal(), seed=5, requests=2)
+        assert a.time_with_accelerators == b.time_with_accelerators
+        assert a.benefits == b.benefits
+        assert a.energy_saving == b.energy_saving
+
+    def test_different_seed_different_traces(self):
+        a = run_app_experiment(mediawiki(), seed=5, requests=2)
+        b = run_app_experiment(mediawiki(), seed=6, requests=2)
+        # Macro results stay in band but raw cycle counts differ.
+        assert a.comparisons["hash"].software.cycles != \
+               b.comparisons["hash"].software.cycles

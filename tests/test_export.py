@@ -1,0 +1,54 @@
+"""Unit tests: JSON export of evaluation results."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.export import (
+    app_result_to_dict,
+    evaluation_to_dict,
+    save_evaluation_json,
+)
+from repro.core.experiment import full_evaluation
+
+
+@pytest.fixture(scope="module")
+def results():
+    return full_evaluation(requests=2)
+
+
+class TestExport:
+    def test_app_dict_is_json_safe(self, results):
+        payload = app_result_to_dict(results[0])
+        text = json.dumps(payload)
+        assert json.loads(text) == payload
+
+    def test_all_fields_present(self, results):
+        payload = app_result_to_dict(results[0])
+        for key in ("app", "time_with_accelerators", "benefits",
+                    "efficiencies", "energy_saving", "hash_hit_rate"):
+            assert key in payload
+
+    def test_evaluation_dict_includes_paper_reference(self, results):
+        payload = evaluation_to_dict(results)
+        assert payload["paper"]["doi"] == "10.1145/3079856.3080234"
+        assert len(payload["apps"]) == 3
+        assert 0.6 < payload["averages"]["time_with_accelerators"] < 0.8
+
+    def test_save_roundtrip(self, results, tmp_path):
+        out = save_evaluation_json(
+            tmp_path / "results.json", results=results
+        )
+        loaded = json.loads(out.read_text())
+        assert {a["app"] for a in loaded["apps"]} == {
+            "wordpress", "drupal", "mediawiki"
+        }
+
+    def test_cli_export(self, tmp_path, capsys):
+        from repro.__main__ import main
+        out = tmp_path / "cli.json"
+        assert main(["export", "--requests", "2", "--out", str(out)]) == 0
+        loaded = json.loads(out.read_text())
+        assert "averages" in loaded

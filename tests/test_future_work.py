@@ -1,0 +1,111 @@
+"""Tests: the paper's future-work extensions (SLB predictor [35]) and
+the datacenter throughput framing from the introduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.core.experiment import AppResult, CategoryComparison
+from repro.core.throughput import (
+    BASELINE_CYCLES_PER_REQUEST,
+    CLOCK_HZ,
+    ThroughputResult,
+    fleet_summary,
+    throughput_analysis,
+)
+from repro.uarch.slb import SlbAssistedPredictor, SlbConfig, measure_slb_headroom
+from repro.uarch.trace import TraceProfile
+
+
+class TestSlbPredictor:
+    def test_chain_marking_is_stable_per_site(self):
+        p = SlbAssistedPredictor(rng=DeterministicRng(1))
+        first = p._is_chain(0x1234)
+        assert all(p._is_chain(0x1234) == first for _ in range(10))
+
+    def test_covered_branches_hit_the_queue(self):
+        p = SlbAssistedPredictor(
+            SlbConfig(chain_coverage=1.0, lead_time_hit=1.0),
+            rng=DeterministicRng(1),
+        )
+        rng = DeterministicRng(2)
+        correct = [
+            p.train(0x100, rng.random() < 0.5, data_dependent=True)
+            for _ in range(500)
+        ]
+        assert all(correct)  # exact outcomes from the queue
+        assert p.stats.get("slb.queue_hits") == 500
+
+    def test_uncovered_branches_use_tage(self):
+        p = SlbAssistedPredictor(
+            SlbConfig(chain_coverage=0.0), rng=DeterministicRng(1)
+        )
+        rng = DeterministicRng(2)
+        correct = [
+            p.train(0x100, rng.random() < 0.5, data_dependent=True)
+            for _ in range(1000)
+        ]
+        assert 0.3 < sum(correct[-500:]) / 500 < 0.7  # coin flips
+        assert p.stats.get("slb.queue_hits") == 0
+
+    def test_non_data_dependent_branches_unaffected(self):
+        p = SlbAssistedPredictor(
+            SlbConfig(chain_coverage=1.0), rng=DeterministicRng(1)
+        )
+        correct = [
+            p.train(0x200, True, data_dependent=False) for _ in range(100)
+        ]
+        assert sum(correct[5:]) == 95
+        assert p.stats.get("slb.queue_hits") == 0
+
+    def test_headroom_on_php_mix(self):
+        """§2's remark: [35] improves the PHP MPKI — measurably."""
+        result = measure_slb_headroom(TraceProfile(instructions=100_000))
+        assert result["slb_mpki"] < result["tage_mpki"]
+        assert 0.05 <= result["improvement"] <= 0.6
+        assert result["queue_hit_rate"] > 0.0
+
+
+class TestThroughput:
+    def _result(self, priors: float, accel: float) -> AppResult:
+        return AppResult(
+            app="x", time_with_priors=priors,
+            time_with_accelerators=accel,
+            category_fractions={}, comparisons={}, benefits={},
+            energy_saving=0.0, regex_skip_fraction=0.0,
+            refcount_saving=0.0, hash_specialized_fraction=0.0,
+            hash_hit_rate=0.0, heap_hit_rate=0.0, average_walk_uops=0.0,
+        )
+
+    def test_rps_scales_inverse_to_time(self):
+        analysis = throughput_analysis(
+            results=[self._result(0.9, 0.72)]
+        )
+        t = analysis[0]
+        base = CLOCK_HZ / BASELINE_CYCLES_PER_REQUEST
+        assert t.baseline_rps == pytest.approx(base)
+        assert t.accelerated_rps == pytest.approx(base / 0.72)
+        assert t.capacity_gain == pytest.approx(1 / 0.72 - 1)
+
+    def test_cores_for_target(self):
+        t = ThroughputResult("x", baseline_rps=100.0,
+                             optimized_rps=120.0, accelerated_rps=150.0)
+        assert t.cores_for(1000, "baseline") == 10
+        assert t.cores_for(1000, "accelerated") == 7
+        assert t.cores_for(1, "accelerated") == 1
+
+    def test_fleet_summary_saves_cores(self):
+        analysis = [
+            ThroughputResult("a", 100.0, 115.0, 140.0),
+            ThroughputResult("b", 100.0, 110.0, 130.0),
+        ]
+        summary = fleet_summary(analysis, fleet_rps=20_000.0)
+        assert summary["accelerated_cores"] < summary["baseline_cores"]
+        assert 0.0 < summary["fleet_reduction"] < 0.5
+
+    def test_end_to_end_matches_paper_scale(self):
+        """≈30 % of execution time back ⇒ ≈30 % fewer cores."""
+        analysis = throughput_analysis(requests=2)
+        summary = fleet_summary(analysis)
+        assert 0.2 <= summary["fleet_reduction"] <= 0.4

@@ -1,0 +1,107 @@
+"""Property tests: MiniPHP expression semantics under fuzzing."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.interp import MiniPhpInterpreter, SoftwareBackend
+
+words = st.text(alphabet="abcxyz 09", max_size=12)
+
+
+def render(template: str, variables=None) -> str:
+    return MiniPhpInterpreter(SoftwareBackend()).render(
+        template, variables or {}
+    )
+
+
+class TestConcatProperties:
+    @given(st.lists(words, min_size=1, max_size=6))
+    @settings(max_examples=80)
+    def test_concat_chain_equals_join(self, parts):
+        expr = " . ".join(f"'{p}'" for p in parts)
+        assert render(f"<?= {expr} ?>") == "".join(parts)
+
+    @given(words, words)
+    @settings(max_examples=60)
+    def test_concat_through_variables(self, a, b):
+        out = render("<?php $joined = $a . $b; ?><?= $joined ?>",
+                     {"a": a, "b": b})
+        assert out == a + b
+
+
+class TestComparisonProperties:
+    @given(st.integers(0, 999), st.integers(0, 999))
+    @settings(max_examples=80)
+    def test_integer_comparisons(self, x, y):
+        for op, fn in (("==", x == y), ("!=", x != y),
+                       ("<", x < y), (">", x > y)):
+            out = render(f"<?= {x} {op} {y} ?>")
+            assert out == ("1" if fn else "")
+
+    @given(st.lists(st.integers(0, 99), min_size=1, max_size=5))
+    @settings(max_examples=60)
+    def test_count_matches_length(self, values):
+        items = ", ".join(str(v) for v in values)
+        out = render(f"<?php $a = array({items}); ?><?= count($a) ?>")
+        assert out == str(len(values))
+
+
+class TestArrayProperties:
+    @given(st.dictionaries(
+        st.text(alphabet="abcdef", min_size=1, max_size=6),
+        st.integers(0, 99), min_size=1, max_size=6,
+    ))
+    @settings(max_examples=60)
+    def test_array_roundtrip(self, mapping):
+        pairs = ", ".join(f"'{k}' => {v}" for k, v in mapping.items())
+        probes = "".join(
+            f"[<?= $a['{k}'] ?>]" for k in mapping
+        )
+        out = render(f"<?php $a = array({pairs}); ?>{probes}")
+        assert out == "".join(f"[{v}]" for v in mapping.values())
+
+    @given(st.lists(
+        st.tuples(st.text(alphabet="abcdef", min_size=1, max_size=5),
+                  st.integers(0, 99)),
+        min_size=1, max_size=8,
+    ))
+    @settings(max_examples=60)
+    def test_foreach_order_matches_insertion(self, pairs):
+        interp = MiniPhpInterpreter(SoftwareBackend())
+        array = interp.new_array()
+        expected: dict[str, int] = {}
+        for k, v in pairs:
+            interp.array_set(array, k, v)
+            expected[k] = v
+        out = interp.render(
+            "<?php foreach ($a as $k => $v): ?>"
+            "<?= $k ?>=<?= $v ?>;<?php endforeach; ?>",
+            {"a": array},
+        )
+        assert out == "".join(f"{k}={v};" for k, v in expected.items())
+
+
+class TestFunctionProperties:
+    @given(words)
+    @settings(max_examples=60)
+    def test_strtoupper_matches_python(self, s):
+        out = render("<?= strtoupper($s) ?>", {"s": s})
+        assert out == s.upper()
+
+    @given(words)
+    @settings(max_examples=60)
+    def test_strlen_matches_python(self, s):
+        out = render("<?= strlen($s) ?>", {"s": s})
+        assert out == str(len(s))
+
+    @given(st.lists(words, max_size=5), words)
+    @settings(max_examples=60)
+    def test_implode_matches_join(self, parts, glue):
+        interp = MiniPhpInterpreter(SoftwareBackend())
+        array = interp.new_array()
+        for i, p in enumerate(parts):
+            interp.array_set(array, str(i), p)
+        out = interp.render("<?= implode($g, $a) ?>",
+                            {"g": glue, "a": array})
+        assert out == glue.join(parts)

@@ -1,0 +1,58 @@
+"""Integration tests: per-request latency distributions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.latency import (
+    LatencyDistribution,
+    percentile,
+    request_latency_report,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 100.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_distribution_helpers(self):
+        d = LatencyDistribution(samples=[1.0, 2.0, 3.0])
+        assert d.mean == pytest.approx(2.0)
+        assert d.p(50) == 2.0
+
+
+class TestRequestLatency:
+    @pytest.fixture(scope="class", params=["wordpress", "drupal", "mediawiki"])
+    def report(self, request):
+        return request_latency_report(request.param, requests=8)
+
+    def test_pages_identical(self, report):
+        assert report.pages_identical
+
+    def test_accelerated_is_faster_at_every_quantile(self, report):
+        for q in (50, 95, 99):
+            assert report.accelerated.p(q) < report.software.p(q), q
+
+    def test_speedups_in_plausible_band(self, report):
+        """Backend-only speedups exceed the whole-app Figure 14 ratio
+        (these cycles cover just the accelerated categories)."""
+        assert 1.2 <= report.mean_speedup <= 6.0
+        assert 1.1 <= report.p99_speedup <= 6.0
+
+    def test_samples_counted(self, report):
+        assert len(report.software.samples) == 8
+        assert len(report.accelerated.samples) == 8
+
+    def test_requests_vary(self, report):
+        assert len(set(report.software.samples)) > 1

@@ -1,0 +1,167 @@
+"""Model-based property tests: accelerators vs reference oracles.
+
+Hypothesis drives random operation scripts against a hardware
+component and a trivially-correct Python model side by side; any
+observable divergence is a bug.  This is the strongest correctness
+net over the accelerators' replacement/eviction/fallback machinery.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.hash_table import HardwareHashTable, HashTableConfig
+from repro.accel.heap_manager import HardwareHeapManager, HeapManagerConfig
+from repro.accel.regex_accel import (
+    ContentReuseTable,
+    ReuseAcceleratedMatcher,
+    ReuseTableConfig,
+)
+from repro.regex.engine import CompiledRegex
+from repro.runtime.phparray import PhpArray
+from repro.runtime.slab import SlabAllocator
+
+BASE = 0x6800_0000
+
+hash_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["get", "set", "free", "foreach"]),
+        st.sampled_from([f"k{i}" for i in range(12)]),
+        st.sampled_from([BASE, BASE + 0x200, BASE + 0x400]),
+        st.integers(min_value=0, max_value=99),
+    ),
+    max_size=120,
+)
+
+
+class TestHashTableVsDictOracle:
+    """The hardware table + software map must equal a plain dict."""
+
+    @given(hash_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_observable_values_match_oracle(self, script):
+        config = HashTableConfig(entries=8, probe_width=4)
+        ht = HardwareHashTable(config)
+        arrays = {b: PhpArray(base_address=b) for b in
+                  (BASE, BASE + 0x200, BASE + 0x400)}
+        ht.writeback_handler = (
+            lambda b, k, v: arrays[b].hardware_writeback(k, v)
+        )
+        oracle: dict[tuple[int, str], int] = {}
+
+        for kind, key, base, value in script:
+            if kind == "set":
+                outcome = ht.set(key, base, value)
+                if outcome.software_fallback:
+                    arrays[base].set(key, value)
+                oracle[(base, key)] = value
+            elif kind == "get":
+                outcome = ht.get(key, base)
+                expected = oracle.get((base, key))
+                if outcome.hit:
+                    assert outcome.value_ptr == expected, (key, base)
+                else:
+                    got = arrays[base].get_default(key)
+                    assert got == expected, (key, base)
+                    if expected is not None:
+                        ht.insert_clean(key, base, expected)
+            elif kind == "free":
+                ht.free_map(base)
+                arrays[base] = PhpArray(base_address=base)
+                oracle = {
+                    (b, k): v for (b, k), v in oracle.items() if b != base
+                }
+            else:  # foreach
+                ht.foreach_sync(base)
+                view = dict(arrays[base].items())
+                for (b, k), v in oracle.items():
+                    if b == base:
+                        assert view.get(k) == v, (k, base)
+
+        # Final settlement: flush everything and compare exactly.
+        for base, array in arrays.items():
+            ht.flush_map(base)
+            expected = {
+                k: v for (b, k), v in oracle.items() if b == base
+            }
+            got = dict(array.items())
+            assert got == expected, base
+
+
+class TestHeapManagerVsOracle:
+    """hmmalloc/hmfree must behave like a correct allocator."""
+
+    @given(st.lists(
+        st.one_of(
+            st.tuples(st.just("malloc"), st.integers(1, 128)),
+            st.tuples(st.just("free"), st.integers(0, 10 ** 6)),
+            st.tuples(st.just("flush"), st.just(0)),
+        ),
+        max_size=150,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_no_aliasing_no_loss(self, script):
+        hm = HardwareHeapManager(
+            SlabAllocator(), HeapManagerConfig(entries_per_class=8)
+        )
+        live: dict[int, int] = {}  # address -> size
+        order: list[int] = []
+        for kind, arg in script:
+            if kind == "malloc":
+                out = hm.hmmalloc(arg)
+                assert out.address is not None
+                assert out.address not in live, "address handed out twice"
+                live[out.address] = arg
+                order.append(out.address)
+            elif kind == "free" and order:
+                addr = order.pop(arg % len(order))
+                size = live.pop(addr)
+                hm.hmfree(addr, size)
+            elif kind == "flush":
+                hm.hmflush()
+                assert hm.cached_blocks() == 0
+
+
+URL = r"https://[a-z]+/\?author=[a-z]+"
+
+
+class TestReuseTableVsDirectMatch:
+    """Reuse-accelerated matching must equal direct matching, always."""
+
+    @given(st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=5),   # call site (pc)
+            st.sampled_from([
+                "https://localhost/?author=abc",
+                "https://localhost/?author=xyz",
+                "https://localhost/?author=abcdef",
+                "https://example/?author=q",
+                "not a url",
+                "https://localhost/",
+            ]),
+        ),
+        max_size=80,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_match_end_always_correct(self, script):
+        table = ContentReuseTable(ReuseTableConfig(entries=3))
+        matcher = ReuseAcceleratedMatcher(table)
+        regex = CompiledRegex(URL)
+        oracle = CompiledRegex(URL)
+        for pc, content in script:
+            got = matcher.match(regex, content, pc=pc)
+            want = oracle.match_prefix(content).match
+            want_end = want.end if want else None
+            assert got.match_end == want_end, (pc, content, got.scenario)
+
+    @given(st.lists(st.sampled_from(["abc", "abd", "ab", "xyz"]), max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_single_site_stream(self, authors):
+        table = ContentReuseTable()
+        matcher = ReuseAcceleratedMatcher(table)
+        regex = CompiledRegex(URL)
+        for author in authors:
+            url = f"https://localhost/?author={author}"
+            got = matcher.match(regex, url, pc=1)
+            want = CompiledRegex(URL).match_prefix(url).match
+            assert got.match_end == (want.end if want else None)

@@ -1,0 +1,86 @@
+"""Unit tests: CACTI-like SRAM model, area budget, energy ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.power import (
+    EnergyLedger,
+    NEHALEM_CORE_MM2,
+    PAPER_ACCEL_MM2,
+    accelerator_area_report,
+    energy_savings,
+    estimate_sram,
+)
+
+
+class TestSramModel:
+    def test_area_scales_with_bits(self):
+        small = estimate_sram("s", 64, 64)
+        large = estimate_sram("l", 4096, 64)
+        assert large.area_mm2 > small.area_mm2
+
+    def test_energy_scales_sublinearly(self):
+        small = estimate_sram("s", 64, 64)
+        large = estimate_sram("l", 4096, 64)
+        ratio = large.read_energy_pj / small.read_energy_pj
+        assert 1.0 < ratio < 64.0
+
+    def test_write_costs_more_than_read(self):
+        est = estimate_sram("x", 512, 128)
+        assert est.write_energy_pj > est.read_energy_pj
+
+    def test_multiporting_costs_area(self):
+        single = estimate_sram("s", 512, 128, ports=1)
+        dual = estimate_sram("d", 512, 128, ports=2)
+        assert dual.area_mm2 > single.area_mm2
+
+    def test_small_arrays_single_cycle(self):
+        assert estimate_sram("s", 512, 128).latency_cycles == 1
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            estimate_sram("bad", 0, 64)
+
+
+class TestAreaBudget:
+    def test_total_near_paper(self):
+        """§5.1: combined accelerators ≈ 0.22 mm², ≈ 0.89% of a core."""
+        report = accelerator_area_report()
+        assert report.total_mm2 == pytest.approx(PAPER_ACCEL_MM2, rel=0.15)
+        assert report.core_fraction == pytest.approx(0.0089, rel=0.20)
+
+    def test_all_structures_itemized(self):
+        names = {name for name, _ in accelerator_area_report().rows()}
+        assert {"hash-table", "rtt", "heap-free-lists", "reuse-table"} <= names
+
+    def test_hash_table_dominates(self):
+        """512 × ~45 B entries is by far the largest structure."""
+        rows = dict(accelerator_area_report().rows())
+        assert rows["hash-table"] == max(rows.values())
+
+    def test_core_fraction_is_tiny(self):
+        assert accelerator_area_report().core_fraction < 0.02
+
+
+class TestEnergyLedger:
+    def test_core_energy_dominates(self):
+        base = EnergyLedger(core_uops=1_000_000)
+        accel = EnergyLedger(core_uops=1_000_000, hash_accesses=10_000)
+        # Accelerator events are ~5 orders cheaper than core µops.
+        assert accel.total_nj() < base.total_nj() * 1.01
+
+    def test_savings_track_uop_reduction(self):
+        base = EnergyLedger(core_uops=1_000_000)
+        accel = EnergyLedger(core_uops=750_000)
+        assert energy_savings(base, accel) == pytest.approx(0.25, abs=0.01)
+
+    def test_zero_baseline_guarded(self):
+        assert energy_savings(EnergyLedger(), EnergyLedger()) == 0.0
+
+    def test_accelerator_events_cost_something(self):
+        quiet = EnergyLedger(core_uops=1000)
+        busy = EnergyLedger(core_uops=1000, hash_accesses=500,
+                            heap_accesses=500, string_blocks=500,
+                            reuse_accesses=500)
+        assert busy.total_nj() > quiet.total_nj()

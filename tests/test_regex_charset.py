@@ -1,0 +1,109 @@
+"""Unit + property tests: CharSet bitmask algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.regex.charset import (
+    ALPHABET_SIZE,
+    CharSet,
+    DIGIT,
+    REGULAR_CHARS,
+    SPACE,
+    SPECIAL_CHARS,
+    WORD,
+)
+
+ascii_chars = st.characters(min_codepoint=0, max_codepoint=127)
+
+
+class TestConstruction:
+    def test_of(self):
+        cs = CharSet.of("abc")
+        assert cs.contains("a") and cs.contains("c")
+        assert not cs.contains("d")
+
+    def test_char_range(self):
+        cs = CharSet.char_range("a", "c")
+        assert list(cs.codes()) == [97, 98, 99]
+
+    def test_char_range_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            CharSet.char_range("z", "a")
+
+    def test_of_rejects_non_byte(self):
+        with pytest.raises(ValueError):
+            CharSet.of("ሴ")
+
+    def test_dot_excludes_newline(self):
+        dot = CharSet.dot()
+        assert dot.contains("a")
+        assert not dot.contains("\n")
+
+    def test_empty_and_full(self):
+        assert CharSet.empty().is_empty()
+        assert len(CharSet.full()) == ALPHABET_SIZE
+
+
+class TestAlgebra:
+    def test_union(self):
+        assert CharSet.of("ab").union(CharSet.of("bc")) == CharSet.of("abc")
+
+    def test_intersection(self):
+        assert CharSet.of("ab").intersection(CharSet.of("bc")) == CharSet.of("b")
+
+    def test_difference(self):
+        assert CharSet.of("abc").difference(CharSet.of("b")) == CharSet.of("ac")
+
+    def test_complement_involution(self):
+        cs = CharSet.of("xyz")
+        assert cs.complement().complement() == cs
+
+    def test_hashable(self):
+        assert len({CharSet.of("a"), CharSet.of("a"), CharSet.of("b")}) == 2
+
+    @given(st.sets(ascii_chars, max_size=20), st.sets(ascii_chars, max_size=20))
+    @settings(max_examples=60)
+    def test_union_matches_set_semantics(self, a, b):
+        ca, cb = CharSet.of("".join(a)), CharSet.of("".join(b))
+        u = ca.union(cb)
+        for ch in map(chr, range(128)):
+            assert u.contains(ch) == (ch in a or ch in b)
+
+    @given(st.sets(ascii_chars, max_size=20))
+    @settings(max_examples=60)
+    def test_len_matches_cardinality(self, chars):
+        assert len(CharSet.of("".join(chars))) == len(chars)
+
+
+class TestNamedClasses:
+    def test_digit(self):
+        assert all(DIGIT.contains(c) for c in "0123456789")
+        assert not DIGIT.contains("a")
+
+    def test_word(self):
+        assert all(WORD.contains(c) for c in "azAZ09_")
+        assert not WORD.contains("-")
+
+    def test_space(self):
+        assert all(SPACE.contains(c) for c in " \t\n\r")
+
+    def test_paper_special_partition(self):
+        """Section 4.5: {A-Za-z0-9_.,-} regular (plus space, see note)."""
+        for c in "AZaz09_.,- ":
+            assert REGULAR_CHARS.contains(c), c
+            assert not SPECIAL_CHARS.contains(c), c
+        for c in "'\"<>&\n[]()=;:!?":
+            assert SPECIAL_CHARS.contains(c), c
+            assert not REGULAR_CHARS.contains(c), c
+
+    def test_partition_covers_ascii(self):
+        for code in range(128):
+            ch = chr(code)
+            assert REGULAR_CHARS.contains(ch) != SPECIAL_CHARS.contains(ch)
+
+    def test_sample_char(self):
+        assert CharSet.of("q").sample_char() == "q"
+        with pytest.raises(ValueError):
+            CharSet.empty().sample_char()

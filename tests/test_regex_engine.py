@@ -1,0 +1,234 @@
+"""Unit + differential tests: parser, DFA construction, matching engine.
+
+The engine's semantics are validated differentially against Python's
+``re`` module on the pattern subset this reproduction uses (where
+leftmost-greedy and leftmost-longest coincide).
+"""
+
+from __future__ import annotations
+
+import re as pyre
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.regex.dfa import DEAD, build_dfa, partition_alphabet
+from repro.regex.charset import CharSet
+from repro.regex.engine import CompiledRegex, RegexManager
+from repro.regex.nfa import build_nfa
+from repro.regex.parser import RegexSyntaxError, parse
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("pattern", [
+        "(", ")", "a)", "[", "[]", "*a", "+", "a{3,1}", "(?<x)", "a\\",
+        "(?P<n>a)",
+    ])
+    def test_rejects_bad_patterns(self, pattern):
+        with pytest.raises(RegexSyntaxError):
+            CompiledRegex(pattern)
+
+    def test_counted_repeat_cap(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a{100}")
+
+    def test_anchor_mid_pattern_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            CompiledRegex("a^b")
+
+
+class TestDfaConstruction:
+    def test_partition_groups_equivalent_bytes(self):
+        class_of, count = partition_alphabet([CharSet.of("abc")])
+        assert count == 2
+        assert class_of[ord("a")] == class_of[ord("b")] == class_of[ord("c")]
+        assert class_of[ord("z")] != class_of[ord("a")]
+
+    def test_small_dfa_for_literal(self):
+        fsm = build_dfa(build_nfa(parse("abc")))
+        assert fsm.state_count <= 5
+        s = fsm.start
+        for ch in "abc":
+            s = fsm.step(s, ch)
+        assert fsm.is_accepting(s)
+
+    def test_dead_state_on_mismatch(self):
+        fsm = build_dfa(build_nfa(parse("abc")))
+        assert fsm.step(fsm.start, "z") == DEAD
+
+    def test_liveness_marks_dead_ends(self):
+        fsm = build_dfa(build_nfa(parse("ab")))
+        assert fsm.is_live(fsm.start)
+
+    def test_table_bytes_positive(self):
+        fsm = build_dfa(build_nfa(parse("[a-z]+")))
+        assert fsm.table_bytes() > 0
+
+
+DIFFERENTIAL_CASES = [
+    (r"abc", ["abc", "xxabcx", "ab", "", "abcabc"]),
+    (r"a+b*", ["aaabbb", "b", "a", "xa", ""]),
+    (r"[a-c]+", ["abcd", "dddd", "cab"]),
+    (r"[^a-c]+", ["abcd", "dddd", "xyz"]),
+    (r"(?:ab|cd)+", ["ababcd", "cdx", "x"]),
+    (r"\d{2,4}", ["12345", "1", "a99b"]),
+    (r"<[a-z]+>", ["<em>hi</em>", "< >", "no"]),
+    (r"'[A-Za-z]", ["it's fine", "'", "x'Y"]),
+    (r"\[\[[A-Za-z ]+\]\]", ["see [[Main Page]] now", "[[x", "[]"]),
+    (r"&[a-z]+;", ["a&amp;b", "&&;", "& amp ;"]),
+    (r"https?://[a-z.]+", ["go to http://foo.bar now", "https://x", "ftp://"]),
+    (r"a.c", ["abc", "a\nc", "axc"]),
+    (r"x?y", ["xy", "y", "x"]),
+    (r"==+", ["== heading ==", "=", "==="]),
+]
+
+
+class TestDifferentialAgainstRe:
+    @pytest.mark.parametrize("pattern,texts", DIFFERENTIAL_CASES)
+    def test_search_spans_match(self, pattern, texts):
+        ours = CompiledRegex(pattern)
+        ref = pyre.compile(pattern)
+        for text in texts:
+            mine = ours.search(text).match
+            theirs = ref.search(text)
+            my_span = (mine.start, mine.end) if mine else None
+            ref_span = theirs.span() if theirs else None
+            assert my_span == ref_span, (pattern, text)
+
+    @pytest.mark.parametrize("pattern,texts", DIFFERENTIAL_CASES)
+    def test_findall_counts_match(self, pattern, texts):
+        ours = CompiledRegex(pattern)
+        ref = pyre.compile(pattern)
+        for text in texts:
+            matches, _ = ours.findall(text)
+            assert len(matches) == len(ref.findall(text)), (pattern, text)
+
+    def test_sub_matches_re(self):
+        ours = CompiledRegex(r"[<>&]")
+        out, n, _ = ours.sub("_", "a<b>&c")
+        assert out == pyre.sub(r"[<>&]", "_", "a<b>&c")
+        assert n == 3
+
+    def test_sub_with_callable(self):
+        ours = CompiledRegex(r"[a-z]+")
+        out, n, _ = ours.sub(lambda s: s.upper(), "ab 12 cd")
+        assert out == "AB 12 CD"
+        assert n == 2
+
+    @given(st.text(alphabet="ab'<> \n", max_size=60))
+    @settings(max_examples=80)
+    def test_texturize_pattern_property(self, text):
+        """The Figure 11 apostrophe pattern agrees with re everywhere."""
+        ours = CompiledRegex(r"'[A-Za-z]")
+        ref = pyre.compile(r"'[A-Za-z]")
+        mine = ours.search(text).match
+        theirs = ref.search(text)
+        assert (mine is None) == (theirs is None)
+        if mine:
+            assert (mine.start, mine.end) == theirs.span()
+
+
+class TestIgnoreCase:
+    def test_flag_detected(self):
+        assert CompiledRegex(r"(?i)abc").ignore_case
+        assert not CompiledRegex(r"abc").ignore_case
+
+    @pytest.mark.parametrize("text", ["ABC", "abc", "AbC", "xxaBcyy", "ab"])
+    def test_matches_re(self, text):
+        ours = CompiledRegex(r"(?i)abc").search(text).match
+        theirs = pyre.compile(r"(?i)abc").search(text)
+        assert (ours is None) == (theirs is None)
+        if ours:
+            assert (ours.start, ours.end) == theirs.span()
+
+    def test_class_folding(self):
+        rx = CompiledRegex(r"(?i)[a-c]+")
+        m = rx.search("xxBCAzz").match
+        assert (m.start, m.end) == (2, 5)
+
+    def test_non_letters_unaffected(self):
+        rx = CompiledRegex(r"(?i)a1!")
+        assert rx.search("A1!").match is not None
+        assert rx.search("A2!").match is None
+
+    @given(st.text(alphabet="aAbB'<", max_size=40))
+    @settings(max_examples=60)
+    def test_fold_property(self, text):
+        ours = CompiledRegex(r"(?i)'[ab]")
+        ref = pyre.compile(r"(?i)'[ab]")
+        mine = ours.search(text).match
+        theirs = ref.search(text)
+        assert (mine is None) == (theirs is None)
+        if mine:
+            assert (mine.start, mine.end) == theirs.span()
+
+
+class TestAnchors:
+    def test_start_anchor(self):
+        rx = CompiledRegex(r"^abc")
+        assert rx.search("abcdef").match is not None
+        assert rx.search("xabc").match is None
+
+    def test_end_anchor(self):
+        rx = CompiledRegex(r"abc$")
+        assert rx.search("xxabc").match is not None
+        assert rx.search("abcx").match is None
+
+    def test_both_anchors(self):
+        rx = CompiledRegex(r"^a+$")
+        assert rx.search("aaa").match is not None
+        assert rx.search("aab").match is None
+
+
+class TestStateResume:
+    """The state_after/resume pair that content reuse depends on."""
+
+    def test_resume_equals_full_match(self):
+        rx = CompiledRegex(r"https://[a-z]+/\?author=[a-z]+")
+        content = "https://localhost/?author=gope"
+        for split in (0, 5, 26, len(content)):
+            state, last = rx.state_after(content, 0, split)
+            assert state != DEAD
+            end, _ = rx.resume(state, last, content, split)
+            full = rx.match_prefix(content).match
+            assert end == (full.end if full else None), split
+
+    def test_state_after_dead_on_mismatch(self):
+        rx = CompiledRegex(r"abc")
+        state, _ = rx.state_after("zzz", 0, 3)
+        assert state == DEAD
+
+    def test_chars_examined_counted(self):
+        rx = CompiledRegex(r"z")
+        rx.search("aaaa")
+        assert rx.stats.get("regex.chars_examined") >= 4
+
+
+class TestSearchStartLimit:
+    def test_limit_excludes_later_starts(self):
+        rx = CompiledRegex(r"b+")
+        outcome = rx.search("aaaabbb", start=0, start_limit=2)
+        assert outcome.match is None
+
+    def test_match_may_extend_past_limit(self):
+        rx = CompiledRegex(r"ab+")
+        outcome = rx.search("abbbb", start=0, start_limit=1)
+        assert outcome.match is not None
+        assert outcome.match.end == 5
+
+
+class TestRegexManager:
+    def test_compile_caches(self):
+        mgr = RegexManager()
+        a = mgr.compile("abc")
+        b = mgr.compile("abc")
+        assert a is b
+        assert mgr.stats.get("regexmgr.compiles") == 1
+        assert mgr.stats.get("regexmgr.cache_hits") == 1
+
+    def test_publishes_fsm_via_symbol_table(self):
+        from repro.runtime.symbols import SymbolTable
+        table = SymbolTable("patterns")
+        mgr = RegexManager(pattern_table=table)
+        compiled = mgr.compile("abc")
+        assert table.lookup("abc") is compiled.fsm

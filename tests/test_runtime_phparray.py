@@ -1,0 +1,170 @@
+"""Unit + property tests: the insertion-ordered software hash map."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.phparray import PhpArray, php_array_hash
+
+keys = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_", min_size=1, max_size=24
+)
+
+
+class TestBasicOperations:
+    def test_set_get(self):
+        a = PhpArray()
+        a.set("k", 1)
+        assert a.get("k") == 1
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            PhpArray().get("nope")
+
+    def test_get_default(self):
+        a = PhpArray()
+        assert a.get_default("nope", 7) == 7
+
+    def test_update_keeps_one_entry(self):
+        a = PhpArray()
+        a.set("k", 1)
+        a.set("k", 2)
+        assert a.get("k") == 2
+        assert len(a) == 1
+
+    def test_contains(self):
+        a = PhpArray()
+        a.set("k", 1)
+        assert "k" in a
+        assert "x" not in a
+
+    def test_unset(self):
+        a = PhpArray()
+        a.set("k", 1)
+        assert a.unset("k") is True
+        assert "k" not in a
+        assert a.unset("k") is False
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            PhpArray(capacity=0)
+
+
+class TestInsertionOrder:
+    def test_foreach_order(self):
+        a = PhpArray()
+        for i, k in enumerate("zyxw"):
+            a.set(k, i)
+        assert a.keys() == list("zyxw")
+
+    def test_update_does_not_reorder(self):
+        a = PhpArray()
+        a.set("a", 1)
+        a.set("b", 2)
+        a.set("a", 3)
+        assert a.keys() == ["a", "b"]
+
+    def test_unset_then_reinsert_moves_to_end(self):
+        a = PhpArray()
+        a.set("a", 1)
+        a.set("b", 2)
+        a.unset("a")
+        a.set("a", 3)
+        assert a.keys() == ["b", "a"]
+
+    def test_order_survives_growth(self):
+        a = PhpArray(capacity=4)
+        names = [f"key{i}" for i in range(100)]
+        for i, k in enumerate(names):
+            a.set(k, i)
+        assert a.keys() == names
+
+
+class TestGrowthAndCosts:
+    def test_grows_past_initial_capacity(self):
+        a = PhpArray(capacity=4)
+        for i in range(50):
+            a.set(f"k{i}", i)
+        assert len(a) == 50
+        assert all(a.get(f"k{i}") == i for i in range(50))
+
+    def test_probe_accounting(self):
+        a = PhpArray()
+        a.set("k", 1)
+        before = a.stats.get("walk.probes")
+        a.get("k")
+        assert a.stats.get("walk.probes") > before
+        assert a.stats.get("walk.ops") >= 2
+
+    def test_key_bytes_counted_on_match(self):
+        a = PhpArray()
+        a.set("abcdef", 1)
+        before = a.stats.get("walk.key_bytes")
+        a.get("abcdef")
+        assert a.stats.get("walk.key_bytes") - before >= 6
+
+
+class TestHardwareWriteback:
+    def test_existing_key_updated_in_place(self):
+        a = PhpArray()
+        a.set("k", 1)
+        a.hardware_writeback("k", 9)
+        assert a.get("k") == 9
+        assert not a.stale_hash_flag
+
+    def test_new_key_appends_and_marks_stale(self):
+        a = PhpArray()
+        a.set("a", 1)
+        a.hardware_writeback("b", 2)
+        assert a.stale_hash_flag
+        assert a.keys() == ["a", "b"]
+
+    def test_stale_rebuild_restores_lookup(self):
+        a = PhpArray()
+        a.hardware_writeback("x", 1)
+        assert a.get("x") == 1  # triggers rebuild
+        assert a.stats.get("walk.stale_rebuilds") == 1
+        assert not a.stale_hash_flag
+
+    def test_rebuild_grows_when_needed(self):
+        a = PhpArray(capacity=4)
+        for i in range(40):
+            a.hardware_writeback(f"k{i}", i)
+        assert a.get("k39") == 39
+        assert len(a) == 40
+
+
+class TestPropertyBased:
+    @given(st.lists(st.tuples(keys, st.integers()), max_size=60))
+    @settings(max_examples=60)
+    def test_behaves_like_dict(self, pairs):
+        a = PhpArray()
+        model: dict[str, int] = {}
+        for k, v in pairs:
+            a.set(k, v)
+            model[k] = v
+        assert len(a) == len(model)
+        for k, v in model.items():
+            assert a.get(k) == v
+        assert a.keys() == list(model.keys())  # dict preserves insertion
+
+    @given(st.lists(st.tuples(st.sampled_from("abcdef"), st.booleans()),
+                    max_size=80))
+    @settings(max_examples=60)
+    def test_set_unset_interleaving(self, script):
+        a = PhpArray()
+        model: dict[str, int] = {}
+        for i, (k, is_set) in enumerate(script):
+            if is_set:
+                a.set(k, i)
+                model[k] = i
+            else:
+                assert a.unset(k) == (k in model)
+                model.pop(k, None)
+        assert a.keys() == list(model.keys())
+
+    @given(st.lists(keys, unique=True, min_size=1, max_size=40))
+    @settings(max_examples=40)
+    def test_hash_function_stable(self, ks):
+        assert [php_array_hash(k) for k in ks] == [php_array_hash(k) for k in ks]

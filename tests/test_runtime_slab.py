@@ -1,0 +1,149 @@
+"""Unit + property tests: the software slab allocator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.slab import (
+    CHUNK_BYTES,
+    SLAB_CLASS_BOUNDS,
+    SlabAllocator,
+    slab_class_for,
+)
+
+
+class TestSlabClassFor:
+    def test_boundaries(self):
+        assert slab_class_for(1) == 0
+        assert slab_class_for(32) == 0
+        assert slab_class_for(33) == 1
+        assert slab_class_for(128) == 3
+        assert slab_class_for(129) == 4
+
+    def test_oversize_returns_none(self):
+        assert slab_class_for(SLAB_CLASS_BOUNDS[-1] + 1) is None
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            slab_class_for(0)
+
+
+class TestAllocator:
+    def test_malloc_returns_distinct_addresses(self):
+        s = SlabAllocator()
+        a = s.malloc(40)
+        b = s.malloc(40)
+        assert a != b
+
+    def test_free_then_malloc_recycles(self):
+        s = SlabAllocator()
+        a = s.malloc(40)
+        s.free(a)
+        assert s.malloc(40) == a
+        assert s.stats.get("malloc.recycled") == 1
+
+    def test_free_unknown_raises(self):
+        with pytest.raises(ValueError):
+            SlabAllocator().free(0xDEAD)
+
+    def test_double_free_raises(self):
+        s = SlabAllocator()
+        a = s.malloc(16)
+        s.free(a)
+        with pytest.raises(ValueError):
+            s.free(a)
+
+    def test_oversize_goes_to_kernel(self):
+        s = SlabAllocator()
+        a = s.malloc(100_000)
+        assert s.stats.get("malloc.kernel_direct") == 1
+        s.free(a)
+        assert s.stats.get("free.kernel_direct") == 1
+
+    def test_chunk_carving_counted(self):
+        s = SlabAllocator()
+        s.malloc(40)
+        assert s.stats.get("kernel.chunk_allocs") == 1
+        # Subsequent allocations of the same class reuse the chunk.
+        for _ in range(10):
+            s.malloc(40)
+        assert s.stats.get("kernel.chunk_allocs") == 1
+
+    def test_live_bytes_tracks_class(self):
+        s = SlabAllocator()
+        a = s.malloc(40)  # class 1 (<=64)
+        assert s.live_bytes(1) == 64
+        s.free(a)
+        assert s.live_bytes(1) == 0
+
+    def test_recycle_rate(self):
+        s = SlabAllocator()
+        addresses = [s.malloc(20) for _ in range(10)]
+        for a in addresses:
+            s.free(a)
+        for _ in range(10):
+            s.malloc(20)
+        assert s.recycle_rate() == pytest.approx(0.5)
+
+    def test_usage_samples(self):
+        s = SlabAllocator()
+        s.malloc(20)
+        s.sample_usage()
+        s.malloc(20)
+        s.sample_usage()
+        assert len(s.usage_samples) == 2
+        assert s.usage_samples[1][1][0] == 2 * 32
+
+
+class TestPrefetcherInterface:
+    def test_pop_free_block_marks_live(self):
+        s = SlabAllocator()
+        addr = s.pop_free_block(0)
+        assert addr is not None
+        assert s.live_bytes(0) == 32
+
+    def test_push_free_block_returns_to_list(self):
+        s = SlabAllocator()
+        addr = s.pop_free_block(0)
+        s.push_free_block(0, addr)
+        assert s.live_bytes(0) == 0
+        assert s.pop_free_block(0) == addr
+
+    def test_pop_uses_chunk_refill_when_dry(self):
+        s = SlabAllocator()
+        before = s.stats.get("kernel.chunk_allocs")
+        s.pop_free_block(2)
+        assert s.stats.get("kernel.chunk_allocs") == before + 1
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(min_value=1, max_value=4096), max_size=80))
+    @settings(max_examples=50)
+    def test_alloc_free_all_leaves_nothing_live(self, sizes):
+        s = SlabAllocator()
+        addresses = [s.malloc(size) for size in sizes]
+        assert len(set(addresses)) == len(addresses)
+        for a in addresses:
+            s.free(a)
+        assert s.live_bytes() == 0
+
+    @given(st.lists(st.integers(min_value=1, max_value=128), min_size=1,
+                    max_size=60))
+    @settings(max_examples=50)
+    def test_small_alloc_churn_reuses_memory(self, sizes):
+        """Strong reuse: churning a bounded live set stays in one chunk."""
+        s = SlabAllocator()
+        for size in sizes:
+            a = s.malloc(size)
+            s.free(a)
+        # At most one chunk per size class ever carved.
+        assert s.stats.get("kernel.chunk_allocs") <= 4
+
+    @given(st.integers(min_value=1, max_value=4096))
+    def test_block_size_covers_request(self, size):
+        cls = slab_class_for(size)
+        assert cls is not None
+        assert SLAB_CLASS_BOUNDS[cls] >= size
+        if cls:
+            assert SLAB_CLASS_BOUNDS[cls - 1] < size

@@ -1,0 +1,130 @@
+"""Unit + property tests: software string library (results must match
+Python's native string semantics exactly; costs must be recorded)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.strings import HTML_ESCAPES, StringLibrary
+
+text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=200
+)
+
+
+@pytest.fixture
+def lib() -> StringLibrary:
+    return StringLibrary()
+
+
+class TestScanFunctions:
+    def test_strlen(self, lib):
+        assert lib.strlen("hello").value == 5
+
+    def test_strpos_found(self, lib):
+        assert lib.strpos("hello world", "world").value == 6
+
+    def test_strpos_missing(self, lib):
+        assert lib.strpos("hello", "zzz").value == -1
+
+    def test_strpos_offset(self, lib):
+        assert lib.strpos("abcabc", "abc", 1).value == 3
+
+    def test_strcmp(self, lib):
+        assert lib.strcmp("a", "b").value == -1
+        assert lib.strcmp("b", "a").value == 1
+        assert lib.strcmp("a", "a").value == 0
+
+    def test_strspn_class(self, lib):
+        assert lib.strspn_class("abc123", "abc").value == 3
+
+
+class TestTransformFunctions:
+    def test_str_replace(self, lib):
+        assert lib.str_replace("a", "X", "banana").value == "bXnXnX"
+
+    def test_case_functions(self, lib):
+        assert lib.strtolower("HeLLo").value == "hello"
+        assert lib.strtoupper("HeLLo").value == "HELLO"
+
+    def test_trim(self, lib):
+        assert lib.trim("  x  ").value == "x"
+        assert lib.trim("--x--", "-").value == "x"
+
+    def test_strtr(self, lib):
+        assert lib.strtr("a'b\"c", {"'": "X", '"': "Y"}).value == "aXbYc"
+
+    def test_substr(self, lib):
+        assert lib.substr("abcdef", 2).value == "cdef"
+        assert lib.substr("abcdef", 1, 3).value == "bcd"
+
+    def test_concat(self, lib):
+        assert lib.concat(["<a", ' href="x"', ">"]).value == '<a href="x">'
+
+    def test_htmlspecialchars(self, lib):
+        assert lib.htmlspecialchars("<b>&'\"").value == (
+            "&lt;b&gt;&amp;&#039;&quot;"
+        )
+
+
+class TestCostAccounting:
+    def test_every_call_counted(self, lib):
+        lib.strpos("hello", "l")
+        lib.trim(" a ")
+        assert lib.stats.get("strlib.calls") == 2
+
+    def test_uops_scale_with_length(self, lib):
+        small = lib.strtolower("x" * 10).uops
+        large = lib.strtolower("x" * 1000).uops
+        assert large > small * 10
+
+    def test_scan_cheaper_than_transform_per_byte(self, lib):
+        scan = lib.strpos("x" * 512 + "y", "y").uops
+        transform = lib.strtolower("x" * 512).uops
+        assert scan < transform
+
+    def test_totals_accumulate(self, lib):
+        lib.strtoupper("abc")
+        lib.strtolower("abc")
+        assert lib.total_uops > 0
+        assert lib.total_cycles > 0
+
+
+class TestPropertyBased:
+    @given(text, text.filter(lambda s: len(s) > 0))
+    @settings(max_examples=80)
+    def test_strpos_matches_python(self, haystack, needle):
+        lib = StringLibrary()
+        assert lib.strpos(haystack, needle).value == haystack.find(needle)
+
+    @given(text)
+    @settings(max_examples=60)
+    def test_case_roundtrip_matches_python(self, s):
+        lib = StringLibrary()
+        assert lib.strtolower(s).value == s.lower()
+        assert lib.strtoupper(s).value == s.upper()
+
+    @given(text)
+    @settings(max_examples=60)
+    def test_htmlspecialchars_escapes_all(self, s):
+        lib = StringLibrary()
+        out = lib.htmlspecialchars(s).value
+        for ch, esc in HTML_ESCAPES.items():
+            # No raw metacharacter survives except inside entities.
+            stripped = out
+            for e in HTML_ESCAPES.values():
+                stripped = stripped.replace(e, "")
+            assert ch not in stripped
+
+    @given(st.lists(text, max_size=8))
+    @settings(max_examples=60)
+    def test_concat_matches_join(self, parts):
+        lib = StringLibrary()
+        assert lib.concat(parts).value == "".join(parts)
+
+    @given(text, st.integers(min_value=0, max_value=220))
+    @settings(max_examples=60)
+    def test_substr_matches_python(self, s, start):
+        lib = StringLibrary()
+        assert lib.substr(s, start).value == s[start:]

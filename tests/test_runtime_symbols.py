@@ -1,0 +1,85 @@
+"""Unit tests: symbol tables, extract/compact, scope stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.phparray import PhpArray
+from repro.runtime.symbols import ScopeStack, SymbolTable
+
+
+class TestSymbolTable:
+    def test_define_lookup(self):
+        t = SymbolTable("local")
+        t.define("x", 1)
+        assert t.lookup("x") == 1
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(KeyError):
+            SymbolTable("local").lookup("nope")
+
+    def test_extract_imports_all_pairs(self):
+        source = PhpArray()
+        source.set("title", "Hello")
+        source.set("author", "gope")
+        t = SymbolTable("local")
+        assert t.extract(source) == 2
+        assert t.lookup("title") == "Hello"
+        assert t.lookup("author") == "gope"
+
+    def test_extract_prefix(self):
+        source = PhpArray()
+        source.set("x", 1)
+        t = SymbolTable("local")
+        t.extract(source, prefix="wp_")
+        assert t.lookup("wp_x") == 1
+
+    def test_compact_exports_known_names(self):
+        t = SymbolTable("local")
+        t.define("a", 1)
+        t.define("b", 2)
+        out = t.compact(["a", "b", "missing"])
+        assert out.keys() == ["a", "b"]
+        assert out.get("a") == 1
+
+    def test_contains_and_len(self):
+        t = SymbolTable("local")
+        t.define("a", 1)
+        assert "a" in t
+        assert len(t) == 1
+
+
+class TestScopeStack:
+    def test_resolution_prefers_local(self):
+        s = ScopeStack()
+        s.globals.define("x", "global")
+        local = s.push("fn")
+        local.define("x", "local")
+        assert s.resolve("x") == "local"
+
+    def test_falls_back_to_globals(self):
+        s = ScopeStack()
+        s.globals.define("x", "global")
+        s.push("fn")
+        assert s.resolve("x") == "global"
+
+    def test_pop_restores_outer_scope(self):
+        s = ScopeStack()
+        s.push("outer").define("x", 1)
+        s.push("inner").define("x", 2)
+        s.pop()
+        assert s.resolve("x") == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            ScopeStack().pop()
+
+    def test_scopes_get_distinct_base_addresses(self):
+        s = ScopeStack()
+        a = s.push("f1")
+        b = s.push("f2")
+        assert a.array.base_address != b.array.base_address
+
+    def test_current_defaults_to_globals(self):
+        s = ScopeStack()
+        assert s.current is s.globals

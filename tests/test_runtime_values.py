@@ -1,0 +1,82 @@
+"""Unit tests: PHP value model, refcounting, type checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.values import PhpType, PhpValue, ValueRuntime
+
+
+class TestPhpType:
+    def test_refcounted_types(self):
+        assert PhpType.STRING.is_refcounted
+        assert PhpType.ARRAY.is_refcounted
+        assert PhpType.OBJECT.is_refcounted
+
+    def test_scalar_types_not_refcounted(self):
+        for t in (PhpType.NULL, PhpType.BOOL, PhpType.INT, PhpType.DOUBLE):
+            assert not t.is_refcounted
+
+
+class TestPhpValue:
+    def test_constructors(self):
+        assert PhpValue.null().type is PhpType.NULL
+        assert PhpValue.of_int(3).payload == 3
+        assert PhpValue.of_bool(True).payload is True
+        assert PhpValue.of_double(1.5).payload == 1.5
+        assert PhpValue.of_string("x").type is PhpType.STRING
+
+    def test_initial_refcount(self):
+        assert PhpValue.of_string("x").refcount == 1
+
+
+class TestValueRuntime:
+    def test_incref_counts_heap_values(self):
+        rt = ValueRuntime()
+        v = PhpValue.of_string("x")
+        rt.incref(v)
+        assert v.refcount == 2
+        assert rt.stats.get("refcount.incref") == 1
+        assert rt.refcount_uops == ValueRuntime.UOPS_PER_RC_OP
+
+    def test_incref_ignores_scalars(self):
+        rt = ValueRuntime()
+        v = PhpValue.of_int(1)
+        rt.incref(v)
+        assert rt.stats.get("refcount.incref") == 0
+
+    def test_decref_destroys_at_zero(self):
+        rt = ValueRuntime()
+        v = PhpValue.of_string("x")
+        assert rt.decref(v) is True
+        assert rt.stats.get("refcount.destroys") == 1
+
+    def test_decref_survives_above_zero(self):
+        rt = ValueRuntime()
+        v = PhpValue.of_string("x")
+        rt.incref(v)
+        assert rt.decref(v) is False
+        assert v.refcount == 1
+
+    def test_decref_scalar_is_noop(self):
+        rt = ValueRuntime()
+        assert rt.decref(PhpValue.of_int(1)) is False
+        assert rt.refcount_uops == 0
+
+    def test_type_check_pass_and_fail(self):
+        rt = ValueRuntime()
+        v = PhpValue.of_int(1)
+        assert rt.type_check(v, PhpType.INT)
+        assert not rt.type_check(v, PhpType.STRING)
+        assert rt.stats.get("typecheck.checks") == 2
+        assert rt.stats.get("typecheck.misses") == 1
+        assert rt.typecheck_uops == 2 * ValueRuntime.UOPS_PER_TYPE_CHECK
+
+    def test_uop_accounting_accumulates(self):
+        rt = ValueRuntime()
+        v = PhpValue.of_array([])
+        for _ in range(10):
+            rt.incref(v)
+        for _ in range(10):
+            rt.decref(v)
+        assert rt.refcount_uops == 20 * ValueRuntime.UOPS_PER_RC_OP

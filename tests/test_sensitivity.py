@@ -1,0 +1,60 @@
+"""Integration tests: parameter sensitivity sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sensitivity import (
+    sweep_probe_width,
+    sweep_reuse_content_bytes,
+    sweep_reuse_entries,
+    sweep_segment_size,
+)
+
+
+class TestProbeWidth:
+    def test_wider_probes_never_hurt(self):
+        sweep = sweep_probe_width(requests=2)
+        rates = [sweep[w] for w in sorted(sweep)]
+        assert all(a <= b + 0.01 for a, b in zip(rates, rates[1:]))
+
+    def test_paper_width_near_saturation(self):
+        """4 probes capture almost all of the 8-probe hit rate."""
+        sweep = sweep_probe_width(requests=2)
+        assert sweep[4] >= sweep[8] - 0.01
+
+
+class TestSegmentSize:
+    def test_smaller_segments_skip_more(self):
+        sweep = sweep_segment_size()
+        sizes = sorted(sweep)
+        skips = [sweep[s]["skip_fraction"] for s in sizes]
+        assert all(a >= b - 0.02 for a, b in zip(skips, skips[1:]))
+
+    def test_hv_bits_halve_with_size(self):
+        sweep = sweep_segment_size(sizes=(16, 32))
+        assert sweep[16]["hv_bits"] == pytest.approx(
+            2 * sweep[32]["hv_bits"], abs=1
+        )
+
+    def test_paper_choice_in_sweet_band(self):
+        """32-byte segments keep most of the skip at 1/4 the HV bits
+        of 8-byte segments."""
+        sweep = sweep_segment_size()
+        assert sweep[32]["skip_fraction"] > 0.5 * sweep[8]["skip_fraction"]
+        assert sweep[32]["hv_bits"] == sweep[8]["hv_bits"] / 4
+
+
+class TestReuseCapacity:
+    def test_content_bytes_must_cover_shared_prefix(self):
+        sweep = sweep_reuse_content_bytes()
+        # The author-URL prefix is 26 bytes: 8/16 truncate it, 32 covers.
+        assert sweep[8] < sweep[32]
+        assert sweep[16] < sweep[32]
+        assert sweep[64] == pytest.approx(sweep[32], abs=0.02)
+
+    def test_entries_must_cover_live_call_sites(self):
+        sweep = sweep_reuse_entries()
+        assert sweep[2] < 0.1          # LRU churn destroys memoization
+        assert sweep[32] > 0.4         # the paper's sizing works
+        assert sweep[128] >= sweep[32] - 0.05

@@ -1,0 +1,101 @@
+"""Unit + integration tests: the discrete-event web-server model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.workloads.server import (
+    LoadPoint,
+    ServerConfig,
+    WebServerSimulator,
+    latency_curve,
+    slo_capacity,
+)
+
+
+def make_sim(service=100.0, workers=2, requests=800) -> WebServerSimulator:
+    return WebServerSimulator(
+        [service], ServerConfig(workers=workers, requests=requests),
+        DeterministicRng(3),
+    )
+
+
+class TestSimulatorBasics:
+    def test_rejects_empty_sample(self):
+        with pytest.raises(ValueError):
+            WebServerSimulator([])
+
+    def test_rejects_nonpositive_service(self):
+        with pytest.raises(ValueError):
+            WebServerSimulator([0.0])
+
+    def test_rejects_nonpositive_load(self):
+        with pytest.raises(ValueError):
+            make_sim().run(0.0)
+
+    def test_capacity(self):
+        sim = make_sim(service=100.0, workers=4)
+        assert sim.capacity_rps() == pytest.approx(0.04)
+
+    def test_conservation(self):
+        """Every request is served after it arrives, for at least its
+        service time, on a worker that was free."""
+        sim = make_sim()
+        served = sim.run(0.6)
+        for r in served:
+            assert r.start >= r.arrival
+            assert r.finish - r.start == pytest.approx(100.0)
+
+    def test_workers_never_oversubscribed(self):
+        sim = make_sim(workers=3)
+        served = sim.run(0.9)
+        events = []
+        for r in served:
+            events.append((r.start, 1))
+            events.append((r.finish, -1))
+        busy = 0
+        for _, delta in sorted(events, key=lambda e: (e[0], e[1])):
+            busy += delta
+            assert busy <= 3
+
+    def test_deterministic(self):
+        a = make_sim().run(0.7)
+        b = make_sim().run(0.7)
+        assert [r.finish for r in a] == [r.finish for r in b]
+
+
+class TestQueueingBehavior:
+    def test_latency_grows_with_load(self):
+        curve = latency_curve([100.0], loads=(0.3, 0.6, 0.9),
+                              config=ServerConfig(workers=2, requests=1200))
+        p99s = [p.p99_latency for p in curve]
+        assert p99s[0] < p99s[1] < p99s[2]
+
+    def test_low_load_has_little_queueing(self):
+        curve = latency_curve([100.0], loads=(0.1,),
+                              config=ServerConfig(workers=4, requests=1200))
+        assert curve[0].mean_queueing < 10.0
+
+    def test_faster_service_gives_lower_tail_at_same_load(self):
+        cfg = ServerConfig(workers=2, requests=1200)
+        slow = latency_curve([100.0], loads=(0.8,), config=cfg)[0]
+        fast = latency_curve([60.0], loads=(0.8,), config=cfg)[0]
+        assert fast.p99_latency < slow.p99_latency
+
+    def test_slo_capacity_ordering(self):
+        """A faster tier sustains more load at the same SLO —
+        the introduction's utilization argument."""
+        cfg = ServerConfig(workers=2, requests=900)
+        slo = 400.0
+        slow_cap = slo_capacity([100.0], slo, cfg)
+        fast_cap = slo_capacity([55.0], slo, cfg)
+        assert fast_cap > slow_cap
+
+    def test_empirical_distribution_sampled(self):
+        sim = WebServerSimulator(
+            [50.0, 150.0], ServerConfig(workers=2, requests=600),
+            DeterministicRng(3),
+        )
+        services = {round(r.finish - r.start) for r in sim.run(0.5)}
+        assert services == {50, 150}

@@ -1,0 +1,93 @@
+"""Integration tests: the per-application MiniPHP templates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.runtime.interp import (
+    AcceleratedBackend,
+    MiniPhpInterpreter,
+    SoftwareBackend,
+)
+from repro.workloads.templates import (
+    APP_TEMPLATES,
+    build_variables,
+    render_app_page,
+)
+
+APPS = sorted(APP_TEMPLATES)
+
+
+class TestRendering:
+    @pytest.mark.parametrize("app", APPS)
+    def test_renders_nonempty_html(self, app):
+        interp = MiniPhpInterpreter(SoftwareBackend())
+        page = render_app_page(app, interp, DeterministicRng(5))
+        assert page.startswith("<!doctype html>")
+        assert "</html>" in page
+        assert len(page) > 400
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_deterministic(self, app):
+        a = render_app_page(
+            app, MiniPhpInterpreter(SoftwareBackend()), DeterministicRng(5)
+        )
+        b = render_app_page(
+            app, MiniPhpInterpreter(SoftwareBackend()), DeterministicRng(5)
+        )
+        assert a == b
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_different_seeds_differ(self, app):
+        a = render_app_page(
+            app, MiniPhpInterpreter(SoftwareBackend()), DeterministicRng(5)
+        )
+        b = render_app_page(
+            app, MiniPhpInterpreter(SoftwareBackend()), DeterministicRng(6)
+        )
+        assert a != b
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_backends_render_identically(self, app):
+        """The headline end-to-end property: same page bytes."""
+        sw = MiniPhpInterpreter(SoftwareBackend())
+        hw = MiniPhpInterpreter(AcceleratedBackend())
+        page_sw = render_app_page(app, sw, DeterministicRng(7))
+        page_hw = render_app_page(app, hw, DeterministicRng(7))
+        assert page_sw == page_hw
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_accelerated_backend_is_cheaper(self, app):
+        sw = MiniPhpInterpreter(SoftwareBackend())
+        hw = MiniPhpInterpreter(AcceleratedBackend())
+        render_app_page(app, sw, DeterministicRng(7))
+        render_app_page(app, hw, DeterministicRng(7))
+        assert hw.backend.cost_cycles() < sw.backend.cost_cycles()
+
+    def test_escaping_really_happened(self):
+        interp = MiniPhpInterpreter(SoftwareBackend())
+        page = render_app_page("wordpress", interp, DeterministicRng(5))
+        body = page.split("<main", 1)[1].rsplit("</main>", 1)[0]
+        # Raw angle brackets from user content never reach the body
+        # except through template markup.
+        for fragment in body.split(">"):
+            assert "<script" not in fragment.lower()
+
+
+class TestVariables:
+    def test_unknown_app_rejected(self):
+        interp = MiniPhpInterpreter(SoftwareBackend())
+        with pytest.raises(ValueError):
+            build_variables("joomla", interp, DeterministicRng(5))
+
+    def test_wordpress_posts_structured(self):
+        interp = MiniPhpInterpreter(SoftwareBackend())
+        variables = build_variables(
+            "wordpress", interp, DeterministicRng(5)
+        )
+        posts = variables["posts"]
+        assert len(posts) >= 2
+        for _, post in posts.items():
+            assert "title" in post
+            assert "content" in post

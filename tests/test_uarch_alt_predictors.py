@@ -1,0 +1,79 @@
+"""Unit tests: bimodal/gshare baselines and the predictor comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.uarch.predictors import Bimodal, GShare, compare_predictors
+from repro.uarch.trace import TraceProfile
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        p = Bimodal()
+        correct = [p.train(0x100, True) for _ in range(100)]
+        assert all(correct[2:])
+
+    def test_mpki(self):
+        p = Bimodal()
+        for _ in range(10):
+            p.train(0x100, True)
+        assert p.mpki(10_000) == pytest.approx(
+            0.1 * p.stats.get("pred.mispredicts"), rel=1e-6
+        )
+
+    def test_storage(self):
+        assert Bimodal(index_bits=14).storage_bits() == 32768
+
+
+class TestGShare:
+    def test_learns_alternation_via_history(self):
+        """gshare separates contexts bimodal aliases together."""
+        g = GShare(index_bits=12, history_bits=8)
+        b = Bimodal(index_bits=12)
+        g_correct = 0
+        b_correct = 0
+        for i in range(2000):
+            taken = (i % 2) == 0
+            g_correct += g.train(0x200, taken)
+            b_correct += b.train(0x200, taken)
+        assert g_correct > b_correct
+
+    def test_history_window_bounded(self):
+        g = GShare(index_bits=10, history_bits=20)
+        assert g.history_bits == 10
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def mpkis(self):
+        profile = TraceProfile(instructions=120_000)
+        return compare_predictors(profile, DeterministicRng(3))
+
+    def test_all_predictors_reported(self, mpkis):
+        assert set(mpkis) == {"bimodal-4KB", "gshare-16KB", "tage-32KB"}
+
+    def test_php_branches_hard_for_everyone(self, mpkis):
+        """The paper's §2 point: data-dependent branches defeat
+        history-based prediction — even TAGE stays in the tens of
+        MPKI, and simple bimodal is competitive."""
+        for name, mpki in mpkis.items():
+            assert 5.0 <= mpki <= 80.0, name
+        assert mpkis["tage-32KB"] < mpkis["bimodal-4KB"] * 2.0
+
+    def test_correlated_workload_separates_predictors(self):
+        """With history-correlated branches (and no data-dependent
+        coin flips), long-history TAGE pulls clearly ahead of the
+        history-less bimodal — the regime TAGE is built for."""
+        profile = TraceProfile(
+            instructions=120_000,
+            data_dependent_fraction=0.0,
+            cold_branch_fraction=0.0,
+            hot_branch_sites=2_000,
+            correlated_fraction=0.25,
+            structured_bias=0.99,
+        )
+        mpkis = compare_predictors(profile, DeterministicRng(3))
+        assert mpkis["tage-32KB"] < 0.75 * mpkis["bimodal-4KB"]
+        assert mpkis["tage-32KB"] < mpkis["gshare-16KB"]

@@ -1,0 +1,138 @@
+"""Unit tests: TAGE, folded histories, and the BTB."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.uarch.btb import Btb
+from repro.uarch.tage import FoldedHistory, Tage, TageConfig
+from repro.uarch.trace import BranchRecord
+
+
+class TestFoldedHistory:
+    def test_fits_compressed_length(self):
+        fh = FoldedHistory(64, 10)
+        for i in range(200):
+            fh.update(i & 1, (i >> 1) & 1)
+            assert 0 <= fh.compressed < (1 << 10)
+
+    def test_deterministic(self):
+        a = FoldedHistory(32, 8)
+        b = FoldedHistory(32, 8)
+        for i in range(100):
+            a.update(i % 3 == 0, 0)
+            b.update(i % 3 == 0, 0)
+        assert a.compressed == b.compressed
+
+
+class TestTageConfig:
+    def test_history_lengths_geometric(self):
+        lengths = TageConfig().history_lengths()
+        assert lengths[0] == 5
+        assert lengths[-1] == 130
+        assert lengths == sorted(lengths)
+
+    def test_default_budget_near_32kb(self):
+        bits = TageConfig().storage_bits()
+        assert 28 * 1024 * 8 <= bits <= 36 * 1024 * 8
+
+
+class TestTageLearning:
+    def test_learns_always_taken(self):
+        t = Tage(rng=DeterministicRng(1))
+        correct = [t.train(0x400100, True) for _ in range(200)]
+        assert sum(correct[-100:]) >= 99
+
+    def test_learns_biased_not_taken(self):
+        t = Tage(rng=DeterministicRng(1))
+        correct = [t.train(0x400200, False) for _ in range(200)]
+        assert sum(correct[-100:]) >= 99
+
+    def test_learns_alternating_pattern(self):
+        """Global history lets TAGE learn short periodic patterns."""
+        t = Tage(rng=DeterministicRng(1))
+        correct = []
+        for i in range(600):
+            correct.append(t.train(0x400300, i % 2 == 0))
+        assert sum(correct[-200:]) / 200 > 0.95
+
+    def test_random_branches_near_chance(self):
+        t = Tage(rng=DeterministicRng(1))
+        rng = DeterministicRng(2)
+        correct = [t.train(0x400400, rng.random() < 0.5) for _ in range(2000)]
+        accuracy = sum(correct[-1000:]) / 1000
+        assert 0.35 < accuracy < 0.65
+
+    def test_mpki_accounting(self):
+        t = Tage(rng=DeterministicRng(1))
+        rng = DeterministicRng(3)
+        for _ in range(1000):
+            t.train(0x400500, rng.random() < 0.5)
+        assert t.mpki(100_000) == pytest.approx(
+            10.0 * t.stats.get("tage.mispredicts") / 1000, rel=1e-6
+        )
+
+    def test_predict_does_not_update(self):
+        t = Tage(rng=DeterministicRng(1))
+        for _ in range(50):
+            t.train(0x400600, True)
+        snap = t.stats.snapshot()
+        t.predict(0x400600)
+        assert t.stats.get("tage.lookups") == snap.get("tage.lookups", 0)
+
+
+def _branch(pc: int, taken: bool = True, target: int = 0x500000) -> BranchRecord:
+    return BranchRecord(pc, taken, target)
+
+
+class TestBtb:
+    def test_first_taken_misses_then_hits(self):
+        btb = Btb(entries=64, ways=2)
+        assert not btb.lookup(_branch(0x100))
+        assert btb.lookup(_branch(0x100))
+
+    def test_not_taken_never_misses(self):
+        btb = Btb(entries=64, ways=2)
+        assert btb.lookup(_branch(0x100, taken=False))
+        assert btb.stats.get("btb.misses") == 0
+
+    def test_target_change_counts_as_mispredict(self):
+        btb = Btb(entries=64, ways=2)
+        btb.lookup(_branch(0x100, target=0x1))
+        assert not btb.lookup(_branch(0x100, target=0x2))
+        assert btb.stats.get("btb.target_mispredicts") == 1
+        # Updated in place: next lookup with the new target hits.
+        assert btb.lookup(_branch(0x100, target=0x2))
+
+    def test_lru_eviction_within_set(self):
+        btb = Btb(entries=4, ways=2)  # 2 sets
+        # Three branches mapping to the same set (pc >> 2 mod 2).
+        pcs = [0x100, 0x110, 0x120]
+        for pc in pcs:
+            btb.lookup(_branch(pc))
+        assert btb.stats.get("btb.evictions") == 1
+        assert not btb.lookup(_branch(pcs[0]))  # LRU victim was pc[0]
+
+    def test_capacity_scaling_improves_hit_rate(self):
+        rng = DeterministicRng(1)
+        streams = [
+            [_branch(0x1000 + 16 * rng.zipf(4000, 0.9)) for _ in range(8000)]
+            for _ in range(2)
+        ]
+        rates = []
+        for entries in (256, 4096):
+            btb = Btb(entries=entries, ways=2)
+            for b in streams[0]:
+                btb.lookup(b)
+            btb.stats.reset()
+            for b in streams[1]:
+                btb.lookup(b)
+            rates.append(btb.hit_rate())
+        assert rates[1] > rates[0]
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Btb(entries=10, ways=3)
+        with pytest.raises(ValueError):
+            Btb(entries=24, ways=2)  # 12 sets: not a power of two

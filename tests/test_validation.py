@@ -1,0 +1,36 @@
+"""Integration tests: workload fidelity anchors hold for every app."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.apps import php_applications
+from repro.workloads.validation import Anchor, fidelity_failures, validate_app
+
+
+class TestAnchor:
+    def test_ok_band(self):
+        assert Anchor("x", "s", 0.5, 0.4, 0.6).ok
+        assert not Anchor("x", "s", 0.39, 0.4, 0.6).ok
+        assert Anchor("x", "s", 0.4, 0.4, 0.6).ok  # inclusive
+
+
+@pytest.mark.parametrize(
+    "app", php_applications(), ids=lambda a: a.name
+)
+class TestAllAnchorsHold:
+    def test_scorecard_clean(self, app):
+        anchors = validate_app(app, requests=3)
+        failures = fidelity_failures(anchors)
+        assert not failures, [
+            (a.name, a.measured, a.low, a.high) for a in failures
+        ]
+
+    def test_every_anchor_present(self, app):
+        names = {a.name for a in validate_app(app, requests=2)}
+        assert {
+            "branch fraction", "SET share", "keys ≤ 24 B",
+            "allocations ≤ 128 B", "special-segment density",
+            "hottest function share", "top-100 function share",
+            "post-mitigation time", "four-category share",
+        } == names

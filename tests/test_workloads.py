@@ -1,0 +1,245 @@
+"""Unit tests: workload generators reproduce the paper's anchors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.workloads import (
+    ACCELERATED,
+    Activity,
+    AllocOpGenerator,
+    AllocWorkloadSpec,
+    ContentSpec,
+    HashOpGenerator,
+    HashWorkloadSpec,
+    LoadGenerator,
+    RegexOpGenerator,
+    RegexWorkloadSpec,
+    StrOpGenerator,
+    StringWorkloadSpec,
+    TextCorpus,
+    apply_mitigations,
+    drupal,
+    flat_php_profile,
+    hotspot_profile,
+    mediawiki,
+    php_applications,
+    size_fraction_at_or_below,
+    special_char_segments,
+    trace_statistics,
+    wordpress,
+)
+
+
+class TestTextCorpus:
+    def test_deterministic(self):
+        a = TextCorpus(DeterministicRng(3))
+        b = TextCorpus(DeterministicRng(3))
+        spec = ContentSpec()
+        assert a.post(spec) == b.post(spec)
+
+    def test_special_density_controllable(self):
+        low = TextCorpus(DeterministicRng(3)).post(
+            ContentSpec(special_segment_fraction=0.1)
+        )
+        high = TextCorpus(DeterministicRng(3)).post(
+            ContentSpec(special_segment_fraction=0.8)
+        )
+        def density(text):
+            flags = special_char_segments(text)
+            return sum(flags) / len(flags)
+        assert density(low) < density(high)
+
+    def test_clean_text_has_no_specials(self):
+        text = TextCorpus(DeterministicRng(3)).clean_text()
+        assert not any(special_char_segments(text))
+
+    def test_author_url_shape(self):
+        corpus = TextCorpus(DeterministicRng(3))
+        assert corpus.author_url("abc") == "https://localhost/?author=abc"
+
+
+class TestHashOps:
+    def test_paper_anchors(self):
+        gen = HashOpGenerator(HashWorkloadSpec(), DeterministicRng(4))
+        ops = []
+        for _ in range(5):
+            ops.extend(gen.request_ops())
+        stats = trace_statistics(ops)
+        assert 0.15 <= stats["set_share"] <= 0.27
+        assert stats["short_key_fraction"] >= 0.90
+
+    def test_short_lived_maps_are_freed(self):
+        gen = HashOpGenerator(HashWorkloadSpec(), DeterministicRng(4))
+        ops = list(gen.request_ops())
+        allocs = {op.map_id for op in ops if op.kind == "alloc"}
+        frees = {op.map_id for op in ops if op.kind == "free"}
+        assert allocs == frees
+
+    def test_sets_precede_gets_per_map(self):
+        gen = HashOpGenerator(HashWorkloadSpec(), DeterministicRng(4))
+        first_op: dict[int, str] = {}
+        for op in gen.request_ops():
+            if op.map_id > 0 and op.kind in ("get", "set"):
+                first_op.setdefault(op.map_id, op.kind)
+        assert all(kind == "set" for kind in first_op.values())
+
+    def test_base_addresses_stable(self):
+        gen = HashOpGenerator(HashWorkloadSpec(), DeterministicRng(4))
+        assert gen.map_base_address(5) == gen.map_base_address(5)
+        assert gen.map_base_address(5) != gen.map_base_address(6)
+        assert gen.map_base_address(-1) != gen.map_base_address(1)
+
+    def test_literal_config_reads_repeat_identically(self):
+        """Template reads use the same literal keys in the same order
+        every request — the HMI mitigation's target."""
+        gen = HashOpGenerator(HashWorkloadSpec(), DeterministicRng(4))
+        def config_keys():
+            return [op.key for op in gen.request_ops()
+                    if op.map_id == HashOpGenerator.CONFIG_MAP_ID]
+        first, second = config_keys(), config_keys()
+        assert first == second
+        assert len(first) == HashWorkloadSpec().literal_config_reads
+
+    def test_literal_reads_specialize_under_hmi(self):
+        from repro.optim import HashMapInliner
+        gen = HashOpGenerator(HashWorkloadSpec(), DeterministicRng(4))
+        inliner = HashMapInliner()
+        for _ in range(8):
+            inliner.filter(list(gen.request_ops()))
+        config_residual = sum(
+            1 for op in inliner.filter(list(gen.request_ops()))
+            if op.map_id == HashOpGenerator.CONFIG_MAP_ID
+        )
+        assert config_residual == 0  # fully specialized after warmup
+
+
+class TestAllocOps:
+    def test_size_distribution_small_dominated(self):
+        gen = AllocOpGenerator(AllocWorkloadSpec(), DeterministicRng(4))
+        ops = []
+        for _ in range(3):
+            ops.extend(gen.request_ops())
+        assert size_fraction_at_or_below(ops, 128) >= 0.75
+
+    def test_balanced_mallocs_and_frees(self):
+        gen = AllocOpGenerator(AllocWorkloadSpec(), DeterministicRng(4))
+        ops = list(gen.request_ops())
+        mallocs = [op.tag for op in ops if op.kind == "malloc"]
+        frees = [op.tag for op in ops if op.kind == "free"]
+        assert sorted(mallocs) == sorted(frees)
+
+    def test_free_never_precedes_malloc(self):
+        gen = AllocOpGenerator(AllocWorkloadSpec(), DeterministicRng(4))
+        seen = set()
+        for op in gen.request_ops():
+            if op.kind == "malloc":
+                seen.add(op.tag)
+            else:
+                assert op.tag in seen
+
+    def test_bounded_live_set(self):
+        """Strong reuse: the live small-object population stays small."""
+        gen = AllocOpGenerator(AllocWorkloadSpec(churn_events=800),
+                               DeterministicRng(4))
+        live = 0
+        peak = 0
+        for op in gen.request_ops():
+            live += 1 if op.kind == "malloc" else -1
+            peak = max(peak, live)
+        assert peak < 200
+
+
+class TestStrOps:
+    def test_mix_families_present(self):
+        gen = StrOpGenerator(StringWorkloadSpec(ops_per_request=300),
+                             DeterministicRng(4))
+        funcs = {op.func for op in gen.request_ops()}
+        assert {"concat", "strpos", "htmlspecialchars", "trim"} <= funcs
+
+    def test_ops_count(self):
+        spec = StringWorkloadSpec(ops_per_request=50)
+        gen = StrOpGenerator(spec, DeterministicRng(4))
+        assert len(list(gen.request_ops())) == 50
+
+
+class TestRegexOps:
+    def test_sift_tasks_have_sieve_and_shadows(self):
+        gen = RegexOpGenerator(RegexWorkloadSpec(), DeterministicRng(4))
+        tasks = list(gen.sift_tasks())
+        assert tasks
+        assert all(len(t.function_set.patterns) >= 2 for t in tasks)
+
+    def test_reuse_streams_share_prefixes(self):
+        gen = RegexOpGenerator(RegexWorkloadSpec(), DeterministicRng(4))
+        for task in gen.reuse_tasks():
+            prefixes = {c.rsplit("=", 1)[0] for c in task.contents}
+            assert len(prefixes) == 1  # same URL up to the author name
+
+
+class TestProfiles:
+    def test_flat_profile_shape(self):
+        """Figure 1: hottest ≈10–12%, ~100 functions ≈65%."""
+        profile = wordpress().profile(DeterministicRng(4))
+        assert 0.10 <= profile.hottest_share() <= 0.12
+        assert 0.55 <= profile.top_n_share(100) <= 0.72
+
+    def test_hotspot_profile_shape(self):
+        """Figure 1: SPECWeb ≈90% in a handful of functions."""
+        profile = hotspot_profile("specweb")
+        assert profile.top_n_share(5) >= 0.88
+
+    def test_weights_sum_to_one(self):
+        for app in php_applications():
+            profile = app.profile(DeterministicRng(4))
+            assert sum(f.weight for f in profile.functions) == pytest.approx(1.0)
+
+    def test_category_mix_honoured(self):
+        app = wordpress()
+        profile = app.profile(DeterministicRng(4))
+        for activity, want in app.baseline_mix.items():
+            got = profile.category_share(activity)
+            assert got == pytest.approx(want, abs=0.02), activity
+
+    def test_mitigation_shrinks_overheads(self):
+        """Figure 3: mitigated categories shrink, others grow."""
+        profile = wordpress().profile(DeterministicRng(4))
+        optimized, remaining = apply_mitigations(profile)
+        assert 0.85 <= remaining <= 0.92
+        assert optimized.category_share(Activity.REFCOUNT) < \
+            profile.category_share(Activity.REFCOUNT)
+        assert optimized.four_category_share() > profile.four_category_share()
+
+    def test_apps_have_distinct_personalities(self):
+        """Drupal has the least string+regex time (Section 5.3)."""
+        shares = {}
+        for app in php_applications():
+            profile = app.profile(DeterministicRng(4))
+            optimized, _ = apply_mitigations(profile)
+            shares[app.name] = (
+                optimized.category_share(Activity.STRING)
+                + optimized.category_share(Activity.REGEX)
+            )
+        assert shares["drupal"] < shares["mediawiki"]
+        assert shares["drupal"] < shares["wordpress"]
+
+
+class TestLoadGenerator:
+    def test_warmup_flagging(self):
+        lg = LoadGenerator(drupal(), DeterministicRng(4), warmup_requests=2)
+        traces = lg.run(measured_requests=3)
+        assert [t.is_warmup for t in traces] == [True, True, False, False, False]
+
+    def test_requests_are_distinct(self):
+        lg = LoadGenerator(mediawiki(), DeterministicRng(4))
+        a = lg.next_request()
+        b = lg.next_request()
+        assert a.hash_ops != b.hash_ops
+
+    def test_deterministic_across_instances(self):
+        a = LoadGenerator(wordpress(), DeterministicRng(4)).next_request()
+        b = LoadGenerator(wordpress(), DeterministicRng(4)).next_request()
+        assert a.hash_ops == b.hash_ops
+        assert a.str_ops == b.str_ops
+        assert a.sift_tasks == b.sift_tasks
