@@ -1,0 +1,55 @@
+"""Resilience under fault injection: availability and goodput.
+
+Not a paper figure — this stresses the deployment story behind the
+fleet-economics argument: a tier running hot only pays off if goodput
+survives accelerator faults, stragglers, and worker crashes.  The
+sweep runs the fault-scenario × resilience-policy matrix on measured
+WordPress service-time distributions and checks the acceptance bar:
+with retries + circuit breaker, goodput at a 10 % accelerator-fault
+rate stays within 15 % of the fault-free baseline, while the
+no-policy configuration degrades materially.
+"""
+
+from __future__ import annotations
+
+from repro.core.latency import request_latency_report
+from repro.core.report import resilience_report
+from repro.resilience import (
+    ResilientServerConfig,
+    run_matrix,
+    standard_policies,
+    standard_scenarios,
+)
+
+SEED = 17
+
+
+def bench_resilience_matrix(benchmark, report_sink):
+    def run():
+        rep = request_latency_report("wordpress", requests=25)
+        cfg = ResilientServerConfig(
+            workers=4, requests=2_500, warmup_requests=50,
+            offered_load=0.6,
+        )
+        return run_matrix(
+            rep.accelerated.samples, rep.software.samples,
+            standard_scenarios(), standard_policies(), cfg, seed=SEED,
+        )
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_sink("resilience", resilience_report(reports))
+
+    by_cell = {(r.scenario, r.policy): r for r in reports}
+    faultfree = by_cell[("fault-free", "retries+breaker")]
+    no_policy = by_cell[("accel-faults-10pct", "no-policy")]
+    full = by_cell[("accel-faults-10pct", "retries+breaker")]
+
+    # Acceptance: the full policy holds goodput within 15 % of the
+    # fault-free baseline at a 10 % accelerator-fault rate ...
+    assert full.goodput_vs(faultfree) >= 0.85
+    # ... while doing nothing loses availability and goodput.
+    assert no_policy.availability < full.availability
+    assert no_policy.goodput_per_kcycle < full.goodput_per_kcycle
+    # The breaker actually tripped and re-routed work to software.
+    assert full.breaker_trips > 0
+    assert full.software_path_share > 0.0

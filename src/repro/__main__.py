@@ -116,6 +116,28 @@ def _cmd_ablation(args) -> None:
     ))
 
 
+def _cmd_resilience(args) -> None:
+    from repro.core.latency import request_latency_report
+    from repro.core.report import resilience_report
+    from repro.resilience import (
+        ResilientServerConfig,
+        run_matrix,
+        standard_policies,
+        standard_scenarios,
+    )
+    rep = request_latency_report(
+        "wordpress", requests=max(args.requests, 8), seed=args.seed
+    )
+    cfg = ResilientServerConfig(
+        workers=4, requests=1_200, warmup_requests=30, offered_load=0.6
+    )
+    reports = run_matrix(
+        rep.accelerated.samples, rep.software.samples,
+        standard_scenarios(), standard_policies(), cfg, seed=args.seed,
+    )
+    print(resilience_report(reports))
+
+
 def _cmd_export(args) -> None:
     from repro.core.export import save_evaluation_json
     out = save_evaluation_json(
@@ -126,7 +148,8 @@ def _cmd_export(args) -> None:
 
 def _cmd_all(args) -> None:
     for fn in (_cmd_fig1, _cmd_uarch, _cmd_fig7, _cmd_fig12,
-               _cmd_fig14, _cmd_fig15, _cmd_energy, _cmd_area):
+               _cmd_fig14, _cmd_fig15, _cmd_energy, _cmd_area,
+               _cmd_resilience):
         fn(args)
         print()
 
@@ -141,6 +164,8 @@ _COMMANDS = {
     "energy": (_cmd_energy, "Section 5.2: energy savings"),
     "area": (_cmd_area, "Section 5.1: area budget"),
     "ablation": (_cmd_ablation, "design-choice ablations"),
+    "resilience": (_cmd_resilience,
+                   "fault-injection scenarios × resilience policies"),
     "export": (_cmd_export, "write the evaluation as JSON"),
     "all": (_cmd_all, "everything above"),
 }

@@ -179,6 +179,12 @@ class ReverseTranslationTable:
     def drop_map(self, base_address: int) -> None:
         self._maps.pop(base_address, None)
 
+    def drop_all(self) -> int:
+        """Forget every tracked map (fault-injection storms)."""
+        dropped = len(self._maps)
+        self._maps.clear()
+        return dropped
+
     @property
     def tracked_maps(self) -> int:
         return len(self._maps)
@@ -400,6 +406,32 @@ class HardwareHashTable:
                 entry.dirty = False
                 synced += 1
         return self.rtt.insertion_order(base_address), synced
+
+    # -- fault injection ---------------------------------------------------------------------
+
+    def inject_invalidation_storm(self) -> int:
+        """Fault hook: every entry is invalidated at once.
+
+        Models a soft-error scrub or power-glitch recovery that wipes
+        the accelerator array.  Correctness rides on the Section 4.2
+        coherence fallback: dirty entries are written back through the
+        normal stale-flag path before invalidation, so the software
+        maps stay authoritative and service continues (slower) in
+        software.  Returns the number of entries invalidated.
+        """
+        self.stats.bump("hwhash.fault_storms")
+        invalidated = 0
+        for idx, entry in enumerate(self._entries):
+            if not entry.valid:
+                continue
+            if entry.dirty:
+                self._writeback(idx)
+                self.stats.bump("hwhash.fault_dirty_writebacks")
+            self._entries[idx] = _HwEntry()
+            invalidated += 1
+        self.rtt.drop_all()
+        self.stats.bump("hwhash.fault_invalidated", invalidated)
+        return invalidated
 
     # -- derived metrics ---------------------------------------------------------------------
 

@@ -75,6 +75,9 @@ class HardwareHeapManager:
         self.config = config or HeapManagerConfig()
         self.slab = slab
         self.stats = StatRegistry("hwheap")
+        #: fault-injection flag: while True every request raises the
+        #: zero flag and software allocation takes over
+        self.faulted = False
         self._free_lists: list[deque[int]] = [
             deque() for _ in range(self.config.size_classes)
         ]
@@ -91,6 +94,9 @@ class HardwareHeapManager:
     def hmmalloc(self, size: int) -> HeapOpOutcome:
         """Allocate; zero flag (fallback) when gated or list empty."""
         self.stats.bump("hwheap.mallocs")
+        if self.faulted:
+            self.stats.bump("hwheap.fault_bypasses")
+            return HeapOpOutcome(software_fallback=True, cycles=1)
         cls = self.config.class_for(size)
         if cls is None:
             # Comparator rejects: software handles large requests.
@@ -114,6 +120,9 @@ class HardwareHeapManager:
     def hmfree(self, address: int, size: int) -> HeapOpOutcome:
         """Free; on overflow, one block spills to memory (one store)."""
         self.stats.bump("hwheap.frees")
+        if self.faulted:
+            self.stats.bump("hwheap.fault_bypasses")
+            return HeapOpOutcome(software_fallback=True, cycles=1)
         cls = self.config.class_for(size)
         if cls is None:
             self.stats.bump("hwheap.oversize_bypass")
@@ -151,6 +160,27 @@ class HardwareHeapManager:
                 flushed += 1
         self.stats.bump("hwheap.flushed_blocks", flushed)
         return flushed
+
+    # -- fault injection ------------------------------------------------------------
+
+    def inject_outage(self) -> int:
+        """Fault hook: the unit goes offline until :meth:`repair`.
+
+        The documented fallback is the lazy-coherence escape hatch:
+        ``hmflush`` returns every cached block to the software slab
+        (no leaks), then the zero flag routes all traffic to the
+        software allocator.  Returns blocks flushed on the way down.
+        """
+        self.stats.bump("hwheap.fault_outages")
+        flushed = self.hmflush()
+        self.faulted = True
+        return flushed
+
+    def repair(self) -> None:
+        """Fault hook: bring the unit back (lists refill on demand)."""
+        if self.faulted:
+            self.stats.bump("hwheap.fault_repairs")
+        self.faulted = False
 
     # -- prefetcher -----------------------------------------------------------------
 

@@ -323,6 +323,22 @@ class ContentReuseTable:
         assert entry.next_state is not None
         return entry.next_state, entry.last_accept, entry.size
 
+    # -- fault injection -------------------------------------------------------------------
+
+    def inject_flush(self) -> int:
+        """Fault hook: the whole reuse table is cleared at once.
+
+        The table is a pure memoization cache, so the documented
+        fallback is simply the software regex path: every later
+        ``regexlookup`` reinstalls from scratch (more FSM traversal,
+        never a wrong match).  Returns the entries dropped.
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.stats.bump("reuse.fault_flushes")
+        self.stats.bump("reuse.fault_dropped", dropped)
+        return dropped
+
     # -- helpers ---------------------------------------------------------------------------
 
     def _install(self, key: tuple[int, int], prefix: str) -> None:

@@ -115,6 +115,18 @@ class StringAccelerator:
         self.stats.bump("hwstring.config_saves")
         return self._config_state
 
+    # -- fault injection ----------------------------------------------------------------
+
+    def inject_config_loss(self) -> None:
+        """Fault hook: the matching matrix forgets its configuration.
+
+        Results stay correct — the matrix is re-populated from memory
+        by the next ``strreadconfig`` (the same path a context switch
+        uses), the fault only costs the reload cycles.
+        """
+        self._config_state = MatrixConfigState()
+        self.stats.bump("hwstring.fault_config_losses")
+
     # -- the matching matrix ------------------------------------------------------------
 
     def _matrix_for_block(

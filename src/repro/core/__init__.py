@@ -52,6 +52,7 @@ from repro.core.report import (
     figure15_report,
     format_table,
     pct,
+    resilience_report,
 )
 
 __all__ = [
@@ -71,5 +72,5 @@ __all__ = [
     "categorization", "post_mitigation_breakdown", "hash_hit_rate_sweep",
     "allocation_profile", "regex_opportunity",
     "figure14_report", "figure15_report", "energy_report",
-    "format_table", "pct",
+    "resilience_report", "format_table", "pct",
 ]

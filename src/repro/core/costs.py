@@ -55,9 +55,25 @@ class CostModel:
     #: µops for the hmfree overflow handler's single store
     overflow_store_uops: float = 2.0
 
+    # -- degraded-mode / resilience incidentals -----------------------------------
+    #: µops to detect a failed accelerated attempt (watchdog expiry,
+    #: result checksum, error-path bookkeeping) at request completion
+    fault_detect_uops: float = 600.0
+    #: µops the client/server pair spends re-issuing a failed request
+    #: (connection re-setup, request re-parse, retry bookkeeping)
+    retry_dispatch_uops: float = 1_500.0
+
     def uops_to_cycles(self, uops: float) -> float:
         """Core execution time of a µop stream at the sustained IPC."""
         return uops / self.effective_ipc
+
+    def fault_detect_cycles(self) -> float:
+        """Cycles a doomed attempt spends discovering it failed."""
+        return self.uops_to_cycles(self.fault_detect_uops)
+
+    def retry_dispatch_cycles(self) -> float:
+        """Cycles of fixed overhead added to every retry re-issue."""
+        return self.uops_to_cycles(self.retry_dispatch_uops)
 
     def hash_walk_uops(self, probes: int, key_bytes: int, ops: int) -> float:
         """Software hash-walk µops from actual traversal counters."""

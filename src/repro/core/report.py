@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.experiment import AppResult
+
+if TYPE_CHECKING:
+    from repro.resilience.report import ResilienceReport
 
 
 def format_table(
@@ -70,6 +75,44 @@ def figure15_report(results: list[AppResult]) -> str:
         rows,
         title="Figure 15: per-accelerator execution-time benefit "
               "(fraction of optimized time)",
+    )
+
+
+def resilience_report(reports: list["ResilienceReport"]) -> str:
+    """Degraded-mode summary: availability/goodput/tail per scenario.
+
+    Goodput is normalized to the matching policy's run under the
+    first scenario in the list (conventionally the fault-free one), so
+    the table answers "how much of my healthy capacity survives this
+    fault scenario under this policy".
+    """
+    baseline_by_policy: dict[str, "ResilienceReport"] = {}
+    first_scenario = reports[0].scenario if reports else ""
+    for r in reports:
+        if r.scenario == first_scenario and r.policy not in baseline_by_policy:
+            baseline_by_policy[r.policy] = r
+    rows = []
+    for r in reports:
+        baseline = baseline_by_policy.get(r.policy, r)
+        rows.append([
+            r.scenario,
+            r.policy,
+            pct(r.availability),
+            pct(r.goodput_vs(baseline)),
+            f"{r.retry_amplification:.2f}x",
+            str(r.shed),
+            pct(r.software_path_share),
+            str(r.breaker_trips),
+            f"{r.p99_latency:,.0f}",
+            f"{r.p999_latency:,.0f}",
+        ])
+    return format_table(
+        ["scenario", "policy", "avail", "goodput",
+         "retry amp", "shed", "sw path", "trips", "p99 (cyc)",
+         "p999 (cyc)"],
+        rows,
+        title="Resilience: availability and goodput under fault "
+              "injection (goodput vs same-policy fault-free run)",
     )
 
 

@@ -62,6 +62,9 @@ class AcceleratorComplex:
         #: software hash maps by base address (coherence partners)
         self._software_maps: dict[int, PhpArray] = {}
         self.hash_table.writeback_handler = self._writeback
+        #: dispatch mode: 'accelerated' normally, 'software' while a
+        #: resilience circuit breaker holds the complex out of service
+        self.dispatch_mode = "accelerated"
 
     # -- software-map coupling -----------------------------------------------------
 
@@ -108,6 +111,54 @@ class AcceleratorComplex:
     def context_switch_in(self, saved: MatrixConfigState) -> int:
         """Re-enter: strreadconfig restores the matrix (cycles spent)."""
         return self.string.strreadconfig(saved)
+
+    # -- resilience: breaker-driven dispatch + fault injection ---------------------------
+
+    def trip_to_software(self) -> None:
+        """Circuit breaker opened: route new requests to software.
+
+        Every accelerator has a documented software fallback (stale-flag
+        writebacks for the hash table, ``hmflush`` + software slab for
+        the heap manager, the plain FSM for regexps), so the complex can
+        be taken out of the request path without a correctness loss —
+        requests are simply re-costed onto the software path.
+        """
+        if self.dispatch_mode != "software":
+            self.stats.bump("complex.breaker_trips")
+        self.dispatch_mode = "software"
+
+    def restore_accelerated(self) -> None:
+        """Circuit breaker closed again: accelerated dispatch resumes."""
+        if self.dispatch_mode != "accelerated":
+            self.stats.bump("complex.breaker_resets")
+        self.dispatch_mode = "accelerated"
+
+    def note_software_request(self) -> None:
+        """Account one request served on the software path while tripped."""
+        self.stats.bump("complex.software_path_requests")
+
+    def inject_fault(self, kind: str) -> int:
+        """Apply one accelerator fault; returns affected entries/blocks.
+
+        Kinds: ``hash_storm`` (entry invalidation storm),
+        ``heap_outage`` / ``heap_repair`` (heap manager availability),
+        ``reuse_flush`` (regex reuse-table wipe),
+        ``string_config_loss`` (matching-matrix state loss).
+        """
+        self.stats.bump("complex.faults_injected")
+        if kind == "hash_storm":
+            return self.hash_table.inject_invalidation_storm()
+        if kind == "heap_outage":
+            return self.heap_manager.inject_outage()
+        if kind == "heap_repair":
+            self.heap_manager.repair()
+            return 0
+        if kind == "reuse_flush":
+            return self.reuse_table.inject_flush()
+        if kind == "string_config_loss":
+            self.string.inject_config_loss()
+            return 0
+        raise ValueError(f"unknown fault kind: {kind!r}")
 
     # -- coherence events -----------------------------------------------------------------
 

@@ -29,6 +29,7 @@ class CoherenceEvent:
     """One directory action, for inspection in tests/examples."""
 
     kind: str          # 'acquire' | 'forward_flush' | 'migration_flush'
+                       # | 'crash' | 'restart'
     base_address: int
     from_core: Optional[int]
     to_core: Optional[int]
@@ -138,6 +139,54 @@ class MulticoreSystem:
             "string_restore_cycles": restore_cycles,
             "hash_maps_pending_lazy_flush": len(migrated),
         }
+
+    # -- fail-stop crashes ---------------------------------------------------------------
+
+    def crash_core(self, core_id: int) -> dict[str, int]:
+        """Fail-stop the core's accelerator complex (fault injection).
+
+        Unlike :meth:`migrate_process`, nothing gets the chance to
+        flush: the hardware free lists leak their cached blocks and
+        dirty hash entries are lost before writeback, so the stale-flag
+        protocol cannot save them.  The directory releases the core's
+        map ownership so surviving cores re-acquire cleanly.  Returns
+        the damage report the resilience layer accounts for.
+        """
+        complex_ = self.cores[core_id]
+        leaked_blocks = complex_.heap_manager.cached_blocks()
+        dirty_lost = sum(
+            1 for e in complex_.hash_table._entries if e.valid and e.dirty
+        )
+        owned = [
+            base for base, owner in self._owner.items() if owner == core_id
+        ]
+        for base in owned:
+            del self._owner[base]
+        self.stats.bump("multicore.crashes")
+        self.stats.bump("multicore.crash_leaked_blocks", leaked_blocks)
+        self.stats.bump("multicore.crash_dirty_lost", dirty_lost)
+        self.events.append(CoherenceEvent(
+            "crash", 0, core_id, None, dirty_lost
+        ))
+        return {
+            "leaked_blocks": leaked_blocks,
+            "dirty_entries_lost": dirty_lost,
+            "maps_released": len(owned),
+        }
+
+    def restart_core(self, core_id: int) -> None:
+        """Bring a crashed core back with a cold accelerator complex.
+
+        Registered software maps are re-attached (they live in memory
+        and survived the crash); all hardware state starts cold.
+        """
+        old = self.cores[core_id]
+        fresh = AcceleratorComplex()
+        for array in old._software_maps.values():
+            fresh.register_map(array)
+        self.cores[core_id] = fresh
+        self.stats.bump("multicore.restarts")
+        self.events.append(CoherenceEvent("restart", 0, None, core_id))
 
     # -- reporting ----------------------------------------------------------------------------
 

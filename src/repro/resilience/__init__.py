@@ -1,0 +1,50 @@
+"""Fault injection and resilience policies for the server model.
+
+The north-star deployment runs the accelerated tier hot near
+saturation; this subsystem models what production meets there —
+accelerator faults, worker crashes, stragglers — and the policies
+(timeouts, retries with decorrelated jitter, a circuit breaker onto
+the software fallback path, admission control) that keep goodput and
+tail latency acceptable while degraded.
+
+* :mod:`repro.resilience.faults`    — deterministic fault schedules
+* :mod:`repro.resilience.policies`  — retry/breaker/shedding knobs
+* :mod:`repro.resilience.simulator` — the event-driven resilient tier
+* :mod:`repro.resilience.report`    — degraded-mode metrics
+"""
+
+from repro.resilience.faults import (
+    ACCEL_FAULT_KINDS,
+    FaultInjector,
+    FaultSchedule,
+    FaultScenario,
+    FaultWindow,
+    WorkerCrash,
+    standard_scenarios,
+)
+from repro.resilience.policies import (
+    CircuitBreaker,
+    CircuitBreakerPolicy,
+    ResiliencePolicy,
+    RetryPolicy,
+    full_policy,
+    no_policy,
+    retries_only,
+    standard_policies,
+)
+from repro.resilience.report import ResilienceReport, ScenarioSweep
+from repro.resilience.simulator import (
+    ResilientServerConfig,
+    ResilientServerSimulator,
+    run_matrix,
+)
+
+__all__ = [
+    "ACCEL_FAULT_KINDS", "FaultInjector", "FaultSchedule", "FaultScenario",
+    "FaultWindow", "WorkerCrash", "standard_scenarios",
+    "CircuitBreaker", "CircuitBreakerPolicy", "ResiliencePolicy",
+    "RetryPolicy", "full_policy", "no_policy", "retries_only",
+    "standard_policies",
+    "ResilienceReport", "ScenarioSweep",
+    "ResilientServerConfig", "ResilientServerSimulator", "run_matrix",
+]

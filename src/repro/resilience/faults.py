@@ -1,0 +1,251 @@
+"""Deterministic fault injection for the server/accelerator stack.
+
+The paper's fleet-economics argument is about running tiers hot near
+saturation — exactly where real deployments meet stragglers, failed
+workers, and flaky accelerators.  This module generates *schedules* of
+such faults: given a :class:`FaultScenario` and a seed, a
+:class:`FaultInjector` lays out accelerator-degradation windows,
+worker crash/restart events, and per-request straggler multipliers,
+all derived from :class:`~repro.common.rng.DeterministicRng` so every
+resilience experiment reproduces bit-for-bit.
+
+Accelerator faults map onto the Section-4 hardware units and their
+documented software fallbacks:
+
+* ``hash_storm``        — hash-table entry invalidation storm
+                          (stale-flag writebacks keep maps correct),
+* ``heap_outage``       — heap manager offline (``hmflush`` + software
+                          slab allocator),
+* ``reuse_flush``       — regex reuse-table wipe (plain software FSM),
+* ``string_config_loss``— matching-matrix state loss (reload path).
+
+During a fault window the accelerated request path is degraded: an
+attempt dispatched to the accelerators fails and must be retried or
+re-routed to the software path by the resilience policies.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.common.rng import DeterministicRng
+
+#: Accelerator fault kinds, cycled through deterministically when a
+#: scenario does not pin one down.
+ACCEL_FAULT_KINDS = (
+    "hash_storm", "heap_outage", "reuse_flush", "string_config_loss",
+)
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One accelerator-degradation interval ``[start, end)`` in cycles."""
+
+    start: float
+    end: float
+    kind: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """A fail-stop worker crash at ``time``; back up after ``downtime``."""
+
+    time: float
+    worker: int
+    downtime: float
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """Knobs describing how hostile the environment is.
+
+    ``accel_fault_rate`` is the long-run fraction of *time* the
+    accelerator complex spends degraded (the "10 % fault rate" of the
+    acceptance experiments); windows are laid out with exponential
+    gaps to hit that duty cycle.  All durations are expressed in
+    multiples of the workload's *mean service time*, so one scenario
+    means the same thing whether a request costs hundreds or millions
+    of cycles; the simulator resolves them to cycles.
+    """
+
+    name: str = "baseline"
+    #: fraction of time inside accelerator-fault windows (0 disables)
+    accel_fault_rate: float = 0.0
+    #: length of one accelerator-fault window, × mean service time
+    accel_fault_window_services: float = 10.0
+    #: mean gap between worker crashes, × mean service time (0 disables)
+    crash_mtbf_services: float = 0.0
+    #: time a crashed worker stays down, × mean service time
+    crash_downtime_services: float = 100.0
+    #: probability one service attempt is a straggler
+    straggler_probability: float = 0.0
+    #: service-time multiplier applied to straggler attempts
+    straggler_multiplier: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accel_fault_rate < 1.0:
+            raise ValueError(
+                f"accel_fault_rate must be in [0, 1), got "
+                f"{self.accel_fault_rate}"
+            )
+        if self.accel_fault_window_services <= 0:
+            raise ValueError("accel_fault_window_services must be positive")
+        if self.crash_mtbf_services < 0:
+            raise ValueError("crash_mtbf_services cannot be negative")
+        if self.crash_downtime_services <= 0:
+            raise ValueError("crash_downtime_services must be positive")
+        if not 0.0 <= self.straggler_probability <= 1.0:
+            raise ValueError("straggler_probability must be in [0, 1]")
+        if self.straggler_multiplier < 1.0:
+            raise ValueError("straggler_multiplier must be >= 1")
+
+
+#: Canonical scenarios used by the CLI and the resilience benchmark.
+def standard_scenarios() -> list[FaultScenario]:
+    return [
+        FaultScenario("fault-free"),
+        FaultScenario("accel-faults-10pct", accel_fault_rate=0.10),
+        FaultScenario(
+            "stragglers", straggler_probability=0.02,
+            straggler_multiplier=6.0,
+        ),
+        FaultScenario(
+            "crashes", crash_mtbf_services=250.0,
+            crash_downtime_services=100.0,
+        ),
+        FaultScenario(
+            "hostile", accel_fault_rate=0.10,
+            straggler_probability=0.02, crash_mtbf_services=500.0,
+        ),
+    ]
+
+
+@dataclass
+class FaultSchedule:
+    """A fully materialized, immutable-by-convention fault timeline."""
+
+    scenario: FaultScenario
+    horizon: float
+    windows: list[FaultWindow] = field(default_factory=list)
+    crashes: list[WorkerCrash] = field(default_factory=list)
+    #: sorted window start times, for bisect in :meth:`faulted_at`
+    _starts: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._starts = [w.start for w in self.windows]
+
+    def faulted_at(self, time: float) -> FaultWindow | None:
+        """The accelerator-fault window covering ``time``, if any."""
+        i = bisect.bisect_right(self._starts, time) - 1
+        if i >= 0 and self.windows[i].start <= time < self.windows[i].end:
+            return self.windows[i]
+        return None
+
+    def degraded_time(self) -> float:
+        """Total cycles inside fault windows (clipped to the horizon)."""
+        return sum(
+            max(0.0, min(w.end, self.horizon) - w.start)
+            for w in self.windows
+        )
+
+
+class FaultInjector:
+    """Deterministic generator of fault schedules and straggler draws.
+
+    One injector serves one simulation run: :meth:`schedule` lays out
+    the timeline up-front, and :meth:`straggler_multiplier` is drawn
+    per service attempt from an independent child stream, so the
+    arrival/service streams of the server simulator never shift when a
+    scenario knob changes.  ``mean_service_cycles`` anchors the
+    scenario's service-multiple durations to this workload's scale.
+    """
+
+    def __init__(
+        self,
+        scenario: FaultScenario,
+        rng: DeterministicRng,
+        mean_service_cycles: float = 1.0,
+    ) -> None:
+        if mean_service_cycles <= 0:
+            raise ValueError("mean_service_cycles must be positive")
+        self.scenario = scenario
+        self.mean_service_cycles = mean_service_cycles
+        self._window_rng = rng.fork("fault-windows")
+        self._crash_rng = rng.fork("fault-crashes")
+        self._straggle_rng = rng.fork("fault-stragglers")
+        self._kind_cursor = 0
+
+    # -- schedule construction ----------------------------------------------------
+
+    def schedule(self, horizon: float, workers: int) -> FaultSchedule:
+        """Materialize all fault events inside ``[0, horizon)`` cycles."""
+        if horizon <= 0:
+            raise ValueError("fault horizon must be positive")
+        if workers < 1:
+            raise ValueError("need at least one worker to crash")
+        return FaultSchedule(
+            scenario=self.scenario,
+            horizon=horizon,
+            windows=self._lay_out_windows(horizon),
+            crashes=self._lay_out_crashes(horizon, workers),
+        )
+
+    def _lay_out_windows(self, horizon: float) -> list[FaultWindow]:
+        s = self.scenario
+        if s.accel_fault_rate <= 0.0:
+            return []
+        window = s.accel_fault_window_services * self.mean_service_cycles
+        # Exponential gaps sized so windows cover accel_fault_rate of
+        # the timeline: mean_gap = window * (1 - rate) / rate.
+        mean_gap = window * (1.0 - s.accel_fault_rate) / s.accel_fault_rate
+        windows: list[FaultWindow] = []
+        t = self._exp(self._window_rng, mean_gap)
+        while t < horizon:
+            kind = ACCEL_FAULT_KINDS[
+                self._kind_cursor % len(ACCEL_FAULT_KINDS)
+            ]
+            self._kind_cursor += 1
+            windows.append(FaultWindow(t, t + window, kind))
+            t += window + self._exp(self._window_rng, mean_gap)
+        return windows
+
+    def _lay_out_crashes(
+        self, horizon: float, workers: int
+    ) -> list[WorkerCrash]:
+        s = self.scenario
+        if s.crash_mtbf_services <= 0.0:
+            return []
+        mean_gap = s.crash_mtbf_services * self.mean_service_cycles
+        downtime = s.crash_downtime_services * self.mean_service_cycles
+        crashes: list[WorkerCrash] = []
+        t = self._exp(self._crash_rng, mean_gap)
+        while t < horizon:
+            crashes.append(WorkerCrash(
+                time=t,
+                worker=self._crash_rng.randint(0, workers - 1),
+                downtime=downtime,
+            ))
+            t += self._exp(self._crash_rng, mean_gap)
+        return crashes
+
+    # -- per-attempt draws ----------------------------------------------------------
+
+    def straggler_multiplier(self) -> float:
+        """Service-time multiplier for the next attempt (usually 1.0)."""
+        s = self.scenario
+        if s.straggler_probability <= 0.0:
+            return 1.0
+        if self._straggle_rng.random() < s.straggler_probability:
+            return s.straggler_multiplier
+        return 1.0
+
+    @staticmethod
+    def _exp(rng: DeterministicRng, mean: float) -> float:
+        """Exponential deviate (inverse-CDF on a uniform)."""
+        import math
+        return -mean * math.log(max(rng.random(), 1e-12))

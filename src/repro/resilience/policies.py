@@ -1,0 +1,210 @@
+"""Resilience policies: timeouts, retries, circuit breaking, shedding.
+
+The knobs an operator turns to keep goodput up when the environment of
+:mod:`repro.resilience.faults` turns hostile:
+
+* **per-request timeout** — a request that waits in queue past its
+  deadline is abandoned (the client has already given up);
+* **retry with exponential backoff + decorrelated jitter** — failed or
+  timed-out requests re-enter after a randomized backoff (the AWS
+  "decorrelated jitter" recurrence keeps retry storms from
+  synchronizing);
+* **circuit breaker** — consecutive accelerated-path failures trip the
+  breaker, which routes requests to the *software* path (every
+  Section-4 accelerator has a documented software fallback, so this
+  trades throughput for availability instead of failing);
+* **admission control** — a bounded queue sheds arrivals instead of
+  letting latency grow without bound near saturation.
+
+All policy state machines are deterministic given a
+:class:`~repro.common.rng.DeterministicRng` stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with decorrelated jitter.
+
+    Backoffs are expressed in multiples of the workload's mean service
+    time (the simulator resolves them to cycles), so one policy tunes
+    sensibly across workloads whose requests differ by orders of
+    magnitude in cycle cost.
+    """
+
+    max_retries: int = 3
+    base_backoff_services: float = 0.5
+    max_backoff_services: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if (
+            self.base_backoff_services <= 0
+            or self.max_backoff_services < self.base_backoff_services
+        ):
+            raise ValueError(
+                "need 0 < base_backoff <= max_backoff, got "
+                f"base={self.base_backoff_services} "
+                f"max={self.max_backoff_services}"
+            )
+
+    def next_backoff(self, previous: float, rng: DeterministicRng) -> float:
+        """Decorrelated jitter: ``min(cap, U(base, 3 * previous))``.
+
+        ``previous`` is the last backoff used (pass 0.0 before the
+        first retry); both are in service-time multiples.  The
+        recurrence grows roughly exponentially in expectation while
+        decorrelating concurrent clients.
+        """
+        upper = max(self.base_backoff_services, 3.0 * previous)
+        return min(
+            self.max_backoff_services,
+            rng.uniform(self.base_backoff_services, upper),
+        )
+
+
+@dataclass(frozen=True)
+class CircuitBreakerPolicy:
+    """Trip thresholds and recovery pacing for the breaker."""
+
+    #: consecutive accelerated-path failures that open the breaker
+    failure_threshold: int = 5
+    #: how long the breaker stays open before probing (half-open),
+    #: × mean service time
+    cooldown_services: float = 5.0
+    #: consecutive successes a half-open breaker needs to close
+    probe_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_services <= 0:
+            raise ValueError("cooldown_services must be positive")
+        if self.probe_successes < 1:
+            raise ValueError("probe_successes must be >= 1")
+
+
+class CircuitBreaker:
+    """Runtime breaker state machine (closed → open → half-open).
+
+    While open, :meth:`allow_accelerated` is False and the dispatcher
+    must serve requests on the software path; after the cooldown the
+    breaker goes half-open and lets accelerated probes through until
+    ``probe_successes`` in a row close it (one failure re-opens it).
+    """
+
+    def __init__(
+        self,
+        policy: CircuitBreakerPolicy,
+        mean_service_cycles: float = 1.0,
+    ) -> None:
+        if mean_service_cycles <= 0:
+            raise ValueError("mean_service_cycles must be positive")
+        self.policy = policy
+        self.cooldown_cycles = policy.cooldown_services * mean_service_cycles
+        self.state = "closed"
+        self.trips = 0
+        self._consecutive_failures = 0
+        self._probe_streak = 0
+        self._open_until = 0.0
+
+    def allow_accelerated(self, now: float) -> bool:
+        """May this attempt use the accelerated path at time ``now``?"""
+        if self.state == "open":
+            if now >= self._open_until:
+                self.state = "half_open"
+                self._probe_streak = 0
+                return True
+            return False
+        return True
+
+    def record_success(self, now: float) -> bool:
+        """Note an accelerated-path success; True when the breaker closed."""
+        self._consecutive_failures = 0
+        if self.state == "half_open":
+            self._probe_streak += 1
+            if self._probe_streak >= self.policy.probe_successes:
+                self.state = "closed"
+                return True
+        return False
+
+    def record_failure(self, now: float) -> bool:
+        """Note an accelerated-path failure; True when the breaker opened."""
+        if self.state == "half_open":
+            self._trip(now)
+            return True
+        self._consecutive_failures += 1
+        if (
+            self.state == "closed"
+            and self._consecutive_failures >= self.policy.failure_threshold
+        ):
+            self._trip(now)
+            return True
+        return False
+
+    def _trip(self, now: float) -> None:
+        self.state = "open"
+        self.trips += 1
+        self._consecutive_failures = 0
+        self._probe_streak = 0
+        self._open_until = now + self.cooldown_cycles
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """One named bundle of the four mechanisms (None disables each)."""
+
+    name: str = "no-policy"
+    #: per-request deadline in units of the mean service time
+    #: (None → clients wait forever)
+    timeout_service_multiple: float | None = None
+    retry: RetryPolicy | None = None
+    breaker: CircuitBreakerPolicy | None = None
+    #: admission control: queued requests beyond this are shed
+    #: (None → unbounded FIFO, the seed model's behavior)
+    max_queue: int | None = None
+
+    def __post_init__(self) -> None:
+        if (
+            self.timeout_service_multiple is not None
+            and self.timeout_service_multiple <= 0
+        ):
+            raise ValueError("timeout_service_multiple must be positive")
+        if self.max_queue is not None and self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+
+
+def no_policy() -> ResiliencePolicy:
+    """The seed model's behavior: fail once, wait forever, never shed."""
+    return ResiliencePolicy(name="no-policy")
+
+
+def retries_only() -> ResiliencePolicy:
+    """Retries and timeouts without breaker or admission control."""
+    return ResiliencePolicy(
+        name="retries",
+        timeout_service_multiple=20.0,
+        retry=RetryPolicy(),
+    )
+
+
+def full_policy() -> ResiliencePolicy:
+    """Timeout + retries + circuit breaker + bounded queue."""
+    return ResiliencePolicy(
+        name="retries+breaker",
+        timeout_service_multiple=20.0,
+        retry=RetryPolicy(),
+        breaker=CircuitBreakerPolicy(),
+        max_queue=256,
+    )
+
+
+def standard_policies() -> list[ResiliencePolicy]:
+    """The policy axis the CLI and benchmark sweep."""
+    return [no_policy(), retries_only(), full_policy()]

@@ -1,0 +1,85 @@
+"""Degraded-mode metrics: what a fault scenario did to the tier.
+
+:class:`ResilienceReport` is the per-(scenario, policy) summary the
+resilience simulator emits; :func:`repro.core.report.resilience_report`
+renders lists of them in the repo's fixed-width table layout.  This
+module deliberately imports nothing from :mod:`repro.core` so the
+reporting layer can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ResilienceReport:
+    """Availability/goodput/tail summary of one resilient run.
+
+    All request counts exclude the warmup prefix (see
+    ``warmup_requests`` on the run config); latency percentiles are
+    over *successful* measured requests only, in cycles.
+    """
+
+    scenario: str
+    policy: str
+    #: measured requests offered (arrivals after warmup)
+    offered: int = 0
+    #: measured requests that completed successfully
+    succeeded: int = 0
+    #: exhausted their retry budget (or failed with none configured)
+    failed: int = 0
+    #: rejected by admission control (bounded queue full)
+    shed: int = 0
+    #: abandoned in queue past their deadline, all retries included
+    timeouts: int = 0
+    #: service attempts dispatched for measured requests
+    attempts: int = 0
+    #: attempts served on the software path (breaker open)
+    software_path_attempts: int = 0
+    #: attempts killed by accelerator faults or worker crashes
+    faulted_attempts: int = 0
+    #: times the circuit breaker opened
+    breaker_trips: int = 0
+    #: cycles of worker time wasted on attempts that did not succeed
+    wasted_cycles: float = 0.0
+    #: simulated horizon (first measured arrival → last completion)
+    span_cycles: float = 0.0
+    mean_latency: float = 0.0
+    p99_latency: float = 0.0
+    p999_latency: float = 0.0
+    #: successful measured requests per kilocycle
+    goodput_per_kcycle: float = 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of measured offered requests that succeeded."""
+        return self.succeeded / self.offered if self.offered else 0.0
+
+    @property
+    def retry_amplification(self) -> float:
+        """Service attempts per admitted request (1.0 = no retries)."""
+        admitted = self.offered - self.shed
+        return self.attempts / admitted if admitted else 0.0
+
+    @property
+    def software_path_share(self) -> float:
+        """Fraction of attempts re-costed onto the software path."""
+        return (
+            self.software_path_attempts / self.attempts
+            if self.attempts else 0.0
+        )
+
+    def goodput_vs(self, baseline: "ResilienceReport") -> float:
+        """This run's goodput as a fraction of a baseline run's."""
+        if baseline.goodput_per_kcycle == 0.0:
+            return 0.0
+        return self.goodput_per_kcycle / baseline.goodput_per_kcycle
+
+
+@dataclass
+class ScenarioSweep:
+    """All policy runs of one scenario, plus the fault-free reference."""
+
+    scenario: str
+    reports: list[ResilienceReport] = field(default_factory=list)

@@ -1,0 +1,408 @@
+"""Event-driven server model under fault injection and policies.
+
+Extends the seed's M/G/c queueing view (``repro.workloads.server``)
+with the failure modes of a hot production tier and the policies that
+keep it available:
+
+* arrivals are Poisson at a fraction of the *accelerated* tier's
+  capacity; a bounded FIFO queue (admission control) feeds ``workers``
+  parallel servers;
+* an attempt dispatched on the **accelerated path** during one of the
+  :class:`~repro.resilience.faults.FaultInjector`'s degradation
+  windows fails: the fault is detected at completion (checksum/
+  watchdog, pessimistic), the worker time is wasted, and the request
+  must be retried;
+* the **software path** is immune to accelerator faults (every
+  Section-4 unit has a documented software fallback) but slower —
+  service times are drawn from the software distribution, the
+  re-costing of :mod:`repro.core.costs`'s software/accelerated split;
+* the circuit breaker arbitrates between the two: consecutive
+  accelerated failures trip dispatch to software (and, when a real
+  :class:`~repro.isa.dispatch.AcceleratorComplex` is wired in, the
+  trip is mirrored onto it so ``StatRegistry`` counters record the
+  degraded mode);
+* worker crashes kill the in-flight attempt and take the worker out
+  of rotation for the scenario's downtime; stragglers multiply
+  individual service times.
+
+Everything is deterministic: same seed → identical schedules, event
+order, and :class:`~repro.resilience.report.ResilienceReport`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.rng import DeterministicRng
+from repro.common.stats import StatRegistry
+from repro.core.costs import CostModel, DEFAULT_COSTS
+from repro.resilience.faults import FaultInjector, FaultScenario
+from repro.resilience.policies import CircuitBreaker, ResiliencePolicy
+from repro.resilience.report import ResilienceReport
+
+
+@dataclass
+class ResilientServerConfig:
+    """Shape of one resilient-simulation run."""
+
+    workers: int = 4
+    #: measured requests (after warmup)
+    requests: int = 2_000
+    #: leading requests excluded from every report statistic
+    warmup_requests: int = 0
+    offered_load: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(
+                f"need at least one worker, got {self.workers}"
+            )
+        if self.requests < 1:
+            raise ValueError(
+                f"need at least one measured request, got {self.requests}"
+            )
+        if self.warmup_requests < 0:
+            raise ValueError(
+                f"warmup_requests cannot be negative, got "
+                f"{self.warmup_requests}"
+            )
+        if self.offered_load <= 0.0:
+            raise ValueError(
+                f"offered load must be positive, got {self.offered_load}"
+            )
+
+
+@dataclass
+class _Request:
+    rid: int
+    first_arrival: float
+    is_warmup: bool
+    retries_used: int = 0
+    last_backoff: float = 0.0
+    deadline: float = float("inf")
+    enqueued_at: float = 0.0
+
+
+@dataclass
+class _Attempt:
+    aid: int
+    request: _Request
+    worker: int
+    start: float
+    service: float
+    path: str              # 'accelerated' | 'software'
+    doomed_by: str = ""    # '' | fault-window kind
+
+
+class ResilientServerSimulator:
+    """M/G/c queue + faults + resilience policies, deterministically."""
+
+    def __init__(
+        self,
+        service_times: list[float],
+        software_service_times: list[float],
+        scenario: FaultScenario,
+        policy: ResiliencePolicy,
+        config: ResilientServerConfig | None = None,
+        rng: DeterministicRng | None = None,
+        costs: CostModel = DEFAULT_COSTS,
+        complex_: Optional[object] = None,
+    ) -> None:
+        for name, sample in (
+            ("accelerated", service_times),
+            ("software", software_service_times),
+        ):
+            if not sample:
+                raise ValueError(f"need a {name} service-time sample")
+            if any(s <= 0 for s in sample):
+                raise ValueError(f"{name} service times must be positive")
+        self.service_times = service_times
+        self.software_service_times = software_service_times
+        self.scenario = scenario
+        self.policy = policy
+        self.config = config or ResilientServerConfig()
+        self.costs = costs
+        #: optional AcceleratorComplex mirror for breaker trips
+        self.complex_ = complex_
+        rng = rng or DeterministicRng(17)
+        self._arrival_rng = rng.fork("arrivals")
+        self._service_rng = rng.fork("service")
+        self._retry_rng = rng.fork("retry")
+        self.injector = FaultInjector(
+            scenario, rng.fork("faults"), self.mean_service()
+        )
+        self.stats = StatRegistry("resilience")
+
+    # -- derived rates ------------------------------------------------------------
+
+    def mean_service(self) -> float:
+        return sum(self.service_times) / len(self.service_times)
+
+    def capacity_rps(self) -> float:
+        """Saturation throughput of the *accelerated* tier."""
+        return self.config.workers / self.mean_service()
+
+    def timeout_cycles(self) -> float | None:
+        mult = self.policy.timeout_service_multiple
+        return None if mult is None else mult * self.mean_service()
+
+    # -- the simulation -----------------------------------------------------------
+
+    def run(self) -> ResilienceReport:
+        import math
+
+        cfg = self.config
+        arrival_rate = cfg.offered_load * self.capacity_rps()
+        mean_gap = 1.0 / arrival_rate
+        total = cfg.warmup_requests + cfg.requests
+
+        # Pre-draw arrivals so retries/faults never shift the stream.
+        arrivals: list[float] = []
+        now = 0.0
+        for _ in range(total):
+            now += -mean_gap * math.log(
+                max(self._arrival_rng.random(), 1e-12)
+            )
+            arrivals.append(now)
+        # The fault schedule covers twice the arrival span plus slack
+        # so late retries/drains stay inside scheduled territory.
+        horizon = 2.0 * arrivals[-1] + 20.0 * self.mean_service()
+        schedule = self.injector.schedule(horizon, cfg.workers)
+        timeout = self.timeout_cycles()
+        mean_service = self.mean_service()
+        breaker = (
+            CircuitBreaker(self.policy.breaker, mean_service)
+            if self.policy.breaker else None
+        )
+        detect_cycles = self.costs.fault_detect_cycles()
+        retry_cycles = self.costs.retry_dispatch_cycles()
+
+        # Event heap: (time, seq, kind, payload).
+        events: list[tuple[float, int, str, object]] = []
+        seq = 0
+
+        def push(time: float, kind: str, payload: object) -> None:
+            nonlocal seq
+            heapq.heappush(events, (time, seq, kind, payload))
+            seq += 1
+
+        for i, t in enumerate(arrivals):
+            push(t, "arrival", _Request(
+                rid=i, first_arrival=t,
+                is_warmup=i < cfg.warmup_requests,
+            ))
+        for crash in schedule.crashes:
+            push(crash.time, "crash", crash)
+
+        queue: deque[_Request] = deque()
+        free: set[int] = set(range(cfg.workers))
+        down_until = [0.0] * cfg.workers
+        running: dict[int, _Attempt] = {}   # worker -> attempt
+        cancelled: set[int] = set()
+        next_aid = 0
+
+        report = ResilienceReport(
+            scenario=self.scenario.name, policy=self.policy.name,
+            offered=cfg.requests,
+        )
+        latencies: list[float] = []
+        first_measured_arrival = arrivals[cfg.warmup_requests] \
+            if cfg.warmup_requests < len(arrivals) else arrivals[-1]
+        last_completion = first_measured_arrival
+
+        def count(request: _Request) -> bool:
+            return not request.is_warmup
+
+        def handle_failure(request: _Request, at: float, reason: str) -> None:
+            retry = self.policy.retry
+            if retry is not None and request.retries_used < retry.max_retries:
+                request.retries_used += 1
+                backoff = retry.next_backoff(
+                    request.last_backoff, self._retry_rng
+                )
+                request.last_backoff = backoff
+                self.stats.bump("resilience.retries")
+                push(
+                    at + backoff * mean_service + retry_cycles,
+                    "arrival", request,
+                )
+                return
+            if count(request):
+                report.failed += 1
+            self.stats.bump(f"resilience.failed_{reason}")
+
+        def dispatch(at: float) -> None:
+            nonlocal next_aid, last_completion
+            while free and queue:
+                request = queue.popleft()
+                if at > request.deadline:
+                    # Abandoned in queue: the client's deadline passed.
+                    if count(request):
+                        report.timeouts += 1
+                    self.stats.bump("resilience.queue_timeouts")
+                    handle_failure(request, at, "timeout")
+                    continue
+                worker = min(free)
+                free.discard(worker)
+                accelerated = breaker is None or breaker.allow_accelerated(at)
+                if accelerated:
+                    base = self._service_rng.choice(self.service_times)
+                    path = "accelerated"
+                else:
+                    base = self._service_rng.choice(
+                        self.software_service_times
+                    )
+                    path = "software"
+                    if self.complex_ is not None:
+                        self.complex_.note_software_request()
+                service = base * self.injector.straggler_multiplier()
+                doomed_by = ""
+                finish = at + service
+                if path == "accelerated":
+                    window = schedule.faulted_at(at)
+                    if window is not None:
+                        doomed_by = window.kind
+                        finish += detect_cycles
+                attempt = _Attempt(
+                    aid=next_aid, request=request, worker=worker,
+                    start=at, service=service, path=path,
+                    doomed_by=doomed_by,
+                )
+                next_aid += 1
+                running[worker] = attempt
+                if count(request):
+                    report.attempts += 1
+                    if path == "software":
+                        report.software_path_attempts += 1
+                push(finish, "finish", attempt)
+
+        while events:
+            at, _, kind, payload = heapq.heappop(events)
+
+            if kind == "arrival":
+                request = payload
+                if (
+                    self.policy.max_queue is not None
+                    and len(queue) >= self.policy.max_queue
+                ):
+                    if count(request):
+                        report.shed += 1
+                    self.stats.bump("resilience.shed")
+                    continue
+                request.enqueued_at = at
+                request.deadline = (
+                    at + timeout if timeout is not None else float("inf")
+                )
+                queue.append(request)
+                dispatch(at)
+
+            elif kind == "finish":
+                attempt = payload
+                if attempt.aid in cancelled:
+                    continue
+                worker = attempt.worker
+                running.pop(worker, None)
+                if down_until[worker] <= at:
+                    free.add(worker)
+                request = attempt.request
+                if attempt.doomed_by:
+                    if count(request):
+                        report.faulted_attempts += 1
+                        report.wasted_cycles += at - attempt.start
+                    self.stats.bump("resilience.fault_failures")
+                    self.stats.bump(
+                        f"resilience.fault_{attempt.doomed_by}"
+                    )
+                    if breaker is not None and breaker.record_failure(at):
+                        report.breaker_trips += 1
+                        self.stats.bump("resilience.breaker_trips")
+                        if self.complex_ is not None:
+                            self.complex_.trip_to_software()
+                    handle_failure(request, at, "fault")
+                else:
+                    if (
+                        breaker is not None
+                        and attempt.path == "accelerated"
+                        and breaker.record_success(at)
+                        and self.complex_ is not None
+                    ):
+                        self.complex_.restore_accelerated()
+                    if count(request):
+                        report.succeeded += 1
+                        latencies.append(at - request.first_arrival)
+                        last_completion = max(last_completion, at)
+                    self.stats.bump("resilience.successes")
+                dispatch(at)
+
+            elif kind == "crash":
+                crash = payload
+                worker = crash.worker
+                if down_until[worker] > at:
+                    continue    # already down; rare double hit
+                down_until[worker] = at + crash.downtime
+                free.discard(worker)
+                self.stats.bump("resilience.worker_crashes")
+                attempt = running.pop(worker, None)
+                if attempt is not None:
+                    cancelled.add(attempt.aid)
+                    if count(attempt.request):
+                        report.faulted_attempts += 1
+                        report.wasted_cycles += at - attempt.start
+                    self.stats.bump("resilience.crash_kills")
+                    handle_failure(attempt.request, at, "crash")
+                push(at + crash.downtime, "repair", worker)
+
+            elif kind == "repair":
+                worker = payload
+                if worker not in running and down_until[worker] <= at:
+                    free.add(worker)
+                self.stats.bump("resilience.worker_repairs")
+                dispatch(at)
+
+        # -- summarize ----------------------------------------------------------
+        if latencies:
+            from repro.core.latency import percentile
+            report.mean_latency = sum(latencies) / len(latencies)
+            report.p99_latency = percentile(latencies, 99)
+            report.p999_latency = percentile(latencies, 99.9)
+        report.span_cycles = max(
+            last_completion - first_measured_arrival, 1.0
+        )
+        report.goodput_per_kcycle = (
+            1000.0 * report.succeeded / report.span_cycles
+        )
+        return report
+
+
+def run_matrix(
+    service_times: list[float],
+    software_service_times: list[float],
+    scenarios: list[FaultScenario],
+    policies: list[ResiliencePolicy],
+    config: ResilientServerConfig | None = None,
+    seed: int = 17,
+    costs: CostModel = DEFAULT_COSTS,
+) -> list[ResilienceReport]:
+    """Sweep scenarios × policies with one independent run each.
+
+    Every scenario forks its own rng stream from ``seed``; all
+    policies within a scenario share that stream's derivation, so they
+    face *identical* arrival processes and fault schedules — the
+    policy is the only variable in a row-to-row comparison — and
+    adding a scenario never perturbs the others' results.
+    """
+    reports: list[ResilienceReport] = []
+    for scenario in scenarios:
+        for policy in policies:
+            rng = DeterministicRng(seed).fork(
+                f"resilience/{scenario.name}"
+            )
+            sim = ResilientServerSimulator(
+                service_times, software_service_times,
+                scenario, policy, config, rng, costs,
+            )
+            reports.append(sim.run())
+    return reports

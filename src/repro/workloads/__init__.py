@@ -30,7 +30,7 @@ from repro.workloads.hashops import (
     HashWorkloadSpec,
     trace_statistics,
 )
-from repro.workloads.loadgen import LoadGenerator, RequestTrace
+from repro.workloads.loadgen import LoadGenerator, RequestTrace, TraceSummary
 from repro.workloads.profiles import (
     ACCELERATED,
     Activity,
@@ -89,7 +89,7 @@ __all__ = [
     "php_applications", "specweb_banking", "specweb_ecommerce",
     "specweb_profile",
     "HashOp", "HashOpGenerator", "HashWorkloadSpec", "trace_statistics",
-    "LoadGenerator", "RequestTrace",
+    "LoadGenerator", "RequestTrace", "TraceSummary",
     "Activity", "ACCELERATED", "LeafFunction", "MITIGATION_FACTORS",
     "Profile", "apply_mitigations", "flat_php_profile", "hotspot_profile",
     "RegexFunctionSet", "RegexOpGenerator", "RegexWorkloadSpec",

@@ -45,6 +45,27 @@ class RequestTrace:
         )
 
 
+@dataclass(frozen=True)
+class TraceSummary:
+    """Warmup/measurement split of a generated trace.
+
+    Resilience and availability statistics must be computed over the
+    measured phase only — the warmup phase exists so hardware
+    structures can learn, and its failures/latencies are not the
+    tier's steady-state behavior.  This summary makes the split
+    explicit for any consumer of :meth:`LoadGenerator.run`.
+    """
+
+    warmup_requests: int
+    measured_requests: int
+    warmup_ops: int
+    measured_ops: int
+
+    @property
+    def total_requests(self) -> int:
+        return self.warmup_requests + self.measured_requests
+
+
 class LoadGenerator:
     """Streams request traces for one application workload.
 
@@ -67,6 +88,10 @@ class LoadGenerator:
         rng: DeterministicRng,
         warmup_requests: int = 5,
     ) -> None:
+        if warmup_requests < 0:
+            raise ValueError(
+                f"warmup_requests cannot be negative, got {warmup_requests}"
+            )
         self.app = app
         self.rng = rng
         self.warmup_requests = warmup_requests
@@ -106,3 +131,21 @@ class LoadGenerator:
             self.next_request()
             for _ in range(self.warmup_requests + measured)
         ]
+
+    @staticmethod
+    def summarize(traces: list[RequestTrace]) -> TraceSummary:
+        """Warmup/measured split of :meth:`run`'s output.
+
+        The warmup count travels with the trace so downstream
+        consumers (e.g. resilience benchmarks) can exclude warmup
+        requests from availability and tail-latency statistics without
+        re-deriving the generator's configuration.
+        """
+        warmup = [t for t in traces if t.is_warmup]
+        measured = [t for t in traces if not t.is_warmup]
+        return TraceSummary(
+            warmup_requests=len(warmup),
+            measured_requests=len(measured),
+            warmup_ops=sum(t.op_count for t in warmup),
+            measured_ops=sum(t.op_count for t in measured),
+        )

@@ -13,6 +13,7 @@ per-request service-time distributions the simulators produce.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 
 from repro.common.rng import DeterministicRng
@@ -42,6 +43,16 @@ class ServerConfig:
     workers: int = 4
     #: simulation length in requests
     requests: int = 2_000
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(
+                f"need at least one worker, got workers={self.workers}"
+            )
+        if self.requests < 1:
+            raise ValueError(
+                f"need at least one request, got requests={self.requests}"
+            )
 
 
 class WebServerSimulator:
@@ -75,8 +86,11 @@ class WebServerSimulator:
         sampled i.i.d. from the empirical distribution.  Returns one
         record per served request.
         """
-        if not 0.0 < offered_load:
-            raise ValueError("offered load must be positive")
+        if not math.isfinite(offered_load) or offered_load <= 0.0:
+            raise ValueError(
+                f"offered load must be positive and finite, got "
+                f"{offered_load}"
+            )
         cfg = self.config
         arrival_rate = offered_load * self.capacity_rps()
         mean_gap = 1.0 / arrival_rate
@@ -88,7 +102,6 @@ class WebServerSimulator:
         now = 0.0
         for _ in range(cfg.requests):
             # Exponential inter-arrival (inverse-CDF on a uniform).
-            import math
             now += -mean_gap * math.log(max(self.rng.random(), 1e-12))
             service = self.rng.choice(self.service_times)
             free_at = heapq.heappop(workers)
@@ -141,20 +154,37 @@ def slo_capacity(
     config: ServerConfig | None = None,
     seed: int = 17,
     resolution: float = 0.05,
+    max_load: float = 0.96,
 ) -> float:
     """Highest offered load whose p99 stays under ``slo_latency``.
 
-    Scans load upward in ``resolution`` steps — the operator's
-    "how hot can I run this tier" number.
+    Scans load upward in ``resolution`` steps up to ``max_load`` — the
+    operator's "how hot can I run this tier" number.  The scan stops
+    early once the p99 exceeds the SLO at two *consecutive* loads:
+    queueing delay grows monotonically with offered load in
+    expectation, so once the tier is persistently over its SLO it does
+    not come back.  (A single exceedance is not trusted — finite-run
+    sampling noise can push one load point over the line — which is
+    why two consecutive misses are required before exiting.)
     """
     from repro.core.latency import percentile
 
+    if resolution <= 0:
+        raise ValueError(f"resolution must be positive, got {resolution}")
+    if not 0.0 < max_load <= 1.0:
+        raise ValueError(f"max_load must be in (0, 1], got {max_load}")
     best = 0.0
     load = resolution
-    while load < 0.96:
+    consecutive_misses = 0
+    while load < max_load:
         sim = WebServerSimulator(service_times, config, DeterministicRng(seed))
         latencies = [r.latency for r in sim.run(load)]
         if percentile(latencies, 99) <= slo_latency:
             best = load
+            consecutive_misses = 0
+        else:
+            consecutive_misses += 1
+            if consecutive_misses >= 2:
+                break
         load += resolution
     return best

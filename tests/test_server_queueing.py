@@ -1,0 +1,138 @@
+"""Determinism and validation tests: server model + load generator.
+
+Companions to ``test_server.py``, focused on the properties the
+resilience layer leans on: same seed → same curve, same capacity,
+same fault schedule; and the input validation / early-exit behavior
+of the queueing helpers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.resilience import FaultInjector, FaultScenario
+from repro.workloads import LoadGenerator, TraceSummary
+from repro.workloads.apps import wordpress
+from repro.workloads.server import (
+    ServerConfig,
+    WebServerSimulator,
+    latency_curve,
+    slo_capacity,
+)
+
+SAMPLE = [60.0, 100.0, 140.0]
+
+
+class TestSeedDeterminism:
+    def test_latency_curve_reproducible(self):
+        cfg = ServerConfig(workers=2, requests=600)
+        a = latency_curve(SAMPLE, loads=(0.4, 0.7), config=cfg, seed=23)
+        b = latency_curve(SAMPLE, loads=(0.4, 0.7), config=cfg, seed=23)
+        assert [(p.mean_latency, p.p99_latency) for p in a] \
+            == [(p.mean_latency, p.p99_latency) for p in b]
+
+    def test_latency_curve_seed_sensitivity(self):
+        cfg = ServerConfig(workers=2, requests=600)
+        a = latency_curve(SAMPLE, loads=(0.7,), config=cfg, seed=23)
+        b = latency_curve(SAMPLE, loads=(0.7,), config=cfg, seed=24)
+        assert a[0].p99_latency != b[0].p99_latency
+
+    def test_slo_capacity_reproducible(self):
+        cfg = ServerConfig(workers=2, requests=500)
+        caps = {slo_capacity(SAMPLE, 400.0, cfg, seed=23)
+                for _ in range(3)}
+        assert len(caps) == 1
+
+    def test_fault_schedule_reproducible(self):
+        scenario = FaultScenario("t", accel_fault_rate=0.1,
+                                 crash_mtbf_services=200.0)
+        schedules = [
+            FaultInjector(
+                scenario, DeterministicRng(23), mean_service_cycles=100.0
+            ).schedule(1_000_000.0, workers=4)
+            for _ in range(2)
+        ]
+        assert schedules[0].windows == schedules[1].windows
+        assert schedules[0].crashes == schedules[1].crashes
+
+
+class TestServerValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="worker"):
+            ServerConfig(workers=0)
+
+    def test_rejects_zero_requests(self):
+        with pytest.raises(ValueError, match="request"):
+            ServerConfig(requests=0)
+
+    def test_rejects_nonfinite_load(self):
+        sim = WebServerSimulator([100.0], ServerConfig(workers=1,
+                                                       requests=10))
+        with pytest.raises(ValueError, match="offered load"):
+            sim.run(float("inf"))
+        with pytest.raises(ValueError, match="offered load"):
+            sim.run(float("nan"))
+        with pytest.raises(ValueError, match="offered load"):
+            sim.run(-0.5)
+
+
+class TestSloCapacityScan:
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError, match="resolution"):
+            slo_capacity(SAMPLE, 400.0, resolution=0.0)
+
+    def test_rejects_bad_max_load(self):
+        with pytest.raises(ValueError, match="max_load"):
+            slo_capacity(SAMPLE, 400.0, max_load=0.0)
+        with pytest.raises(ValueError, match="max_load"):
+            slo_capacity(SAMPLE, 400.0, max_load=1.5)
+
+    def test_max_load_caps_the_answer(self):
+        cfg = ServerConfig(workers=4, requests=400)
+        generous_slo = 1e9   # never violated: the cap is max_load
+        cap = slo_capacity(SAMPLE, generous_slo, cfg, max_load=0.30,
+                           resolution=0.1)
+        assert cap <= 0.30
+
+    def test_early_exit_matches_full_scan(self):
+        """Stopping after two consecutive misses returns the same
+        capacity as scanning every load (monotonicity assumption)."""
+        cfg = ServerConfig(workers=2, requests=500)
+        slo = 250.0
+        fast = slo_capacity(SAMPLE, slo, cfg, resolution=0.05)
+        # Fine resolution forces many points past the knee; the answer
+        # must still agree at the shared grid.
+        assert fast == slo_capacity(SAMPLE, slo, cfg, resolution=0.05,
+                                    max_load=1.0)
+
+    def test_tight_slo_gives_zero_capacity(self):
+        cfg = ServerConfig(workers=1, requests=300)
+        assert slo_capacity(SAMPLE, 1.0, cfg) == 0.0
+
+
+class TestLoadGeneratorWarmup:
+    def test_rejects_negative_warmup(self):
+        with pytest.raises(ValueError, match="warmup"):
+            LoadGenerator(wordpress(), DeterministicRng(3),
+                          warmup_requests=-1)
+
+    def test_summary_splits_warmup_and_measured(self):
+        gen = LoadGenerator(wordpress(), DeterministicRng(3),
+                            warmup_requests=4)
+        traces = gen.run(measured_requests=10)
+        summary = gen.summarize(traces)
+        assert isinstance(summary, TraceSummary)
+        assert summary.warmup_requests == 4
+        assert summary.measured_requests == 10
+        assert summary.total_requests == 14
+        assert summary.warmup_ops > 0
+        assert summary.measured_ops > summary.warmup_ops
+
+    def test_zero_warmup_summary(self):
+        gen = LoadGenerator(wordpress(), DeterministicRng(3),
+                            warmup_requests=0)
+        summary = gen.summarize(gen.run(measured_requests=6))
+        assert summary.warmup_requests == 0
+        assert summary.warmup_ops == 0
+        assert summary.total_requests == 6
