@@ -12,7 +12,7 @@ from conftest import EVAL_REQUESTS
 
 from repro.core.experiment import full_evaluation
 from repro.core.report import energy_report, format_table, pct
-from repro.power.area import NEHALEM_CORE_MM2, accelerator_area_report
+from repro.power.area import accelerator_area_report
 
 
 def bench_area_budget(benchmark, report_sink):

@@ -1,0 +1,141 @@
+"""Fleet economics: cache shielding and accelerated-node TCO.
+
+Not a paper figure — this runs the paper's fleet-scale cost argument
+forward: compose N per-node server models behind a load balancer with
+a sharded object cache in front, on measured WordPress service-time
+distributions, and check the two acceptance bars:
+
+* at a fixed node count, the cache tier **lifts SLO-compliant
+  capacity** versus the same backends with no cache;
+* an accelerated fleet meets the same absolute SLO at the same
+  offered traffic with **fewer nodes** than a software-only fleet —
+  the "how many fewer boxes" form of the paper's TCO claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.latency import request_latency_report
+from repro.core.report import fleet_report, format_table
+from repro.fleet import (
+    CacheTierConfig,
+    FleetConfig,
+    fleet_slo_capacity,
+    homogeneous_fleet,
+    min_nodes_for_slo,
+    mixed_fleet,
+    run_fleet,
+    run_fleet_matrix,
+)
+from repro.resilience.faults import FaultScenario
+
+SEED = 17
+
+
+def bench_fleet_matrix(benchmark, report_sink):
+    def run():
+        rep = request_latency_report("wordpress", requests=25)
+        accel = rep.accelerated.samples
+        soft = rep.software.samples
+        mean_accel = sum(accel) / len(accel)
+
+        cache = CacheTierConfig(shards=4, shard_capacity=256)
+        cfg = FleetConfig(
+            requests=2_500, warmup_requests=100, offered_load=0.7
+        )
+        cached = homogeneous_fleet("accel-4", accel, nodes=4, cache=cache)
+        topologies = [
+            cached,
+            cached.without_cache(),
+            mixed_fleet("mixed-2+2", accel, soft, 2, 2, cache=cache),
+            homogeneous_fleet(
+                "software-4", soft, nodes=4, kind="software", cache=cache
+            ),
+        ]
+        reports = run_fleet_matrix(
+            topologies,
+            ["round-robin", "least-outstanding", "p2c"],
+            cfg, seed=SEED,
+        )
+        storm = FaultScenario(
+            "cache-storms", accel_fault_rate=0.10,
+            accel_fault_window_services=5.0,
+        )
+        reports.append(run_fleet(
+            replace(cached, name="accel-4+storm"),
+            replace(cfg, storm_scenario=storm),
+            seed=SEED,
+        ))
+
+        # SLO economics.  The SLO is absolute (cycles), so it means
+        # the same thing to every fleet shape below.
+        slo = 8.0 * mean_accel
+        scan_cfg = FleetConfig(requests=1_000, warmup_requests=50)
+        cap_cached = fleet_slo_capacity(
+            cached, slo, scan_cfg, seed=SEED,
+            resolution=0.1, max_load=1.5,
+        )
+        cap_bare = fleet_slo_capacity(
+            cached.without_cache(), slo, scan_cfg, seed=SEED,
+            resolution=0.1, max_load=1.5,
+        )
+        # Fix the traffic at 1.5 accelerated nodes' worth and ask how
+        # many boxes each deployment needs to meet the SLO.
+        rate = 1.5 * 4 / mean_accel
+        need_accel = min_nodes_for_slo(
+            lambda n: homogeneous_fleet("a", accel, nodes=n),
+            rate, slo, scan_cfg, seed=SEED,
+        )
+        need_soft = min_nodes_for_slo(
+            lambda n: homogeneous_fleet(
+                "s", soft, nodes=n, kind="software"
+            ),
+            rate, slo, scan_cfg, seed=SEED,
+        )
+        return reports, (cap_cached, cap_bare, need_accel, need_soft)
+
+    reports, econ = benchmark.pedantic(run, rounds=1, iterations=1)
+    cap_cached, cap_bare, need_accel, need_soft = econ
+
+    economics = format_table(
+        ["question", "answer"],
+        [
+            ["SLO capacity, 4 accel nodes + cache (load frac)",
+             f"{cap_cached:.2f}"],
+            ["SLO capacity, 4 accel nodes, no cache (load frac)",
+             f"{cap_bare:.2f}"],
+            ["nodes needed at fixed traffic+SLO, accelerated",
+             str(need_accel)],
+            ["nodes needed at fixed traffic+SLO, software-only",
+             str(need_soft)],
+        ],
+        title="Fleet economics (SLO = 8x mean accelerated service)",
+    )
+    report_sink("fleet", fleet_report(reports) + "\n\n" + economics)
+
+    # Acceptance: the cache tier lifts SLO-compliant capacity at a
+    # fixed node count ...
+    assert cap_cached > cap_bare > 0.0
+    # ... and the accelerated fleet meets the same SLO at the same
+    # offered traffic with fewer nodes than software-only boxes.
+    assert need_accel is not None and need_soft is not None
+    assert need_accel < need_soft
+
+    by_cell = {(r.fleet, r.balancer): r for r in reports}
+    cached_p2c = by_cell[("accel-4", "p2c")]
+    bare_p2c = by_cell[("accel-4-nocache", "p2c")]
+    # The cache actually shields the backends in the matrix runs.
+    assert cached_p2c.cache_hit_ratio > 0.5
+    assert cached_p2c.mean_utilization < bare_p2c.mean_utilization
+    # On the heterogeneous fleet, load-aware balancing beats blind
+    # rotation on utilization balance.
+    assert (
+        by_cell[("mixed-2+2", "p2c")].utilization_imbalance
+        <= by_cell[("mixed-2+2", "round-robin")].utilization_imbalance
+    )
+    # Storms flushed shards and cost hit ratio, without losing requests.
+    stormy = by_cell[("accel-4+storm", "p2c")]
+    assert stormy.storms > 0
+    assert stormy.cache_hit_ratio < cached_p2c.cache_hit_ratio
+    assert stormy.availability == 1.0

@@ -23,3 +23,8 @@ fi
 
 echo "== tier-1 tests =="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
+
+echo "== fleet smoke =="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+    python -m repro fleet --smoke --requests 2 >/dev/null
+echo "fleet smoke ok"

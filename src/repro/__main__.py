@@ -138,6 +138,60 @@ def _cmd_resilience(args) -> None:
     print(resilience_report(reports))
 
 
+def _cmd_fleet(args) -> None:
+    from dataclasses import replace
+
+    from repro.core.latency import request_latency_report
+    from repro.core.report import fleet_report
+    from repro.fleet import (
+        CacheTierConfig,
+        FleetConfig,
+        homogeneous_fleet,
+        mixed_fleet,
+        run_fleet,
+        run_fleet_matrix,
+    )
+    from repro.resilience.faults import FaultScenario
+
+    smoke = bool(getattr(args, "smoke", False))
+    rep = request_latency_report(
+        "wordpress", requests=max(args.requests, 8), seed=args.seed
+    )
+    accel = rep.accelerated.samples
+    soft = rep.software.samples
+    cache = CacheTierConfig(shards=4, shard_capacity=256)
+    cfg = FleetConfig(
+        requests=300 if smoke else 3_000,
+        warmup_requests=20 if smoke else 100,
+        offered_load=0.7,
+    )
+    cached = homogeneous_fleet("accel-4", accel, nodes=4, cache=cache)
+    topologies = [
+        cached,
+        cached.without_cache(),
+        mixed_fleet("mixed-2+2", accel, soft, 2, 2, cache=cache),
+        homogeneous_fleet(
+            "software-4", soft, nodes=4, kind="software", cache=cache
+        ),
+    ]
+    balancers = (
+        ["p2c"] if smoke
+        else ["round-robin", "least-outstanding", "p2c"]
+    )
+    reports = run_fleet_matrix(topologies, balancers, cfg, seed=args.seed)
+    # One storm cell: TTL-invalidation waves flushing shards mid-run.
+    storm = FaultScenario(
+        "cache-storms", accel_fault_rate=0.10,
+        accel_fault_window_services=5.0,
+    )
+    reports.append(run_fleet(
+        replace(cached, name="accel-4+storm"),
+        replace(cfg, storm_scenario=storm),
+        seed=args.seed,
+    ))
+    print(fleet_report(reports))
+
+
 def _cmd_export(args) -> None:
     from repro.core.export import save_evaluation_json
     out = save_evaluation_json(
@@ -149,7 +203,7 @@ def _cmd_export(args) -> None:
 def _cmd_all(args) -> None:
     for fn in (_cmd_fig1, _cmd_uarch, _cmd_fig7, _cmd_fig12,
                _cmd_fig14, _cmd_fig15, _cmd_energy, _cmd_area,
-               _cmd_resilience):
+               _cmd_resilience, _cmd_fleet):
         fn(args)
         print()
 
@@ -166,6 +220,8 @@ _COMMANDS = {
     "ablation": (_cmd_ablation, "design-choice ablations"),
     "resilience": (_cmd_resilience,
                    "fault-injection scenarios × resilience policies"),
+    "fleet": (_cmd_fleet,
+              "multi-node fleets × balancers with the object cache"),
     "export": (_cmd_export, "write the evaluation as JSON"),
     "all": (_cmd_all, "everything above"),
 }
@@ -186,6 +242,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="trace length for uarch characterization")
     parser.add_argument("--out", type=str, default="results.json",
                         help="output path for the export command")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny fast run (fleet command; used by CI)")
     args = parser.parse_args(argv)
     _COMMANDS[args.command][0](args)
     return 0

@@ -24,8 +24,6 @@ against Python string semantics in the test suite.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
-
 from repro.common.stats import StatRegistry
 from repro.regex.charset import CharSet
 

@@ -9,8 +9,9 @@ original study, at the granularity this behavioral model needs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
 
 
 class Counter:
@@ -150,6 +151,48 @@ class Histogram:
             acc += c
             out.append(acc / self.total_weight)
         return out
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Classic nearest-rank percentile of a non-empty sample.
+
+    ``p`` is in percent (``p=99`` → p99).  This is the single
+    percentile implementation every latency summary in the repo uses
+    (request latencies, queueing curves, resilience and fleet tails);
+    nearest-rank keeps it exact on small samples, which matters for
+    byte-identical reports under a fixed seed.
+    """
+    if not values:
+        raise ValueError("no samples")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(values)
+    rank = math.ceil(p / 100.0 * len(ordered)) - 1
+    return ordered[max(0, min(len(ordered) - 1, rank))]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Mean + the standard tail percentiles of one latency sample."""
+
+    count: int = 0
+    mean: float = 0.0
+    p50: float = 0.0
+    p99: float = 0.0
+    p999: float = 0.0
+
+
+def summarize_latencies(values: Sequence[float]) -> LatencySummary:
+    """The :class:`LatencySummary` of ``values`` (zeros when empty)."""
+    if not values:
+        return LatencySummary()
+    return LatencySummary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        p50=percentile(values, 50),
+        p99=percentile(values, 99),
+        p999=percentile(values, 99.9),
+    )
 
 
 def weighted_mean(pairs: list[tuple[float, float]]) -> float:

@@ -20,7 +20,7 @@ from typing import Optional
 
 from repro.core.costs import DEFAULT_COSTS, CostModel
 from repro.isa.dispatch import AcceleratorComplex
-from repro.regex.engine import CompiledRegex, RegexManager
+from repro.regex.engine import RegexManager
 from repro.runtime.phparray import PhpArray
 from repro.runtime.slab import SlabAllocator
 from repro.runtime.strings import StringLibrary

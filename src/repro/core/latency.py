@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.rng import DEFAULT_SEED, DeterministicRng
+from repro.common.stats import percentile
 from repro.isa.dispatch import AcceleratorComplex
 from repro.runtime.interp import (
     AcceleratedBackend,
@@ -22,15 +23,10 @@ from repro.runtime.interp import (
 )
 from repro.workloads.templates import render_app_page
 
-
-def percentile(values: list[float], p: float) -> float:
-    """Classic nearest-rank percentile of a non-empty sample."""
-    if not values:
-        raise ValueError("no samples")
-    import math
-    ordered = sorted(values)
-    rank = math.ceil(p / 100 * len(ordered)) - 1
-    return ordered[max(0, min(len(ordered) - 1, rank))]
+__all__ = [
+    "LatencyDistribution", "LatencyReport", "percentile",
+    "request_latency_report",
+]
 
 
 @dataclass

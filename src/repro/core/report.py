@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING
 from repro.core.experiment import AppResult
 
 if TYPE_CHECKING:
+    from repro.fleet.report import FleetReport
     from repro.resilience.report import ResilienceReport
 
 
@@ -113,6 +114,40 @@ def resilience_report(reports: list["ResilienceReport"]) -> str:
         rows,
         title="Resilience: availability and goodput under fault "
               "injection (goodput vs same-policy fault-free run)",
+    )
+
+
+def fleet_report(reports: list["FleetReport"]) -> str:
+    """Fleet summary: one row per (topology, balancer) run.
+
+    ``imbalance`` is the coefficient of variation of per-node
+    utilization — the utilization slack the paper's TCO argument says
+    a fleet cannot afford to waste; ``hit`` is the object-cache hit
+    ratio over measured lookups (a dash with no cache tier).
+    """
+    rows = []
+    for r in reports:
+        rows.append([
+            r.fleet,
+            r.balancer,
+            str(r.cache_shards) if r.cache_shards else "-",
+            pct(r.cache_hit_ratio) if r.cache_shards else "-",
+            pct(r.availability),
+            str(r.shed),
+            f"{r.goodput_per_kcycle:.3f}",
+            pct(r.mean_utilization),
+            f"{r.utilization_imbalance:.3f}",
+            f"{r.latency.p50:,.0f}",
+            f"{r.latency.p99:,.0f}",
+            f"{r.latency.p999:,.0f}",
+        ])
+    return format_table(
+        ["fleet", "balancer", "shards", "hit", "avail", "shed",
+         "goodput/kcyc", "util", "imbalance", "p50 (cyc)", "p99 (cyc)",
+         "p999 (cyc)"],
+        rows,
+        title="Fleet: goodput, balance, and cache shielding per "
+              "(topology, balancer)",
     )
 
 

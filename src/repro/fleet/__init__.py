@@ -1,0 +1,57 @@
+"""Multi-node cluster simulator with a sharded object-cache tier.
+
+The paper argues fleet economics — "even small improvements in
+performance or utilization will translate into immense cost savings" —
+and this subsystem is where the repo asks fleet-scale questions: N
+per-node server models (mixing accelerated and software-only boxes)
+behind a pluggable load balancer, shielded by a consistent-hashed
+object cache, under deterministic invalidation storms.
+
+* :mod:`repro.fleet.topology`   — node specs and fleet shapes
+* :mod:`repro.fleet.balancer`   — round-robin / least-outstanding / p2c
+* :mod:`repro.fleet.cache_tier` — consistent hashing, LRU, TTL, storms
+* :mod:`repro.fleet.simulator`  — the event-driven composition
+* :mod:`repro.fleet.report`     — fleet-level metrics
+"""
+
+from repro.fleet.balancer import (
+    BALANCERS,
+    BalancerPolicy,
+    LeastOutstanding,
+    PowerOfTwoChoices,
+    RoundRobin,
+    make_balancer,
+)
+from repro.fleet.cache_tier import (
+    CacheShard,
+    CacheTierConfig,
+    ObjectCacheTier,
+    ShardRing,
+    stable_hash64,
+)
+from repro.fleet.report import FleetReport, NodeUtilization
+from repro.fleet.simulator import (
+    FleetConfig,
+    FleetSimulator,
+    fleet_slo_capacity,
+    min_nodes_for_slo,
+    run_fleet,
+    run_fleet_matrix,
+)
+from repro.fleet.topology import (
+    FleetTopology,
+    NodeSpec,
+    homogeneous_fleet,
+    mixed_fleet,
+)
+
+__all__ = [
+    "BALANCERS", "BalancerPolicy", "LeastOutstanding",
+    "PowerOfTwoChoices", "RoundRobin", "make_balancer",
+    "CacheShard", "CacheTierConfig", "ObjectCacheTier", "ShardRing",
+    "stable_hash64",
+    "FleetReport", "NodeUtilization",
+    "FleetConfig", "FleetSimulator", "fleet_slo_capacity",
+    "min_nodes_for_slo", "run_fleet", "run_fleet_matrix",
+    "FleetTopology", "NodeSpec", "homogeneous_fleet", "mixed_fleet",
+]

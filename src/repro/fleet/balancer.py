@@ -1,0 +1,114 @@
+"""Load-balancing policies for the fleet simulator.
+
+Three classics, all deterministic given the simulator's forked RNG
+stream:
+
+* **round-robin** — rotate through nodes regardless of state; the
+  baseline every real balancer gets compared against.  Blind to node
+  speed, so a heterogeneous (mixed accelerated/software) fleet ends
+  up with the slow boxes saturated while fast ones idle.
+* **least-outstanding** — send to the node with the fewest in-flight
+  requests (queue + busy workers), ties to the lowest index.  The
+  global-knowledge ideal; expensive to maintain at real scale.
+* **power-of-two-choices (p2c)** — sample two distinct nodes, pick
+  the less loaded.  The Mitzenmacher result: two random choices get
+  exponentially close to the global-knowledge balance at O(1) cost,
+  which is why production balancers use it.  ``tests/test_fleet.py``
+  asserts it never balances worse than round-robin on a heterogeneous
+  fleet.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.common.rng import DeterministicRng
+
+
+class NodeLoadView(Protocol):
+    """What a balancer may observe about one node."""
+
+    @property
+    def outstanding(self) -> int:
+        """Requests in flight on the node (queued + in service)."""
+        ...
+
+
+class BalancerPolicy:
+    """Base class: pick a node index for the next request."""
+
+    name = "balancer"
+
+    def pick(
+        self, nodes: Sequence[NodeLoadView], rng: DeterministicRng
+    ) -> int:
+        raise NotImplementedError
+
+
+class RoundRobin(BalancerPolicy):
+    """Rotate through nodes in order, ignoring their load."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def pick(
+        self, nodes: Sequence[NodeLoadView], rng: DeterministicRng
+    ) -> int:
+        i = self._cursor % len(nodes)
+        self._cursor += 1
+        return i
+
+
+class LeastOutstanding(BalancerPolicy):
+    """Global knowledge: fewest in-flight requests wins."""
+
+    name = "least-outstanding"
+
+    def pick(
+        self, nodes: Sequence[NodeLoadView], rng: DeterministicRng
+    ) -> int:
+        best = 0
+        best_load = nodes[0].outstanding
+        for i in range(1, len(nodes)):
+            load = nodes[i].outstanding
+            if load < best_load:
+                best, best_load = i, load
+        return best
+
+
+class PowerOfTwoChoices(BalancerPolicy):
+    """Two uniform samples, less-loaded wins (ties → first sample)."""
+
+    name = "p2c"
+
+    def pick(
+        self, nodes: Sequence[NodeLoadView], rng: DeterministicRng
+    ) -> int:
+        n = len(nodes)
+        if n == 1:
+            return 0
+        a = rng.randint(0, n - 1)
+        b = rng.randint(0, n - 2)
+        if b >= a:
+            b += 1  # second draw over the remaining n-1 nodes
+        return b if nodes[b].outstanding < nodes[a].outstanding else a
+
+
+#: Policy registry keyed by CLI-friendly name.
+BALANCERS = {
+    cls.name: cls
+    for cls in (RoundRobin, LeastOutstanding, PowerOfTwoChoices)
+}
+
+
+def make_balancer(name: str) -> BalancerPolicy:
+    """Fresh policy instance for ``name`` (policies carry state)."""
+    try:
+        return BALANCERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown balancer {name!r}; choose from "
+            f"{sorted(BALANCERS)}"
+        ) from None

@@ -1,0 +1,223 @@
+"""Sharded object-cache tier: consistent hashing + per-shard LRU.
+
+Production PHP fleets put a memcached-style object cache between the
+load balancer and the render tier; a hit skips the whole PHP render
+(the work the paper accelerates) and costs only a network round trip.
+This module models that tier:
+
+* **Consistent hashing** (:class:`ShardRing`): keys map to shards via
+  a ring of virtual points (a stable blake2b hash, so placement
+  reproduces across processes).  Adding or removing one of ``M``
+  shards remaps only ~``1/M`` of the key space — the property that
+  makes cache scale-out cheap, and which ``tests/test_fleet.py``
+  asserts.
+* **Per-shard LRU with TTL** (:class:`CacheShard`): bounded capacity,
+  least-recently-used eviction, entries expire ``ttl`` cycles after
+  the fill.  Expired entries count as misses (and are dropped on
+  touch), so a TTL storm converts directly into backend load.
+* **Invalidation storms** (:meth:`ObjectCacheTier.invalidate_shard`):
+  the fleet simulator reuses the PR-1 fault-schedule machinery to
+  flush shards at deterministic times, modeling the "cache stampede"
+  failure mode where a wave of invalidations un-shields the backends.
+
+All state transitions are synchronous and deterministic; time comes in
+from the event loop, never from a clock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.common.stats import StatRegistry
+
+
+def stable_hash64(text: str) -> int:
+    """Process-stable 64-bit hash (Python's ``hash`` is salted)."""
+    digest = hashlib.blake2b(
+        text.encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little")
+
+
+@dataclass(frozen=True)
+class CacheTierConfig:
+    """Shape and timing of the object-cache tier.
+
+    Durations are in multiples of the fleet's mean backend service
+    time (resolved to cycles by the simulator), mirroring the
+    convention of :mod:`repro.resilience`: one config means the same
+    thing across workloads whose requests differ by orders of
+    magnitude in cycle cost.
+    """
+
+    shards: int = 4
+    #: entries one shard can hold before LRU eviction
+    shard_capacity: int = 512
+    #: cycles a cache hit costs the client, × mean backend service
+    hit_services: float = 0.05
+    #: entry lifetime, × mean backend service (None → never expires)
+    ttl_services: float | None = 200.0
+    #: virtual points per shard on the consistent-hash ring
+    virtual_nodes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"need at least one shard, got {self.shards}")
+        if self.shard_capacity < 1:
+            raise ValueError(
+                f"shard_capacity must be >= 1, got {self.shard_capacity}"
+            )
+        if self.hit_services <= 0:
+            raise ValueError("hit_services must be positive")
+        if self.ttl_services is not None and self.ttl_services <= 0:
+            raise ValueError("ttl_services must be positive when set")
+        if self.virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+
+
+class ShardRing:
+    """Consistent-hash ring mapping string keys onto shard indices."""
+
+    def __init__(self, shards: int, virtual_nodes: int = 64) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.virtual_nodes = virtual_nodes
+        self._points: list[tuple[int, int]] = []
+        self._shards: set[int] = set()
+        for shard in range(shards):
+            self.add_shard(shard)
+
+    @property
+    def shards(self) -> list[int]:
+        return sorted(self._shards)
+
+    def add_shard(self, shard: int) -> None:
+        """Place ``virtual_nodes`` points for ``shard`` on the ring."""
+        if shard in self._shards:
+            raise ValueError(f"shard {shard} already on the ring")
+        self._shards.add(shard)
+        for v in range(self.virtual_nodes):
+            self._points.append(
+                (stable_hash64(f"shard-{shard}#{v}"), shard)
+            )
+        self._points.sort()
+
+    def remove_shard(self, shard: int) -> None:
+        """Take ``shard`` off the ring (its keys spill to neighbours)."""
+        if shard not in self._shards:
+            raise ValueError(f"shard {shard} not on the ring")
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        self._shards.discard(shard)
+        self._points = [p for p in self._points if p[1] != shard]
+
+    def lookup(self, key: str) -> int:
+        """The shard owning ``key``: first ring point at or after it."""
+        h = stable_hash64(key)
+        i = bisect_right(self._points, (h, -1))
+        if i == len(self._points):
+            i = 0  # wrap around the ring
+        return self._points[i][1]
+
+
+class CacheShard:
+    """One shard: bounded LRU of key → expiry-time entries."""
+
+    def __init__(self, capacity: int, stats: StatRegistry) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = stats
+        #: key → expiry cycle (inf when no TTL); order = LRU order
+        self._entries: OrderedDict[str, float] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str, now: float) -> bool:
+        """True on a live hit; expired entries drop and miss."""
+        expiry = self._entries.get(key)
+        if expiry is None:
+            return False
+        if expiry <= now:
+            del self._entries[key]
+            self.stats.bump("cache.expirations")
+            return False
+        self._entries.move_to_end(key)
+        return True
+
+    def put(self, key: str, now: float, ttl: float | None) -> None:
+        """Fill ``key``; evicts the LRU entry when at capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.bump("cache.evictions")
+        self._entries[key] = now + ttl if ttl is not None else float("inf")
+
+    def flush(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        return dropped
+
+
+class ObjectCacheTier:
+    """The full tier: ring + shards + hit/miss/storm accounting.
+
+    The invariant the tests pin down: every :meth:`lookup` is exactly
+    one hit or one miss (``cache.hits + cache.misses ==
+    cache.lookups``), and the hit ratio never counts warmup traffic
+    twice — the simulator decides what to record, this class only
+    counts what it is asked.
+    """
+
+    def __init__(
+        self, config: CacheTierConfig, mean_service_cycles: float
+    ) -> None:
+        if mean_service_cycles <= 0:
+            raise ValueError("mean_service_cycles must be positive")
+        self.config = config
+        self.hit_cycles = config.hit_services * mean_service_cycles
+        self.ttl_cycles = (
+            config.ttl_services * mean_service_cycles
+            if config.ttl_services is not None else None
+        )
+        self.stats = StatRegistry("cache")
+        self.ring = ShardRing(config.shards, config.virtual_nodes)
+        self.shards = [
+            CacheShard(config.shard_capacity, self.stats)
+            for _ in range(config.shards)
+        ]
+
+    def lookup(self, key: str, now: float) -> bool:
+        """Route ``key`` to its shard; True on a live hit."""
+        shard = self.ring.lookup(key)
+        self.stats.bump("cache.lookups")
+        if self.shards[shard].get(key, now):
+            self.stats.bump("cache.hits")
+            return True
+        self.stats.bump("cache.misses")
+        return False
+
+    def fill(self, key: str, now: float) -> None:
+        """Backend render finished: store the page for ``key``."""
+        shard = self.ring.lookup(key)
+        self.shards[shard].put(key, now, self.ttl_cycles)
+        self.stats.bump("cache.fills")
+
+    def invalidate_shard(self, shard: int) -> int:
+        """Storm: flush one shard; returns entries invalidated."""
+        dropped = self.shards[shard % len(self.shards)].flush()
+        self.stats.bump("cache.storms")
+        self.stats.bump("cache.storm_invalidations", dropped)
+        return dropped
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.stats.ratio("cache.hits", "cache.lookups")

@@ -1,0 +1,92 @@
+"""Fleet-level metrics: goodput, balance, cache shielding, tails.
+
+:class:`FleetReport` is the per-run summary the fleet simulator emits;
+:func:`repro.core.report.fleet_report` renders lists of them in the
+repo's fixed-width table layout.  Like the resilience report, this
+module imports nothing from :mod:`repro.core` so the reporting layer
+can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.stats import LatencySummary
+
+
+@dataclass(frozen=True)
+class NodeUtilization:
+    """One backend's share of the run."""
+
+    name: str
+    kind: str
+    #: requests this node finished rendering (measured only)
+    completed: int
+    #: busy worker-cycles / (workers × measured span)
+    utilization: float
+
+
+@dataclass
+class FleetReport:
+    """Summary of one fleet run (all counts exclude warmup traffic)."""
+
+    fleet: str
+    balancer: str
+    #: shards in the cache tier (0 → no cache tier configured)
+    cache_shards: int = 0
+    #: measured requests offered (arrivals after warmup)
+    offered: int = 0
+    #: measured requests completed (cache hits + backend renders)
+    completed: int = 0
+    #: completed straight from the object cache
+    cache_hits: int = 0
+    #: cache lookups that missed and went to a backend
+    cache_misses: int = 0
+    #: measured requests shed by full backend queues
+    shed: int = 0
+    #: shard flushes the storm schedule triggered
+    storms: int = 0
+    #: entries dropped by storm flushes
+    storm_invalidations: int = 0
+    #: client-observed latency summary over completed requests
+    latency: LatencySummary = field(default_factory=LatencySummary)
+    #: first measured arrival → last measured completion, cycles
+    span_cycles: float = 0.0
+    #: completed measured requests per kilocycle
+    goodput_per_kcycle: float = 0.0
+    per_node: list[NodeUtilization] = field(default_factory=list)
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Hits over measured lookups (0 with no cache tier)."""
+        looked = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked if looked else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of measured offered requests that completed."""
+        return self.completed / self.offered if self.offered else 0.0
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.per_node:
+            return 0.0
+        return sum(n.utilization for n in self.per_node) / len(self.per_node)
+
+    @property
+    def utilization_imbalance(self) -> float:
+        """Coefficient of variation of per-node utilization.
+
+        0 = perfectly even; higher means some boxes run hot while
+        others idle — the utilization slack the paper's TCO argument
+        says a fleet cannot afford to waste.
+        """
+        if len(self.per_node) < 2:
+            return 0.0
+        mean = self.mean_utilization
+        if mean == 0.0:
+            return 0.0
+        var = sum(
+            (n.utilization - mean) ** 2 for n in self.per_node
+        ) / len(self.per_node)
+        return var ** 0.5 / mean

@@ -1,0 +1,404 @@
+"""Event-driven multi-node cluster simulator.
+
+Composes the pieces the paper's fleet-economics argument needs in one
+timeline: Poisson arrivals carrying Zipf-popular content keys hit the
+**object-cache tier** first (consistent-hash shard, LRU, TTL — a hit
+costs a round trip and never touches a backend), misses go through a
+pluggable **load balancer** to one of N per-node M/G/c backends (each
+with its own empirical service-time distribution, so fleets can mix
+accelerated and software-only boxes), and completed renders **fill**
+the cache.  A PR-1 :class:`~repro.resilience.faults.FaultScenario`
+can drive deterministic **invalidation storms** that flush shards
+mid-run and let the miss wave hammer the backends.
+
+One global event heap with ``(time, seq, kind, payload)`` tuples — the
+monotonic ``seq`` breaks equal-time ties in insertion order so pop
+order is a function of the seed alone.  Same seed → byte-identical
+:class:`~repro.fleet.report.FleetReport`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass, replace
+
+from repro.common.rng import DeterministicRng
+from repro.common.stats import StatRegistry, summarize_latencies
+from repro.fleet.balancer import make_balancer
+from repro.fleet.cache_tier import ObjectCacheTier
+from repro.fleet.report import FleetReport, NodeUtilization
+from repro.fleet.topology import FleetTopology
+from repro.resilience.faults import FaultInjector, FaultScenario
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of one fleet-simulation run."""
+
+    #: measured requests (after warmup)
+    requests: int = 4_000
+    #: leading requests excluded from every report statistic (they
+    #: still warm the cache, as production warmup traffic would)
+    warmup_requests: int = 0
+    #: arrival rate as a fraction of aggregate *backend* capacity; a
+    #: cached fleet can sustain > 1.0 because hits bypass backends
+    offered_load: float = 0.7
+    #: absolute arrival rate (requests/cycle); overrides offered_load
+    arrival_rate: float | None = None
+    balancer: str = "p2c"
+    #: distinct content keys; popularity is Zipf over this population
+    key_population: int = 2_048
+    key_zipf_s: float = 1.1
+    #: per-node admission bound on outstanding requests (None → ∞)
+    max_queue: int | None = None
+    #: PR-1 fault scenario whose degradation windows become cache
+    #: invalidation storms (None → no storms)
+    storm_scenario: FaultScenario | None = None
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError(
+                f"need at least one measured request, got {self.requests}"
+            )
+        if self.warmup_requests < 0:
+            raise ValueError(
+                f"warmup_requests cannot be negative, got "
+                f"{self.warmup_requests}"
+            )
+        if self.offered_load <= 0.0:
+            raise ValueError(
+                f"offered load must be positive, got {self.offered_load}"
+            )
+        if self.arrival_rate is not None and self.arrival_rate <= 0.0:
+            raise ValueError(
+                f"arrival_rate must be positive, got {self.arrival_rate}"
+            )
+        if self.key_population < 1:
+            raise ValueError("key_population must be >= 1")
+        if self.key_zipf_s <= 0:
+            raise ValueError("key_zipf_s must be positive")
+        if self.max_queue is not None and self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+
+
+@dataclass
+class _FleetRequest:
+    rid: int
+    arrival: float
+    key: str
+    is_warmup: bool
+
+
+class _NodeState:
+    """Runtime state of one backend (the balancer's load view)."""
+
+    __slots__ = (
+        "spec", "free", "queue", "busy_cycles", "completed", "rng",
+    )
+
+    def __init__(self, spec, rng: DeterministicRng) -> None:
+        self.spec = spec
+        self.free = spec.workers
+        self.queue: deque[_FleetRequest] = deque()
+        self.busy_cycles = 0.0
+        self.completed = 0
+        self.rng = rng
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.queue) + (self.spec.workers - self.free)
+
+
+class FleetSimulator:
+    """N backends + balancer + sharded cache, deterministically."""
+
+    def __init__(
+        self,
+        topology: FleetTopology,
+        config: FleetConfig | None = None,
+        rng: DeterministicRng | None = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config or FleetConfig()
+        rng = rng or DeterministicRng(17)
+        self._arrival_rng = rng.fork("arrivals")
+        self._key_rng = rng.fork("keys")
+        self._balancer_rng = rng.fork("balancer")
+        self._storm_rng = rng.fork("storms")
+        self._node_rngs = [
+            rng.fork(f"service/{n.name}") for n in topology.nodes
+        ]
+        self.stats = StatRegistry("fleet")
+
+    def arrival_rate(self) -> float:
+        cfg = self.config
+        if cfg.arrival_rate is not None:
+            return cfg.arrival_rate
+        return cfg.offered_load * self.topology.capacity_rps
+
+    def run(self) -> FleetReport:
+        cfg = self.config
+        topo = self.topology
+        mean_gap = 1.0 / self.arrival_rate()
+        total = cfg.warmup_requests + cfg.requests
+
+        # Pre-draw arrivals and keys so storms, shedding, and balancer
+        # choices never shift the offered stream.
+        arrivals: list[float] = []
+        keys: list[str] = []
+        now = 0.0
+        for _ in range(total):
+            now += -mean_gap * math.log(
+                max(self._arrival_rng.random(), 1e-12)
+            )
+            arrivals.append(now)
+            keys.append(
+                f"k{self._key_rng.zipf(cfg.key_population, cfg.key_zipf_s)}"
+            )
+
+        cache = (
+            ObjectCacheTier(topo.cache, topo.mean_service)
+            if topo.cache is not None else None
+        )
+        balancer = make_balancer(cfg.balancer)
+        nodes = [
+            _NodeState(spec, self._node_rngs[i])
+            for i, spec in enumerate(topo.nodes)
+        ]
+
+        # Event heap: (time, seq, kind, payload); seq breaks ties.
+        events: list[tuple[float, int, str, object]] = []
+        seq = 0
+
+        def push(time: float, kind: str, payload: object) -> None:
+            nonlocal seq
+            heapq.heappush(events, (time, seq, kind, payload))
+            seq += 1
+
+        for i, t in enumerate(arrivals):
+            push(t, "arrival", _FleetRequest(
+                rid=i, arrival=t, key=keys[i],
+                is_warmup=i < cfg.warmup_requests,
+            ))
+
+        # Invalidation storms: reuse the PR-1 fault-window machinery —
+        # each degradation window's start flushes one shard, cycling.
+        if cache is not None and cfg.storm_scenario is not None:
+            injector = FaultInjector(
+                cfg.storm_scenario, self._storm_rng, topo.mean_service
+            )
+            horizon = arrivals[-1] + 20.0 * topo.mean_service
+            schedule = injector.schedule(horizon, max(len(nodes), 1))
+            for i, window in enumerate(schedule.windows):
+                push(window.start, "storm", i % len(cache.shards))
+
+        report = FleetReport(
+            fleet=topo.name, balancer=balancer.name,
+            cache_shards=len(cache.shards) if cache else 0,
+            offered=cfg.requests,
+        )
+        latencies: list[float] = []
+        first_measured_arrival = (
+            arrivals[cfg.warmup_requests]
+            if cfg.warmup_requests < len(arrivals) else arrivals[-1]
+        )
+        last_completion = first_measured_arrival
+
+        def dispatch(node: _NodeState, at: float) -> None:
+            while node.free and node.queue:
+                request = node.queue.popleft()
+                node.free -= 1
+                service = node.rng.choice(node.spec.service_times)
+                push(at + service, "finish", (node, request, service))
+
+        while events:
+            at, _, kind, payload = heapq.heappop(events)
+
+            if kind == "arrival":
+                request = payload
+                measured = not request.is_warmup
+                if cache is not None:
+                    hit = cache.lookup(request.key, at)
+                    if measured:
+                        if hit:
+                            report.cache_hits += 1
+                        else:
+                            report.cache_misses += 1
+                    if hit:
+                        done = at + cache.hit_cycles
+                        if measured:
+                            report.completed += 1
+                            latencies.append(cache.hit_cycles)
+                            last_completion = max(last_completion, done)
+                        self.stats.bump("fleet.cache_served")
+                        continue
+                i = balancer.pick(nodes, self._balancer_rng)
+                node = nodes[i]
+                if (
+                    cfg.max_queue is not None
+                    and node.outstanding >= cfg.max_queue
+                ):
+                    if measured:
+                        report.shed += 1
+                    self.stats.bump("fleet.shed")
+                    continue
+                node.queue.append(request)
+                self.stats.bump("fleet.dispatched")
+                dispatch(node, at)
+
+            elif kind == "finish":
+                node, request, service = payload
+                node.free += 1
+                node.completed += not request.is_warmup
+                if cache is not None:
+                    cache.fill(request.key, at)
+                if not request.is_warmup:
+                    node.busy_cycles += service
+                    report.completed += 1
+                    latencies.append(at - request.arrival)
+                    last_completion = max(last_completion, at)
+                self.stats.bump("fleet.rendered")
+                dispatch(node, at)
+
+            elif kind == "storm":
+                if cache is not None:
+                    dropped = cache.invalidate_shard(payload)
+                    report.storms += 1
+                    report.storm_invalidations += dropped
+
+        # -- summarize --------------------------------------------------------
+        report.latency = summarize_latencies(latencies)
+        report.span_cycles = max(
+            last_completion - first_measured_arrival, 1.0
+        )
+        report.goodput_per_kcycle = (
+            1000.0 * report.completed / report.span_cycles
+        )
+        report.per_node = [
+            NodeUtilization(
+                name=n.spec.name, kind=n.spec.kind, completed=n.completed,
+                utilization=min(
+                    n.busy_cycles / (n.spec.workers * report.span_cycles),
+                    1.0,
+                ),
+            )
+            for n in nodes
+        ]
+        if cache is not None:
+            self.stats.merge(cache.stats)
+        return report
+
+
+def run_fleet(
+    topology: FleetTopology,
+    config: FleetConfig | None = None,
+    seed: int = 17,
+) -> FleetReport:
+    """One independent fleet run with its own forked rng stream."""
+    cfg = config or FleetConfig()
+    rng = DeterministicRng(seed).fork(
+        f"fleet/{topology.name}/{cfg.balancer}"
+    )
+    return FleetSimulator(topology, cfg, rng).run()
+
+
+def run_fleet_matrix(
+    topologies: list[FleetTopology],
+    balancers: list[str],
+    config: FleetConfig | None = None,
+    seed: int = 17,
+) -> list[FleetReport]:
+    """Sweep topologies × balancer policies, one independent run each.
+
+    Every cell forks its own rng stream from ``seed`` (keyed by fleet
+    and balancer name), so adding a topology or policy never perturbs
+    the other cells' results.
+    """
+    cfg = config or FleetConfig()
+    reports: list[FleetReport] = []
+    for topo in topologies:
+        for name in balancers:
+            reports.append(
+                run_fleet(topo, replace(cfg, balancer=name), seed)
+            )
+    return reports
+
+
+def fleet_slo_capacity(
+    topology: FleetTopology,
+    slo_latency: float,
+    config: FleetConfig | None = None,
+    seed: int = 17,
+    resolution: float = 0.05,
+    max_load: float = 1.6,
+) -> float:
+    """Highest offered load whose p99 stays under ``slo_latency``.
+
+    The fleet-level analogue of
+    :func:`repro.workloads.server.slo_capacity`: load is a fraction of
+    aggregate *backend* capacity, so a fleet whose cache absorbs part
+    of the traffic can clear 1.0.  Stops after two consecutive SLO
+    misses (sampling noise can produce one).
+    """
+    if resolution <= 0:
+        raise ValueError(f"resolution must be positive, got {resolution}")
+    if max_load <= 0:
+        raise ValueError(f"max_load must be positive, got {max_load}")
+    cfg = config or FleetConfig()
+    best = 0.0
+    load = resolution
+    consecutive_misses = 0
+    while load < max_load:
+        report = run_fleet(
+            topology,
+            replace(cfg, offered_load=load, arrival_rate=None),
+            seed,
+        )
+        if (
+            report.latency.p99 <= slo_latency
+            and report.shed == 0
+            and report.completed == report.offered
+        ):
+            best = load
+            consecutive_misses = 0
+        else:
+            consecutive_misses += 1
+            if consecutive_misses >= 2:
+                break
+        load += resolution
+    return best
+
+
+def min_nodes_for_slo(
+    make_topology,
+    arrival_rate: float,
+    slo_latency: float,
+    config: FleetConfig | None = None,
+    seed: int = 17,
+    max_nodes: int = 16,
+) -> int | None:
+    """Smallest node count that serves ``arrival_rate`` within SLO.
+
+    ``make_topology(n)`` builds the n-node candidate fleet.  This is
+    the paper's TCO question run backwards: fix the traffic and the
+    SLO, ask how much hardware each configuration needs — accelerated
+    nodes should need fewer boxes than software-only ones for the same
+    answer.  Returns None when even ``max_nodes`` misses the SLO.
+    """
+    if max_nodes < 1:
+        raise ValueError(f"max_nodes must be >= 1, got {max_nodes}")
+    cfg = config or FleetConfig()
+    for n in range(1, max_nodes + 1):
+        topo = make_topology(n)
+        report = run_fleet(
+            topo, replace(cfg, arrival_rate=arrival_rate), seed
+        )
+        if (
+            report.latency.p99 <= slo_latency
+            and report.shed == 0
+            and report.completed == report.offered
+        ):
+            return n
+    return None

@@ -1,0 +1,158 @@
+"""Fleet topology: which nodes exist and what each one costs.
+
+The paper's economic argument is fleet-scale — "even small
+improvements in performance or utilization will translate into immense
+cost savings" — so the unit of configuration here is a *fleet*: a list
+of :class:`NodeSpec` (each a per-node M/G/c server with its own
+service-time distribution, i.e. an accelerated or software-only box)
+plus an optional sharded object-cache tier in front of them.
+
+Everything in this module is declarative; the event-driven composition
+lives in :mod:`repro.fleet.simulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.fleet.cache_tier import CacheTierConfig
+
+#: Node kinds a topology may mix; ``accelerated`` nodes carry the
+#: Section-4 accelerator complex, ``software`` nodes are plain cores.
+NODE_KINDS = ("accelerated", "software")
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One backend server in the fleet.
+
+    ``service_times`` is the node's empirical per-request cycle
+    distribution (measured on the MiniPHP templates by
+    :func:`repro.core.latency.request_latency_report`); a fleet mixing
+    accelerated and software distributions is exactly the paper's
+    partial-deployment scenario.
+    """
+
+    name: str
+    service_times: tuple[float, ...]
+    workers: int = 4
+    kind: str = "accelerated"
+
+    def __post_init__(self) -> None:
+        if not self.service_times:
+            raise ValueError(f"node {self.name}: need a service-time sample")
+        if any(s <= 0 for s in self.service_times):
+            raise ValueError(
+                f"node {self.name}: service times must be positive"
+            )
+        if self.workers < 1:
+            raise ValueError(
+                f"node {self.name}: need at least one worker, got "
+                f"{self.workers}"
+            )
+        if self.kind not in NODE_KINDS:
+            raise ValueError(
+                f"node {self.name}: kind must be one of {NODE_KINDS}, "
+                f"got {self.kind!r}"
+            )
+
+    @property
+    def mean_service(self) -> float:
+        return sum(self.service_times) / len(self.service_times)
+
+    @property
+    def capacity_rps(self) -> float:
+        """Saturation throughput of this node (requests per cycle)."""
+        return self.workers / self.mean_service
+
+
+@dataclass(frozen=True)
+class FleetTopology:
+    """A named fleet: backend nodes + optional object-cache tier."""
+
+    name: str
+    nodes: tuple[NodeSpec, ...]
+    cache: CacheTierConfig | None = None
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError(f"fleet {self.name}: need at least one node")
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"fleet {self.name}: node names must be unique, got {names}"
+            )
+
+    @property
+    def total_workers(self) -> int:
+        return sum(n.workers for n in self.nodes)
+
+    @property
+    def capacity_rps(self) -> float:
+        """Aggregate backend saturation throughput (no cache credit)."""
+        return sum(n.capacity_rps for n in self.nodes)
+
+    @property
+    def mean_service(self) -> float:
+        """Worker-weighted mean backend service time."""
+        total = sum(n.workers * n.mean_service for n in self.nodes)
+        return total / self.total_workers
+
+    def without_cache(self) -> FleetTopology:
+        """The same backends with the cache tier removed."""
+        return replace(self, name=f"{self.name}-nocache", cache=None)
+
+
+def homogeneous_fleet(
+    name: str,
+    service_times: list[float] | tuple[float, ...],
+    nodes: int,
+    workers: int = 4,
+    kind: str = "accelerated",
+    cache: CacheTierConfig | None = None,
+) -> FleetTopology:
+    """``nodes`` identical backends (the common scale-out shape)."""
+    if nodes < 1:
+        raise ValueError(f"need at least one node, got {nodes}")
+    sample = tuple(service_times)
+    return FleetTopology(
+        name=name,
+        nodes=tuple(
+            NodeSpec(
+                name=f"{kind[:2]}{i}", service_times=sample,
+                workers=workers, kind=kind,
+            )
+            for i in range(nodes)
+        ),
+        cache=cache,
+    )
+
+
+def mixed_fleet(
+    name: str,
+    accelerated_service_times: list[float] | tuple[float, ...],
+    software_service_times: list[float] | tuple[float, ...],
+    accelerated_nodes: int,
+    software_nodes: int,
+    workers: int = 4,
+    cache: CacheTierConfig | None = None,
+) -> FleetTopology:
+    """A partial deployment: some accelerated boxes, some plain ones."""
+    if accelerated_nodes < 0 or software_nodes < 0:
+        raise ValueError("node counts cannot be negative")
+    if accelerated_nodes + software_nodes < 1:
+        raise ValueError("need at least one node in the fleet")
+    nodes: list[NodeSpec] = []
+    accel = tuple(accelerated_service_times)
+    soft = tuple(software_service_times)
+    for i in range(accelerated_nodes):
+        nodes.append(NodeSpec(
+            name=f"ac{i}", service_times=accel, workers=workers,
+            kind="accelerated",
+        ))
+    for i in range(software_nodes):
+        nodes.append(NodeSpec(
+            name=f"so{i}", service_times=soft, workers=workers,
+            kind="software",
+        ))
+    return FleetTopology(name=name, nodes=tuple(nodes), cache=cache)

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.rng import DeterministicRng
-from repro.common.stats import StatRegistry
 from repro.runtime.slab import CHUNK_BYTES, SlabAllocator
 from repro.workloads.allocs import AllocOpGenerator, AllocWorkloadSpec
 

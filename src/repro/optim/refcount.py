@@ -16,8 +16,6 @@ measured, not assumed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable
-
 from repro.common.stats import StatRegistry
 from repro.runtime.values import PhpValue, ValueRuntime
 

@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.common.rng import DeterministicRng
-from repro.common.stats import StatRegistry
+from repro.common.stats import StatRegistry, percentile
 from repro.core.costs import CostModel, DEFAULT_COSTS
 from repro.resilience.faults import FaultInjector, FaultScenario
 from repro.resilience.policies import CircuitBreaker, ResiliencePolicy
@@ -136,7 +136,7 @@ class ResilientServerSimulator:
         )
         self.stats = StatRegistry("resilience")
 
-    # -- derived rates ------------------------------------------------------------
+    # -- derived rates ------------------------------------------------------
 
     def mean_service(self) -> float:
         return sum(self.service_times) / len(self.service_times)
@@ -149,7 +149,7 @@ class ResilientServerSimulator:
         mult = self.policy.timeout_service_multiple
         return None if mult is None else mult * self.mean_service()
 
-    # -- the simulation -----------------------------------------------------------
+    # -- the simulation -----------------------------------------------------
 
     def run(self) -> ResilienceReport:
         import math
@@ -180,7 +180,10 @@ class ResilientServerSimulator:
         detect_cycles = self.costs.fault_detect_cycles()
         retry_cycles = self.costs.retry_dispatch_cycles()
 
-        # Event heap: (time, seq, kind, payload).
+        # Event heap: (time, seq, kind, payload).  The monotonic seq
+        # breaks equal-time ties in insertion order, so heapq never
+        # falls through to comparing kind strings or payloads — pop
+        # order depends on the seed alone.
         events: list[tuple[float, int, str, object]] = []
         seq = 0
 
@@ -362,9 +365,8 @@ class ResilientServerSimulator:
                 self.stats.bump("resilience.worker_repairs")
                 dispatch(at)
 
-        # -- summarize ----------------------------------------------------------
+        # -- summarize ------------------------------------------------------
         if latencies:
-            from repro.core.latency import percentile
             report.mean_latency = sum(latencies) / len(latencies)
             report.p99_latency = percentile(latencies, 99)
             report.p999_latency = percentile(latencies, 99.9)

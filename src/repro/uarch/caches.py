@@ -15,8 +15,6 @@ per-level hit/miss statistics for the MPKI plots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
 from repro.common.stats import StatRegistry
 
 LINE_BYTES = 64

@@ -14,7 +14,6 @@ The analytic model captures the qualitative claims of Section 2:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.common.rng import DeterministicRng

@@ -17,6 +17,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.common.rng import DeterministicRng
+from repro.common.stats import percentile
 
 
 @dataclass
@@ -95,19 +96,25 @@ class WebServerSimulator:
         arrival_rate = offered_load * self.capacity_rps()
         mean_gap = 1.0 / arrival_rate
 
-        #: worker free-at times (a min-heap)
-        workers = [0.0] * cfg.workers
+        # Worker free-at times as (time, seq) min-heap entries.  The
+        # monotonic sequence number breaks equal-time ties in push
+        # order, so the pop sequence — and therefore every downstream
+        # sample — is a function of the seed alone, never of how the
+        # heap happens to sift equal floats.
+        workers = [(0.0, i) for i in range(cfg.workers)]
         heapq.heapify(workers)
+        seq = cfg.workers
         served: list[ServedRequest] = []
         now = 0.0
         for _ in range(cfg.requests):
             # Exponential inter-arrival (inverse-CDF on a uniform).
             now += -mean_gap * math.log(max(self.rng.random(), 1e-12))
             service = self.rng.choice(self.service_times)
-            free_at = heapq.heappop(workers)
+            free_at, _ = heapq.heappop(workers)
             start = max(now, free_at)
             finish = start + service
-            heapq.heappush(workers, finish)
+            heapq.heappush(workers, (finish, seq))
+            seq += 1
             served.append(ServedRequest(now, start, finish))
         return served
 
@@ -129,8 +136,6 @@ def latency_curve(
     seed: int = 17,
 ) -> list[LoadPoint]:
     """Latency vs offered load for one service-time distribution."""
-    from repro.core.latency import percentile
-
     points: list[LoadPoint] = []
     for load in loads:
         sim = WebServerSimulator(
@@ -167,8 +172,6 @@ def slo_capacity(
     sampling noise can push one load point over the line — which is
     why two consecutive misses are required before exiting.)
     """
-    from repro.core.latency import percentile
-
     if resolution <= 0:
         raise ValueError(f"resolution must be positive, got {resolution}")
     if not 0.0 < max_load <= 1.0:

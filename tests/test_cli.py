@@ -49,6 +49,21 @@ class TestCli:
         out = run_cli(capsys, "ablation", "--requests", "2")
         assert "GET-only" in out
 
+    def test_fleet_smoke(self, capsys):
+        out = run_cli(capsys, "fleet", "--smoke", "--requests", "2")
+        assert "Fleet:" in out
+        assert "accel-4" in out
+        assert "accel-4-nocache" in out
+        assert "accel-4+storm" in out
+        assert "p2c" in out
+
+    def test_fleet_smoke_is_deterministic(self, capsys):
+        a = run_cli(capsys, "fleet", "--smoke", "--requests", "2",
+                    "--seed", "11")
+        b = run_cli(capsys, "fleet", "--smoke", "--requests", "2",
+                    "--seed", "11")
+        assert a == b
+
     def test_unknown_command_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["make-coffee"])

@@ -9,8 +9,11 @@ from repro.common.rng import DeterministicRng
 from repro.common.stats import (
     Counter,
     Histogram,
+    LatencySummary,
     StatRegistry,
     geometric_mean,
+    percentile,
+    summarize_latencies,
     weighted_mean,
 )
 
@@ -19,12 +22,14 @@ class TestDeterministicRng:
     def test_same_seed_same_stream(self):
         a = DeterministicRng(7)
         b = DeterministicRng(7)
-        assert [a.random() for _ in range(50)] == [b.random() for _ in range(50)]
+        assert [a.random() for _ in range(50)] \
+            == [b.random() for _ in range(50)]
 
     def test_different_seeds_differ(self):
         a = DeterministicRng(7)
         b = DeterministicRng(8)
-        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+        assert [a.random() for _ in range(10)] \
+            != [b.random() for _ in range(10)]
 
     def test_fork_is_deterministic(self):
         a = DeterministicRng(7).fork("x")
@@ -174,6 +179,61 @@ class TestHistogram:
         for v in values:
             h.record(v)
         assert sum(h.counts) + h.overflow == h.total_weight == len(values)
+
+
+class TestPercentile:
+    def test_nearest_rank_basics(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+
+    def test_order_independent(self):
+        values = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(values, 50) == percentile(sorted(values), 50)
+
+    def test_single_sample(self):
+        assert percentile([42.0], 99.9) == 42.0
+
+    def test_p0_is_the_minimum(self):
+        assert percentile([3.0, 1.0, 2.0], 0) == 1.0
+
+    def test_rejects_empty_and_bad_p(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+    def test_matches_core_latency_alias(self):
+        # core.latency re-exports this implementation; they must agree.
+        from repro.core.latency import percentile as core_percentile
+        assert core_percentile is percentile
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e9,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1,
+        ),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_result_is_always_a_sample(self, values, p):
+        assert percentile(values, p) in values
+
+
+class TestLatencySummary:
+    def test_summarize(self):
+        s = summarize_latencies([float(v) for v in range(1, 1001)])
+        assert s.count == 1000
+        assert s.mean == pytest.approx(500.5)
+        assert s.p50 == 500.0
+        assert s.p99 == 990.0
+        assert s.p999 == 1000.0  # ceil(0.999 * 1000) rounds up in float
+
+    def test_empty_is_zeroed(self):
+        assert summarize_latencies([]) == LatencySummary()
 
 
 class TestMeans:

@@ -1,0 +1,310 @@
+"""Unit tests: the fleet subsystem (balancers, cache tier, simulator)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.core.report import fleet_report
+from repro.fleet import (
+    CacheShard,
+    CacheTierConfig,
+    FleetConfig,
+    LeastOutstanding,
+    ObjectCacheTier,
+    PowerOfTwoChoices,
+    ShardRing,
+    fleet_slo_capacity,
+    homogeneous_fleet,
+    make_balancer,
+    min_nodes_for_slo,
+    mixed_fleet,
+    run_fleet,
+    run_fleet_matrix,
+)
+from repro.common.stats import StatRegistry
+from repro.resilience.faults import FaultScenario
+
+#: Synthetic service-time samples: accelerated ~100 cycles/request,
+#: software 3× slower — the shape of the paper's Figure 14 gap.
+ACCEL = tuple(float(v) for v in range(80, 121, 2))
+SOFT = tuple(3.0 * v for v in ACCEL)
+
+
+def small_config(**overrides) -> FleetConfig:
+    base = dict(requests=800, warmup_requests=40, offered_load=0.6)
+    base.update(overrides)
+    return FleetConfig(**base)
+
+
+class TestShardRing:
+    def test_lookup_is_stable_across_instances(self):
+        a = ShardRing(8)
+        b = ShardRing(8)
+        keys = [f"k{i}" for i in range(500)]
+        assert [a.lookup(k) for k in keys] == [b.lookup(k) for k in keys]
+
+    def test_all_shards_get_keys(self):
+        ring = ShardRing(4)
+        owners = {ring.lookup(f"k{i}") for i in range(2000)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_removal_remaps_only_the_lost_shard(self):
+        m = 8
+        ring = ShardRing(m)
+        keys = [f"k{i}" for i in range(4000)]
+        before = {k: ring.lookup(k) for k in keys}
+        ring.remove_shard(3)
+        moved = [k for k in keys if ring.lookup(k) != before[k]]
+        # Exactly the evicted shard's keys move, nothing else.
+        assert all(before[k] == 3 for k in moved)
+        assert all(ring.lookup(k) != 3 for k in keys)
+        # < 2/M of the key space remaps (expectation is 1/M).
+        assert len(moved) / len(keys) < 2.0 / m
+
+    def test_addition_remaps_under_a_shard_share(self):
+        m = 8
+        ring = ShardRing(m)
+        keys = [f"k{i}" for i in range(4000)]
+        before = {k: ring.lookup(k) for k in keys}
+        ring.add_shard(m)
+        moved = [k for k in keys if ring.lookup(k) != before[k]]
+        # Every moved key lands on the new shard; < 2/M of keys move.
+        assert all(ring.lookup(k) == m for k in moved)
+        assert 0 < len(moved) / len(keys) < 2.0 / m
+
+    def test_rejects_duplicate_and_unknown_shards(self):
+        ring = ShardRing(2)
+        with pytest.raises(ValueError):
+            ring.add_shard(1)
+        with pytest.raises(ValueError):
+            ring.remove_shard(9)
+
+    def test_cannot_remove_last_shard(self):
+        ring = ShardRing(1)
+        with pytest.raises(ValueError):
+            ring.remove_shard(0)
+
+
+class TestCacheShard:
+    def test_lru_eviction_order(self):
+        shard = CacheShard(2, StatRegistry())
+        shard.put("a", 0.0, None)
+        shard.put("b", 1.0, None)
+        assert shard.get("a", 2.0)      # touch refreshes 'a'
+        shard.put("c", 3.0, None)       # evicts LRU entry 'b'
+        assert shard.get("a", 4.0)
+        assert not shard.get("b", 4.0)
+        assert shard.get("c", 4.0)
+
+    def test_ttl_expiry_is_a_miss(self):
+        stats = StatRegistry()
+        shard = CacheShard(4, stats)
+        shard.put("a", 0.0, 10.0)
+        assert shard.get("a", 5.0)
+        assert not shard.get("a", 10.0)
+        assert stats.get("cache.expirations") == 1
+        assert len(shard) == 0
+
+    def test_flush_drops_everything(self):
+        shard = CacheShard(8, StatRegistry())
+        for i in range(5):
+            shard.put(f"k{i}", 0.0, None)
+        assert shard.flush() == 5
+        assert not shard.get("k0", 1.0)
+
+
+class TestObjectCacheTier:
+    def tier(self) -> ObjectCacheTier:
+        return ObjectCacheTier(
+            CacheTierConfig(shards=4, shard_capacity=16),
+            mean_service_cycles=100.0,
+        )
+
+    def test_every_lookup_is_hit_or_miss(self):
+        tier = self.tier()
+        for i in range(50):
+            if not tier.lookup(f"k{i % 10}", float(i)):
+                tier.fill(f"k{i % 10}", float(i))
+        s = tier.stats
+        assert s.get("cache.lookups") == 50
+        assert (
+            s.get("cache.hits") + s.get("cache.misses")
+            == s.get("cache.lookups")
+        )
+        assert tier.hit_ratio == pytest.approx(
+            s.get("cache.hits") / 50.0
+        )
+
+    def test_fill_then_hit_same_shard(self):
+        tier = self.tier()
+        assert not tier.lookup("page", 0.0)
+        tier.fill("page", 0.0)
+        assert tier.lookup("page", 1.0)
+
+    def test_storm_invalidation_unshields_keys(self):
+        tier = self.tier()
+        tier.fill("page", 0.0)
+        shard = tier.ring.lookup("page")
+        assert tier.invalidate_shard(shard) >= 1
+        assert not tier.lookup("page", 1.0)
+        assert tier.stats.get("cache.storms") == 1
+
+
+class TestBalancers:
+    class FakeNode:
+        def __init__(self, outstanding: int) -> None:
+            self.outstanding = outstanding
+
+    def test_round_robin_cycles(self):
+        rr = make_balancer("round-robin")
+        nodes = [self.FakeNode(0)] * 3
+        rng = DeterministicRng(1)
+        assert [rr.pick(nodes, rng) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_least_outstanding_picks_min(self):
+        lo = LeastOutstanding()
+        nodes = [self.FakeNode(5), self.FakeNode(2), self.FakeNode(2)]
+        assert lo.pick(nodes, DeterministicRng(1)) == 1  # tie → lowest
+
+    def test_p2c_always_avoids_the_loaded_node_of_its_pair(self):
+        p2c = PowerOfTwoChoices()
+        nodes = [self.FakeNode(0), self.FakeNode(100)]
+        rng = DeterministicRng(1)
+        # With two nodes every draw compares both; the idle one wins.
+        assert all(p2c.pick(nodes, rng) == 0 for _ in range(50))
+
+    def test_unknown_balancer_rejected(self):
+        with pytest.raises(ValueError):
+            make_balancer("random-walk")
+
+    def test_p2c_never_worse_than_round_robin_on_imbalance(self):
+        # Heterogeneous fleet: blind rotation overloads the slow
+        # (software) boxes while the fast ones idle; p2c sees
+        # outstanding work and routes around them.
+        topo = mixed_fleet("het", ACCEL, SOFT, 2, 2)
+        cfg = small_config(offered_load=0.7)
+        rr = run_fleet(topo, replace(cfg, balancer="round-robin"), seed=17)
+        p2c = run_fleet(topo, replace(cfg, balancer="p2c"), seed=17)
+        assert (
+            p2c.utilization_imbalance <= rr.utilization_imbalance
+        )
+
+
+class TestFleetSimulator:
+    def cached_topology(self, name="fleet"):
+        return homogeneous_fleet(
+            name, ACCEL, nodes=4,
+            cache=CacheTierConfig(shards=4, shard_capacity=128),
+        )
+
+    def test_same_seed_identical_report(self):
+        topo = self.cached_topology()
+        cfg = small_config(storm_scenario=FaultScenario(
+            "storms", accel_fault_rate=0.10,
+            accel_fault_window_services=5.0,
+        ))
+        a = run_fleet(topo, cfg, seed=23)
+        b = run_fleet(topo, cfg, seed=23)
+        assert a == b
+        assert fleet_report([a]) == fleet_report([b])
+
+    def test_different_seeds_differ(self):
+        topo = self.cached_topology()
+        cfg = small_config()
+        assert run_fleet(topo, cfg, seed=1) != run_fleet(topo, cfg, seed=2)
+
+    def test_cache_hit_accounting_covers_every_measured_arrival(self):
+        report = run_fleet(self.cached_topology(), small_config(), seed=5)
+        assert report.offered == 800
+        assert report.cache_hits + report.cache_misses == report.offered
+        assert report.completed == report.offered - report.shed
+        assert 0.0 < report.cache_hit_ratio < 1.0
+
+    def test_cacheless_fleet_reports_no_cache_traffic(self):
+        topo = self.cached_topology().without_cache()
+        report = run_fleet(topo, small_config(), seed=5)
+        assert report.cache_shards == 0
+        assert report.cache_hits == report.cache_misses == 0
+        assert report.cache_hit_ratio == 0.0
+
+    def test_cache_cuts_backend_load_and_mean_latency(self):
+        topo = self.cached_topology()
+        cached = run_fleet(topo, small_config(), seed=7)
+        bare = run_fleet(topo.without_cache(), small_config(), seed=7)
+        assert cached.mean_utilization < bare.mean_utilization
+        assert cached.latency.mean < bare.latency.mean
+
+    def test_storms_depress_hit_ratio(self):
+        topo = self.cached_topology()
+        calm = run_fleet(topo, small_config(), seed=11)
+        stormy = run_fleet(topo, small_config(storm_scenario=FaultScenario(
+            "storms", accel_fault_rate=0.25,
+            accel_fault_window_services=2.0,
+        )), seed=11)
+        assert stormy.storms > 0
+        assert stormy.cache_hit_ratio < calm.cache_hit_ratio
+
+    def test_admission_bound_sheds_under_overload(self):
+        topo = homogeneous_fleet("tiny", ACCEL, nodes=1, workers=1)
+        cfg = small_config(offered_load=3.0, max_queue=4)
+        report = run_fleet(topo, cfg, seed=3)
+        assert report.shed > 0
+        assert report.completed == report.offered - report.shed
+
+    def test_matrix_cells_are_independent(self):
+        topo = self.cached_topology()
+        cfg = small_config()
+        alone = run_fleet(topo, replace(cfg, balancer="p2c"), seed=17)
+        matrix = run_fleet_matrix(
+            [topo, topo.without_cache()],
+            ["round-robin", "p2c"], cfg, seed=17,
+        )
+        same_cell = [
+            r for r in matrix
+            if r.fleet == topo.name and r.balancer == "p2c"
+        ]
+        assert same_cell == [alone]
+
+    def test_warmup_requests_are_excluded(self):
+        topo = self.cached_topology()
+        report = run_fleet(topo, small_config(warmup_requests=100), seed=9)
+        assert report.offered == 800
+
+
+class TestSloEconomics:
+    def test_cache_lifts_slo_capacity(self):
+        topo = homogeneous_fleet(
+            "slo", ACCEL, nodes=2,
+            cache=CacheTierConfig(shards=4, shard_capacity=256),
+        )
+        cfg = FleetConfig(requests=500, warmup_requests=50)
+        slo = 8.0 * topo.mean_service
+        cached = fleet_slo_capacity(
+            topo, slo, cfg, seed=17, resolution=0.1, max_load=1.5
+        )
+        bare = fleet_slo_capacity(
+            topo.without_cache(), slo, cfg, seed=17,
+            resolution=0.1, max_load=1.5,
+        )
+        assert cached > bare > 0.0
+
+    def test_accelerated_fleet_needs_fewer_nodes(self):
+        mean_accel = sum(ACCEL) / len(ACCEL)
+        slo = 8.0 * mean_accel
+        # Traffic worth ~1.5 accelerated nodes at full utilization.
+        rate = 1.5 * 4 / mean_accel
+        cfg = FleetConfig(requests=500, warmup_requests=50)
+
+        def accel_fleet(n):
+            return homogeneous_fleet("a", ACCEL, nodes=n)
+
+        def soft_fleet(n):
+            return homogeneous_fleet("s", SOFT, nodes=n, kind="software")
+
+        need_accel = min_nodes_for_slo(accel_fleet, rate, slo, cfg, seed=17)
+        need_soft = min_nodes_for_slo(soft_fleet, rate, slo, cfg, seed=17)
+        assert need_accel is not None and need_soft is not None
+        assert need_accel < need_soft

@@ -12,7 +12,6 @@ from repro.runtime.interp import (
     split_template,
     tokenize_code,
 )
-from repro.runtime.phparray import PhpArray
 
 
 def render(template: str, variables=None, backend=None) -> str:
