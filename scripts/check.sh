@@ -28,3 +28,11 @@ echo "== fleet smoke =="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
     python -m repro fleet --smoke --requests 2 >/dev/null
 echo "fleet smoke ok"
+
+echo "== perf smoke =="
+# Schema validation only (run_perf validates its payload); speedup
+# floors are asserted by benchmarks/bench_perf.py on real hardware,
+# never here — shared-runner wall-clock ratios are unreliable.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+    python -m repro perf --smoke >/dev/null
+echo "perf smoke ok"

@@ -15,19 +15,22 @@ from repro.common.rng import DEFAULT_SEED
 def _cmd_fig14(args) -> None:
     from repro.core import figure14_report, full_evaluation
     print(figure14_report(full_evaluation(seed=args.seed,
-                                          requests=args.requests)))
+                                          requests=args.requests,
+                                          jobs=args.jobs)))
 
 
 def _cmd_fig15(args) -> None:
     from repro.core import figure15_report, full_evaluation
     print(figure15_report(full_evaluation(seed=args.seed,
-                                          requests=args.requests)))
+                                          requests=args.requests,
+                                          jobs=args.jobs)))
 
 
 def _cmd_energy(args) -> None:
     from repro.core import energy_report, full_evaluation
     print(energy_report(full_evaluation(seed=args.seed,
-                                        requests=args.requests)))
+                                        requests=args.requests,
+                                        jobs=args.jobs)))
 
 
 def _cmd_fig1(args) -> None:
@@ -178,7 +181,9 @@ def _cmd_fleet(args) -> None:
         ["p2c"] if smoke
         else ["round-robin", "least-outstanding", "p2c"]
     )
-    reports = run_fleet_matrix(topologies, balancers, cfg, seed=args.seed)
+    reports = run_fleet_matrix(
+        topologies, balancers, cfg, seed=args.seed, jobs=args.jobs
+    )
     # One storm cell: TTL-invalidation waves flushing shards mid-run.
     storm = FaultScenario(
         "cache-storms", accel_fault_rate=0.10,
@@ -195,9 +200,57 @@ def _cmd_fleet(args) -> None:
 def _cmd_export(args) -> None:
     from repro.core.export import save_evaluation_json
     out = save_evaluation_json(
-        args.out, seed=args.seed, requests=args.requests
+        args.out, seed=args.seed, requests=args.requests, jobs=args.jobs
     )
     print(f"wrote {out}")
+
+
+def _cmd_sens(args) -> None:
+    from repro.core.report import format_table, pct
+    from repro.core.sensitivity import (
+        sweep_probe_width,
+        sweep_reuse_content_bytes,
+        sweep_reuse_entries,
+        sweep_segment_size,
+    )
+    probe = sweep_probe_width(seed=args.seed, jobs=args.jobs)
+    print(format_table(
+        ["probe width", "hit rate"],
+        [[str(w), pct(v)] for w, v in probe.items()],
+        title="Sensitivity: hash hit rate vs probe width",
+    ))
+    print()
+    seg = sweep_segment_size(seed=args.seed, jobs=args.jobs)
+    print(format_table(
+        ["segment bytes", "skip fraction", "HV bits"],
+        [[str(s), pct(v["skip_fraction"]), f"{v['hv_bits']:.0f}"]
+         for s, v in seg.items()],
+        title="Sensitivity: content sifting vs segment size",
+    ))
+    print()
+    content = sweep_reuse_content_bytes(seed=args.seed, jobs=args.jobs)
+    print(format_table(
+        ["content bytes", "skip rate"],
+        [[str(s), pct(v)] for s, v in content.items()],
+        title="Sensitivity: content reuse vs memoized bytes",
+    ))
+    print()
+    entries = sweep_reuse_entries(seed=args.seed, jobs=args.jobs)
+    print(format_table(
+        ["entries", "jump rate"],
+        [[str(n), pct(v)] for n, v in entries.items()],
+        title="Sensitivity: reuse-table jump rate vs entries",
+    ))
+
+
+def _cmd_perf(args) -> None:
+    from repro.core.perf import format_perf_report, run_perf
+    from repro.core.report import perf_observability_report
+    payload = run_perf(smoke=bool(getattr(args, "smoke", False)),
+                       seed=args.seed)
+    print(format_perf_report(payload))
+    print()
+    print(perf_observability_report())
 
 
 def _cmd_all(args) -> None:
@@ -222,6 +275,9 @@ _COMMANDS = {
                    "fault-injection scenarios × resilience policies"),
     "fleet": (_cmd_fleet,
               "multi-node fleets × balancers with the object cache"),
+    "sens": (_cmd_sens, "sensitivity sweeps over accelerator sizing"),
+    "perf": (_cmd_perf,
+             "wall-clock speedups vs the pinned reference kernels"),
     "export": (_cmd_export, "write the evaluation as JSON"),
     "all": (_cmd_all, "everything above"),
 }
@@ -243,7 +299,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", type=str, default="results.json",
                         help="output path for the export command")
     parser.add_argument("--smoke", action="store_true",
-                        help="tiny fast run (fleet command; used by CI)")
+                        help="tiny fast run (fleet/perf commands; used "
+                             "by CI — perf --smoke skips the speedup "
+                             "assertions)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="process-pool workers for sweep commands "
+                             "(default: REPRO_JOBS env, else 1)")
     args = parser.parse_args(argv)
     _COMMANDS[args.command][0](args)
     return 0

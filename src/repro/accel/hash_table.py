@@ -35,13 +35,19 @@ def simplified_hash(key: str, base_address: int) -> int:
     The paper replaces HHVM's "overly complex" hash with a simplified
     one "without compromising its hit rate"; this xor-fold over 4-byte
     groups is the kind of function that fits one cycle of logic.
+
+    The fold is computed over the key's latin-1 bytes with
+    ``int.from_bytes`` (big-endian, exactly the per-character shift-or
+    of the original loop); keys with code points above 255 take the
+    equivalent slow path, since ``ord(ch) & 0xFF`` is the low byte.
     """
     h = (base_address >> 6) & 0xFFFF_FFFF
-    for i in range(0, len(key), 4):
-        chunk = 0
-        for ch in key[i:i + 4]:
-            chunk = (chunk << 8) | (ord(ch) & 0xFF)
-        h ^= chunk + (h << 3)
+    try:
+        data = key.encode("latin-1")
+    except UnicodeEncodeError:
+        data = bytes(ord(ch) & 0xFF for ch in key)
+    for i in range(0, len(data), 4):
+        h ^= int.from_bytes(data[i:i + 4], "big") + (h << 3)
         h &= 0xFFFF_FFFF
     return h
 
@@ -200,15 +206,28 @@ class HardwareHashTable:
         self.rtt = ReverseTranslationTable(self.config, self.stats)
         self._clock = 0
         self._seq = 0
+        #: (key, base) → probe window; the window is a pure function of
+        #: the pair and the (fixed) geometry, so it is safe to share
+        #: the list object — no caller mutates it.
+        self._window_cache: dict[tuple[str, int], list[int]] = {}
 
     # -- probing ------------------------------------------------------------------
 
+    _WINDOW_CACHE_MAX = 65536
+
     def _probe_window(self, key: str, base_address: int) -> list[int]:
-        start = simplified_hash(key, base_address) % self.config.entries
-        return [
-            (start + i) % self.config.entries
-            for i in range(min(self.config.probe_width, self.config.entries))
-        ]
+        cache_key = (key, base_address)
+        window = self._window_cache.get(cache_key)
+        if window is None:
+            start = simplified_hash(key, base_address) % self.config.entries
+            window = [
+                (start + i) % self.config.entries
+                for i in range(min(self.config.probe_width, self.config.entries))
+            ]
+            if len(self._window_cache) >= self._WINDOW_CACHE_MAX:
+                self._window_cache.clear()
+            self._window_cache[cache_key] = window
+        return window
 
     def _find(self, key: str, base_address: int) -> Optional[int]:
         for idx in self._probe_window(key, base_address):

@@ -1,0 +1,320 @@
+"""Reference (pre-optimization) kernel implementations.
+
+The hot kernels in :mod:`repro.accel.string_accel`,
+:mod:`repro.accel.hash_table`, and :mod:`repro.regex.engine` were
+rewritten for wall-clock speed (byte-level ``bytes.translate`` tables,
+cached probe windows, localized FSM loops).  This module preserves the
+original straight-line implementations so that
+
+* equivalence tests can assert the optimized kernels are byte-identical
+  to the originals on randomized inputs, and
+* the perf harness (:mod:`repro.core.perf`) can measure real speedups
+  against a pinned in-repo baseline on the same machine.
+
+Nothing here is exported through the package ``__init__``; it is test
+and benchmark infrastructure, not part of the accelerator model.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.accel.hash_table import HardwareHashTable
+from repro.accel.string_accel import (
+    MatrixConfigState,
+    StringAccelerator,
+    StringOpOutcome,
+)
+from repro.regex.charset import CharSet
+from repro.regex.dfa import DEAD
+from repro.regex.engine import CompiledRegex, MatchResult, ScanOutcome
+
+
+# ---------------------------------------------------------------------------
+# String accelerator (original per-character matrix construction)
+# ---------------------------------------------------------------------------
+
+
+def reference_matrix_for_block(self, block, rows):
+    """Original ASCII-compare sub-block: rows × block-bytes bools."""
+    matrix = []
+    for lo, hi in rows:
+        matrix.append([lo <= ord(ch) <= hi for ch in block])
+    return matrix
+
+
+def reference_find(self, subject: str, pattern: str, start: int = 0) -> StringOpOutcome:
+    """Original string_find with per-block ``sorted(pending)``."""
+    if not pattern:
+        raise ValueError("empty pattern")
+    if len(pattern) > self.config.pattern_rows:
+        raise ValueError("pattern exceeds matching-matrix rows")
+    rows = MatrixConfigState.exact(pattern).rows
+    cfg = self.config
+    m = len(pattern)
+    found = -1
+    scanned_to = len(subject)
+    pending: dict[int, int] = {}  # start position -> rows matched so far
+    pos = start
+    while pos < len(subject):
+        block = subject[pos:pos + cfg.block_bytes]
+        matrix = reference_matrix_for_block(self, block, rows)
+        for cand_start in sorted(pending):
+            matched = pending[cand_start]
+            i = 0
+            while matched < m and i < len(block) and matrix[matched][i]:
+                matched += 1
+                i += 1
+            if matched == m:
+                found = cand_start
+                break
+            if i >= len(block):
+                pending[cand_start] = matched
+            else:
+                del pending[cand_start]
+        if found >= 0:
+            scanned_to = pos + len(block)
+            break
+        pending = {
+            s: r for s, r in pending.items()
+            if r + len(block) >= m
+        }
+        for col in range(len(block)):
+            if not matrix[0][col]:
+                continue
+            r = 0
+            c = col
+            while r < m and c < len(block) and matrix[r][c]:
+                r += 1
+                c += 1
+            if r == m:
+                found = pos + col
+                break
+            if c >= len(block):
+                pending[pos + col] = r
+        if found >= 0:
+            scanned_to = pos + len(block)
+            break
+        pos += cfg.block_bytes
+    nbytes = max(0, min(scanned_to, len(subject)) - start)
+    cycles, blocks = self._charge("find", nbytes)
+    return StringOpOutcome(found, cycles, blocks, nbytes)
+
+
+def reference_compare(self, a: str, b: str) -> StringOpOutcome:
+    """Original per-character divergence scan."""
+    limit = min(len(a), len(b))
+    diverge = limit
+    for i in range(limit):
+        if a[i] != b[i]:
+            diverge = i
+            break
+    value = (a > b) - (a < b)
+    cycles, blocks = self._charge("compare", diverge + 1)
+    return StringOpOutcome(value, cycles, blocks, diverge + 1)
+
+
+def reference_html_escape(self, subject: str, escapes: dict[str, str]) -> StringOpOutcome:
+    """Original per-character dict-get escape loop."""
+    if len(escapes) > self.config.pattern_rows:
+        raise ValueError("escape map exceeds matrix rows")
+    out: list[str] = []
+    for ch in subject:
+        out.append(escapes.get(ch, ch))
+    value = "".join(out)
+    read_cycles, read_blocks = self._charge("htmlescape", len(subject))
+    write_cycles, write_blocks = self._charge("htmlescape", len(value))
+    return StringOpOutcome(
+        value, read_cycles + write_cycles,
+        read_blocks + write_blocks, len(subject) + len(value),
+    )
+
+
+def reference_char_class_bitmap(
+    self, subject: str, char_class: CharSet, segment_bytes: int
+) -> StringOpOutcome:
+    """Original per-character hint-vector scan."""
+    bits: list[bool] = []
+    for seg_start in range(0, len(subject), segment_bytes):
+        chunk = subject[seg_start:seg_start + segment_bytes]
+        bits.append(any(char_class.contains(c) for c in chunk))
+    cycles, blocks = self._charge("charclass", len(subject))
+    return StringOpOutcome(bits, cycles, blocks, len(subject))
+
+
+class ReferenceStringAccelerator(StringAccelerator):
+    """A string accelerator running the original kernels."""
+
+    find = reference_find
+    compare = reference_compare
+    html_escape = reference_html_escape
+    char_class_bitmap = reference_char_class_bitmap
+    _matrix_for_block = reference_matrix_for_block
+
+
+# ---------------------------------------------------------------------------
+# Hardware hash table (original hash fold + per-call window build)
+# ---------------------------------------------------------------------------
+
+
+def reference_simplified_hash(key: str, base_address: int) -> int:
+    """Original per-character xor-fold over 4-byte groups."""
+    h = (base_address >> 6) & 0xFFFF_FFFF
+    for i in range(0, len(key), 4):
+        chunk = 0
+        for ch in key[i:i + 4]:
+            chunk = (chunk << 8) | (ord(ch) & 0xFF)
+        h ^= chunk + (h << 3)
+        h &= 0xFFFF_FFFF
+    return h
+
+
+def reference_probe_window(self, key: str, base_address: int) -> list[int]:
+    """Original probe window: rehash + rebuild the list on every call."""
+    start = reference_simplified_hash(key, base_address) % self.config.entries
+    return [
+        (start + i) % self.config.entries
+        for i in range(min(self.config.probe_width, self.config.entries))
+    ]
+
+
+class ReferenceHardwareHashTable(HardwareHashTable):
+    """A hash-table accelerator running the original probe path."""
+
+    _probe_window = reference_probe_window
+
+
+# ---------------------------------------------------------------------------
+# Regex engine (original method-call-per-character FSM loops)
+# ---------------------------------------------------------------------------
+
+
+def reference_state_after(
+    self, text: str, start: int = 0, length: Optional[int] = None
+) -> tuple[int, Optional[int]]:
+    """Original anchored prefix run via ``fsm.step`` per character."""
+    fsm = self.fsm
+    state = fsm.start
+    last_accept = start if fsm.is_accepting(state) else None
+    stop = len(text) if length is None else min(len(text), start + length)
+    for pos in range(start, stop):
+        state = fsm.step(state, text[pos])
+        self._count(1)
+        if state == DEAD:
+            return DEAD, last_accept
+        if fsm.is_accepting(state):
+            last_accept = pos + 1
+    return state, last_accept
+
+
+def reference_resume(
+    self, state: int, last_accept: Optional[int], text: str, pos: int
+) -> tuple[Optional[int], int]:
+    """Original memoized-state continuation loop."""
+    fsm = self.fsm
+    examined = 0
+    best = last_accept
+    current = state
+    while pos < len(text) and fsm.is_live(current):
+        current = fsm.step(current, text[pos])
+        examined += 1
+        pos += 1
+        if current == DEAD:
+            break
+        if fsm.is_accepting(current):
+            best = pos
+    self._count(examined)
+    if self.anchored_end and best is not None and best != len(text):
+        best = None if not fsm.is_accepting(current) or pos != len(text) else best
+    return best, examined
+
+
+def reference_search(
+    self, text: str, start: int = 0, start_limit: Optional[int] = None
+) -> ScanOutcome:
+    """Original leftmost-longest scan via ``fsm.step`` per character."""
+    self.stats.bump("regex.calls")
+    fsm = self.fsm
+    total_examined = 0
+    limit = len(text) + 1 if start_limit is None else min(start_limit, len(text) + 1)
+    positions = [start] if self.anchored_start else range(start, limit)
+    for s in positions:
+        state = fsm.start
+        best: Optional[int] = s if fsm.is_accepting(state) else None
+        pos = s
+        while pos < len(text) and fsm.is_live(state):
+            state = fsm.step(state, text[pos])
+            total_examined += 1
+            pos += 1
+            if state == DEAD:
+                break
+            if fsm.is_accepting(state):
+                best = pos
+        if self.anchored_end and best is not None and best != len(text):
+            best = None
+        if best is not None:
+            self._count(total_examined)
+            return ScanOutcome(MatchResult(s, best), total_examined)
+    self._count(total_examined)
+    return ScanOutcome(None, total_examined)
+
+
+# ---------------------------------------------------------------------------
+# reference_mode: run the whole simulator on the original kernels
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def reference_mode():
+    """Temporarily run the simulator on pre-optimization kernels.
+
+    Patches the optimized methods back to their reference versions and
+    disables the trace-stream cache, the experiment cache, and the
+    compiled-pattern memo — i.e. restores the seed repo's execution
+    profile — so end-to-end speedups can be measured in-process against
+    a faithful baseline.  Results must be byte-identical either way;
+    the perf harness asserts that too.
+    """
+    import repro.regex.engine as engine_mod
+    from repro.core import expcache
+    from repro.workloads.loadgen import TRACE_CACHE
+
+    saved = {
+        "find": StringAccelerator.find,
+        "compare": StringAccelerator.compare,
+        "html_escape": StringAccelerator.html_escape,
+        "char_class_bitmap": StringAccelerator.char_class_bitmap,
+        "probe_window": HardwareHashTable._probe_window,
+        "search": CompiledRegex.search,
+        "state_after": CompiledRegex.state_after,
+        "resume": CompiledRegex.resume,
+        "compile_tables": engine_mod._compile_tables,
+        "trace_cache_enabled": TRACE_CACHE.enabled,
+    }
+    StringAccelerator.find = reference_find
+    StringAccelerator.compare = reference_compare
+    StringAccelerator.html_escape = reference_html_escape
+    StringAccelerator.char_class_bitmap = reference_char_class_bitmap
+    HardwareHashTable._probe_window = reference_probe_window
+    CompiledRegex.search = reference_search
+    CompiledRegex.state_after = reference_state_after
+    CompiledRegex.resume = reference_resume
+    engine_mod._compile_tables = engine_mod._compile_tables.__wrapped__
+    TRACE_CACHE.enabled = False
+    TRACE_CACHE.clear()
+    try:
+        with expcache.disabled():
+            yield
+    finally:
+        StringAccelerator.find = saved["find"]
+        StringAccelerator.compare = saved["compare"]
+        StringAccelerator.html_escape = saved["html_escape"]
+        StringAccelerator.char_class_bitmap = saved["char_class_bitmap"]
+        HardwareHashTable._probe_window = saved["probe_window"]
+        CompiledRegex.search = saved["search"]
+        CompiledRegex.state_after = saved["state_after"]
+        CompiledRegex.resume = saved["resume"]
+        engine_mod._compile_tables = saved["compile_tables"]
+        TRACE_CACHE.enabled = saved["trace_cache_enabled"]
+        TRACE_CACHE.clear()

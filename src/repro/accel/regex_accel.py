@@ -85,13 +85,21 @@ def pattern_starts_special(regex: CompiledRegex) -> bool:
     special, matches must begin at special characters.  (Texturize,
     shortcode, sanitize, and wikitext patterns all satisfy this.)
     """
+    cached = getattr(regex, "_starts_special", None)
+    if cached is not None:
+        return cached
     fsm = regex.fsm
     start_row = fsm.transitions[fsm.start]
+    result = True
     for code in range(128):
         cls = fsm.class_of[code]
         if start_row[cls] != DEAD and not SPECIAL_CHARS.contains_code(code):
-            return False
-    return True
+            result = False
+            break
+    # The answer is a pure function of the (immutable) FSM: memoize it
+    # on the compiled regex so shadow scans decide in O(1).
+    regex._starts_special = result
+    return result
 
 
 @dataclass

@@ -24,8 +24,60 @@ against Python string semantics in the test suite.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
+
 from repro.common.stats import StatRegistry
 from repro.regex.charset import CharSet
+
+
+@lru_cache(maxsize=256)
+def _byte_view(subject: str) -> bytes | None:
+    """latin-1 view of ``subject`` (ord(ch) == byte), or None.
+
+    Code points above 255 cannot appear in the matching matrix's byte
+    rows; such subjects fall back to the per-character path, which is
+    bit-for-bit the original implementation.
+    """
+    try:
+        return subject.encode("latin-1")
+    except UnicodeEncodeError:
+        return None
+
+
+@lru_cache(maxsize=1024)
+def _row_tables(rows: tuple[tuple[int, int], ...]) -> tuple[bytes, ...]:
+    """Per-row 256-entry membership tables for ``bytes.translate``.
+
+    ``table[b] == 1`` iff ``lo <= b <= hi`` — translating a block
+    through a row's table yields that row of the matching matrix as a
+    bytes object (the hardware populates the row combinationally; the
+    model now does it in one C-level call instead of a Python loop).
+    """
+    tables = []
+    for lo, hi in rows:
+        table = bytearray(256)
+        for b in range(max(0, lo), min(hi, 255) + 1):
+            table[b] = 1
+        tables.append(bytes(table))
+    return tuple(tables)
+
+
+@lru_cache(maxsize=1024)
+def _class_table(mask: int) -> bytes:
+    """256-entry membership table for a :class:`CharSet` bitmask."""
+    return bytes(1 if (mask >> b) & 1 else 0 for b in range(256))
+
+
+@lru_cache(maxsize=1024)
+def _exact_rows(pattern: str) -> tuple[tuple[int, int], ...]:
+    """Memoized pattern → matrix-row compilation (exact-match rows)."""
+    return MatrixConfigState.exact(pattern).rows
+
+
+@lru_cache(maxsize=64)
+def _escape_transtable(escapes_items: tuple[tuple[str, str], ...]):
+    """Memoized ``str.maketrans`` table for an escape map."""
+    return str.maketrans(dict(escapes_items))
 
 
 @dataclass
@@ -162,56 +214,83 @@ class StringAccelerator:
             raise ValueError("empty pattern")
         if len(pattern) > self.config.pattern_rows:
             raise ValueError("pattern exceeds matching-matrix rows")
-        rows = MatrixConfigState.exact(pattern).rows
+        rows = _exact_rows(pattern)
         cfg = self.config
         m = len(pattern)
         found = -1
         scanned_to = len(subject)
-        # carry[r] = the diagonal progress from the previous block:
-        # carry[r] true means a candidate needs rows r..m-1 to continue.
-        carry: list[int] = []  # candidate start offsets still alive
+        # Candidates are inserted with strictly increasing start
+        # positions, so dict insertion order *is* ascending start order
+        # — no per-block re-sort needed for the glue logic.
         pending: dict[int, int] = {}  # start position -> rows matched so far
         pos = start
+        data = _byte_view(subject)
+        tables = _row_tables(rows) if data is not None else None
         while pos < len(subject):
-            block = subject[pos:pos + cfg.block_bytes]
-            matrix = self._matrix_for_block(block, rows)
+            block_end = pos + cfg.block_bytes
+            if data is not None:
+                # Byte path: each matrix row is one translate() call;
+                # matrix[r][c] is 1/0, truth-equivalent to the bools.
+                block = data[pos:block_end]
+                matrix = [block.translate(t) for t in tables]
+            else:
+                block = subject[pos:block_end]
+                matrix = self._matrix_for_block(block, rows)
+            blen = len(block)
             # Continue candidates from the previous block (glue logic).
-            for cand_start in sorted(pending):
+            for cand_start in list(pending):
                 matched = pending[cand_start]
                 i = 0
-                while matched < m and i < len(block) and matrix[matched][i]:
+                while matched < m and i < blen and matrix[matched][i]:
                     matched += 1
                     i += 1
                 if matched == m:
                     found = cand_start
                     break
-                if i >= len(block):
+                if i >= blen:
                     pending[cand_start] = matched  # still alive
                 else:
                     del pending[cand_start]
             if found >= 0:
-                scanned_to = pos + len(block)
+                scanned_to = pos + blen
                 break
             pending = {
                 s: r for s, r in pending.items()
-                if r + len(block) >= m  # can never complete otherwise
+                if r + blen >= m  # can never complete otherwise
             }
             # New candidates starting in this block (diagonal AND).
-            for col in range(len(block)):
-                if not matrix[0][col]:
-                    continue
-                r = 0
-                c = col
-                while r < m and c < len(block) and matrix[r][c]:
-                    r += 1
-                    c += 1
-                if r == m:
-                    found = pos + col
-                    break
-                if c >= len(block):
-                    pending[pos + col] = r
+            row0 = matrix[0]
+            if data is not None:
+                # bytes.find hops between row-0 hits at C speed.
+                col = row0.find(1)
+                while col != -1:
+                    r = 0
+                    c = col
+                    while r < m and c < blen and matrix[r][c]:
+                        r += 1
+                        c += 1
+                    if r == m:
+                        found = pos + col
+                        break
+                    if c >= blen:
+                        pending[pos + col] = r
+                    col = row0.find(1, col + 1)
+            else:
+                for col in range(blen):
+                    if not row0[col]:
+                        continue
+                    r = 0
+                    c = col
+                    while r < m and c < blen and matrix[r][c]:
+                        r += 1
+                        c += 1
+                    if r == m:
+                        found = pos + col
+                        break
+                    if c >= blen:
+                        pending[pos + col] = r
             if found >= 0:
-                scanned_to = pos + len(block)
+                scanned_to = pos + blen
                 break
             pos += cfg.block_bytes
         nbytes = max(0, min(scanned_to, len(subject)) - start)
@@ -222,10 +301,21 @@ class StringAccelerator:
         """string_compare: three-way compare, block-parallel."""
         limit = min(len(a), len(b))
         diverge = limit
-        for i in range(limit):
-            if a[i] != b[i]:
-                diverge = i
-                break
+        if a[:limit] != b[:limit]:
+            # Chunked divergence scan: slice-compare 64 B at a time
+            # (block-parallel, like the hardware), then pinpoint the
+            # first differing character inside the unequal chunk.
+            step = 64
+            base = 0
+            while base < limit:
+                end = min(base + step, limit)
+                if a[base:end] != b[base:end]:
+                    for i in range(base, end):
+                        if a[i] != b[i]:
+                            diverge = i
+                            break
+                    break
+                base = end
         value = (a > b) - (a < b)
         cycles, blocks = self._charge("compare", diverge + 1)
         return StringOpOutcome(value, cycles, blocks, diverge + 1)
@@ -357,10 +447,16 @@ class StringAccelerator:
         """
         if len(escapes) > self.config.pattern_rows:
             raise ValueError("escape map exceeds matrix rows")
-        out: list[str] = []
-        for ch in subject:
-            out.append(escapes.get(ch, ch))
-        value = "".join(out)
+        if all(len(k) == 1 for k in escapes):
+            table = _escape_transtable(tuple(escapes.items()))
+            value = subject.translate(table)
+        else:
+            # Multi-character "match" keys can never fire on a
+            # per-character scan; keep the original loop for them.
+            out: list[str] = []
+            for ch in subject:
+                out.append(escapes.get(ch, ch))
+            value = "".join(out)
         read_cycles, read_blocks = self._charge("htmlescape", len(subject))
         write_cycles, write_blocks = self._charge("htmlescape", len(value))
         return StringOpOutcome(
@@ -381,8 +477,20 @@ class StringAccelerator:
         {A-Za-z0-9_.,-} fits 6 range rows).
         """
         bits: list[bool] = []
-        for seg_start in range(0, len(subject), segment_bytes):
-            chunk = subject[seg_start:seg_start + segment_bytes]
-            bits.append(any(char_class.contains(c) for c in chunk))
+        data = _byte_view(subject)
+        if data is not None:
+            # One translate() marks every special byte; per segment a
+            # C-level find(1, lo, hi) answers "any special here?".
+            marked = data.translate(_class_table(char_class.mask))
+            n = len(subject)
+            find = marked.find
+            for seg_start in range(0, n, segment_bytes):
+                bits.append(
+                    find(1, seg_start, min(n, seg_start + segment_bytes)) != -1
+                )
+        else:
+            for seg_start in range(0, len(subject), segment_bytes):
+                chunk = subject[seg_start:seg_start + segment_bytes]
+                bits.append(any(char_class.contains(c) for c in chunk))
         cycles, blocks = self._charge("charclass", len(subject))
         return StringOpOutcome(bits, cycles, blocks, len(subject))

@@ -46,12 +46,20 @@ from repro.core.experiment import (
     run_app_experiment,
     uarch_characterization,
 )
+from repro.core.expcache import (
+    EXPERIMENT_CACHE,
+    ExperimentCache,
+    cache_key,
+)
+from repro.core.parallel import parallel_map, resolve_jobs
+from repro.core.perf import run_perf, validate_perf_payload
 from repro.core.report import (
     energy_report,
     figure14_report,
     figure15_report,
     format_table,
     pct,
+    perf_observability_report,
     resilience_report,
 )
 
@@ -73,4 +81,7 @@ __all__ = [
     "allocation_profile", "regex_opportunity",
     "figure14_report", "figure15_report", "energy_report",
     "resilience_report", "format_table", "pct",
+    "EXPERIMENT_CACHE", "ExperimentCache", "cache_key",
+    "parallel_map", "resolve_jobs",
+    "run_perf", "validate_perf_payload", "perf_observability_report",
 ]

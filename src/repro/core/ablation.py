@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from repro.accel.hash_table import HashTableConfig
 from repro.accel.heap_manager import HeapManagerConfig
 from repro.accel.string_accel import StringAccelConfig
-from repro.common.rng import DEFAULT_SEED, DeterministicRng
+from repro.common.rng import DEFAULT_SEED
 from repro.core.costs import DEFAULT_COSTS
 from repro.core.execute import (
     HashSimulator,
@@ -37,7 +37,7 @@ from repro.core.execute import (
 )
 from repro.isa.dispatch import AcceleratorComplex, ComplexConfig
 from repro.workloads.apps import AppWorkload, wordpress
-from repro.workloads.loadgen import LoadGenerator
+from repro.workloads.loadgen import TRACE_CACHE
 
 
 @dataclass
@@ -60,15 +60,17 @@ def _run_hash(
     app: AppWorkload, config: HashTableConfig, requests: int, seed: int
 ) -> tuple[float, dict[str, float]]:
     complex_ = AcceleratorComplex(config=ComplexConfig(hash_table=config))
-    lg_sw = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
-    lg_hw = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
-    sw = HashSimulator("software", lg_sw.hash_generator, DEFAULT_COSTS)
+    # Both modes consumed identical same-seed traces before; one shared
+    # stream preserves that (map_base_address is pure, so the hash
+    # generator is shareable too).
+    stream = TRACE_CACHE.stream(app, seed, warmup_requests=0)
+    sw = HashSimulator("software", stream.hash_generator, DEFAULT_COSTS)
     hw = HashSimulator(
-        "accelerated", lg_hw.hash_generator, DEFAULT_COSTS, complex_
+        "accelerated", stream.hash_generator, DEFAULT_COSTS, complex_
     )
-    for _ in range(requests):
-        sw.execute(lg_sw.next_request().hash_ops)
-        hw.execute(lg_hw.next_request().hash_ops)
+    for trace in stream.traces(requests):
+        sw.execute(trace.hash_ops)
+        hw.execute(trace.hash_ops)
     eff = hw.finish().efficiency_vs(sw.finish())
     return eff, {"hit_rate": complex_.hash_table.hit_rate()}
 
@@ -77,13 +79,12 @@ def _run_heap(
     app: AppWorkload, config: HeapManagerConfig, requests: int, seed: int
 ) -> tuple[float, dict[str, float]]:
     complex_ = AcceleratorComplex(config=ComplexConfig(heap_manager=config))
-    lg_sw = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
-    lg_hw = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
+    stream = TRACE_CACHE.stream(app, seed, warmup_requests=0)
     sw = HeapSimulator("software", DEFAULT_COSTS)
     hw = HeapSimulator("accelerated", DEFAULT_COSTS, complex_)
-    for _ in range(requests):
-        sw.execute(lg_sw.next_request().alloc_ops)
-        hw.execute(lg_hw.next_request().alloc_ops)
+    for trace in stream.traces(requests):
+        sw.execute(trace.alloc_ops)
+        hw.execute(trace.alloc_ops)
     eff = hw.finish().efficiency_vs(sw.finish())
     return eff, {"hit_rate": complex_.heap_manager.hit_rate()}
 
@@ -92,13 +93,12 @@ def _run_string(
     app: AppWorkload, config: StringAccelConfig, requests: int, seed: int
 ) -> tuple[float, dict[str, float]]:
     complex_ = AcceleratorComplex(config=ComplexConfig(string=config))
-    lg_sw = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
-    lg_hw = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
+    stream = TRACE_CACHE.stream(app, seed, warmup_requests=0)
     sw = StringSimulator("software", DEFAULT_COSTS)
     hw = StringSimulator("accelerated", DEFAULT_COSTS, complex_)
-    for _ in range(requests):
-        sw.execute(lg_sw.next_request().str_ops)
-        hw.execute(lg_hw.next_request().str_ops)
+    for trace in stream.traces(requests):
+        sw.execute(trace.str_ops)
+        hw.execute(trace.str_ops)
     eff = hw.finish().efficiency_vs(sw.finish())
     return eff, {}
 
@@ -108,23 +108,20 @@ def _run_regex(
     sifting: bool, reuse: bool,
 ) -> tuple[float, dict[str, float]]:
     complex_ = AcceleratorComplex()
-    lg_sw = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
-    lg_hw = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
+    stream = TRACE_CACHE.stream(app, seed, warmup_requests=0)
     sw = RegexSimulator("software", DEFAULT_COSTS)
     hw = RegexSimulator("accelerated", DEFAULT_COSTS, complex_)
-    for _ in range(requests):
-        sw_trace = lg_sw.next_request()
-        hw_trace = lg_hw.next_request()
-        sw.execute_sift(sw_trace.sift_tasks)
-        sw.execute_reuse(sw_trace.reuse_tasks)
+    for trace in stream.traces(requests):
+        sw.execute_sift(trace.sift_tasks)
+        sw.execute_reuse(trace.reuse_tasks)
         if sifting:
-            hw.execute_sift(hw_trace.sift_tasks)
+            hw.execute_sift(trace.sift_tasks)
         else:
-            hw.execute_sift_unsifted(hw_trace.sift_tasks)
+            hw.execute_sift_unsifted(trace.sift_tasks)
         if reuse:
-            hw.execute_reuse(hw_trace.reuse_tasks)
+            hw.execute_reuse(trace.reuse_tasks)
         else:
-            hw.execute_reuse_unmemoized(hw_trace.reuse_tasks)
+            hw.execute_reuse_unmemoized(trace.reuse_tasks)
     eff = hw.finish().efficiency_vs(sw.finish())
     return eff, {"skip_fraction": hw.skip_fraction()}
 

@@ -1,0 +1,131 @@
+"""Content-addressed experiment result cache.
+
+Sweeps routinely recompute identical cells: ``full_evaluation`` inside
+``fig14``/``fig15``/``energy``/``export``, the fleet (topology ×
+balancer) grid inside capacity searches, sensitivity sweeps rerun with
+one knob moved.  This module memoizes completed experiment cells in
+process memory, keyed on a stable content hash of everything the cell
+result depends on:
+
+``blake2b(CODE_SALT \\x1f part_0 \\x1f part_1 ...)``
+
+where each part is the canonical ``repr`` of a cell input (app name,
+seed, request count, config dataclass, ...).  ``CODE_SALT`` is a
+version string for the simulation code itself — bump it whenever a
+change alters experiment *results*, so stale entries can never leak
+across code versions (within one process this matters for tests that
+monkeypatch kernels; across processes it documents intent).
+
+The cache is deliberately in-memory only: experiment results contain
+live objects (simulators, dataclasses with registries) that are cheap
+to hold and awkward to serialize faithfully.  Determinism makes the
+memoization safe: a cell function must be a pure function of its key
+parts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from contextlib import contextmanager
+from typing import Any, Callable
+
+from repro.common.stats import StatRegistry
+
+#: Bump when a code change alters experiment results.
+CODE_SALT = "repro-sim-v3"
+
+#: Environment kill switch (``REPRO_EXPCACHE=0`` disables caching).
+ENV_DISABLE = "REPRO_EXPCACHE"
+
+_SENTINEL = object()
+
+
+def cache_key(*parts: Any) -> str:
+    """Stable content hash of ``parts`` (salted with :data:`CODE_SALT`).
+
+    Parts are canonicalized via ``repr``; dataclasses, tuples, ints,
+    and strings all repr deterministically.  Callers must not pass
+    objects whose repr includes memory addresses.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(CODE_SALT.encode("utf-8"))
+    for part in parts:
+        hasher.update(b"\x1f")
+        hasher.update(repr(part).encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class ExperimentCache:
+    """In-process memo of experiment cell results."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self._entries: dict[str, Any] = {}
+        self.stats = StatRegistry("expcache")
+        self._disabled_depth = 0
+
+    @property
+    def enabled(self) -> bool:
+        if self._disabled_depth > 0:
+            return False
+        return os.environ.get(ENV_DISABLE, "1") != "0"
+
+    def lookup(self, key: str) -> tuple[bool, Any]:
+        """``(hit, value)`` — value is None on a miss."""
+        if not self.enabled:
+            self.stats.bump("expcache.bypasses")
+            return False, None
+        found = self._entries.get(key, _SENTINEL)
+        if found is _SENTINEL:
+            self.stats.bump("expcache.misses")
+            return False, None
+        self.stats.bump("expcache.hits")
+        return True, found
+
+    def store(self, key: str, value: Any) -> None:
+        if not self.enabled:
+            return
+        if len(self._entries) >= self.max_entries:
+            self._entries.clear()
+        self._entries[key] = value
+        self.stats.bump("expcache.stores")
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """Memoized call: compute once per key, serve hits afterwards."""
+        hit, value = self.lookup(key)
+        if hit:
+            return value
+        value = compute()
+        self.store(key, value)
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @contextmanager
+    def disabled_scope(self):
+        """Temporarily bypass this cache (reads and writes)."""
+        self._disabled_depth += 1
+        try:
+            yield
+        finally:
+            self._disabled_depth -= 1
+
+
+#: The default process-wide cache used by the experiment entry points.
+EXPERIMENT_CACHE = ExperimentCache()
+
+
+def default_cache() -> ExperimentCache:
+    return EXPERIMENT_CACHE
+
+
+@contextmanager
+def disabled():
+    """Bypass the default cache inside the context (perf baselines)."""
+    with EXPERIMENT_CACHE.disabled_scope():
+        yield

@@ -32,7 +32,7 @@ from repro.uarch.core import (
     sweep_cores,
 )
 from repro.workloads.apps import AppWorkload, php_applications, specweb_profile
-from repro.workloads.loadgen import LoadGenerator
+from repro.workloads.loadgen import TRACE_CACHE
 from repro.workloads.profiles import (
     ACCELERATED,
     Activity,
@@ -169,9 +169,11 @@ def _build_simulators(
     complex_: AcceleratorComplex,
 ):
     def make(mode, cx):
-        lg = LoadGenerator(app, DeterministicRng(seed))
+        # map_base_address is a pure function of map_id, so both modes
+        # can share the cached stream's generator.
+        stream = TRACE_CACHE.stream(app, seed, warmup_requests=0)
         return {
-            "hash": HashSimulator(mode, lg.hash_generator, costs, cx),
+            "hash": HashSimulator(mode, stream.hash_generator, costs, cx),
             "heap": HeapSimulator(mode, costs, cx),
             "string": StringSimulator(mode, costs, cx),
             "regex": RegexSimulator(mode, costs, cx),
@@ -192,10 +194,10 @@ def _drive(app: AppWorkload, seed: int, n_requests: int, sims):
     """
     from repro.optim.inline_cache import HashMapInliner
 
-    lg = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
+    stream = TRACE_CACHE.stream(app, seed, warmup_requests=0)
     inliner = HashMapInliner()
-    for _ in range(n_requests):
-        trace = lg.next_request()
+    for i in range(n_requests):
+        trace = stream.trace(i)
         sims["hash"].execute(inliner.filter(trace.hash_ops))
         sims["heap"].execute(trace.alloc_ops)
         sims["string"].execute(trace.str_ops)
@@ -340,16 +342,17 @@ def hash_hit_rate_sweep(
 ) -> dict[int, float]:
     """Figure 7: hardware hash-table hit rate vs entry count."""
     out: dict[int, float] = {}
+    stream = TRACE_CACHE.stream(app, seed, warmup_requests=0)
+    traces = stream.traces(requests)
     for entries in sizes:
         complex_ = AcceleratorComplex(
             config=ComplexConfig(hash_table=HashTableConfig(entries=entries))
         )
-        lg = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
         sim = HashSimulator(
-            "accelerated", lg.hash_generator, DEFAULT_COSTS, complex_
+            "accelerated", stream.hash_generator, DEFAULT_COSTS, complex_
         )
-        for _ in range(requests):
-            sim.execute(lg.next_request().hash_ops)
+        for trace in traces:
+            sim.execute(trace.hash_ops)
         out[entries] = complex_.hash_table.hit_rate()
     return out
 
@@ -359,10 +362,9 @@ def allocation_profile(
 ) -> tuple[HeapSimulator, list]:
     """Figure 8: run the allocation stream, sampling per-slab usage."""
     sim = HeapSimulator("software", DEFAULT_COSTS, sample_every=50)
-    lg = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
+    stream = TRACE_CACHE.stream(app, seed, warmup_requests=0)
     allocs = []
-    for _ in range(requests):
-        trace = lg.next_request()
+    for trace in stream.traces(requests):
         allocs.extend(trace.alloc_ops)
         sim.execute(trace.alloc_ops)
     sim.finish()
@@ -375,20 +377,48 @@ def regex_opportunity(seed: int = DEFAULT_SEED, requests: int = 4) -> dict[str, 
     for app in php_applications():
         complex_ = AcceleratorComplex()
         sim = RegexSimulator("accelerated", DEFAULT_COSTS, complex_)
-        lg = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
-        for _ in range(requests):
-            trace = lg.next_request()
+        stream = TRACE_CACHE.stream(app, seed, warmup_requests=0)
+        for trace in stream.traces(requests):
             sim.execute_sift(trace.sift_tasks)
             sim.execute_reuse(trace.reuse_tasks)
         out[app.name] = sim.skip_fraction()
     return out
 
 
+def _evaluate_app_cell(cell: tuple[str, int, int | None]) -> AppResult:
+    """Picklable sweep cell: one app's full experiment by name.
+
+    Top-level so :func:`~repro.core.parallel.parallel_map` can ship it
+    to worker processes; the app is looked up by name because
+    AppWorkload carries generator specs that are cheaper to rebuild
+    from the registry than to pickle.
+    """
+    name, seed, requests = cell
+    app = next(a for a in php_applications() if a.name == name)
+    return run_app_experiment(app, seed=seed, requests=requests)
+
+
 def full_evaluation(
-    seed: int = DEFAULT_SEED, requests: int | None = None
+    seed: int = DEFAULT_SEED,
+    requests: int | None = None,
+    jobs: int | None = None,
 ) -> list[AppResult]:
-    """Figures 14 + 15 for all three applications."""
-    return [
-        run_app_experiment(app, seed=seed, requests=requests)
-        for app in php_applications()
-    ]
+    """Figures 14 + 15 for all three applications.
+
+    ``jobs`` fans the per-app cells out over a process pool (argument >
+    ``REPRO_JOBS`` env > 1); results are ordered by app regardless of
+    job count, and repeated calls with the same (seed, requests) are
+    served from :data:`~repro.core.expcache.EXPERIMENT_CACHE`.
+    """
+    from repro.core.expcache import EXPERIMENT_CACHE
+    from repro.core.parallel import map_cells
+
+    cells = [(app.name, seed, requests) for app in php_applications()]
+    return map_cells(
+        _evaluate_app_cell,
+        cells,
+        jobs=jobs,
+        cache=EXPERIMENT_CACHE,
+        key_parts=lambda cell: cell,
+        label="full-evaluation",
+    )

@@ -80,10 +80,11 @@ def save_evaluation_json(
     seed: int = DEFAULT_SEED,
     requests: int | None = None,
     results: list[AppResult] | None = None,
+    jobs: int | None = None,
 ) -> Path:
     """Run (or reuse) the evaluation and write it as JSON."""
     if results is None:
-        results = full_evaluation(seed=seed, requests=requests)
+        results = full_evaluation(seed=seed, requests=requests, jobs=jobs)
     payload = evaluation_to_dict(results, seed=seed)
     out = Path(path)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -151,6 +151,31 @@ def fleet_report(reports: list["FleetReport"]) -> str:
     )
 
 
+def perf_observability_report() -> str:
+    """Counters from the experiment-cache / pool / trace-cache layer.
+
+    One row per counter across the three performance subsystems, so a
+    sweep run can show where its work went: cells served from the
+    experiment cache vs recomputed, tasks run inline vs shipped to a
+    process pool, and trace streams shared vs regenerated.
+    """
+    from repro.core.expcache import EXPERIMENT_CACHE
+    from repro.core.parallel import PARALLEL_STATS
+    from repro.workloads.loadgen import TRACE_CACHE
+
+    rows = []
+    for registry in (EXPERIMENT_CACHE.stats, PARALLEL_STATS,
+                     TRACE_CACHE.stats):
+        for name, value in registry:
+            rows.append([name, str(value)])
+    if not rows:
+        rows.append(["(no activity)", "-"])
+    return format_table(
+        ["counter", "value"], rows,
+        title="Performance observability: caches and pool activity",
+    )
+
+
 def energy_report(results: list[AppResult]) -> str:
     """Section 5.2 energy savings."""
     rows = [[r.app, pct(r.energy_saving)] for r in results]

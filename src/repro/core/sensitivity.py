@@ -4,11 +4,18 @@ Beyond the ablations (feature on/off), these sweeps trace how the key
 results move as the paper's sizing constants change — the analysis a
 design-space exploration would run before committing to 512 entries /
 4 probes / 32-byte segments / 32-entry reuse tables.
+
+Every sweep takes a ``jobs`` parameter and fans its cells out through
+:func:`repro.core.parallel.map_cells`: each cell is a pure, picklable
+function of its inputs, so results are byte-identical at any job
+count.  ``sweep_reuse_entries`` is the one sweep whose cells are *not*
+independent at generation time — each cell historically drew its URLs
+from a corpus rng shared across cells — so the parent precomputes the
+URL streams sequentially (preserving the exact draw order) and only
+the matcher work is parallelized.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 from repro.accel.hash_table import HashTableConfig
 from repro.accel.regex_accel import ContentSifter, ContentReuseTable, \
@@ -17,12 +24,28 @@ from repro.accel.string_accel import StringAccelerator
 from repro.common.rng import DEFAULT_SEED, DeterministicRng
 from repro.core.costs import DEFAULT_COSTS
 from repro.core.execute import HashSimulator
+from repro.core.expcache import EXPERIMENT_CACHE
+from repro.core.parallel import map_cells
 from repro.isa.dispatch import AcceleratorComplex, ComplexConfig
 from repro.regex.engine import CompiledRegex
 from repro.workloads.apps import AppWorkload, wordpress
-from repro.workloads.loadgen import LoadGenerator
+from repro.workloads.loadgen import TRACE_CACHE
 from repro.workloads.regexops import AUTHOR_URL_PATTERN
 from repro.workloads.text import ContentSpec, TextCorpus
+
+
+def _probe_width_cell(cell: tuple[int, AppWorkload, int, int]) -> float:
+    width, app, requests, seed = cell
+    complex_ = AcceleratorComplex(config=ComplexConfig(
+        hash_table=HashTableConfig(probe_width=width)
+    ))
+    stream = TRACE_CACHE.stream(app, seed, warmup_requests=0)
+    sim = HashSimulator(
+        "accelerated", stream.hash_generator, DEFAULT_COSTS, complex_
+    )
+    for trace in stream.traces(requests):
+        sim.execute(trace.hash_ops)
+    return complex_.hash_table.hit_rate()
 
 
 def sweep_probe_width(
@@ -30,22 +53,32 @@ def sweep_probe_width(
     app: AppWorkload | None = None,
     requests: int = 3,
     seed: int = DEFAULT_SEED,
+    jobs: int | None = None,
 ) -> dict[int, float]:
     """Hash-table hit rate vs parallel probe width (paper: 4)."""
     app = app or wordpress()
-    out: dict[int, float] = {}
-    for width in widths:
-        complex_ = AcceleratorComplex(config=ComplexConfig(
-            hash_table=HashTableConfig(probe_width=width)
-        ))
-        lg = LoadGenerator(app, DeterministicRng(seed), warmup_requests=0)
-        sim = HashSimulator(
-            "accelerated", lg.hash_generator, DEFAULT_COSTS, complex_
-        )
-        for _ in range(requests):
-            sim.execute(lg.next_request().hash_ops)
-        out[width] = complex_.hash_table.hit_rate()
-    return out
+    cells = [(width, app, requests, seed) for width in widths]
+    rates = map_cells(
+        _probe_width_cell,
+        cells,
+        jobs=jobs,
+        cache=EXPERIMENT_CACHE,
+        key_parts=lambda cell: (cell[0], cell[1], cell[2], cell[3]),
+        label="sweep-probe-width",
+    )
+    return dict(zip(widths, rates))
+
+
+def _segment_size_cell(cell: tuple[int, str]) -> dict[str, float]:
+    size, content = cell
+    shadow = CompiledRegex(r"<[a-z]+")
+    sifter = ContentSifter(StringAccelerator(), segment_bytes=size)
+    hv, _ = sifter.build_hint_vector(content)
+    result = sifter.shadow_findall(shadow, content, hv)
+    return {
+        "skip_fraction": result.chars_skipped / len(content),
+        "hv_bits": float(len(hv.bits)),
+    }
 
 
 def sweep_segment_size(
@@ -53,6 +86,7 @@ def sweep_segment_size(
     special_fraction: float = 0.3,
     paragraphs: int = 12,
     seed: int = DEFAULT_SEED,
+    jobs: int | None = None,
 ) -> dict[int, dict[str, float]]:
     """Content-sifting effectiveness vs hint-vector segment size.
 
@@ -65,17 +99,30 @@ def sweep_segment_size(
         paragraphs=paragraphs, special_segment_fraction=special_fraction
     )
     content = corpus.post(spec)
-    shadow = CompiledRegex(r"<[a-z]+")
-    out: dict[int, dict[str, float]] = {}
-    for size in sizes:
-        sifter = ContentSifter(StringAccelerator(), segment_bytes=size)
-        hv, _ = sifter.build_hint_vector(content)
-        result = sifter.shadow_findall(shadow, content, hv)
-        out[size] = {
-            "skip_fraction": result.chars_skipped / len(content),
-            "hv_bits": float(len(hv.bits)),
-        }
-    return out
+    cells = [(size, content) for size in sizes]
+    results = map_cells(
+        _segment_size_cell,
+        cells,
+        jobs=jobs,
+        cache=EXPERIMENT_CACHE,
+        key_parts=lambda cell: (cell[0], special_fraction, paragraphs, seed),
+        label="sweep-segment-size",
+    )
+    return dict(zip(sizes, results))
+
+
+def _reuse_content_bytes_cell(cell: tuple[int, tuple[str, ...]]) -> float:
+    size, urls = cell
+    regex = CompiledRegex(AUTHOR_URL_PATTERN)
+    table = ContentReuseTable(ReuseTableConfig(content_bytes=size))
+    matcher = ReuseAcceleratedMatcher(table)
+    skipped = 0
+    total = 0
+    for url in urls:
+        outcome = matcher.match(regex, url, pc=0x42)
+        skipped += outcome.chars_skipped
+        total += len(url)
+    return skipped / total if total else 0.0
 
 
 def sweep_reuse_content_bytes(
@@ -83,6 +130,7 @@ def sweep_reuse_content_bytes(
     stream_length: int = 40,
     authors: int = 6,
     seed: int = DEFAULT_SEED,
+    jobs: int | None = None,
 ) -> dict[int, float]:
     """Content-reuse skip rate vs memoized-content capacity.
 
@@ -92,22 +140,30 @@ def sweep_reuse_content_bytes(
     rng = DeterministicRng(seed)
     corpus = TextCorpus(rng.fork("corpus"))
     names = [corpus.rng.ascii_word(3, 7) for _ in range(authors)]
-    urls = [
+    urls = tuple(
         corpus.author_url(rng.choice(names)) for _ in range(stream_length)
-    ]
+    )
+    cells = [(size, urls) for size in sizes]
+    results = map_cells(
+        _reuse_content_bytes_cell,
+        cells,
+        jobs=jobs,
+        cache=EXPERIMENT_CACHE,
+        key_parts=lambda cell: (cell[0], stream_length, authors, seed),
+        label="sweep-reuse-content-bytes",
+    )
+    return dict(zip(sizes, results))
+
+
+def _reuse_entries_cell(cell: tuple[int, tuple[tuple[int, str], ...]]) -> float:
+    n, stream = cell
     regex = CompiledRegex(AUTHOR_URL_PATTERN)
-    out: dict[int, float] = {}
-    for size in sizes:
-        table = ContentReuseTable(ReuseTableConfig(content_bytes=size))
-        matcher = ReuseAcceleratedMatcher(table)
-        skipped = 0
-        total = 0
-        for url in urls:
-            outcome = matcher.match(regex, url, pc=0x42)
-            skipped += outcome.chars_skipped
-            total += len(url)
-        out[size] = skipped / total if total else 0.0
-    return out
+    table = ContentReuseTable(ReuseTableConfig(entries=n))
+    matcher = ReuseAcceleratedMatcher(table)
+    for site, url in stream:
+        matcher.match(regex, url, pc=0x100 + site)
+    lookups = table.stats.get("reuse.lookups")
+    return table.stats.get("reuse.jumps") / lookups if lookups else 0.0
 
 
 def sweep_reuse_entries(
@@ -115,6 +171,7 @@ def sweep_reuse_entries(
     call_sites: int = 24,
     rounds: int = 6,
     seed: int = DEFAULT_SEED,
+    jobs: int | None = None,
 ) -> dict[int, float]:
     """Reuse-table jump rate vs entry count under call-site pressure.
 
@@ -124,16 +181,25 @@ def sweep_reuse_entries(
     rng = DeterministicRng(seed)
     corpus = TextCorpus(rng.fork("corpus"))
     author = corpus.rng.ascii_word(4, 6)
-    regex = CompiledRegex(AUTHOR_URL_PATTERN)
-    out: dict[int, float] = {}
+    # The URL streams draw sequentially from one shared corpus rng, so
+    # cell n's inputs depend on every cell before it.  Precompute all
+    # streams here, in entry order, replicating the historical draw
+    # order exactly; only the matcher work fans out.
+    streams: list[tuple[int, tuple[tuple[int, str], ...]]] = []
     for n in entries:
-        table = ContentReuseTable(ReuseTableConfig(entries=n))
-        matcher = ReuseAcceleratedMatcher(table)
+        stream: list[tuple[int, str]] = []
         for _ in range(rounds):
             for site in range(call_sites):
                 other = corpus.rng.ascii_word(3, 7)
                 url = corpus.author_url(author if site % 2 else other)
-                matcher.match(regex, url, pc=0x100 + site)
-        lookups = table.stats.get("reuse.lookups")
-        out[n] = table.stats.get("reuse.jumps") / lookups if lookups else 0.0
-    return out
+                stream.append((site, url))
+        streams.append((n, tuple(stream)))
+    results = map_cells(
+        _reuse_entries_cell,
+        streams,
+        jobs=jobs,
+        cache=EXPERIMENT_CACHE,
+        key_parts=lambda cell: (cell[0], cell[1]),
+        label="sweep-reuse-entries",
+    )
+    return dict(zip(entries, results))

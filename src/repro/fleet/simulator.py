@@ -304,26 +304,48 @@ def run_fleet(
     return FleetSimulator(topology, cfg, rng).run()
 
 
+def _run_fleet_cell(
+    cell: tuple[FleetTopology, FleetConfig, int]
+) -> FleetReport:
+    """Picklable (topology × balancer) grid cell for the process pool."""
+    topology, cfg, seed = cell
+    return run_fleet(topology, cfg, seed)
+
+
 def run_fleet_matrix(
     topologies: list[FleetTopology],
     balancers: list[str],
     config: FleetConfig | None = None,
     seed: int = 17,
+    jobs: int | None = None,
 ) -> list[FleetReport]:
     """Sweep topologies × balancer policies, one independent run each.
 
     Every cell forks its own rng stream from ``seed`` (keyed by fleet
     and balancer name), so adding a topology or policy never perturbs
-    the other cells' results.
+    the other cells' results — which also makes the grid trivially
+    parallel: ``jobs`` fans the cells over a process pool with results
+    in grid order, and repeated cells are served from the experiment
+    cache (topology/config are frozen dataclasses, so their reprs are
+    stable cache-key inputs).
     """
+    from repro.core.expcache import EXPERIMENT_CACHE
+    from repro.core.parallel import map_cells
+
     cfg = config or FleetConfig()
-    reports: list[FleetReport] = []
-    for topo in topologies:
-        for name in balancers:
-            reports.append(
-                run_fleet(topo, replace(cfg, balancer=name), seed)
-            )
-    return reports
+    cells = [
+        (topo, replace(cfg, balancer=name), seed)
+        for topo in topologies
+        for name in balancers
+    ]
+    return map_cells(
+        _run_fleet_cell,
+        cells,
+        jobs=jobs,
+        cache=EXPERIMENT_CACHE,
+        key_parts=lambda cell: cell,
+        label="fleet-matrix",
+    )
 
 
 def fleet_slo_capacity(

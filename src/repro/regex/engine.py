@@ -18,12 +18,31 @@ the baseline is honest, not a strawman.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Optional
 
 from repro.common.stats import StatRegistry
 from repro.regex.dfa import DEAD, FsmTable, build_dfa
 from repro.regex.nfa import build_nfa
 from repro.regex.parser import parse
+
+
+@lru_cache(maxsize=512)
+def _compile_tables(pattern: str) -> tuple[bool, bool, bool, FsmTable]:
+    """Memoized pattern → (ignore_case, anchors, FSM table).
+
+    Parse/NFA/DFA construction is deterministic and the resulting
+    table is never mutated by matching, so compiled tables are shared
+    across :class:`CompiledRegex` instances (each instance keeps its
+    own stats registry).  Repeated patterns across simulators compile
+    once per process.
+    """
+    body = pattern
+    ignore_case = body.startswith("(?i)")
+    if ignore_case:
+        body = body[4:]
+    nfa = build_nfa(parse(body), body, fold_case=ignore_case)
+    return ignore_case, nfa.anchored_start, nfa.anchored_end, build_dfa(nfa)
 
 #: µops a software engine spends per character examined (table load,
 #: index computation, branch) — the character-at-a-time model.
@@ -57,14 +76,8 @@ class CompiledRegex:
 
     def __init__(self, pattern: str, stats: Optional[StatRegistry] = None) -> None:
         self.pattern = pattern
-        body = pattern
-        self.ignore_case = body.startswith("(?i)")
-        if self.ignore_case:
-            body = body[4:]
-        nfa = build_nfa(parse(body), body, fold_case=self.ignore_case)
-        self.anchored_start = nfa.anchored_start
-        self.anchored_end = nfa.anchored_end
-        self.fsm: FsmTable = build_dfa(nfa)
+        (self.ignore_case, self.anchored_start, self.anchored_end,
+         self.fsm) = _compile_tables(pattern)
         self.stats = stats if stats is not None else StatRegistry("regex")
 
     # -- low-level FSM access (used by the content-reuse accelerator) -----------
@@ -80,16 +93,23 @@ class CompiledRegex:
         matching after a memoized prefix (Section 4.5, Figure 13).
         """
         fsm = self.fsm
+        transitions = fsm.transitions
+        class_of = fsm.class_of
+        accepting = fsm.accepting
         state = fsm.start
-        last_accept = start if fsm.is_accepting(state) else None
+        last_accept = start if state in accepting else None
         stop = len(text) if length is None else min(len(text), start + length)
+        examined = 0
         for pos in range(start, stop):
-            state = fsm.step(state, text[pos])
-            self._count(1)
+            code = ord(text[pos])
+            state = transitions[state][class_of[code]] if code < 256 else DEAD
+            examined += 1
             if state == DEAD:
+                self._count(examined)
                 return DEAD, last_accept
-            if fsm.is_accepting(state):
+            if state in accepting:
                 last_accept = pos + 1
+        self._count(examined)
         return state, last_accept
 
     def resume(
@@ -107,20 +127,26 @@ class CompiledRegex:
         content prefix.
         """
         fsm = self.fsm
+        transitions = fsm.transitions
+        class_of = fsm.class_of
+        accepting = fsm.accepting
+        live = fsm.live
+        n = len(text)
         examined = 0
         best = last_accept
         current = state
-        while pos < len(text) and fsm.is_live(current):
-            current = fsm.step(current, text[pos])
+        while pos < n and current != DEAD and live[current]:
+            code = ord(text[pos])
+            current = transitions[current][class_of[code]] if code < 256 else DEAD
             examined += 1
             pos += 1
             if current == DEAD:
                 break
-            if fsm.is_accepting(current):
+            if current in accepting:
                 best = pos
         self._count(examined)
-        if self.anchored_end and best is not None and best != len(text):
-            best = None if not fsm.is_accepting(current) or pos != len(text) else best
+        if self.anchored_end and best is not None and best != n:
+            best = None if current not in accepting or pos != n else best
         return best, examined
 
     # -- matching entry points ------------------------------------------------------
@@ -152,22 +178,31 @@ class CompiledRegex:
         """
         self.stats.bump("regex.calls")
         fsm = self.fsm
+        transitions = fsm.transitions
+        class_of = fsm.class_of
+        accepting = fsm.accepting
+        live = fsm.live
+        fsm_start = fsm.start
+        start_accepting = fsm_start in accepting
+        anchored_end = self.anchored_end
+        n = len(text)
         total_examined = 0
-        limit = len(text) + 1 if start_limit is None else min(start_limit, len(text) + 1)
+        limit = n + 1 if start_limit is None else min(start_limit, n + 1)
         positions = [start] if self.anchored_start else range(start, limit)
         for s in positions:
-            state = fsm.start
-            best: Optional[int] = s if fsm.is_accepting(state) else None
+            state = fsm_start
+            best: Optional[int] = s if start_accepting else None
             pos = s
-            while pos < len(text) and fsm.is_live(state):
-                state = fsm.step(state, text[pos])
+            while pos < n and live[state]:
+                code = ord(text[pos])
+                state = transitions[state][class_of[code]] if code < 256 else DEAD
                 total_examined += 1
                 pos += 1
                 if state == DEAD:
                     break
-                if fsm.is_accepting(state):
+                if state in accepting:
                     best = pos
-            if self.anchored_end and best is not None and best != len(text):
+            if anchored_end and best is not None and best != n:
                 best = None
             if best is not None:
                 self._count(total_examined)

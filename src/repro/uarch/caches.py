@@ -86,26 +86,34 @@ class Cache:
         self._prefetcher = (
             StreamPrefetcher(config.prefetch_degree) if config.prefetch else None
         )
+        # Hot-path shortcuts: the counter objects survive stats.reset()
+        # (reset zeroes values in place), and geometry is immutable.
+        self._nsets = config.sets
+        self._is_lru = config.replacement == "lru"
+        self._c_accesses = self.stats.counter("cache.accesses")
+        self._c_hits = self.stats.counter("cache.hits")
+        self._c_misses = self.stats.counter("cache.misses")
 
     def _locate(self, addr: int) -> tuple[int, int]:
         line = addr // LINE_BYTES
-        return line % self.config.sets, line
+        return line % self._nsets, line
 
     def access(self, addr: int, is_prefetch: bool = False) -> bool:
         """Look up ``addr``; allocate on miss.  Returns hit?"""
         self._clock += 1
-        index, line = self._locate(addr)
+        line = addr // LINE_BYTES
+        index = line % self._nsets
         bucket = self._sets[index]
-        if not is_prefetch:
-            self.stats.bump("cache.accesses")
         if line in bucket:
-            if self.config.replacement == "lru":
+            if self._is_lru:
                 bucket[line] = self._clock  # fifo/random keep insert time
             if not is_prefetch:
-                self.stats.bump("cache.hits")
+                self._c_accesses.value += 1
+                self._c_hits.value += 1
             return True
         if not is_prefetch:
-            self.stats.bump("cache.misses")
+            self._c_accesses.value += 1
+            self._c_misses.value += 1
         self._fill(index, line)
         return False
 
@@ -121,7 +129,7 @@ class Cache:
             else:
                 # lru: oldest access time; fifo: oldest insert time —
                 # both are the min of the stored stamps.
-                victim = min(bucket, key=lambda ln: bucket[ln])
+                victim = min(bucket, key=bucket.__getitem__)
             del bucket[victim]
             self.stats.bump("cache.evictions")
         bucket[line] = self._clock

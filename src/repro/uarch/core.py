@@ -141,15 +141,15 @@ class CharacterizationRun:
             for mem in gen.mem_stream(pass_index):
                 self.hierarchy.load_store(mem.addr, mem.is_write)
         measured = warmup_passes  # fresh sample for the measured pass
-        branches = list(gen.branch_stream(measured))
-        fetches = list(gen.fetch_stream(measured))
-        mems = list(gen.mem_stream(measured))
+        # Each stream draws from its own pass-labeled rng fork, so the
+        # streams can be consumed lazily (no list materialization)
+        # without perturbing any random sequence.
         self.tage.stats.reset()
         self.btb.stats.reset()
         for cache in (self.hierarchy.l1i, self.hierarchy.l1d, self.hierarchy.l2):
             cache.stats.reset()
 
-        for branch in branches:
+        for branch in gen.branch_stream(measured):
             counts.branches += 1
             if branch.is_conditional:
                 correct = self.tage.train(branch.pc, branch.taken)
@@ -159,12 +159,12 @@ class CharacterizationRun:
                 counts.btb_misses += 1
 
         l1i_lat = self.hierarchy.l1i.config.latency
-        for fetch in fetches:
+        for fetch in gen.fetch_stream(measured):
             latency = self.hierarchy.fetch(fetch.addr)
             counts.fetch_cycles_lost += max(0, latency - l1i_lat)
 
         l1d_lat = self.hierarchy.l1d.config.latency
-        for mem in mems:
+        for mem in gen.mem_stream(measured):
             latency = self.hierarchy.load_store(mem.addr, mem.is_write)
             counts.mem_stall_cycles += max(0, latency - l1d_lat)
         counts.mem_stall_cycles += counts.fetch_cycles_lost

@@ -15,9 +15,11 @@ a measurement phase.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.common.rng import DeterministicRng
+from repro.common.stats import StatRegistry
 from repro.workloads.allocs import AllocOp, AllocOpGenerator
 from repro.workloads.apps import AppWorkload
 from repro.workloads.hashops import HashOp, HashOpGenerator
@@ -149,3 +151,96 @@ class LoadGenerator:
             warmup_ops=sum(t.op_count for t in warmup),
             measured_ops=sum(t.op_count for t in measured),
         )
+
+
+# ---------------------------------------------------------------------------
+# Shared trace streams
+# ---------------------------------------------------------------------------
+#
+# Trace generation is fully deterministic in (app spec, seed, warmup),
+# and profiling shows it dominates experiment wall time: every
+# experiment that drives the same app at the same seed regenerates the
+# identical RequestTrace sequence (the software and hardware drives of
+# ``run_app_experiment`` alone do it twice).  Since no simulator
+# mutates a trace's op lists, the traces can be generated once per
+# (app, seed, warmup) and shared by reference.
+
+
+def _spec_fingerprint(app: AppWorkload) -> str:
+    """Stable content hash of everything trace generation depends on."""
+    text = repr((
+        app.name, app.hash_spec, app.alloc_spec, app.string_spec,
+        app.regex_spec,
+    ))
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=16).hexdigest()
+
+
+class SharedTraceStream:
+    """Lazily materialized, memoized view of one LoadGenerator stream."""
+
+    def __init__(
+        self, app: AppWorkload, seed: int, warmup_requests: int
+    ) -> None:
+        self._generator = LoadGenerator(
+            app, DeterministicRng(seed), warmup_requests=warmup_requests
+        )
+        self._traces: list[RequestTrace] = []
+
+    @property
+    def hash_generator(self) -> HashOpGenerator:
+        """The underlying hash-op generator (for base-address mapping)."""
+        return self._generator.hash_generator
+
+    def trace(self, index: int) -> RequestTrace:
+        """The ``index``-th request trace, generating up to it on demand."""
+        while len(self._traces) <= index:
+            self._traces.append(self._generator.next_request())
+        return self._traces[index]
+
+    def traces(self, count: int) -> list[RequestTrace]:
+        """The first ``count`` request traces."""
+        self.trace(count - 1)
+        return self._traces[:count]
+
+
+class TraceCache:
+    """Process-level cache of :class:`SharedTraceStream` objects.
+
+    Keyed on (spec fingerprint, seed, warmup): two experiments asking
+    for the same app at the same seed share one generated stream.
+    Consumers must never mutate the shared RequestTrace objects — the
+    equivalence tests drive both cached and uncached paths to the same
+    byte-identical reports.
+    """
+
+    MAX_STREAMS = 64
+
+    def __init__(self) -> None:
+        self._streams: dict[tuple[str, int, int], SharedTraceStream] = {}
+        self.stats = StatRegistry("tracecache")
+        self.enabled = True
+
+    def stream(
+        self, app: AppWorkload, seed: int, warmup_requests: int = 0
+    ) -> SharedTraceStream:
+        if not self.enabled:
+            self.stats.bump("tracecache.bypasses")
+            return SharedTraceStream(app, seed, warmup_requests)
+        key = (_spec_fingerprint(app), seed, warmup_requests)
+        found = self._streams.get(key)
+        if found is not None:
+            self.stats.bump("tracecache.hits")
+            return found
+        self.stats.bump("tracecache.misses")
+        if len(self._streams) >= self.MAX_STREAMS:
+            self._streams.clear()
+        stream = SharedTraceStream(app, seed, warmup_requests)
+        self._streams[key] = stream
+        return stream
+
+    def clear(self) -> None:
+        self._streams.clear()
+
+
+#: The process-wide shared trace cache.
+TRACE_CACHE = TraceCache()

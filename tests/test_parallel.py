@@ -1,0 +1,195 @@
+"""Determinism-under-parallelism and experiment-cache tests.
+
+The contract: every sweep produces byte-identical printed reports at
+any job count, and the experiment cache serves repeated cells without
+changing results.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.expcache import EXPERIMENT_CACHE, ExperimentCache, cache_key
+from repro.core.parallel import PARALLEL_STATS, parallel_map, resolve_jobs
+from repro.workloads.loadgen import TRACE_CACHE
+
+
+def _clear_caches():
+    EXPERIMENT_CACHE.clear()
+    TRACE_CACHE.clear()
+
+
+def _square(x):
+    return x * x
+
+
+class TestResolveJobs:
+    def test_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+    def test_rejects_garbage_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            resolve_jobs(None)
+
+
+class TestParallelMap:
+    def test_order_preserved_inline_and_pooled(self):
+        items = list(range(20))
+        expected = [x * x for x in items]
+        assert parallel_map(_square, items, jobs=1) == expected
+        assert parallel_map(_square, items, jobs=4) == expected
+
+    def test_cache_serves_hits(self):
+        cache = ExperimentCache()
+        calls = []
+
+        def fn(x):
+            calls.append(x)
+            return x + 1
+
+        key_fn = lambda x: cache_key("t", x)
+        first = parallel_map(fn, [1, 2, 3], jobs=1, cache=cache,
+                             key_fn=key_fn)
+        second = parallel_map(fn, [1, 2, 3], jobs=1, cache=cache,
+                              key_fn=key_fn)
+        assert first == second == [2, 3, 4]
+        assert calls == [1, 2, 3]  # second pass fully cached
+        assert cache.stats.get("expcache.hits") == 3
+
+    def test_pool_task_counters(self):
+        before = PARALLEL_STATS.get("parallel.pool_tasks")
+        parallel_map(_square, list(range(8)), jobs=2)
+        assert PARALLEL_STATS.get("parallel.pool_tasks") == before + 8
+
+
+class TestExperimentCache:
+    def test_env_kill_switch(self, monkeypatch):
+        cache = ExperimentCache()
+        monkeypatch.setenv("REPRO_EXPCACHE", "0")
+        cache.store("k", 1)
+        assert cache.lookup("k") == (False, None)
+        monkeypatch.delenv("REPRO_EXPCACHE")
+        cache.store("k", 1)
+        assert cache.lookup("k") == (True, 1)
+
+    def test_disabled_scope(self):
+        cache = ExperimentCache()
+        cache.store("k", 1)
+        with cache.disabled_scope():
+            assert cache.lookup("k") == (False, None)
+        assert cache.lookup("k") == (True, 1)
+
+    def test_cache_key_stability(self):
+        assert cache_key("a", 1, (2, 3)) == cache_key("a", 1, (2, 3))
+        assert cache_key("a", 1) != cache_key("a", 2)
+
+
+class TestJobsByteIdentity:
+    """Same seed, --jobs 1 vs --jobs 4: byte-identical printed reports."""
+
+    def test_full_evaluation_reports(self):
+        from repro.core.experiment import full_evaluation
+        from repro.core.report import (
+            energy_report, figure14_report, figure15_report,
+        )
+
+        _clear_caches()
+        r1 = full_evaluation(requests=2, jobs=1)
+        _clear_caches()
+        r4 = full_evaluation(requests=2, jobs=4)
+        assert figure14_report(r1) == figure14_report(r4)
+        assert figure15_report(r1) == figure15_report(r4)
+        assert energy_report(r1) == energy_report(r4)
+
+    def test_fleet_matrix_report(self):
+        from repro.core.report import fleet_report
+        from repro.fleet.simulator import FleetConfig, run_fleet_matrix
+        from repro.fleet.topology import homogeneous_fleet
+
+        topos = [
+            homogeneous_fleet("hw-3", (1.0, 1.2), 3),
+            homogeneous_fleet("sw-3", (2.0, 2.4), 3, kind="software"),
+        ]
+        cfg = FleetConfig(requests=200)
+        balancers = ["p2c", "round-robin"]
+        _clear_caches()
+        f1 = run_fleet_matrix(topos, balancers, cfg, jobs=1)
+        _clear_caches()
+        f4 = run_fleet_matrix(topos, balancers, cfg, jobs=4)
+        assert fleet_report(f1) == fleet_report(f4)
+
+    def test_sensitivity_sweeps(self):
+        from repro.core.sensitivity import (
+            sweep_probe_width,
+            sweep_reuse_content_bytes,
+            sweep_reuse_entries,
+            sweep_segment_size,
+        )
+
+        _clear_caches()
+        serial = (
+            sweep_probe_width(jobs=1),
+            sweep_segment_size(jobs=1),
+            sweep_reuse_content_bytes(jobs=1),
+            sweep_reuse_entries(jobs=1),
+        )
+        _clear_caches()
+        pooled = (
+            sweep_probe_width(jobs=4),
+            sweep_segment_size(jobs=4),
+            sweep_reuse_content_bytes(jobs=4),
+            sweep_reuse_entries(jobs=4),
+        )
+        assert repr(serial) == repr(pooled)
+
+    def test_repro_jobs_env_applies(self, monkeypatch):
+        """REPRO_JOBS routes sweeps through the pool with no API change."""
+        from repro.core.experiment import full_evaluation
+        from repro.core.report import figure14_report
+
+        _clear_caches()
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        r1 = full_evaluation(requests=2)
+        _clear_caches()
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        r3 = full_evaluation(requests=2)
+        assert figure14_report(r1) == figure14_report(r3)
+
+
+class TestTraceCacheSharing:
+    def test_same_stream_object_per_key(self):
+        from repro.workloads.apps import wordpress
+
+        TRACE_CACHE.clear()
+        a = TRACE_CACHE.stream(wordpress(), 42)
+        b = TRACE_CACHE.stream(wordpress(), 42)
+        assert a is b
+        assert TRACE_CACHE.stream(wordpress(), 43) is not a
+
+    def test_traces_identical_to_fresh_generator(self):
+        from repro.common.rng import DeterministicRng
+        from repro.workloads.apps import wordpress
+        from repro.workloads.loadgen import LoadGenerator
+
+        TRACE_CACHE.clear()
+        stream = TRACE_CACHE.stream(wordpress(), 11)
+        lg = LoadGenerator(wordpress(), DeterministicRng(11),
+                           warmup_requests=0)
+        for i in range(3):
+            assert repr(stream.trace(i)) == repr(lg.next_request())
