@@ -36,3 +36,11 @@ echo "== perf smoke =="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
     python -m repro perf --smoke >/dev/null
 echo "perf smoke ok"
+
+echo "== conformance smoke =="
+# Differential oracles + simulator invariants; exits non-zero on any
+# divergence and writes shrunk repros to benchmarks/out/conformance/
+# for the CI artifact upload.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+    python -m repro conform --smoke >/dev/null
+echo "conformance smoke ok"

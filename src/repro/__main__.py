@@ -253,6 +253,25 @@ def _cmd_perf(args) -> None:
     print(perf_observability_report())
 
 
+def _cmd_conform(args) -> None:
+    from repro.conformance.fuzzer import (
+        run_conformance,
+        write_failure_artifacts,
+    )
+    from repro.core.report import conformance_report
+    report = run_conformance(
+        smoke=bool(getattr(args, "smoke", False)),
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    print(conformance_report(report))
+    artifact = write_failure_artifacts(report)
+    if artifact is not None:
+        print(f"\nshrunk failing cases written to {artifact}")
+    if not report.ok:
+        raise SystemExit(1)
+
+
 def _cmd_all(args) -> None:
     for fn in (_cmd_fig1, _cmd_uarch, _cmd_fig7, _cmd_fig12,
                _cmd_fig14, _cmd_fig15, _cmd_energy, _cmd_area,
@@ -278,6 +297,8 @@ _COMMANDS = {
     "sens": (_cmd_sens, "sensitivity sweeps over accelerator sizing"),
     "perf": (_cmd_perf,
              "wall-clock speedups vs the pinned reference kernels"),
+    "conform": (_cmd_conform,
+                "differential oracles + metamorphic fuzzing vs shadows"),
     "export": (_cmd_export, "write the evaluation as JSON"),
     "all": (_cmd_all, "everything above"),
 }

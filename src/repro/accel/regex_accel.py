@@ -90,12 +90,15 @@ def pattern_starts_special(regex: CompiledRegex) -> bool:
         return cached
     fsm = regex.fsm
     start_row = fsm.transitions[fsm.start]
-    result = True
-    for code in range(128):
-        cls = fsm.class_of[code]
-        if start_row[cls] != DEAD and not SPECIAL_CHARS.contains_code(code):
-            result = False
-            break
+    # A nullable pattern (accepting start state) matches empty at any
+    # position, including inside skipped segments — never sift it.
+    result = not fsm.is_accepting(fsm.start)
+    if result:
+        for code in range(128):
+            cls = fsm.class_of[code]
+            if start_row[cls] != DEAD and not SPECIAL_CHARS.contains_code(code):
+                result = False
+                break
     # The answer is a pure function of the (immutable) FSM: memoize it
     # on the compiled regex so shadow scans decide in O(1).
     regex._starts_special = result

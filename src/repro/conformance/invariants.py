@@ -1,0 +1,315 @@
+"""Metamorphic invariants over the event-driven simulators.
+
+The oracles (:mod:`repro.conformance.oracles`) compare accelerators
+against independent reimplementations; the simulators have no such
+shadow — a second queueing simulator would share the first one's
+blind spots.  What they *do* have are properties any correct
+implementation must satisfy regardless of parameters:
+
+* **same-seed identity** — a run is a pure function of (config, seed);
+* **conservation** — per-request latency decomposes exactly into
+  queueing + service, and no request is created or destroyed
+  (offered = completed + shed, attempt counts balance);
+* **bounds** — utilizations and hit ratios live in [0, 1];
+* **monotonicity** — adding identical nodes never shrinks the
+  absolute SLO-compliant capacity of a fleet.
+
+Each invariant is a named entry in :data:`INVARIANTS`; the fuzzer and
+``python -m repro conform`` iterate that registry.  Checks raise
+:class:`~repro.conformance.oracles.ConformanceFailure` and return a
+one-line detail string for the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.common.rng import DEFAULT_SEED, DeterministicRng
+from repro.conformance.oracles import ConformanceFailure
+
+
+def _fail(name: str, message: str) -> None:
+    raise ConformanceFailure(f"invariant:{name}", message)
+
+
+def _service_times(seed: int, label: str, n: int = 64) -> list[float]:
+    """Synthetic right-skewed request costs (cycles), seed-derived.
+
+    Cheap stand-in for the measured per-request samples the CLI feeds
+    the simulators; the invariants must hold for *any* positive
+    service-time distribution, so synthetic is the stronger choice.
+    """
+    rng = DeterministicRng(seed).fork(f"conformance/{label}")
+    return [
+        max(50.0, rng.gauss(2_000.0, 600.0)) * (4.0 if rng.random() < 0.05 else 1.0)
+        for _ in range(n)
+    ]
+
+
+# -- server ------------------------------------------------------------------------
+
+
+def check_server_latency_conservation(seed: int, smoke: bool) -> str:
+    """latency == queueing + service, component-wise, per request."""
+    from repro.workloads.server import ServerConfig, WebServerSimulator
+
+    name = "server-latency-conservation"
+    times = _service_times(seed, "server")
+    cfg = ServerConfig(workers=4, requests=200 if smoke else 1_000)
+    rng = DeterministicRng(seed).fork("conformance/server-run")
+    served = WebServerSimulator(times, cfg, rng).run(offered_load=0.8)
+    if len(served) != cfg.requests:
+        _fail(name, f"served {len(served)} of {cfg.requests} requests")
+    for i, r in enumerate(served):
+        service = r.finish - r.start
+        if r.queueing < 0 or service <= 0:
+            _fail(name,
+                  f"request {i}: queueing={r.queueing} service={service}")
+        if abs(r.latency - (r.queueing + service)) > 1e-9:
+            _fail(name,
+                  f"request {i}: latency {r.latency} != queueing "
+                  f"{r.queueing} + service {service}")
+        if r.start < r.arrival:
+            _fail(name, f"request {i}: started before it arrived")
+    return f"{len(served)} requests decompose exactly"
+
+
+# -- fleet -------------------------------------------------------------------------
+
+
+def _fleet_fixture(seed: int, smoke: bool):
+    from repro.fleet.cache_tier import CacheTierConfig
+    from repro.fleet.simulator import FleetConfig
+    from repro.fleet.topology import homogeneous_fleet
+
+    topology = homogeneous_fleet(
+        "conform-accel-3", _service_times(seed, "fleet"), nodes=3,
+        cache=CacheTierConfig(shards=2, shard_capacity=64),
+    )
+    config = FleetConfig(
+        requests=250 if smoke else 1_500,
+        warmup_requests=20,
+        offered_load=0.8,
+        key_population=256,
+        max_queue=32,
+    )
+    return topology, config
+
+
+def check_fleet_same_seed_identity(seed: int, smoke: bool) -> str:
+    """Two runs with identical (topology, config, seed) are identical."""
+    from repro.fleet.simulator import run_fleet
+
+    name = "fleet-determinism"
+    topology, config = _fleet_fixture(seed, smoke)
+    first = run_fleet(topology, config, seed=seed)
+    second = run_fleet(topology, config, seed=seed)
+    if repr(first) != repr(second):
+        _fail(name, "same-seed fleet runs diverged:\n"
+              f"  first:  {first!r}\n  second: {second!r}")
+    return f"2 runs, {first.offered} requests, repr-identical"
+
+
+def check_fleet_accounting(seed: int, smoke: bool) -> str:
+    """Request conservation + [0, 1] bounds on ratios and utilization."""
+    from repro.fleet.simulator import run_fleet
+
+    name = "fleet-accounting"
+    topology, base_config = _fleet_fixture(seed, smoke)
+    # Second cell overloads a tiny admission queue so the shed leg of
+    # the conservation law is actually exercised, not vacuously true.
+    overloaded = replace(base_config, offered_load=1.3, max_queue=4)
+    shed_seen = 0
+    rep = None
+    for config in (base_config, overloaded):
+        rep = run_fleet(topology, config, seed=seed)
+        shed_seen += rep.shed
+        _check_fleet_balance(name, rep, config)
+    if shed_seen == 0:
+        _fail(name, "overloaded cell shed nothing; check is vacuous")
+    return (f"offered={rep.offered} completed={rep.completed} "
+            f"shed={rep.shed} balance holds (2 load points)")
+
+
+def _check_fleet_balance(name: str, rep, config) -> None:
+    if rep.offered != config.requests:
+        _fail(name, f"offered {rep.offered} != configured "
+              f"{config.requests}")
+    if rep.completed + rep.shed != rep.offered:
+        _fail(name,
+              f"completed {rep.completed} + shed {rep.shed} != "
+              f"offered {rep.offered}")
+    renders = sum(n.completed for n in rep.per_node)
+    if rep.cache_hits + renders != rep.completed:
+        _fail(name,
+              f"cache hits {rep.cache_hits} + node renders {renders} "
+              f"!= completed {rep.completed}")
+    if rep.cache_misses != renders + rep.shed:
+        _fail(name,
+              f"cache misses {rep.cache_misses} != renders {renders} "
+              f"+ shed {rep.shed}")
+    if not 0.0 <= rep.cache_hit_ratio <= 1.0:
+        _fail(name, f"cache hit ratio {rep.cache_hit_ratio} not in [0,1]")
+    if not 0.0 <= rep.availability <= 1.0:
+        _fail(name, f"availability {rep.availability} not in [0,1]")
+    for node in rep.per_node:
+        if not 0.0 <= node.utilization <= 1.0 + 1e-9:
+            _fail(name,
+                  f"node {node.name} utilization {node.utilization} "
+                  f"not in [0,1]")
+    if rep.latency.p50 > rep.latency.p99 or rep.latency.p99 > rep.latency.p999:
+        _fail(name,
+              f"latency percentiles not monotone: p50={rep.latency.p50} "
+              f"p99={rep.latency.p99} p999={rep.latency.p999}")
+
+
+def check_fleet_slo_capacity_monotone(seed: int, smoke: bool) -> str:
+    """Absolute SLO capacity never shrinks when identical nodes join.
+
+    ``fleet_slo_capacity`` returns load as a *fraction of aggregate
+    backend capacity*, so the fraction itself may dip as nodes join;
+    the physical claim is about fraction × aggregate capacity.  A
+    coarse resolution plus one resolution step of slack keeps the
+    check robust to bisection noise at small run sizes.
+    """
+    from repro.fleet.simulator import FleetConfig, fleet_slo_capacity
+    from repro.fleet.topology import homogeneous_fleet
+
+    name = "fleet-slo-monotonicity"
+    times = _service_times(seed, "fleet-slo")
+    config = FleetConfig(requests=200 if smoke else 800,
+                         warmup_requests=10, key_population=256)
+    resolution = 0.2
+    mean = sum(times) / len(times)
+    slo = 8.0 * mean
+    absolute = []
+    for nodes in (1, 2):
+        topo = homogeneous_fleet(f"conform-mono-{nodes}", times,
+                                 nodes=nodes)
+        fraction = fleet_slo_capacity(
+            topo, slo, config, seed=seed, resolution=resolution,
+            max_load=1.2,
+        )
+        absolute.append(fraction * topo.capacity_rps)
+    slack = resolution * absolute[-1]
+    if absolute[1] + slack < absolute[0]:
+        _fail(name,
+              f"capacity shrank when doubling nodes: "
+              f"{absolute[0]:.6f} -> {absolute[1]:.6f} rps")
+    return (f"capacity 1 node {absolute[0] * 1e3:.3f} -> 2 nodes "
+            f"{absolute[1] * 1e3:.3f} req/kcycle")
+
+
+# -- resilience --------------------------------------------------------------------
+
+
+def _resilience_reports(seed: int, smoke: bool):
+    from repro.resilience.faults import FaultScenario
+    from repro.resilience.policies import (
+        full_policy,
+        no_policy,
+        retries_only,
+    )
+    from repro.resilience.simulator import (
+        ResilientServerConfig,
+        run_matrix,
+    )
+
+    times = _service_times(seed, "resilience")
+    soft = [t * 3.0 for t in times]
+    scenarios = [
+        FaultScenario("conform-faults", accel_fault_rate=0.10,
+                      accel_fault_window_services=5.0),
+    ]
+    policies = [no_policy(), retries_only(), full_policy()]
+    cfg = ResilientServerConfig(
+        workers=4, requests=200 if smoke else 1_000, offered_load=0.6,
+    )
+    return run_matrix(times, soft, scenarios, policies, cfg, seed=seed)
+
+
+def check_resilience_same_seed_identity(seed: int, smoke: bool) -> str:
+    name = "resilience-determinism"
+    first = _resilience_reports(seed, smoke)
+    second = _resilience_reports(seed, smoke)
+    if repr(first) != repr(second):
+        _fail(name, "same-seed resilience matrices diverged")
+    return f"{len(first)} cells repr-identical across 2 runs"
+
+
+def check_resilience_retry_accounting(seed: int, smoke: bool) -> str:
+    """Requests and attempts balance under faults and retries.
+
+    Terminal states partition the offered requests; every dispatched
+    attempt either succeeds or is killed by a fault, so retry
+    amplification is fully explained by ``faulted_attempts`` (timeouts
+    abandon *queued* work and consume no attempt).
+    """
+    name = "resilience-retry-accounting"
+    for rep in _resilience_reports(seed, smoke):
+        label = f"{rep.scenario}/{rep.policy}"
+        if rep.succeeded + rep.failed + rep.shed != rep.offered:
+            _fail(name,
+                  f"{label}: succeeded {rep.succeeded} + failed "
+                  f"{rep.failed} + shed {rep.shed} != offered "
+                  f"{rep.offered}")
+        if rep.attempts != rep.succeeded + rep.faulted_attempts:
+            _fail(name,
+                  f"{label}: attempts {rep.attempts} != succeeded "
+                  f"{rep.succeeded} + faulted {rep.faulted_attempts}")
+        if rep.software_path_attempts > rep.attempts:
+            _fail(name,
+                  f"{label}: software-path attempts exceed attempts")
+        if not 0.0 <= rep.availability <= 1.0:
+            _fail(name, f"{label}: availability {rep.availability}")
+        if rep.attempts and rep.retry_amplification < 1.0 - 1e-9:
+            _fail(name,
+                  f"{label}: retry amplification "
+                  f"{rep.retry_amplification} < 1")
+        if rep.wasted_cycles < 0 or rep.span_cycles <= 0:
+            _fail(name,
+                  f"{label}: wasted={rep.wasted_cycles} "
+                  f"span={rep.span_cycles}")
+    return "request and attempt balances hold across 3 policies"
+
+
+def check_fleet_warmup_exclusion(seed: int, smoke: bool) -> str:
+    """Warmup traffic shapes cache state but never report counts."""
+    from repro.fleet.simulator import run_fleet
+
+    name = "fleet-warmup-exclusion"
+    topology, config = _fleet_fixture(seed, smoke)
+    for warmup in (0, 40):
+        rep = run_fleet(
+            topology, replace(config, warmup_requests=warmup), seed=seed
+        )
+        if rep.offered != config.requests:
+            _fail(name,
+                  f"warmup={warmup}: offered {rep.offered} != "
+                  f"measured target {config.requests}")
+    return "offered count independent of warmup prefix"
+
+
+#: Registry the fuzzer and CLI iterate: name -> check(seed, smoke).
+INVARIANTS = {
+    "server-latency-conservation": check_server_latency_conservation,
+    "fleet-determinism": check_fleet_same_seed_identity,
+    "fleet-accounting": check_fleet_accounting,
+    "fleet-warmup-exclusion": check_fleet_warmup_exclusion,
+    "fleet-slo-monotonicity": check_fleet_slo_capacity_monotone,
+    "resilience-determinism": check_resilience_same_seed_identity,
+    "resilience-retry-accounting": check_resilience_retry_accounting,
+}
+
+
+def run_invariant(
+    name: str, seed: int = DEFAULT_SEED, smoke: bool = True,
+) -> str:
+    """Run one named invariant; raises ConformanceFailure on violation."""
+    try:
+        check = INVARIANTS[name]
+    except KeyError:
+        raise ConformanceFailure(
+            "invariant", f"unknown invariant {name!r}"
+        ) from None
+    return check(seed, smoke)

@@ -1,0 +1,494 @@
+"""Differential oracles: accelerators vs trivially-correct shadows.
+
+Each ``run_*_oracle`` replays a JSON-serializable *op script* through a
+hardware model and a shadow implementation side by side and raises
+:class:`ConformanceFailure` on the first observable divergence.  The
+scripts are plain lists of lists so the fuzzer can generate, shrink,
+pickle (for process-pool fan-out), and persist them under
+``tests/corpus/`` without any custom encoding.
+
+The shadows are deliberately naive — a ``dict`` with insertion order, a
+live-interval set, ``str``/``bytes`` builtins, an O(n²) ``re``-backed
+leftmost-longest matcher — because the whole point is independence from
+the code under test.  HashMem (arXiv:2306.17721) and the SIMD HTML
+scanner (arXiv:2503.01662) validate their accelerated paths the same
+way: scalar software oracle first, speed second.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Optional
+
+from repro.accel.hash_table import HardwareHashTable, HashTableConfig
+from repro.accel.heap_manager import HardwareHeapManager, HeapManagerConfig
+from repro.accel.regex_accel import ContentSifter, pattern_starts_special
+from repro.accel.string_accel import StringAccelerator
+from repro.regex.charset import CharSet
+from repro.regex.engine import CompiledRegex
+from repro.runtime.phparray import PhpArray
+from repro.runtime.slab import SlabAllocator
+
+
+class ConformanceFailure(AssertionError):
+    """An accelerator observably diverged from its shadow oracle."""
+
+    def __init__(self, domain: str, message: str, step: Optional[int] = None):
+        where = f" at step {step}" if step is not None else ""
+        super().__init__(f"[{domain}]{where}: {message}")
+        self.domain = domain
+        self.message = message
+        self.step = step
+
+
+def _fail(domain: str, message: str, step: Optional[int] = None) -> None:
+    raise ConformanceFailure(domain, message, step)
+
+
+# -- hash table vs dict shadow -----------------------------------------------------
+
+#: Map base addresses the hash scripts may reference (index into this).
+HASH_BASES: tuple[int, ...] = (0x6800_0000, 0x6800_0200, 0x6800_0400)
+
+#: Small geometry so fuzz scripts hit evictions, wraps, and writebacks.
+FUZZ_HASH_CONFIG = HashTableConfig(entries=16, probe_width=4,
+                                   rtt_pointers_per_map=8)
+
+
+def hash_ops_outcomes(table: HardwareHashTable, ops: list) -> list:
+    """Drive ``[kind, key, base, value]`` ops; return the outcome stream.
+
+    The shared driver for equivalence tests (optimized vs reference
+    table) and benchmarks: two tables fed the same ops must produce
+    ``repr``-identical outcome lists.
+    """
+    outcomes = []
+    for kind, key, base, value in ops:
+        if kind == "get":
+            outcomes.append(table.get(key, base))
+        elif kind == "set":
+            outcomes.append(table.set(key, base, value))
+        elif kind == "insert":
+            outcomes.append(table.insert_clean(key, base, value))
+        else:
+            raise ValueError(f"unknown hash op {kind!r}")
+    return outcomes
+
+
+def run_hash_oracle(
+    script: list,
+    config: HashTableConfig | None = None,
+) -> HardwareHashTable:
+    """Hardware hash table + software maps vs a plain dict shadow.
+
+    Ops: ``["set", key, base_idx, value]``, ``["get", key, base_idx]``,
+    ``["free", base_idx]``, ``["foreach", base_idx]``,
+    ``["flush", base_idx]``, ``["storm"]``.
+
+    Checked: GET values (hit and fallback paths), Free bulk-invalidate,
+    foreach insertion order (PHP's iteration-order invariant across
+    mixed hardware/software inserts, evictions, and fault storms), and
+    a final full-flush settlement of every software map against the
+    shadow dict.
+    """
+    domain = "hash"
+    ht = HardwareHashTable(config or FUZZ_HASH_CONFIG)
+    arrays = {b: PhpArray(base_address=b) for b in HASH_BASES}
+    ht.writeback_handler = (
+        lambda b, k, v: arrays[b].hardware_writeback(k, v)
+    )
+    shadow: dict[tuple[int, str], Any] = {}
+    #: per-base first-entry order of keys the RTT currently tracks —
+    #: cleared by Free (map dies) and by storms (RTT forgets)
+    rtt_order: dict[int, list[str]] = {b: [] for b in HASH_BASES}
+
+    def note_order(base: int, key: str) -> None:
+        if key not in rtt_order[base]:
+            rtt_order[base].append(key)
+
+    for step, op in enumerate(script):
+        kind = op[0]
+        if kind == "set":
+            _, key, base_idx, value = op
+            base = HASH_BASES[base_idx % len(HASH_BASES)]
+            outcome = ht.set(key, base, value)
+            if outcome.software_fallback:
+                arrays[base].set(key, value)
+            shadow[(base, key)] = value
+            note_order(base, key)
+        elif kind == "get":
+            _, key, base_idx = op[:3]
+            base = HASH_BASES[base_idx % len(HASH_BASES)]
+            outcome = ht.get(key, base)
+            expected = shadow.get((base, key))
+            if outcome.hit:
+                if outcome.value_ptr != expected:
+                    _fail(domain,
+                          f"GET({key!r}) hit returned "
+                          f"{outcome.value_ptr!r}, shadow has "
+                          f"{expected!r}", step)
+            else:
+                got = arrays[base].get_default(key)
+                if got != expected:
+                    _fail(domain,
+                          f"GET({key!r}) software fallback returned "
+                          f"{got!r}, shadow has {expected!r}", step)
+                if expected is not None:
+                    fill = ht.insert_clean(key, base, expected)
+                    # Oversized keys are noted in the RTT even on the
+                    # software path (foreach still needs their slot);
+                    # the RTT-full refusal is the one unnoted fallback.
+                    if (not fill.software_fallback
+                            or len(key) > ht.config.max_key_bytes):
+                        note_order(base, key)
+        elif kind == "free":
+            base = HASH_BASES[op[1] % len(HASH_BASES)]
+            ht.free_map(base)
+            arrays[base] = PhpArray(base_address=base)
+            shadow = {
+                (b, k): v for (b, k), v in shadow.items() if b != base
+            }
+            rtt_order[base] = []
+        elif kind == "foreach":
+            base = HASH_BASES[op[1] % len(HASH_BASES)]
+            order, _synced = ht.foreach_sync(base)
+            if order != rtt_order[base]:
+                _fail(domain,
+                      f"foreach order {order!r} != expected "
+                      f"{rtt_order[base]!r}", step)
+            view = dict(arrays[base].items())
+            for (b, k), v in shadow.items():
+                if b == base and view.get(k) != v:
+                    _fail(domain,
+                          f"foreach: software map has "
+                          f"{view.get(k)!r} for {k!r}, shadow has "
+                          f"{v!r}", step)
+        elif kind == "flush":
+            base = HASH_BASES[op[1] % len(HASH_BASES)]
+            ht.flush_map(base)
+            rtt_order[base] = []
+        elif kind == "storm":
+            ht.inject_invalidation_storm()
+            for b in HASH_BASES:
+                rtt_order[b] = []
+        else:
+            _fail(domain, f"unknown op {kind!r}", step)
+
+    # Final settlement: flush everything, software maps == shadow.
+    for base, array in arrays.items():
+        ht.flush_map(base)
+        expected = {k: v for (b, k), v in shadow.items() if b == base}
+        got = dict(array.items())
+        if got != expected:
+            _fail(domain,
+                  f"settlement for base {base:#x}: map {got!r} != "
+                  f"shadow {expected!r}")
+    return ht
+
+
+# -- heap manager vs interval shadow -----------------------------------------------
+
+FUZZ_HEAP_CONFIG = HeapManagerConfig(entries_per_class=8)
+
+
+def run_heap_oracle(
+    script: list,
+    config: HeapManagerConfig | None = None,
+) -> HardwareHeapManager:
+    """Hardware heap manager vs a live-interval shadow allocator.
+
+    Ops: ``["malloc", size]``, ``["free", pick]`` (frees the
+    ``pick % live``-th outstanding block), ``["flush"]``,
+    ``["outage"]``, ``["repair"]``.
+
+    Checked: no address handed out twice, no overlap between live
+    blocks, hardware-served allocations respect their size-class bound,
+    ``hmflush``/``inject_outage`` leave zero cached blocks (alloc/free
+    balance — lazy coherence may defer, never leak), and the hardware
+    never caches more blocks than its lists can hold.
+    """
+    domain = "heap"
+    cfg = config or FUZZ_HEAP_CONFIG
+    hm = HardwareHeapManager(SlabAllocator(), cfg)
+    live: dict[int, tuple[int, str]] = {}   # addr -> (size, path)
+    order: list[int] = []
+
+    for step, op in enumerate(script):
+        kind = op[0]
+        if kind == "malloc":
+            size = op[1]
+            outcome = hm.hmmalloc(size)
+            if outcome.address is not None:
+                addr, path = outcome.address, "hw"
+                cls = cfg.class_for(size)
+                if not outcome.software_fallback and cls is not None \
+                        and cfg.class_bytes(cls) < size:
+                    _fail(domain,
+                          f"malloc({size}) served from class "
+                          f"{cls} bound {cfg.class_bytes(cls)}", step)
+            else:
+                # Comparator gate or outage: software allocator path.
+                addr, path = hm.slab.malloc(size), "sw"
+            if addr in live:
+                _fail(domain,
+                      f"malloc({size}) returned live address "
+                      f"{addr:#x} (double allocation)", step)
+            for other, (osize, _) in live.items():
+                if addr < other + osize and other < addr + size:
+                    _fail(domain,
+                          f"malloc({size}) at {addr:#x} overlaps "
+                          f"live block {other:#x}+{osize}", step)
+            live[addr] = (size, path)
+            order.append(addr)
+        elif kind == "free":
+            if not order:
+                continue
+            addr = order.pop(op[1] % len(order))
+            size, path = live.pop(addr)
+            if path == "hw":
+                hm.hmfree(addr, size)
+            else:
+                hm.slab.free(addr)
+        elif kind == "flush":
+            hm.hmflush()
+            if hm.cached_blocks() != 0:
+                _fail(domain,
+                      f"hmflush left {hm.cached_blocks()} cached "
+                      f"blocks", step)
+        elif kind == "outage":
+            hm.inject_outage()
+            if hm.cached_blocks() != 0:
+                _fail(domain, "outage flush leaked cached blocks", step)
+        elif kind == "repair":
+            hm.repair()
+        else:
+            _fail(domain, f"unknown op {kind!r}", step)
+
+        capacity = cfg.size_classes * cfg.entries_per_class
+        if hm.cached_blocks() > capacity:
+            _fail(domain,
+                  f"{hm.cached_blocks()} cached blocks exceed list "
+                  f"capacity {capacity}", step)
+    return hm
+
+
+# -- string accelerator vs str/bytes builtins --------------------------------------
+
+
+def run_string_oracle(
+    script: list,
+    accel: StringAccelerator | None = None,
+) -> StringAccelerator:
+    """String accelerator ops vs their ``str``/``bytes`` equivalents.
+
+    Ops (all shareable across one accelerator instance, as on a real
+    core serving a request stream):
+
+    * ``["find", subject, pattern, start]`` vs ``str.find``
+    * ``["find_unicode", subject, pattern]`` vs ``str.find`` (char idx)
+    * ``["compare", a, b]`` vs the sign of ``(a > b) - (a < b)``
+    * ``["upper"|"lower", subject]`` vs ``str.upper``/``str.lower``
+    * ``["trim", subject, chars]`` vs ``str.strip``
+    * ``["replace", subject, search, repl]`` vs ``str.replace``
+    * ``["translate", subject, mapping]`` vs a per-char dict walk
+    * ``["html_escape", subject, escapes]`` vs a per-char dict walk
+    * ``["charclass", subject, chars, seg]`` vs per-segment ``any``
+    * ``["configloss"]`` — fault hook; must not change any result
+
+    Cost accounting sanity rides along: every outcome must report
+    positive cycles and at least one block.
+    """
+    domain = "string"
+    accel = accel or StringAccelerator()
+    for step, op in enumerate(script):
+        kind = op[0]
+        outcome = None
+        expected: Any = None
+        if kind == "find":
+            _, subject, pattern, start = op
+            outcome = accel.find(subject, pattern, start)
+            expected = subject.find(pattern, start)
+        elif kind == "find_unicode":
+            _, subject, pattern = op
+            outcome = accel.find_unicode(subject, pattern)
+            expected = subject.find(pattern)
+        elif kind == "compare":
+            _, a, b = op
+            outcome = accel.compare(a, b)
+            expected = (a > b) - (a < b)
+        elif kind == "upper":
+            outcome = accel.to_upper(op[1])
+            expected = op[1].upper()
+        elif kind == "lower":
+            outcome = accel.to_lower(op[1])
+            expected = op[1].lower()
+        elif kind == "trim":
+            _, subject, chars = op
+            outcome = accel.trim(subject, chars)
+            expected = subject.strip(chars)
+        elif kind == "replace":
+            _, subject, search, repl = op
+            outcome = accel.replace(subject, search, repl)
+            expected = subject.replace(search, repl)
+        elif kind == "translate":
+            _, subject, mapping = op
+            outcome = accel.translate(subject, dict(mapping))
+            expected = "".join(dict(mapping).get(ch, ch) for ch in subject)
+        elif kind == "html_escape":
+            _, subject, escapes = op
+            escapes = dict(escapes)
+            outcome = accel.html_escape(subject, escapes)
+            expected = "".join(escapes.get(ch, ch) for ch in subject)
+        elif kind == "charclass":
+            _, subject, chars, seg = op
+            cls = CharSet.of(chars)
+            outcome = accel.char_class_bitmap(subject, cls, seg)
+            expected = [
+                any(cls.contains(c) for c in subject[i:i + seg])
+                for i in range(0, len(subject), seg)
+            ]
+        elif kind == "configloss":
+            accel.inject_config_loss()
+            continue
+        else:
+            _fail(domain, f"unknown op {kind!r}", step)
+        if outcome.value != expected:
+            _fail(domain,
+                  f"{kind}{op[1:]!r} returned {outcome.value!r}, "
+                  f"oracle says {expected!r}", step)
+        if outcome.cycles <= 0 or outcome.blocks < 1:
+            _fail(domain,
+                  f"{kind} accounting invalid: cycles="
+                  f"{outcome.cycles} blocks={outcome.blocks}", step)
+    return accel
+
+
+# -- regex engine vs Python re -----------------------------------------------------
+
+
+def _oracle_spans(
+    body: str, text: str, ignore_case: bool,
+    anchor_start: bool, anchor_end: bool,
+) -> list[tuple[int, int]]:
+    """Non-overlapping leftmost-longest spans, straight from ``re``.
+
+    Python's ``re`` is leftmost-*greedy* (backtracking), our engine is
+    leftmost-*longest* (POSIX DFA); the two disagree on alternations
+    like ``a|ab``.  A trivially-correct longest-match oracle avoids the
+    gap: for each start, try every end from the longest down with
+    ``re.fullmatch`` — O(n²) per candidate, fine at fuzz sizes.
+    """
+    flags = re.ASCII | (re.IGNORECASE if ignore_case else 0)
+    cre = re.compile(body, flags)
+    n = len(text)
+
+    def leftmost_longest(start: int) -> Optional[tuple[int, int]]:
+        starts = [start] if anchor_start else range(start, n + 1)
+        for s in starts:
+            ends = [n] if anchor_end else range(n, s - 1, -1)
+            for e in ends:
+                if cre.fullmatch(text, s, e) is not None:
+                    return s, e
+        return None
+
+    spans: list[tuple[int, int]] = []
+    pos = 0
+    while pos <= n:
+        found = leftmost_longest(pos)
+        if found is None:
+            break
+        spans.append(found)
+        s, e = found
+        pos = e if e > s else pos + 1     # empty match: force progress
+        if anchor_start:
+            break
+    return spans
+
+
+def run_regex_oracle(case: list) -> None:
+    """One pattern/text pair: engine vs ``re``, sieve vs full scan.
+
+    ``case`` is ``[body, ignore_case, anchor_start, anchor_end, text]``
+    where ``body`` is the anchor-free pattern body.  Checked:
+
+    * ``search`` returns exactly the oracle's leftmost-longest span;
+    * ``findall`` returns exactly the oracle's non-overlapping spans;
+    * content sifting: ``shadow_findall`` through a hint vector returns
+      the same matches as the unsifted ``findall`` — shadow-skip
+      decisions must never change match results — and only claims
+      ``used_sifting`` when :func:`pattern_starts_special` holds.
+    """
+    domain = "regex"
+    body, ignore_case, anchor_start, anchor_end, text = case
+    pattern = (
+        ("(?i)" if ignore_case else "")
+        + ("^" if anchor_start else "")
+        + body
+        + ("$" if anchor_end else "")
+    )
+    regex = CompiledRegex(pattern)
+    spans = _oracle_spans(body, text, ignore_case, anchor_start, anchor_end)
+
+    got = regex.search(text)
+    want = spans[0] if spans else None
+    got_span = (got.match.start, got.match.end) if got.match else None
+    if got_span != want:
+        _fail(domain,
+              f"search({pattern!r}, {text!r}) = {got_span}, "
+              f"re oracle says {want}")
+
+    matches, _ = regex.findall(text)
+    got_all = [(m.start, m.end) for m in matches]
+    if got_all != spans:
+        _fail(domain,
+              f"findall({pattern!r}, {text!r}) = {got_all}, "
+              f"re oracle says {spans}")
+
+    # Sieve/shadow agreement over the string accelerator's hint vector.
+    sifter = ContentSifter(StringAccelerator())
+    hv, _cycles = sifter.build_hint_vector(text)
+    shadow = sifter.shadow_findall(regex, text, hv)
+    shadow_spans = [(m.start, m.end) for m in shadow.matches]
+    if shadow_spans != spans:
+        _fail(domain,
+              f"shadow_findall({pattern!r}, {text!r}) = "
+              f"{shadow_spans}, unsifted scan says {spans}")
+    if shadow.used_sifting and not pattern_starts_special(regex):
+        _fail(domain,
+              f"sifting used for {pattern!r} although the pattern may "
+              f"start at a regular character")
+    if shadow.chars_skipped < 0 or shadow.chars_examined < 0:
+        _fail(domain,
+              f"shadow accounting negative: examined="
+              f"{shadow.chars_examined} skipped={shadow.chars_skipped}")
+
+
+def run_reuse_oracle(script: list, pattern: str, entries: int = 4) -> None:
+    """Content-reuse matcher vs direct anchored matching.
+
+    ``script`` is a list of ``[pc, content]`` pairs replayed through
+    one :class:`~repro.accel.regex_accel.ContentReuseTable` of
+    ``entries`` slots; every outcome must equal a fresh
+    ``match_prefix`` (memoization may skip work, never change
+    answers).
+    """
+    from repro.accel.regex_accel import (
+        ContentReuseTable,
+        ReuseAcceleratedMatcher,
+        ReuseTableConfig,
+    )
+
+    domain = "regex"
+    table = ContentReuseTable(ReuseTableConfig(entries=entries))
+    matcher = ReuseAcceleratedMatcher(table)
+    regex = CompiledRegex(pattern)
+    oracle = CompiledRegex(pattern)
+    for step, (pc, content) in enumerate(script):
+        got = matcher.match(regex, content, pc=pc)
+        want = oracle.match_prefix(content).match
+        want_end = want.end if want else None
+        if got.match_end != want_end:
+            _fail(domain,
+                  f"reuse match({pattern!r}, {content!r}, pc={pc}) = "
+                  f"{got.match_end} ({got.scenario}), direct match "
+                  f"says {want_end}", step)

@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING
 from repro.core.experiment import AppResult
 
 if TYPE_CHECKING:
+    from repro.conformance.fuzzer import ConformanceReport
     from repro.fleet.report import FleetReport
     from repro.resilience.report import ResilienceReport
 
@@ -149,6 +150,46 @@ def fleet_report(reports: list["FleetReport"]) -> str:
         title="Fleet: goodput, balance, and cache shielding per "
               "(topology, balancer)",
     )
+
+
+def conformance_report(report: "ConformanceReport") -> str:
+    """Differential-oracle + invariant summary for ``repro conform``.
+
+    One row per fuzzed domain (cases run, failures, smallest shrunk
+    repro) followed by one row per simulator invariant.  The rendering
+    is a pure function of the report, so same-seed runs print
+    byte-identical output — that determinism is itself asserted by
+    ``tests/test_conformance.py``.
+    """
+    rows = []
+    for d in report.domains:
+        repro_hint = "-"
+        if d.shrunk:
+            repro_hint = _ellipsize(repr(d.shrunk[0]["shrunk"]), 48)
+        rows.append([
+            f"oracle:{d.domain}",
+            str(d.cases),
+            "OK" if d.ok else f"FAIL ({d.failures})",
+            repro_hint,
+        ])
+    for row in report.invariants:
+        rows.append([
+            f"invariant:{row['name']}",
+            "1",
+            "OK" if row["ok"] else "FAIL",
+            _ellipsize(row["detail"], 48),
+        ])
+    mode = "smoke" if report.smoke else "full"
+    return format_table(
+        ["check", "cases", "status", "detail / shrunk repro"], rows,
+        title=f"Conformance ({mode}, seed {report.seed}): differential "
+              f"oracles + simulator invariants",
+    )
+
+
+def _ellipsize(text: str, limit: int) -> str:
+    text = " ".join(text.split())
+    return text if len(text) <= limit else text[: limit - 1] + "…"
 
 
 def perf_observability_report() -> str:

@@ -88,7 +88,12 @@ class _Builder:
         if isinstance(node, CharNode):
             s = self.fresh()
             a = self.fresh()
-            chars = node.chars.case_fold() if self.fold_case else node.chars
+            if not self.fold_case:
+                chars = node.chars
+            elif node.negated_of is not None:
+                chars = node.negated_of.case_fold().complement()
+            else:
+                chars = node.chars.case_fold()
             self.states[s].edges.append((chars, a))
             return s, a
         if isinstance(node, ConcatNode):

@@ -44,6 +44,11 @@ class CharNode(Node):
     """Match any single character in ``chars``."""
 
     chars: CharSet
+    #: for negated classes, the excluded members before complementing.
+    #: ``(?i)`` must close *this* set under case and then complement —
+    #: folding the complement would re-admit the excluded letters
+    #: (``(?i)[^a]`` matching ``'a'`` via ``'A'``).
+    negated_of: CharSet | None = None
 
 
 @dataclass(frozen=True)
@@ -300,7 +305,10 @@ class RegexParser:
                 else:
                     members = members.union(CharSet.of(lo))
         if negate:
-            members = members.complement()
+            complemented = members.complement()
+            if complemented.is_empty():
+                raise self._error("empty character class")
+            return CharNode(complemented, negated_of=members)
         if members.is_empty():
             raise self._error("empty character class")
         return CharNode(members)

@@ -15,6 +15,35 @@ def rng() -> DeterministicRng:
 
 
 @pytest.fixture
+def make_rng():
+    """Factory for independent seeded streams within one test.
+
+    Tests that drive two models side by side (optimized vs reference,
+    model vs oracle) need *identical* input streams for both; calling
+    ``make_rng(seed)`` twice with the same seed returns two streams
+    that replay the same draws.
+    """
+    def factory(seed: int, label: str = "") -> DeterministicRng:
+        stream = DeterministicRng(seed)
+        return stream.fork(label) if label else stream
+    return factory
+
+
+@pytest.fixture
+def reference_kernels():
+    """Run the test body on the pre-optimization (seed) kernels.
+
+    Wraps :func:`repro.accel.reference.reference_mode`: the optimized
+    string/hash/regex kernels are patched back to their reference
+    versions and every memo layer is disabled for the duration of the
+    test.
+    """
+    from repro.accel.reference import reference_mode
+    with reference_mode():
+        yield
+
+
+@pytest.fixture
 def complex_() -> AcceleratorComplex:
     """A fresh accelerator complex per test."""
     return AcceleratorComplex()

@@ -214,12 +214,11 @@ class TestHitRateProperties:
             if out.hit:  # probe-window conflicts may evict a few
                 assert out.value_ptr == i
 
-    def test_monotone_hit_rate_with_size(self):
+    def test_monotone_hit_rate_with_size(self, make_rng):
         """Figure 7's shape: bigger tables never hit less (same trace)."""
-        from repro.common.rng import DeterministicRng
         rates = []
         for entries in (4, 32, 256):
-            rng = DeterministicRng(5)
+            rng = make_rng(5)
             ht = HardwareHashTable(HashTableConfig(entries=entries))
             ht.writeback_handler = lambda b, k, v: None
             universe = [f"key{i}" for i in range(300)]

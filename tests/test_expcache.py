@@ -1,0 +1,113 @@
+"""Experiment-cache contract: key stability and the kill switch.
+
+``cache_key`` addresses results by content, so its output must be a
+pure function of (CODE_SALT, parts) — stable across processes, Python
+invocations, and hash randomization.  The ``REPRO_EXPCACHE=0``
+environment switch must make every cache a transparent pass-through,
+because it is the documented escape hatch when a cached result is
+suspected of masking a code change.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.expcache import (
+    CODE_SALT,
+    ENV_DISABLE,
+    EXPERIMENT_CACHE,
+    ExperimentCache,
+    cache_key,
+)
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+@dataclass(frozen=True)
+class _Knobs:
+    entries: int = 512
+    probe_width: int = 4
+
+
+class TestKeyStability:
+    def test_same_parts_same_key(self):
+        assert cache_key("fig14", 17, _Knobs()) \
+            == cache_key("fig14", 17, _Knobs())
+
+    def test_any_part_perturbs_key(self):
+        base = cache_key("fig14", 17, _Knobs())
+        assert cache_key("fig15", 17, _Knobs()) != base
+        assert cache_key("fig14", 18, _Knobs()) != base
+        assert cache_key("fig14", 17, _Knobs(probe_width=8)) != base
+
+    def test_key_is_stable_across_processes(self):
+        """PYTHONHASHSEED randomizes ``hash()`` per process; blake2b
+        over reprs must not care.  Two fresh interpreters (distinct
+        hash seeds forced) must agree with this process."""
+        code = (
+            "from repro.core.expcache import cache_key; "
+            "print(cache_key('fig14', 17, ('app', 2), 'wordpress'))"
+        )
+        keys = set()
+        for hash_seed in ("1", "2"):
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                env={"PYTHONPATH": SRC, "PYTHONHASHSEED": hash_seed,
+                     "PATH": "/usr/bin:/bin"},
+                capture_output=True, text=True, check=True,
+            )
+            keys.add(out.stdout.strip())
+        keys.add(cache_key("fig14", 17, ("app", 2), "wordpress"))
+        assert len(keys) == 1, keys
+
+    def test_salt_is_part_of_the_key(self, monkeypatch):
+        import repro.core.expcache as expcache
+        before = cache_key("cell", 1)
+        monkeypatch.setattr(expcache, "CODE_SALT", CODE_SALT + "-next")
+        assert cache_key("cell", 1) != before
+
+
+class TestKillSwitch:
+    def test_env_zero_disables_lookup_and_store(self, monkeypatch):
+        monkeypatch.setenv(ENV_DISABLE, "0")
+        cache = ExperimentCache()
+        assert not cache.enabled
+        calls = []
+        key = cache_key("kill-switch-cell")
+        for _ in range(2):
+            cache.get_or_compute(key, lambda: calls.append(1) or len(calls))
+        assert calls == [1, 1], "disabled cache must recompute"
+        assert len(cache) == 0, "disabled cache must not store"
+
+    def test_env_other_values_keep_cache_on(self, monkeypatch):
+        for value in ("1", "", "yes"):
+            monkeypatch.setenv(ENV_DISABLE, value)
+            assert ExperimentCache().enabled, value
+        monkeypatch.delenv(ENV_DISABLE)
+        assert ExperimentCache().enabled
+
+    def test_kill_switch_reaches_the_process_wide_cache(self, monkeypatch):
+        key = cache_key("global-kill-switch-probe")
+        EXPERIMENT_CACHE.store(key, "cached")
+        try:
+            monkeypatch.setenv(ENV_DISABLE, "0")
+            hit, _ = EXPERIMENT_CACHE.lookup(key)
+            assert not hit
+            monkeypatch.setenv(ENV_DISABLE, "1")
+            hit, value = EXPERIMENT_CACHE.lookup(key)
+            assert hit and value == "cached"
+        finally:
+            EXPERIMENT_CACHE._entries.pop(key, None)
+
+    def test_disabled_scope_nests_with_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_DISABLE, "1")
+        cache = ExperimentCache()
+        with cache.disabled_scope():
+            assert not cache.enabled
+            with cache.disabled_scope():
+                assert not cache.enabled
+            assert not cache.enabled
+        assert cache.enabled

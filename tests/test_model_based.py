@@ -1,37 +1,50 @@
 """Model-based property tests: accelerators vs reference oracles.
 
-Hypothesis drives random operation scripts against a hardware
-component and a trivially-correct Python model side by side; any
-observable divergence is a bug.  This is the strongest correctness
-net over the accelerators' replacement/eviction/fallback machinery.
+Hypothesis drives random operation scripts through the differential
+oracles in :mod:`repro.conformance.oracles` — the same drivers the
+``python -m repro conform`` fuzzer replays with its own generated
+scripts.  Hypothesis explores the op space adversarially (shrinking
+included); the conformance fuzzer covers it deterministically in CI.
+Any observable divergence from the dict/allocator/``re`` shadows is a
+bug.
 """
 
 from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
-from repro.accel.hash_table import HardwareHashTable, HashTableConfig
-from repro.accel.heap_manager import HardwareHeapManager, HeapManagerConfig
-from repro.accel.regex_accel import (
-    ContentReuseTable,
-    ReuseAcceleratedMatcher,
-    ReuseTableConfig,
+from repro.accel.hash_table import HashTableConfig
+from repro.conformance.oracles import (
+    HASH_BASES,
+    run_hash_oracle,
+    run_heap_oracle,
+    run_reuse_oracle,
 )
-from repro.regex.engine import CompiledRegex
-from repro.runtime.phparray import PhpArray
-from repro.runtime.slab import SlabAllocator
-
-BASE = 0x6800_0000
 
 hash_ops = st.lists(
     st.tuples(
         st.sampled_from(["get", "set", "free", "foreach"]),
         st.sampled_from([f"k{i}" for i in range(12)]),
-        st.sampled_from([BASE, BASE + 0x200, BASE + 0x400]),
+        st.integers(min_value=0, max_value=len(HASH_BASES) - 1),
         st.integers(min_value=0, max_value=99),
     ),
     max_size=120,
 )
+
+
+def _hash_script(raw: list) -> list:
+    """Hypothesis tuples -> the oracle's JSON op shape."""
+    ops = []
+    for kind, key, base_idx, value in raw:
+        if kind == "set":
+            ops.append(["set", key, base_idx, value])
+        elif kind == "get":
+            ops.append(["get", key, base_idx])
+        elif kind == "free":
+            ops.append(["free", base_idx])
+        else:
+            ops.append(["foreach", base_idx])
+    return ops
 
 
 class TestHashTableVsDictOracle:
@@ -39,53 +52,10 @@ class TestHashTableVsDictOracle:
 
     @given(hash_ops)
     @settings(max_examples=60, deadline=None)
-    def test_observable_values_match_oracle(self, script):
-        config = HashTableConfig(entries=8, probe_width=4)
-        ht = HardwareHashTable(config)
-        arrays = {b: PhpArray(base_address=b) for b in
-                  (BASE, BASE + 0x200, BASE + 0x400)}
-        ht.writeback_handler = (
-            lambda b, k, v: arrays[b].hardware_writeback(k, v)
+    def test_observable_values_match_oracle(self, raw):
+        run_hash_oracle(
+            _hash_script(raw), HashTableConfig(entries=8, probe_width=4)
         )
-        oracle: dict[tuple[int, str], int] = {}
-
-        for kind, key, base, value in script:
-            if kind == "set":
-                outcome = ht.set(key, base, value)
-                if outcome.software_fallback:
-                    arrays[base].set(key, value)
-                oracle[(base, key)] = value
-            elif kind == "get":
-                outcome = ht.get(key, base)
-                expected = oracle.get((base, key))
-                if outcome.hit:
-                    assert outcome.value_ptr == expected, (key, base)
-                else:
-                    got = arrays[base].get_default(key)
-                    assert got == expected, (key, base)
-                    if expected is not None:
-                        ht.insert_clean(key, base, expected)
-            elif kind == "free":
-                ht.free_map(base)
-                arrays[base] = PhpArray(base_address=base)
-                oracle = {
-                    (b, k): v for (b, k), v in oracle.items() if b != base
-                }
-            else:  # foreach
-                ht.foreach_sync(base)
-                view = dict(arrays[base].items())
-                for (b, k), v in oracle.items():
-                    if b == base:
-                        assert view.get(k) == v, (k, base)
-
-        # Final settlement: flush everything and compare exactly.
-        for base, array in arrays.items():
-            ht.flush_map(base)
-            expected = {
-                k: v for (b, k), v in oracle.items() if b == base
-            }
-            got = dict(array.items())
-            assert got == expected, base
 
 
 class TestHeapManagerVsOracle:
@@ -100,26 +70,14 @@ class TestHeapManagerVsOracle:
         max_size=150,
     ))
     @settings(max_examples=60, deadline=None)
-    def test_no_aliasing_no_loss(self, script):
-        hm = HardwareHeapManager(
-            SlabAllocator(), HeapManagerConfig(entries_per_class=8)
-        )
-        live: dict[int, int] = {}  # address -> size
-        order: list[int] = []
-        for kind, arg in script:
-            if kind == "malloc":
-                out = hm.hmmalloc(arg)
-                assert out.address is not None
-                assert out.address not in live, "address handed out twice"
-                live[out.address] = arg
-                order.append(out.address)
-            elif kind == "free" and order:
-                addr = order.pop(arg % len(order))
-                size = live.pop(addr)
-                hm.hmfree(addr, size)
-            elif kind == "flush":
-                hm.hmflush()
-                assert hm.cached_blocks() == 0
+    def test_no_aliasing_no_loss(self, raw):
+        script = [
+            ["malloc", arg] if kind == "malloc"
+            else ["free", arg] if kind == "free"
+            else ["flush"]
+            for kind, arg in raw
+        ]
+        run_heap_oracle(script)
 
 
 URL = r"https://[a-z]+/\?author=[a-z]+"
@@ -144,24 +102,13 @@ class TestReuseTableVsDirectMatch:
     ))
     @settings(max_examples=60, deadline=None)
     def test_match_end_always_correct(self, script):
-        table = ContentReuseTable(ReuseTableConfig(entries=3))
-        matcher = ReuseAcceleratedMatcher(table)
-        regex = CompiledRegex(URL)
-        oracle = CompiledRegex(URL)
-        for pc, content in script:
-            got = matcher.match(regex, content, pc=pc)
-            want = oracle.match_prefix(content).match
-            want_end = want.end if want else None
-            assert got.match_end == want_end, (pc, content, got.scenario)
+        run_reuse_oracle(script, URL, entries=3)
 
     @given(st.lists(st.sampled_from(["abc", "abd", "ab", "xyz"]), max_size=40))
     @settings(max_examples=40, deadline=None)
     def test_single_site_stream(self, authors):
-        table = ContentReuseTable()
-        matcher = ReuseAcceleratedMatcher(table)
-        regex = CompiledRegex(URL)
-        for author in authors:
-            url = f"https://localhost/?author={author}"
-            got = matcher.match(regex, url, pc=1)
-            want = CompiledRegex(URL).match_prefix(url).match
-            assert got.match_end == (want.end if want else None)
+        script = [
+            [1, f"https://localhost/?author={author}"]
+            for author in authors
+        ]
+        run_reuse_oracle(script, URL, entries=32)

@@ -21,6 +21,7 @@ from repro.accel.reference import (
 )
 from repro.accel.string_accel import StringAccelerator
 from repro.common.rng import DeterministicRng
+from repro.conformance.oracles import hash_ops_outcomes
 from repro.regex.charset import CharSet
 from repro.regex.engine import CompiledRegex
 
@@ -38,8 +39,8 @@ def _subject(rng: DeterministicRng, lo: int = 0, hi: int = 120,
 
 
 class TestStringKernelEquivalence:
-    def test_find_1000_seeded_cases(self):
-        rng = DeterministicRng(101)
+    def test_find_1000_seeded_cases(self, make_rng):
+        rng = make_rng(101)
         opt, ref = StringAccelerator(), ReferenceStringAccelerator()
         for case in range(1000):
             wide = case % 5 == 4
@@ -71,8 +72,8 @@ class TestStringKernelEquivalence:
         assert repr(out_opt) == repr(out_ref)
         assert out_opt.value == subject.index("aab")
 
-    def test_compare_1000_seeded_cases(self):
-        rng = DeterministicRng(202)
+    def test_compare_1000_seeded_cases(self, make_rng):
+        rng = make_rng(202)
         opt, ref = StringAccelerator(), ReferenceStringAccelerator()
         for case in range(1000):
             a = _subject(rng, 0, 200, wide=case % 7 == 6)
@@ -82,8 +83,8 @@ class TestStringKernelEquivalence:
                 b = _subject(rng, 0, 200)
             assert repr(opt.compare(a, b)) == repr(ref.compare(a, b))
 
-    def test_char_class_bitmap_1000_seeded_cases(self):
-        rng = DeterministicRng(303)
+    def test_char_class_bitmap_1000_seeded_cases(self, make_rng):
+        rng = make_rng(303)
         opt, ref = StringAccelerator(), ReferenceStringAccelerator()
         classes = [
             CharSet.of("<>&\"'"), CharSet.char_range("a", "f"),
@@ -96,9 +97,9 @@ class TestStringKernelEquivalence:
             assert repr(opt.char_class_bitmap(subject, cls, seg)) \
                 == repr(ref.char_class_bitmap(subject, cls, seg))
 
-    def test_html_escape_1000_seeded_cases(self):
+    def test_html_escape_1000_seeded_cases(self, make_rng):
         from repro.runtime.strings import HTML_ESCAPES
-        rng = DeterministicRng(404)
+        rng = make_rng(404)
         opt, ref = StringAccelerator(), ReferenceStringAccelerator()
         multi = dict(HTML_ESCAPES)
         for case in range(1000):
@@ -108,33 +109,28 @@ class TestStringKernelEquivalence:
 
 
 class TestHashKernelEquivalence:
-    def test_simplified_hash_1000_seeded_cases(self):
-        rng = DeterministicRng(505)
+    def test_simplified_hash_1000_seeded_cases(self, make_rng):
+        rng = make_rng(505)
         for case in range(1000):
             key = _subject(rng, 0, 24, wide=case % 9 == 8)
             base = rng.randint(0, 1 << 32)
             assert simplified_hash(key, base) \
                 == reference_simplified_hash(key, base)
 
-    def test_probe_path_1000_plus_op_sequence(self):
+    def test_probe_path_1000_plus_op_sequence(self, make_rng):
         """3000 mixed ops through both tables: outcome stream, stats,
         and hit rate must match exactly (the probe-window cache must be
         invisible)."""
-        rng = DeterministicRng(606)
+        rng = make_rng(606)
         opt, ref = HardwareHashTable(), ReferenceHardwareHashTable()
-        outcomes_opt, outcomes_ref = [], []
+        ops = []
         for i in range(3000):
             key = f"k{rng.randint(0, 400)}"
             base = 0x1000 + rng.randint(0, 5) * 0x200
-            kind = rng.randint(0, 2)
-            for table, sink in ((opt, outcomes_opt), (ref, outcomes_ref)):
-                if kind == 0:
-                    sink.append(table.insert_clean(key, base, i))
-                elif kind == 1:
-                    sink.append(table.get(key, base))
-                else:
-                    sink.append(table.set(key, base, i))
-        assert repr(outcomes_opt) == repr(outcomes_ref)
+            kind = ("insert", "get", "set")[rng.randint(0, 2)]
+            ops.append([kind, key, base, i])
+        assert repr(hash_ops_outcomes(opt, ops)) \
+            == repr(hash_ops_outcomes(ref, ops))
         assert opt.hit_rate() == ref.hit_rate()
         assert opt.stats.snapshot() == ref.stats.snapshot()
 
@@ -144,8 +140,8 @@ class TestRegexKernelEquivalence:
         r"<[a-z]+", r"(?i)href", r"[a-h]+b", r"a.c", r"<p>|</p>",
     ]
 
-    def test_search_state_after_resume_1000_seeded_cases(self):
-        rng = DeterministicRng(707)
+    def test_search_state_after_resume_1000_seeded_cases(self, make_rng):
+        rng = make_rng(707)
         for case in range(1000):
             pattern = rng.choice(self.PATTERNS)
             text = _subject(rng, 0, 80, wide=case % 10 == 9)
@@ -159,8 +155,8 @@ class TestRegexKernelEquivalence:
             assert repr(r_opt.state_after(text)) == ref_state
             assert r_opt.stats.snapshot() == ref_stats
 
-    def test_resume_equivalence_seeded(self):
-        rng = DeterministicRng(808)
+    def test_resume_equivalence_seeded(self, make_rng):
+        rng = make_rng(808)
         for case in range(1000):
             pattern = rng.choice(self.PATTERNS)
             text = _subject(rng, 1, 60)
@@ -178,6 +174,12 @@ class TestRegexKernelEquivalence:
 
 
 class TestReferenceMode:
+    def test_reference_kernels_fixture_patches_for_test_body(
+        self, reference_kernels
+    ):
+        from repro.accel.reference import reference_find
+        assert StringAccelerator.find is reference_find
+
     def test_restores_optimized_kernels(self):
         original_find = StringAccelerator.find
         with reference_mode():

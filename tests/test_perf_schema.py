@@ -1,0 +1,104 @@
+"""Schema validation for the checked-in perf artifacts.
+
+``python -m repro perf`` writes ``BENCH_perf.json`` at the repo root
+and ``benchmarks/out/perf.txt`` next to the other benchmark outputs;
+both are committed so the numbers travel with the code.  These tests
+validate the committed files without regenerating them (regeneration
+is the perf harness's job): required fields present, every ratio
+finite and non-negative, and the rendered table consistent with the
+JSON it was derived from.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.core.perf import (
+    JSON_PATH,
+    PERF_SCHEMA,
+    format_perf_report,
+    validate_perf_payload,
+)
+
+PERF_TXT = Path(__file__).resolve().parents[1] / "benchmarks" / "out" / "perf.txt"
+
+pytestmark = pytest.mark.skipif(
+    not JSON_PATH.exists(),
+    reason="BENCH_perf.json not generated in this checkout",
+)
+
+
+@pytest.fixture(scope="module")
+def payload() -> dict:
+    return json.loads(JSON_PATH.read_text())
+
+
+def _numbers(node, path=""):
+    """Yield (dotted_path, value) for every number in the payload."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from _numbers(value, f"{path}.{key}" if path else key)
+    elif isinstance(node, bool):
+        return
+    elif isinstance(node, (int, float)):
+        yield path, node
+
+
+class TestBenchPerfJson:
+    def test_passes_the_harness_validator(self, payload):
+        validate_perf_payload(payload)
+
+    def test_schema_and_provenance_fields(self, payload):
+        assert payload["schema"] == PERF_SCHEMA
+        assert isinstance(payload["seed"], int)
+        assert isinstance(payload["smoke"], bool)
+        assert payload["host"]["python"]
+        assert payload["host"]["platform"]
+        assert set(payload["floors"]) >= {
+            "string_speedup_min", "e2e_speedup_min", "asserted",
+        }
+
+    def test_every_number_is_finite_and_nonnegative(self, payload):
+        checked = 0
+        for path, value in _numbers(payload):
+            assert math.isfinite(value), f"{path} = {value!r}"
+            assert value >= 0, f"{path} = {value!r}"
+            checked += 1
+        assert checked >= 10, "payload suspiciously empty"
+
+    def test_speedup_ratios_are_consistent(self, payload):
+        m = payload["metrics"]
+        string = m["string_accel"]
+        assert string["speedup"] == pytest.approx(
+            string["bytes_per_sec_optimized"]
+            / string["bytes_per_sec_reference"], rel=1e-6,
+        )
+        hash_ = m["hash_table"]
+        assert hash_["speedup"] == pytest.approx(
+            hash_["ops_per_sec_optimized"]
+            / hash_["ops_per_sec_reference"], rel=1e-6,
+        )
+        e2e = m["e2e_full_evaluation"]
+        assert e2e["speedup"] == pytest.approx(
+            e2e["seconds_reference"] / e2e["seconds_optimized"], rel=1e-6,
+        )
+
+
+class TestPerfTxt:
+    def test_exists_next_to_the_other_benchmark_outputs(self):
+        assert PERF_TXT.exists()
+
+    def test_has_title_and_all_kernel_rows(self):
+        text = PERF_TXT.read_text()
+        assert "Wall-clock performance vs pinned reference kernels" in text
+        for row in ("string accel", "hash table",
+                    "full evaluation", "fleet"):
+            assert row in text, f"missing row: {row}"
+
+    def test_matches_the_json_it_was_rendered_from(self, payload):
+        assert PERF_TXT.read_text().strip() \
+            == format_perf_report(payload).strip()
