@@ -17,13 +17,13 @@ def bench_fig05_breakdown(benchmark, report_sink):
 
     categories = ["hash", "heap", "string", "regex", "other"]
     rows = [
-        [app] + [pct(b[c]) for c in categories]
+        [app, *(pct(b[c]) for c in categories)]
         for app, b in breakdown.items()
     ]
     report_sink(
         "fig05_breakdown",
         format_table(
-            ["app"] + categories, rows,
+            ["app", *categories], rows,
             title="Figure 5: execution-time breakdown after mitigating "
                   "the abstraction overheads",
         ),

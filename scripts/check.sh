@@ -21,6 +21,16 @@ else
     echo "== ruff: not installed, skipping lint =="
 fi
 
+echo "== repro lint =="
+# Static analysis: determinism (DET0xx), pool purity (POOL0xx), cache
+# soundness (KEY0xx). Blocking; the JSON payload is kept for the CI
+# artifact upload whether or not the gate passes.
+mkdir -p benchmarks/out/lint
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+    python -m repro lint --json > benchmarks/out/lint/findings.json \
+    || { cat benchmarks/out/lint/findings.json; exit 1; }
+echo "repro lint clean"
+
 echo "== tier-1 tests =="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
 

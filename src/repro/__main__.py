@@ -272,6 +272,37 @@ def _cmd_conform(args) -> None:
         raise SystemExit(1)
 
 
+def _cmd_lint(args) -> None:
+    from pathlib import Path
+
+    from repro import analysis
+
+    paths = args.paths or None
+    if args.fix_waivers:
+        changed = analysis.fix_waivers(paths)
+        for path in changed:
+            print(f"rewrote cache-key-covers waivers in {path}")
+        if not changed:
+            print("all cache-key-covers waivers already accurate")
+    findings = analysis.run(paths)
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        out = analysis.save_baseline(findings, baseline_path)
+        print(f"wrote baseline with {len(findings)} finding(s) to {out}")
+        return
+    grandfathered = analysis.load_baseline(baseline_path)
+    fresh, suppressed = analysis.apply_baseline(findings, grandfathered)
+    shown = str(baseline_path) if grandfathered else None
+    if args.json:
+        sys.stdout.write(
+            analysis.render_json(fresh, suppressed, shown)
+        )
+    else:
+        print(analysis.render_text(fresh, suppressed))
+    if fresh:
+        raise SystemExit(1)
+
+
 def _cmd_all(args) -> None:
     for fn in (_cmd_fig1, _cmd_uarch, _cmd_fig7, _cmd_fig12,
                _cmd_fig14, _cmd_fig15, _cmd_energy, _cmd_area,
@@ -299,6 +330,8 @@ _COMMANDS = {
              "wall-clock speedups vs the pinned reference kernels"),
     "conform": (_cmd_conform,
                 "differential oracles + metamorphic fuzzing vs shadows"),
+    "lint": (_cmd_lint,
+             "static analysis: determinism / pool purity / cache keys"),
     "export": (_cmd_export, "write the evaluation as JSON"),
     "all": (_cmd_all, "everything above"),
 }
@@ -326,6 +359,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=None,
                         help="process-pool workers for sweep commands "
                              "(default: REPRO_JOBS env, else 1)")
+    parser.add_argument("--json", action="store_true",
+                        help="lint: emit the repro-lint/1 JSON payload "
+                             "instead of text")
+    parser.add_argument("--fix-waivers", action="store_true",
+                        help="lint: rewrite stale/missing cache-key-"
+                             "covers waiver comments in place")
+    parser.add_argument("--paths", nargs="*", default=None,
+                        help="lint: files/directories to analyze "
+                             "(default: the installed repro package)")
+    parser.add_argument("--baseline", type=str,
+                        default=".repro-lint-baseline.json",
+                        help="lint: grandfathered-findings file")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="lint: rewrite the baseline to the "
+                             "current findings instead of failing")
     args = parser.parse_args(argv)
     _COMMANDS[args.command][0](args)
     return 0

@@ -1,0 +1,59 @@
+"""Static-analysis suite: determinism, pool purity, cache soundness.
+
+The reproduction's core disciplines — seeded RNG everywhere,
+byte-identical ``map_cells`` fan-out at any ``--jobs``, experiment
+cache keys that cover every input a cell reads — are enforced
+dynamically by the conformance suite.  This package enforces them
+*statically*: an AST-based pass over ``src/repro`` with three rule
+families (DET0xx determinism, POOL0xx pool purity, KEY0xx cache
+soundness), in-source waiver directives, and a grandfathering
+baseline, gated in CI via ``python -m repro lint``.
+
+Library use::
+
+    from repro import analysis
+    findings = analysis.run(["src/repro"])   # -> list[Finding]
+
+See DESIGN.md ("Static analysis") for the rule catalog and waiver
+syntax.
+"""
+
+from repro.analysis.engine import (
+    DEFAULT_BASELINE_NAME,
+    RULES,
+    analyze_sources,
+    default_paths,
+    fix_waivers,
+    run,
+)
+from repro.analysis.reporting import (
+    BASELINE_SCHEMA,
+    REPORT_SCHEMA,
+    Finding,
+    apply_baseline,
+    fingerprints,
+    load_baseline,
+    render_json,
+    render_text,
+    save_baseline,
+    to_json_payload,
+)
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "RULES",
+    "analyze_sources",
+    "default_paths",
+    "fix_waivers",
+    "run",
+    "BASELINE_SCHEMA",
+    "REPORT_SCHEMA",
+    "Finding",
+    "apply_baseline",
+    "fingerprints",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "save_baseline",
+    "to_json_payload",
+]

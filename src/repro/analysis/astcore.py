@@ -1,0 +1,294 @@
+"""AST groundwork for the static-analysis suite.
+
+One :class:`ModuleInfo` per source file: the parsed tree (with parent
+links), an import table mapping local aliases to fully-qualified
+names, the module-level bindings (functions, classes, singletons,
+constants), and the ``# repro:`` waiver directives found in comments.
+
+Name resolution is deliberately syntactic: ``resolve`` follows the
+import table and module-level ``def``/``class`` bindings, so
+``t.time()`` after ``import time as t`` resolves to ``time.time`` and
+``map_cells(...)`` after ``from repro.core.parallel import map_cells``
+resolves to ``repro.core.parallel.map_cells``.  Anything dynamic
+(``getattr``, re-bound names, instance attributes) resolves to
+``None`` and the rules stay silent about it — the analyzers prefer
+missed findings over false alarms on code they cannot see through.
+"""
+
+from __future__ import annotations
+
+import ast
+import bisect
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+#: ``# repro: allow(DET001) reason`` / ``# repro: allow-file(...)`` /
+#: ``# repro: cache-key-covers(NAME, env:OTHER)``
+DIRECTIVE_RE = re.compile(
+    r"#\s*repro:\s*(allow|allow-file|cache-key-covers)\(([^)]*)\)"
+)
+
+PARENT_ATTR = "_repro_parent"
+
+
+def annotate_parents(tree: ast.AST) -> None:
+    """Attach a parent pointer to every node (``_repro_parent``)."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            setattr(child, PARENT_ATTR, node)
+
+
+def parent_of(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, PARENT_ATTR, None)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class KeyWaiver:
+    """One ``# repro: cache-key-covers(...)`` directive."""
+
+    line: int                      # physical line of the comment
+    func: str                      # module-level def it annotates
+    names: tuple[str, ...]         # covered-input names, as written
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the rule families need to know about one module."""
+
+    modname: str
+    path: str
+    source: str
+    tree: ast.Module
+    #: local alias -> fully qualified name ("np" -> "numpy")
+    imports: dict[str, str] = field(default_factory=dict)
+    #: module-level def/class names
+    defs: dict[str, str] = field(default_factory=dict)
+    #: module-level names bound to call expressions (live singletons)
+    singletons: dict[str, int] = field(default_factory=dict)
+    #: module-level names bound to literal-ish constants
+    constants: set[str] = field(default_factory=set)
+    #: physical line -> waived rule ids
+    line_waivers: dict[int, set[str]] = field(default_factory=dict)
+    #: rule ids waived for the whole file
+    file_waivers: set[str] = field(default_factory=set)
+    #: payload function name -> its cache-key-covers directive
+    key_waivers: dict[str, KeyWaiver] = field(default_factory=dict)
+
+    # -- name resolution ----------------------------------------------------
+
+    def resolve(self, dotted: Optional[str]) -> Optional[str]:
+        """Fully-qualified name for a dotted reference, best effort."""
+        if not dotted:
+            return None
+        head, _, rest = dotted.partition(".")
+        target = self.imports.get(head)
+        if target is not None:
+            return f"{target}.{rest}" if rest else target
+        if head in self.defs or head in self.singletons \
+                or head in self.constants:
+            return f"{self.modname}.{dotted}"
+        # Unknown head: a builtin or a local — return as written so
+        # rules can still match builtins like ``hash``.
+        return dotted
+
+    def resolve_call(self, call: ast.Call) -> Optional[str]:
+        return self.resolve(dotted_name(call.func))
+
+    def waived(self, rule: str, line: int) -> bool:
+        if rule in self.file_waivers:
+            return True
+        return rule in self.line_waivers.get(line, set())
+
+    def toplevel_functions(self) -> Iterator[ast.FunctionDef]:
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+
+def _is_constant_expr(node: ast.AST) -> bool:
+    """Literal or composition of literals (immutable-ish constant)."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return all(_is_constant_expr(e) for e in node.elts)
+    if isinstance(node, ast.Dict):
+        return all(
+            k is not None and _is_constant_expr(k) and _is_constant_expr(v)
+            for k, v in zip(node.keys, node.values)
+        )
+    if isinstance(node, ast.BinOp):
+        return _is_constant_expr(node.left) and _is_constant_expr(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _is_constant_expr(node.operand)
+    return False
+
+
+def _collect_imports(info: ModuleInfo) -> None:
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.partition(".")[0]
+                target = alias.name if alias.asname else \
+                    alias.name.partition(".")[0]
+                info.imports[bound] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                parts = info.modname.split(".")
+                # level 1 = current package, 2 = its parent, ...
+                anchor = parts[:len(parts) - node.level]
+                base = ".".join(anchor + ([node.module]
+                                          if node.module else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                info.imports[bound] = f"{base}.{alias.name}" if base \
+                    else alias.name
+
+
+def _collect_bindings(info: ModuleInfo) -> None:
+    for node in info.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.defs[node.name] = "function"
+        elif isinstance(node, ast.ClassDef):
+            info.defs[node.name] = "class"
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            value = node.value
+            if value is None:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if isinstance(value, ast.Call):
+                    info.singletons[target.id] = node.lineno
+                elif _is_constant_expr(value):
+                    info.constants.add(target.id)
+
+
+def _stmt_lines(tree: ast.Module) -> list[int]:
+    lines = sorted({
+        node.lineno for node in ast.walk(tree)
+        if isinstance(node, ast.stmt)
+    })
+    return lines
+
+
+def _collect_directives(info: ModuleInfo) -> None:
+    stmt_lines = _stmt_lines(info.tree)
+    toplevel_defs = sorted(
+        (node.lineno, node.name)
+        for node in info.tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(info.source).readline
+        ))
+    except tokenize.TokenError:
+        return
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = DIRECTIVE_RE.search(tok.string)
+        if match is None:
+            continue
+        kind, body = match.group(1), match.group(2)
+        names = tuple(
+            n.strip() for n in body.split(",") if n.strip()
+        )
+        line = tok.start[0]
+        standalone = tok.line[:tok.start[1]].strip() == ""
+        if kind == "allow-file":
+            info.file_waivers.update(names)
+        elif kind == "allow":
+            target_line = line
+            if standalone:
+                # A comment on its own line waives the next statement.
+                i = bisect.bisect_left(stmt_lines, line)
+                if i < len(stmt_lines):
+                    target_line = stmt_lines[i]
+            info.line_waivers.setdefault(target_line, set()).update(names)
+        else:  # cache-key-covers: annotates the next module-level def
+            for def_line, def_name in toplevel_defs:
+                if def_line > line:
+                    info.key_waivers[def_name] = KeyWaiver(
+                        line=line, func=def_name, names=names
+                    )
+                    break
+
+
+def load_module(modname: str, path: str, source: str) -> ModuleInfo:
+    """Parse one file into a fully-annotated :class:`ModuleInfo`."""
+    tree = ast.parse(source, filename=path)
+    annotate_parents(tree)
+    info = ModuleInfo(modname=modname, path=path, source=source, tree=tree)
+    _collect_imports(info)
+    _collect_bindings(info)
+    _collect_directives(info)
+    return info
+
+
+def local_names(fn: ast.FunctionDef) -> set[str]:
+    """Parameter and locally-bound names of a function body.
+
+    Used to tell a read of a module-level singleton from a read of a
+    local that happens to share its name.
+    """
+    names: set[str] = set()
+    args = fn.args
+    for a in (list(args.posonlyargs) + list(args.args)
+              + list(args.kwonlyargs)):
+        names.add(a.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx,
+                                                     (ast.Store, ast.Del)):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)) and node is not fn:
+            names.add(node.name)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.partition(".")[0])
+    return names
+
+
+def enclosing_symbol(node: ast.AST) -> str:
+    """Dotted def/class chain containing ``node`` ('<module>' at top)."""
+    parts: list[str] = []
+    cursor = parent_of(node)
+    while cursor is not None:
+        if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            parts.append(cursor.name)
+        cursor = parent_of(cursor)
+    return ".".join(reversed(parts)) if parts else "<module>"
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node

@@ -1,0 +1,83 @@
+"""Intra-package call graph over module-level functions.
+
+The pool-purity and cache-soundness rules reason about everything a
+sweep cell *transitively* executes.  This module builds the part of
+that picture that is statically resolvable: direct calls between
+module-level functions of the analyzed package, following import
+aliases (``from repro.core.experiment import run_app_experiment``).
+
+Method bodies and dynamically dispatched callables are out of scope —
+a documented precision limit (see DESIGN.md): objects *constructed
+inside* a cell are per-cell state and cannot smuggle unkeyed inputs
+across cells, which is the failure mode these rules exist to catch.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.analysis.astcore import ModuleInfo, iter_calls
+
+
+@dataclass
+class FunctionNode:
+    """One module-level function in the analyzed tree."""
+
+    qualname: str                  # "repro.core.experiment._evaluate_app_cell"
+    module: ModuleInfo
+    node: ast.FunctionDef
+    callees: set[str] = field(default_factory=set)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class CallGraph:
+    """Functions plus resolved intra-package call edges."""
+
+    functions: dict[str, FunctionNode] = field(default_factory=dict)
+
+    def lookup(self, qualname: Optional[str]) -> Optional[FunctionNode]:
+        if qualname is None:
+            return None
+        return self.functions.get(qualname)
+
+    def transitive(self, qualname: str) -> list[FunctionNode]:
+        """``qualname`` plus every function it can statically reach."""
+        seen: list[str] = []
+        stack = [qualname]
+        while stack:
+            current = stack.pop()
+            if current in seen or current not in self.functions:
+                continue
+            seen.append(current)
+            # Sorted for deterministic finding order.
+            stack.extend(sorted(self.functions[current].callees,
+                                reverse=True))
+        return [self.functions[q] for q in seen]
+
+
+def _function_defs(module: ModuleInfo) -> Iterator[ast.FunctionDef]:
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def build_call_graph(modules: dict[str, ModuleInfo]) -> CallGraph:
+    graph = CallGraph()
+    for modname, module in modules.items():
+        for fn in _function_defs(module):
+            qualname = f"{modname}.{fn.name}"
+            graph.functions[qualname] = FunctionNode(
+                qualname=qualname, module=module, node=fn
+            )
+    for node in graph.functions.values():
+        for call in iter_calls(node.node):
+            resolved = node.module.resolve_call(call)
+            if resolved in graph.functions:
+                node.callees.add(resolved)
+    return graph

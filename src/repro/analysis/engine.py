@@ -1,0 +1,155 @@
+"""Rule engine: discovery, orchestration, waivers, public API.
+
+``run(paths)`` loads every ``.py`` file under ``paths`` (default: the
+installed ``repro`` package), builds the intra-package call graph
+once, runs the three rule families, and filters the raw findings
+through the in-source waiver directives.  The CLI layers the baseline
+and output formats on top (see ``python -m repro lint``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterable, Optional
+
+from repro.analysis import rules_det, rules_key, rules_pool
+from repro.analysis.astcore import ModuleInfo, load_module
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.reporting import Finding
+
+#: Rule catalog: id -> one-line description (mirrored in DESIGN.md).
+RULES: dict[str, str] = {
+    "DET001": "wall-clock read (time.time, datetime.now, ...)",
+    "DET002": "module-level random.* or unseeded random.Random()",
+    "DET003": "entropy source (os.urandom, uuid.*, secrets.*)",
+    "DET004": "order-dependent iteration over an unordered collection",
+    "DET005": "PYTHONHASHSEED-salted builtin hash()",
+    "POOL001": "pool payload is not a top-level picklable function",
+    "POOL002": "pool payload call graph mutates module-level state",
+    "POOL003": "pool payload call graph reads unsanctioned os.environ",
+    "KEY001": "cache-keyed cell reads an input its key does not cover",
+    "KEY002": "stale cache-key-covers waiver entry",
+    "KEY003": "keyed fan-out call site without a sweep label",
+}
+
+#: Default baseline location, resolved against the working directory.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_FAMILIES: tuple[Callable[[dict[str, ModuleInfo], CallGraph],
+                          list[Finding]], ...] = (
+    rules_det.check,
+    rules_pool.check,
+    rules_key.check,
+)
+
+
+def default_paths() -> list[Path]:
+    """The installed ``repro`` package (what CI lints)."""
+    import repro
+
+    return [Path(repro.__file__).parent]
+
+
+def discover_files(paths: Iterable[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    return files
+
+
+def _modname_for(path: Path) -> str:
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[anchor:]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or path.stem
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def load_modules(
+    paths: Optional[Iterable[str | Path]] = None,
+) -> dict[str, ModuleInfo]:
+    files = discover_files(paths if paths is not None
+                           else default_paths())
+    modules: dict[str, ModuleInfo] = {}
+    for path in files:
+        modname = _modname_for(path)
+        modules[modname] = load_module(
+            modname, _display_path(path), path.read_text()
+        )
+    return modules
+
+
+def analyze_modules(modules: dict[str, ModuleInfo]) -> list[Finding]:
+    """Run every rule family and apply in-source waivers."""
+    graph = build_call_graph(modules)
+    by_path = {m.path: m for m in modules.values()}
+    raw: list[Finding] = []
+    for family in _FAMILIES:
+        raw.extend(family(modules, graph))
+    kept = [
+        f for f in raw
+        if not (f.file in by_path
+                and by_path[f.file].waived(f.rule, f.line))
+    ]
+    return sorted(kept)
+
+
+def run(paths: Optional[Iterable[str | Path]] = None) -> list[Finding]:
+    """The library entry point: lint ``paths`` (default: src/repro)."""
+    return analyze_modules(load_modules(paths))
+
+
+def analyze_sources(sources: dict[str, str]) -> list[Finding]:
+    """Lint in-memory sources (tests): ``{modname: source}``."""
+    modules = {
+        modname: load_module(
+            modname, modname.replace(".", "/") + ".py", source
+        )
+        for modname, source in sources.items()
+    }
+    return analyze_modules(modules)
+
+
+def fix_waivers(
+    paths: Optional[Iterable[str | Path]] = None,
+) -> list[str]:
+    """Rewrite stale/missing ``cache-key-covers`` waivers on disk.
+
+    Returns the display paths of the files changed.
+    """
+    files = discover_files(paths if paths is not None
+                           else default_paths())
+    by_display: dict[str, Path] = {}
+    modules: dict[str, ModuleInfo] = {}
+    for path in files:
+        modname = _modname_for(path)
+        display = _display_path(path)
+        by_display[display] = path
+        modules[modname] = load_module(modname, display,
+                                       path.read_text())
+    graph = build_call_graph(modules)
+    updates = rules_key.compute_waiver_updates(modules, graph)
+    changed: list[str] = []
+    by_path = {m.path: m for m in modules.values()}
+    for display, payload_updates in sorted(updates.items()):
+        module = by_path[display]
+        new_source = rules_key.rewrite_waivers(module, payload_updates)
+        if new_source != module.source:
+            by_display[display].write_text(new_source)
+            changed.append(display)
+    return changed

@@ -1,0 +1,154 @@
+"""Findings, text/JSON rendering, and the grandfathering baseline.
+
+A :class:`Finding` pins a rule violation to ``file:line:col`` plus the
+enclosing def/class chain (its *symbol*).  Fingerprints — used by the
+baseline — deliberately omit the line number so that unrelated edits
+above a grandfathered finding do not resurrect it; they include an
+occurrence index so two identical violations in one function stay
+distinct.
+
+The JSON payload is a stable schema (``repro-lint/1``) consumed by CI
+artifact tooling and locked by ``tests/test_analysis.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+#: JSON schema tags (bump on incompatible change, never silently).
+REPORT_SCHEMA = "repro-lint/1"
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    symbol: str
+    message: str
+    severity: str = "error"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "symbol": self.symbol,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+    def render(self) -> str:
+        return (f"{self.file}:{self.line}:{self.col}: "
+                f"{self.rule} [{self.symbol}] {self.message}")
+
+
+def fingerprints(findings: Iterable[Finding]) -> list[str]:
+    """Line-independent identity per finding (baseline keys).
+
+    ``file::symbol::rule::n`` where ``n`` numbers repeated violations
+    of the same rule inside the same symbol.
+    """
+    counts: dict[tuple[str, str, str], int] = {}
+    out: list[str] = []
+    for f in sorted(findings):
+        key = (f.file, f.symbol, f.rule)
+        n = counts.get(key, 0)
+        counts[key] = n + 1
+        out.append(f"{f.file}::{f.symbol}::{f.rule}::{n}")
+    return out
+
+
+def render_text(findings: list[Finding],
+                suppressed: int = 0) -> str:
+    lines = [f.render() for f in sorted(findings)]
+    tail = (f"{len(findings)} finding(s)"
+            + (f", {suppressed} baselined" if suppressed else ""))
+    if not findings:
+        tail = "clean: no findings" + (
+            f" ({suppressed} baselined)" if suppressed else ""
+        )
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+def to_json_payload(
+    findings: list[Finding],
+    suppressed: int = 0,
+    baseline_path: Optional[str] = None,
+) -> dict[str, Any]:
+    ordered = sorted(findings)
+    counts: dict[str, int] = {}
+    for f in ordered:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    return {
+        "schema": REPORT_SCHEMA,
+        "ok": not ordered,
+        "counts": {k: counts[k] for k in sorted(counts)},
+        "findings": [f.to_dict() for f in ordered],
+        "baseline": {
+            "path": baseline_path,
+            "suppressed": suppressed,
+        },
+    }
+
+
+def render_json(findings: list[Finding],
+                suppressed: int = 0,
+                baseline_path: Optional[str] = None) -> str:
+    return json.dumps(
+        to_json_payload(findings, suppressed, baseline_path),
+        indent=2, sort_keys=False,
+    ) + "\n"
+
+
+# -- baseline ---------------------------------------------------------------
+
+
+def save_baseline(findings: Iterable[Finding],
+                  path: str | Path) -> Path:
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "fingerprints": sorted(fingerprints(findings)),
+    }
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=1) + "\n")
+    return out
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Grandfathered fingerprints (empty set if the file is absent)."""
+    p = Path(path)
+    if not p.exists():
+        return set()
+    payload = json.loads(p.read_text())
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"unrecognized baseline schema in {p}: "
+            f"{payload.get('schema')!r}"
+        )
+    return set(payload.get("fingerprints", []))
+
+
+def apply_baseline(
+    findings: list[Finding], grandfathered: set[str]
+) -> tuple[list[Finding], int]:
+    """``(fresh_findings, suppressed_count)`` after grandfathering."""
+    if not grandfathered:
+        return findings, 0
+    fresh: list[Finding] = []
+    suppressed = 0
+    for f, fp in zip(sorted(findings), fingerprints(findings)):
+        if fp in grandfathered:
+            suppressed += 1
+        else:
+            fresh.append(f)
+    return fresh, suppressed

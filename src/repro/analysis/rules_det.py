@@ -1,0 +1,282 @@
+"""Determinism rules (DET0xx).
+
+Every figure in this reproduction must be a pure function of its seed:
+``same seed -> byte-identical report`` is asserted by the conformance
+invariants and assumed by the experiment cache and the process-pool
+fan-out.  These rules reject the ways nondeterminism classically leaks
+into such a codebase:
+
+=======  ==========================================================
+DET001   wall-clock reads (``time.time``, ``datetime.now``, ...)
+DET002   module-level ``random.*`` / unseeded ``random.Random()``
+DET003   entropy sources (``os.urandom``, ``uuid.*``, ``secrets.*``)
+DET004   order-dependent iteration over unordered collections
+         (``set``/``frozenset``/``os.listdir``/``glob``) where the
+         order reaches an ordered accumulator, yield, or return
+DET005   builtin ``hash()`` — salted per process by PYTHONHASHSEED
+         for ``str``/``bytes``, so values must never mix into
+         results that cross process boundaries
+=======  ==========================================================
+
+Sanctioned exceptions carry a visible ``# repro: allow(DETxxx)``
+waiver (or ``allow-file`` for whole modules like the wall-clock perf
+harness, whose *output* is wall-clock time by design).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.astcore import (
+    ModuleInfo,
+    dotted_name,
+    enclosing_symbol,
+    iter_calls,
+)
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.reporting import Finding
+
+WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.localtime", "time.gmtime",
+    "time.strftime", "time.ctime", "time.asctime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+ENTROPY_PREFIXES = ("uuid.", "secrets.")
+ENTROPY_CALLS = frozenset({"os.urandom", "os.getrandom"})
+
+#: Callables that consume an iterable without exposing its order.
+ORDER_FREE_CONSUMERS = frozenset({
+    "sorted", "set", "frozenset", "sum", "min", "max", "any", "all",
+    "len",
+})
+
+#: Calls that produce filesystem-order (i.e. arbitrary-order) listings.
+FS_ORDER_CALLS = frozenset({
+    "os.listdir", "os.scandir", "glob.glob", "glob.iglob",
+})
+
+#: Mutating-call names that make a loop body order-sensitive.
+ORDERED_SINK_METHODS = frozenset({"append", "extend", "insert",
+                                  "appendleft", "write"})
+
+
+def _finding(module: ModuleInfo, node: ast.AST, rule: str,
+             message: str) -> Finding:
+    return Finding(
+        file=module.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        rule=rule,
+        symbol=enclosing_symbol(node),
+        message=message,
+    )
+
+
+def _check_calls(module: ModuleInfo) -> list[Finding]:
+    out: list[Finding] = []
+    for call in iter_calls(module.tree):
+        resolved = module.resolve_call(call)
+        if resolved is None:
+            continue
+        if resolved in WALL_CLOCK:
+            out.append(_finding(
+                module, call, "DET001",
+                f"wall-clock read `{resolved}` — results must be a "
+                f"pure function of the seed",
+            ))
+        elif resolved == "random.Random":
+            if not call.args and not call.keywords:
+                out.append(_finding(
+                    module, call, "DET002",
+                    "unseeded `random.Random()` — construct "
+                    "`DeterministicRng(seed)` (common/rng) instead",
+                ))
+        elif resolved == "random.SystemRandom" or (
+            resolved.startswith("random.") and resolved.count(".") == 1
+        ):
+            out.append(_finding(
+                module, call, "DET002",
+                f"module-level `{resolved}` draws from the shared, "
+                f"implicitly-seeded stream — use DeterministicRng",
+            ))
+        elif resolved in ENTROPY_CALLS or \
+                resolved.startswith(ENTROPY_PREFIXES):
+            out.append(_finding(
+                module, call, "DET003",
+                f"entropy source `{resolved}` can never reproduce "
+                f"under a fixed seed",
+            ))
+        elif resolved == "hash":
+            arg = call.args[0] if call.args else None
+            if not _is_plain_number(arg):
+                out.append(_finding(
+                    module, call, "DET005",
+                    "builtin `hash()` is PYTHONHASHSEED-salted for "
+                    "str/bytes — use a stable hash (blake2b, FNV) for "
+                    "anything that reaches results",
+                ))
+    return out
+
+
+def _is_plain_number(node: Optional[ast.AST]) -> bool:
+    """Numeric literals hash unsalted; anything else is suspect."""
+    return isinstance(node, ast.Constant) and \
+        isinstance(node.value, (int, float))
+
+
+# -- DET004: unordered-iteration analysis -----------------------------------
+
+
+def _set_typed_names(scope: ast.AST, module: ModuleInfo) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and \
+                        _is_set_expr(node.value, names, module):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and \
+                isinstance(node.target, ast.Name):
+            if _is_set_annotation(node.annotation):
+                names.add(node.target.id)
+    return names
+
+
+def _is_set_annotation(node: ast.AST) -> bool:
+    base = node.value if isinstance(node, ast.Subscript) else node
+    name = dotted_name(base) or (
+        base.value if isinstance(base, ast.Constant) else None
+    )
+    return name in {"set", "frozenset", "Set", "FrozenSet",
+                    "typing.Set", "typing.FrozenSet"}
+
+
+def _is_set_expr(node: ast.AST, set_names: set[str],
+                 module: ModuleInfo) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return (_is_set_expr(node.left, set_names, module)
+                or _is_set_expr(node.right, set_names, module))
+    if isinstance(node, ast.Call):
+        resolved = module.resolve_call(node)
+        if resolved in {"set", "frozenset"}:
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in {
+            "union", "intersection", "difference",
+            "symmetric_difference",
+        }:
+            return _is_set_expr(node.func.value, set_names, module)
+    return False
+
+
+def _is_unordered_iterable(node: ast.AST, set_names: set[str],
+                           module: ModuleInfo) -> Optional[str]:
+    """Why this expression iterates in nondeterministic order, or None."""
+    if _is_set_expr(node, set_names, module):
+        return "set/frozenset"
+    if isinstance(node, ast.Call):
+        resolved = module.resolve_call(node)
+        if resolved in FS_ORDER_CALLS:
+            return resolved
+        if isinstance(node.func, ast.Attribute) and \
+                node.func.attr in {"iterdir", "glob", "rglob"}:
+            return f"Path.{node.func.attr}()"
+    return None
+
+
+def _loop_is_order_sensitive(loop: ast.For) -> Optional[ast.AST]:
+    """First ordered sink in the loop body, if any."""
+    for node in ast.walk(loop):
+        if node is loop:
+            continue
+        if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Return)):
+            return node
+        if isinstance(node, ast.AugAssign) and isinstance(node.op,
+                                                          ast.Add):
+            return node
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in ORDERED_SINK_METHODS:
+            return node
+    return None
+
+
+def _comp_is_order_free(comp: ast.AST, module: ModuleInfo) -> bool:
+    from repro.analysis.astcore import parent_of
+
+    if isinstance(comp, ast.SetComp):
+        return True
+    parent = parent_of(comp)
+    if isinstance(parent, ast.Call) and comp in parent.args:
+        resolved = module.resolve_call(parent)
+        if resolved in ORDER_FREE_CONSUMERS:
+            return True
+    return False
+
+
+def _check_unordered_iteration(module: ModuleInfo) -> list[Finding]:
+    out: list[Finding] = []
+    scopes: list[ast.AST] = [module.tree]
+    scopes.extend(
+        node for node in ast.walk(module.tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    flagged: set[int] = set()
+    for scope in scopes:
+        set_names = _set_typed_names(scope, module)
+        for node in ast.walk(scope):
+            if isinstance(node, ast.For):
+                why = _is_unordered_iterable(node.iter, set_names,
+                                             module)
+                if why is None:
+                    continue
+                sink = _loop_is_order_sensitive(node)
+                if sink is None or id(node) in flagged:
+                    continue
+                flagged.add(id(node))
+                out.append(_finding(
+                    module, node, "DET004",
+                    f"iteration over {why} feeds an ordered "
+                    f"accumulator (line {sink.lineno}) — wrap the "
+                    f"iterable in sorted(...)",
+                ))
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                   ast.DictComp, ast.SetComp)):
+                for gen in node.generators:
+                    why = _is_unordered_iterable(gen.iter, set_names,
+                                                 module)
+                    if why is None:
+                        continue
+                    if _comp_is_order_free(node, module):
+                        continue
+                    if id(node) in flagged:
+                        continue
+                    flagged.add(id(node))
+                    out.append(_finding(
+                        module, node, "DET004",
+                        f"comprehension over {why} produces an "
+                        f"ordered result in nondeterministic order — "
+                        f"wrap the iterable in sorted(...)",
+                    ))
+    return out
+
+
+def check(modules: dict[str, ModuleInfo],
+          graph: CallGraph) -> list[Finding]:
+    del graph  # determinism rules are local to each module
+    out: list[Finding] = []
+    for modname in sorted(modules):
+        module = modules[modname]
+        out.extend(_check_calls(module))
+        out.extend(_check_unordered_iteration(module))
+    return out

@@ -1,0 +1,243 @@
+"""Cache-soundness rules (KEY0xx).
+
+``core/expcache`` serves memoized experiment cells keyed on
+``cache_key(label, *key_parts(item))``.  The memoization is only sound
+if the key covers *every* input the cell actually reads: one unkeyed
+module singleton and a sweep silently returns stale results after the
+singleton changes.  These rules run a reaching-inputs analysis over
+each keyed cell's transitive call graph:
+
+=======  ==========================================================
+KEY001   keyed cell (transitively) reads an input that is not
+         represented in its cache key and not covered by a
+         ``# repro: cache-key-covers(...)`` waiver
+KEY002   a ``cache-key-covers`` waiver lists an input the cell no
+         longer reads (stale waiver — must shrink with the code)
+KEY003   keyed ``map_cells`` call site without a non-empty ``label``
+         (cross-sweep key collisions)
+=======  ==========================================================
+
+The waiver is an *assertion with teeth*: ``cache-key-covers(X)``
+claims X is a deterministic function of the keyed parts (a trace
+cache keyed by app+seed, a frozen cost model covered by CODE_SALT).
+The checker recomputes the reaching-input set on every run and fails
+when the waiver drifts from the code, in either direction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.astcore import (
+    ModuleInfo,
+    enclosing_symbol,
+    local_names,
+)
+from repro.analysis.callgraph import CallGraph, FunctionNode
+from repro.analysis.reporting import Finding
+from repro.analysis.rules_pool import (
+    SANCTIONED_ENV_PREFIX,
+    env_reads,
+    iter_pool_sites,
+    resolve_payload,
+    singleton_qualnames,
+)
+
+
+def _finding(module: ModuleInfo, node: ast.AST, rule: str,
+             message: str) -> Finding:
+    return Finding(
+        file=module.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        rule=rule,
+        symbol=enclosing_symbol(node),
+        message=message,
+    )
+
+
+def _keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def is_keyed_site(call: ast.Call) -> bool:
+    """Does this fan-out call store results in the experiment cache?"""
+    cache = _keyword(call, "cache")
+    keyer = _keyword(call, "key_parts") or _keyword(call, "key_fn")
+    if cache is None or keyer is None:
+        return False
+    if isinstance(cache, ast.Constant) and cache.value is None:
+        return False
+    return True
+
+
+def _body_names(fn: ast.FunctionDef) -> Iterator[ast.Name]:
+    """Name loads in executable positions (annotations excluded)."""
+    skip: set[int] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.AnnAssign) and node.annotation:
+            skip.update(id(n) for n in ast.walk(node.annotation))
+        elif isinstance(node, ast.arg) and node.annotation:
+            skip.update(id(n) for n in ast.walk(node.annotation))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node.returns:
+            skip.update(id(n) for n in ast.walk(node.returns))
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and \
+                isinstance(node.ctx, ast.Load) and id(node) not in skip:
+            yield node
+
+
+def reaching_inputs(
+    payload: FunctionNode, graph: CallGraph, singletons: set[str]
+) -> dict[str, tuple[FunctionNode, int]]:
+    """Inputs the cell reads beyond its arguments.
+
+    Maps a display name (``TRACE_CACHE``, ``env:HOME``) to the
+    function and line where the read happens.  Covers the payload and
+    every statically-reachable module-level callee: reads of
+    module-level singletons and non-``REPRO_*`` environment keys.
+    Constants (literal module bindings) and classes/functions are by
+    construction covered by ``CODE_SALT`` and excluded.
+    """
+    out: dict[str, tuple[FunctionNode, int]] = {}
+    for fn in graph.transitive(payload.qualname):
+        locals_ = local_names(fn.node)
+        for name in _body_names(fn.node):
+            if name.id in locals_:
+                continue
+            resolved = fn.module.resolve(name.id)
+            if resolved in singletons:
+                out.setdefault(name.id, (fn, name.lineno))
+        for node, key in env_reads(fn):
+            if key.startswith(SANCTIONED_ENV_PREFIX):
+                continue
+            out.setdefault(f"env:{key}", (fn, node.lineno))
+    return out
+
+
+def check(modules: dict[str, ModuleInfo],
+          graph: CallGraph) -> list[Finding]:
+    singletons = singleton_qualnames(modules)
+    out: list[Finding] = []
+    checked_payloads: set[str] = set()
+    for module, call, _entry in iter_pool_sites(modules):
+        if not is_keyed_site(call):
+            continue
+        label = _keyword(call, "label")
+        if label is None or (
+            isinstance(label, ast.Constant) and not label.value
+        ):
+            out.append(_finding(
+                module, call, "KEY003",
+                "keyed fan-out without a non-empty `label` — keys "
+                "from different sweeps sharing an item shape collide",
+            ))
+        payload, _problem = resolve_payload(module, call, graph)
+        if payload is None or payload.qualname in checked_payloads:
+            continue  # unresolvable payloads are POOL001's problem
+        checked_payloads.add(payload.qualname)
+        out.extend(_check_payload(payload, graph, singletons))
+    return out
+
+
+def _check_payload(
+    payload: FunctionNode, graph: CallGraph, singletons: set[str]
+) -> list[Finding]:
+    out: list[Finding] = []
+    inputs = reaching_inputs(payload, graph, singletons)
+    waiver = payload.module.key_waivers.get(payload.name)
+    covered = set(waiver.names) if waiver else set()
+    for display in sorted(set(inputs) - covered):
+        fn, line = inputs[display]
+        out.append(Finding(
+            file=fn.module.path, line=line, col=1, rule="KEY001",
+            symbol=payload.name,
+            message=(
+                f"cache-keyed cell `{payload.name}` reads `{display}` "
+                f"(via `{fn.qualname}`) which the cache key does not "
+                f"name — key it, or assert coverage with "
+                f"`# repro: cache-key-covers({display}, ...)` above "
+                f"the cell"
+            ),
+        ))
+    if waiver is not None:
+        for stale in sorted(covered - set(inputs)):
+            out.append(Finding(
+                file=payload.module.path, line=waiver.line, col=1,
+                rule="KEY002", symbol=payload.name,
+                message=(
+                    f"stale waiver: `{payload.name}` no longer reads "
+                    f"`{stale}` — drop it from cache-key-covers "
+                    f"(or run lint --fix-waivers)"
+                ),
+            ))
+    return out
+
+
+# -- --fix-waivers ----------------------------------------------------------
+
+
+def compute_waiver_updates(
+    modules: dict[str, ModuleInfo], graph: CallGraph
+) -> dict[str, dict[str, Optional[list[str]]]]:
+    """Per-module corrected ``cache-key-covers`` lists.
+
+    ``{module_path: {payload_name: names | None}}`` — ``None`` means
+    the payload needs no waiver (delete any existing one).  Only
+    payloads of keyed fan-out sites appear.
+    """
+    singletons = singleton_qualnames(modules)
+    updates: dict[str, dict[str, Optional[list[str]]]] = {}
+    seen: set[str] = set()
+    for module, call, _entry in iter_pool_sites(modules):
+        if not is_keyed_site(call):
+            continue
+        payload, _problem = resolve_payload(module, call, graph)
+        if payload is None or payload.qualname in seen:
+            continue
+        seen.add(payload.qualname)
+        inputs = sorted(reaching_inputs(payload, graph, singletons))
+        waiver = payload.module.key_waivers.get(payload.name)
+        current = sorted(waiver.names) if waiver else None
+        wanted: Optional[list[str]] = inputs if inputs else None
+        if wanted != current:
+            updates.setdefault(payload.module.path, {})[
+                payload.name
+            ] = wanted
+    return updates
+
+
+def rewrite_waivers(
+    module: ModuleInfo, updates: dict[str, Optional[list[str]]]
+) -> str:
+    """Source with corrected waiver comments for the given payloads."""
+    lines = module.source.splitlines()
+    def_lines = {
+        node.name: node.lineno
+        for node in module.tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    # Apply bottom-up so earlier line numbers stay valid.
+    for name in sorted(updates,
+                       key=lambda n: def_lines.get(n, 0),
+                       reverse=True):
+        if name not in def_lines:
+            continue
+        wanted = updates[name]
+        existing = module.key_waivers.get(name)
+        comment = None if wanted is None else \
+            f"# repro: cache-key-covers({', '.join(wanted)})"
+        if existing is not None:
+            if comment is None:
+                del lines[existing.line - 1]
+            else:
+                lines[existing.line - 1] = comment
+        elif comment is not None:
+            lines.insert(def_lines[name] - 1, comment)
+    return "\n".join(lines) + ("\n" if module.source.endswith("\n")
+                               else "")

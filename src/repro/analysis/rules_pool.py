@@ -1,0 +1,226 @@
+"""Pool-purity rules (POOL0xx).
+
+``core/parallel.map_cells`` promises byte-identical sweep results at
+any ``--jobs``.  That only holds if every submitted cell is
+shared-nothing: a top-level picklable function whose transitive call
+graph neither mutates module-level state (worker-side mutations are
+silently discarded with ``jobs > 1`` and kept with ``jobs == 1`` —
+the classic "works serially, drifts in the pool" bug) nor reads
+ambient configuration beyond the sanctioned ``REPRO_*`` knobs.
+
+=======  ==========================================================
+POOL001  pool payload is not a resolvable top-level function
+         (lambda, nested def, bound method, partial, ...)
+POOL002  payload call graph mutates a module-level singleton or
+         rebinds a module global
+POOL003  payload call graph reads ``os.environ`` outside ``REPRO_*``
+=======  ==========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.astcore import (
+    ModuleInfo,
+    dotted_name,
+    enclosing_symbol,
+    iter_calls,
+)
+from repro.analysis.callgraph import CallGraph, FunctionNode
+from repro.analysis.reporting import Finding
+
+#: Fully-qualified fan-out entry points whose first argument is a
+#: callable shipped to worker processes.
+POOL_ENTRYPOINTS = frozenset({
+    "repro.core.parallel.map_cells",
+    "repro.core.parallel.parallel_map",
+})
+
+#: Method names that mutate their receiver (conservative list tuned
+#: to the registries/caches/containers this repo actually uses).
+MUTATOR_METHODS = frozenset({
+    "bump", "add", "append", "extend", "insert", "update", "clear",
+    "store", "merge", "reset", "record", "remove", "discard", "pop",
+    "popitem", "setdefault", "push",
+})
+
+#: Environment keys the runtime may read anywhere (observability and
+#: execution-shape knobs that must never change simulated results).
+SANCTIONED_ENV_PREFIX = "REPRO_"
+
+
+def _finding(module: ModuleInfo, node: ast.AST, rule: str,
+             message: str) -> Finding:
+    return Finding(
+        file=module.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        rule=rule,
+        symbol=enclosing_symbol(node),
+        message=message,
+    )
+
+
+def iter_pool_sites(
+    modules: dict[str, ModuleInfo],
+) -> Iterator[tuple[ModuleInfo, ast.Call, str]]:
+    """Every ``map_cells``/``parallel_map`` call site in the tree."""
+    for modname in sorted(modules):
+        module = modules[modname]
+        if modname in POOL_ENTRYPOINTS or any(
+            e.startswith(modname + ".") for e in POOL_ENTRYPOINTS
+        ):
+            # Skip the definitions themselves (parallel.py's internal
+            # delegation would read as a payload named ``fn``).
+            continue
+        for call in iter_calls(module.tree):
+            resolved = module.resolve_call(call)
+            if resolved in POOL_ENTRYPOINTS:
+                yield module, call, resolved
+
+
+def resolve_payload(
+    module: ModuleInfo, call: ast.Call, graph: CallGraph
+) -> tuple[Optional[FunctionNode], Optional[str]]:
+    """``(payload function, problem)`` for a fan-out call site."""
+    if not call.args:
+        return None, "fan-out call has no payload argument"
+    payload = call.args[0]
+    if isinstance(payload, ast.Lambda):
+        return None, "payload is a lambda (unpicklable under jobs > 1)"
+    if isinstance(payload, ast.Call):
+        return None, ("payload is constructed at the call site "
+                      "(partial/factory) — submit a plain top-level "
+                      "function")
+    name = dotted_name(payload)
+    if name is None:
+        return None, "payload is not a plain function reference"
+    resolved = module.resolve(name)
+    node = graph.lookup(resolved)
+    if node is None:
+        if "." in name and name.split(".", 1)[0] not in module.imports:
+            return None, (f"payload `{name}` looks like a bound "
+                          f"method — pool cells must be top-level "
+                          f"functions")
+        return None, (f"payload `{name}` does not resolve to a "
+                      f"top-level function in the analyzed tree")
+    return node, None
+
+
+def _mutations(fn: FunctionNode,
+               singletons: set[str]) -> Iterator[tuple[ast.AST, str]]:
+    """Module-global mutations inside one function body."""
+    declared_global: set[str] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    for node in ast.walk(fn.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and \
+                        target.id in declared_global:
+                    yield node, (f"rebinds module global "
+                                 f"`{target.id}`")
+                elif isinstance(target, ast.Attribute):
+                    base = dotted_name(target.value)
+                    resolved = fn.module.resolve(base)
+                    if resolved in singletons:
+                        yield node, (f"writes attribute on module "
+                                     f"singleton `{base}`")
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in MUTATOR_METHODS:
+            base = dotted_name(node.func.value)
+            if base is None:
+                continue
+            resolved = fn.module.resolve(base)
+            if resolved in singletons:
+                yield node, (f"calls mutator `.{node.func.attr}()` on "
+                             f"module singleton `{base}`")
+
+
+def singleton_qualnames(modules: dict[str, ModuleInfo]) -> set[str]:
+    """Every module-level name bound to a call expression, qualified."""
+    return {
+        f"{modname}.{name}"
+        for modname, module in modules.items()
+        for name in module.singletons
+    }
+
+
+def env_reads(fn: FunctionNode) -> Iterator[tuple[ast.AST, str]]:
+    """``(node, key_description)`` for each os.environ/getenv read."""
+    for node in ast.walk(fn.node):
+        key_node: Optional[ast.AST] = None
+        if isinstance(node, ast.Call):
+            resolved = fn.module.resolve_call(node)
+            if resolved == "os.getenv":
+                key_node = node.args[0] if node.args else None
+            elif isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "get" and \
+                    fn.module.resolve(dotted_name(node.func.value)) \
+                    == "os.environ":
+                key_node = node.args[0] if node.args else None
+            else:
+                continue
+        elif isinstance(node, ast.Subscript) and \
+                fn.module.resolve(dotted_name(node.value)) \
+                == "os.environ":
+            key_node = node.slice
+        else:
+            continue
+        if isinstance(key_node, ast.Constant) and \
+                isinstance(key_node.value, str):
+            yield node, key_node.value
+        else:
+            yield node, "<dynamic>"
+
+
+def check(modules: dict[str, ModuleInfo],
+          graph: CallGraph) -> list[Finding]:
+    singletons = singleton_qualnames(modules)
+    out: list[Finding] = []
+    for module, call, entry in iter_pool_sites(modules):
+        payload, problem = resolve_payload(module, call, graph)
+        if problem is not None:
+            out.append(_finding(
+                module, call, "POOL001",
+                f"{entry.rsplit('.', 1)[1]} {problem}",
+            ))
+            continue
+        assert payload is not None
+        for fn in graph.transitive(payload.qualname):
+            for node, what in _mutations(fn, singletons):
+                out.append(_finding(
+                    fn.module, node, "POOL002",
+                    f"pool payload `{payload.name}` transitively "
+                    f"{what} in `{fn.qualname}` — worker-side state "
+                    f"diverges from jobs=1",
+                ))
+            for node, key in env_reads(fn):
+                if key.startswith(SANCTIONED_ENV_PREFIX):
+                    continue
+                out.append(_finding(
+                    fn.module, node, "POOL003",
+                    f"pool payload `{payload.name}` transitively "
+                    f"reads env `{key}` in `{fn.qualname}` — only "
+                    f"REPRO_* knobs are sanctioned in cells",
+                ))
+    return _dedupe(out)
+
+
+def _dedupe(findings: list[Finding]) -> list[Finding]:
+    """Two call sites sharing a payload report each defect once."""
+    seen: set[tuple] = set()
+    out: list[Finding] = []
+    for f in sorted(findings):
+        key = (f.file, f.line, f.col, f.rule)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(f)
+    return out

@@ -22,11 +22,13 @@ from repro.conformance.oracles import (
     ConformanceFailure,
     HASH_BASES,
     hash_ops_outcomes,
+    run_checksum_oracle,
     run_hash_oracle,
     run_heap_oracle,
     run_regex_oracle,
     run_reuse_oracle,
     run_string_oracle,
+    shadow_checksum,
 )
 from repro.conformance.invariants import (
     INVARIANTS,
@@ -56,12 +58,14 @@ __all__ = [
     "hash_ops_outcomes",
     "run_case",
     "run_conformance",
+    "run_checksum_oracle",
     "run_hash_oracle",
     "run_heap_oracle",
     "run_invariant",
     "run_regex_oracle",
     "run_reuse_oracle",
     "run_string_oracle",
+    "shadow_checksum",
     "shrink_case",
     "write_failure_artifacts",
 ]

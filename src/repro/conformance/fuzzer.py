@@ -27,6 +27,7 @@ from repro.common.rng import DEFAULT_SEED, DeterministicRng
 from repro.conformance.invariants import INVARIANTS, run_invariant
 from repro.conformance.oracles import (
     ConformanceFailure,
+    run_checksum_oracle,
     run_hash_oracle,
     run_heap_oracle,
     run_regex_oracle,
@@ -35,8 +36,12 @@ from repro.conformance.oracles import (
 )
 
 #: Fuzzed domains, one differential oracle each (reuse rides on the
-#: regex stack but has its own script shape, hence its own domain).
-DOMAINS: tuple[str, ...] = ("hash", "heap", "string", "regex", "reuse")
+#: regex stack but has its own script shape, hence its own domain;
+#: checksum pins the process-stable result mixing that DET005 and the
+#: pool-identity invariants rely on).
+DOMAINS: tuple[str, ...] = (
+    "hash", "heap", "string", "regex", "reuse", "checksum"
+)
 
 #: Cases per domain: smoke keeps ``scripts/check.sh`` fast.
 SMOKE_CASES = 40
@@ -207,12 +212,39 @@ def _gen_reuse(rng: DeterministicRng) -> list:
     return [pattern, script]
 
 
+def _gen_checksum_value(rng: DeterministicRng, depth: int = 0):
+    roll = rng.random()
+    if roll < 0.40:
+        return _gen_text(rng, _STRING_ALPHABET, 0, 12)
+    if roll < 0.70:
+        return rng.randint(-1_000_000, 1_000_000)
+    if roll < 0.80 or depth >= 2:
+        # The shapes execute.py actually mixes: "key#seq" strings and
+        # (key, value) pairs — JSON keeps lists, repr keeps order.
+        return f"{rng.choice(_HASH_KEYS)}#{rng.randint(0, 99)}"
+    return [_gen_checksum_value(rng, depth + 1)
+            for _ in range(rng.randint(0, 3))]
+
+
+def _gen_checksum(rng: DeterministicRng) -> list:
+    from repro.conformance.oracles import shadow_checksum
+
+    values = [_gen_checksum_value(rng)
+              for _ in range(rng.randint(1, 12))]
+    ops: list = [["mix", v] for v in values]
+    # Pin the digest at generation time: replaying this case later
+    # fails if checksum mixing ever stops being canonical.
+    ops.append(["expect", format(shadow_checksum(values), "016x")])
+    return ops
+
+
 _GENERATORS = {
     "hash": _gen_hash,
     "heap": _gen_heap,
     "string": _gen_string,
     "regex": _gen_regex,
     "reuse": _gen_reuse,
+    "checksum": _gen_checksum,
 }
 
 
@@ -243,11 +275,13 @@ def run_case(domain: str, case: list) -> None:
         elif domain == "reuse":
             pattern, script = case
             run_reuse_oracle(script, pattern)
+        elif domain == "checksum":
+            run_checksum_oracle(case)
         else:
             raise ValueError(f"unknown fuzz domain {domain!r}")
     except ConformanceFailure:
         raise
-    except Exception as exc:                # noqa: BLE001
+    except Exception as exc:  # any oracle crash is a finding, not a bug here
         tail = traceback.format_exc().strip().splitlines()[-1]
         raise ConformanceFailure(
             domain, f"oracle crashed: {tail}"

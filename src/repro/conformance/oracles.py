@@ -492,3 +492,62 @@ def run_reuse_oracle(script: list, pattern: str, entries: int = 4) -> None:
                   f"reuse match({pattern!r}, {content!r}, pc={pc}) = "
                   f"{got.match_end} ({got.scenario}), direct match "
                   f"says {want_end}", step)
+
+
+# -- checksum mixer vs independent FNV shadow --------------------------------------
+
+#: FNV-1a constants, duplicated from core/execute on purpose: the
+#: oracle must drift-detect, not share, the implementation.
+_SHADOW_FNV_OFFSET = 0xCBF29CE484222325
+_SHADOW_FNV_PRIME = 0x100000001B3
+_SHADOW_MIX_PRIME = 1099511628211
+_SHADOW_MASK = (1 << 64) - 1
+
+
+def shadow_checksum(values: list) -> int:
+    """Independent reimplementation of ``CategoryRun`` checksum mixing."""
+    acc = 0
+    for value in values:
+        h = _SHADOW_FNV_OFFSET
+        for byte in repr(value).encode("utf-8"):
+            h = ((h ^ byte) * _SHADOW_FNV_PRIME) & _SHADOW_MASK
+        acc = (acc * _SHADOW_MIX_PRIME + h) & _SHADOW_MASK
+    return acc
+
+
+def run_checksum_oracle(case: list) -> None:
+    """Replay ``["mix", value]`` / ``["expect", hex]`` checksum scripts.
+
+    The run-vs-run checksums that prove software/accelerated
+    equivalence must be *process-stable* (the analyzer's DET005 rule:
+    no PYTHONHASHSEED-salted ``hash()`` in results), so this oracle
+    checks :meth:`~repro.core.execute.CategoryRun.mix_checksum` against
+    an independent FNV shadow after every mix, and ``expect`` ops pin
+    digests recorded in the corpus — a value drifting on any machine,
+    process, or code revision is a conformance failure.
+    """
+    from repro.core.execute import CategoryRun
+
+    domain = "checksum"
+    run = CategoryRun(category="checksum", mode="software")
+    mixed: list = []
+    for step, op in enumerate(case):
+        kind = op[0]
+        if kind == "mix":
+            run.mix_checksum(op[1])
+            mixed.append(op[1])
+            want = shadow_checksum(mixed)
+            if run.checksum != want:
+                _fail(domain,
+                      f"mix_checksum({op[1]!r}) -> "
+                      f"{run.checksum:016x}, independent FNV shadow "
+                      f"says {want:016x}", step)
+        elif kind == "expect":
+            got = format(run.checksum, "016x")
+            if got != op[1]:
+                _fail(domain,
+                      f"checksum after {len(mixed)} mixes is {got}, "
+                      f"corpus pins {op[1]} — checksum mixing is no "
+                      f"longer process-stable/canonical", step)
+        else:
+            _fail(domain, f"unknown checksum op {kind!r}", step)

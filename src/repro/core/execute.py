@@ -19,6 +19,26 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.costs import DEFAULT_COSTS, CostModel
+
+_FNV64_OFFSET = 0xCBF29CE484222325
+_FNV64_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def stable_hash(value: object) -> int:
+    """Process-stable 64-bit FNV-1a hash of a value's canonical repr.
+
+    Builtin ``hash()`` is PYTHONHASHSEED-salted for str/bytes, so
+    checksums built on it differ between the pool workers of a
+    ``map_cells`` fan-out and can never be compared across processes
+    or pinned in a corpus.  ``repr`` is canonical for everything the
+    simulators mix (str/int/tuple), making this hash identical on
+    every platform and in every process.
+    """
+    acc = _FNV64_OFFSET
+    for byte in repr(value).encode("utf-8"):
+        acc = ((acc ^ byte) * _FNV64_PRIME) & _MASK64
+    return acc
 from repro.isa.dispatch import AcceleratorComplex
 from repro.regex.engine import RegexManager
 from repro.runtime.phparray import PhpArray
@@ -46,9 +66,9 @@ class CategoryRun:
         self.events[name] = self.events.get(name, 0) + amount
 
     def mix_checksum(self, value: object) -> None:
-        self.checksum = (self.checksum * 1099511628211 + hash(value)) & (
-            (1 << 64) - 1
-        )
+        self.checksum = (
+            self.checksum * 1099511628211 + stable_hash(value)
+        ) & _MASK64
 
     def efficiency_vs(self, software: "CategoryRun") -> float:
         """Fraction of software cycles the accelerated path removed."""

@@ -385,6 +385,11 @@ def regex_opportunity(seed: int = DEFAULT_SEED, requests: int = 4) -> dict[str, 
     return out
 
 
+# The *_SET regex specs and DEFAULT_COSTS are frozen module constants
+# (any change is a code change covered by expcache's CODE_SALT), and
+# TRACE_CACHE serves streams keyed by (app, seed, warmup) — all
+# deterministic functions of the keyed cell inputs below.
+# repro: cache-key-covers(DEFAULT_COSTS, SANITIZE_SET, SHORTCODE_SET, TRACE_CACHE, WIKITEXT_SET, WPTEXTURIZE_SET)
 def _evaluate_app_cell(cell: tuple[str, int, int | None]) -> AppResult:
     """Picklable sweep cell: one app's full experiment by name.
 

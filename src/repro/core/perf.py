@@ -32,6 +32,9 @@ runners are load-dependent, so CI never gates on them.
 
 from __future__ import annotations
 
+# repro: allow-file(DET001) — wall-clock time is this module's entire
+# output (measured speedups); it never feeds a simulated result.
+
 import json
 import platform
 import sys

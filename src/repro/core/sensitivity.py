@@ -34,6 +34,10 @@ from repro.workloads.regexops import AUTHOR_URL_PATTERN
 from repro.workloads.text import ContentSpec, TextCorpus
 
 
+# DEFAULT_COSTS is a frozen constant (covered by expcache CODE_SALT);
+# TRACE_CACHE serves streams keyed by (app, seed, warmup) — both are
+# deterministic functions of the keyed cell inputs.
+# repro: cache-key-covers(DEFAULT_COSTS, TRACE_CACHE)
 def _probe_width_cell(cell: tuple[int, AppWorkload, int, int]) -> float:
     width, app, requests, seed = cell
     complex_ = AcceleratorComplex(config=ComplexConfig(

@@ -120,6 +120,7 @@ class CharSet:
         return isinstance(other, CharSet) and self.mask == other.mask
 
     def __hash__(self) -> int:
+        # repro: allow(DET005) — mask is an int; int hash is unsalted.
         return hash(self.mask)
 
     def __repr__(self) -> str:

@@ -170,7 +170,7 @@ def _compute_liveness(
             if dst != DEAD:
                 reverse[dst].append(src)
     live = [False] * n
-    stack = [s for s in accepting]
+    stack = sorted(accepting)
     for s in stack:
         live[s] = True
     while stack:

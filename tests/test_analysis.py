@@ -1,0 +1,656 @@
+"""Static-analysis suite: rule fixtures, waivers, baseline, CLI gate.
+
+Each rule family gets positive *and* negative fixtures run through
+:func:`repro.analysis.analyze_sources` (in-memory modules, no disk),
+the waiver directives are exercised in both directions (suppression
+and the KEY002 staleness check that keeps them honest), the baseline
+round-trips, the ``repro-lint/1`` JSON schema is locked, and a
+meta-test asserts the shipped ``src/repro`` tree is clean — the same
+gate ``scripts/check.sh`` enforces in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro import analysis
+from repro.__main__ import main
+from repro.analysis import (
+    BASELINE_SCHEMA,
+    REPORT_SCHEMA,
+    RULES,
+    Finding,
+    analyze_sources,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint(source: str, modname: str = "fix.mod") -> list:
+    return analyze_sources({modname: textwrap.dedent(source)})
+
+
+def pool_src(body: str) -> str:
+    """A module that fans out through map_cells (pre-dedented)."""
+    return ("from repro.core.parallel import map_cells\n\n"
+            + textwrap.dedent(body))
+
+
+def keyed_src(body: str, label: bool = True) -> str:
+    """A module with an expcache-keyed fan-out site (pre-dedented)."""
+    label_line = '        label="sweep-fixture",\n' if label else ""
+    return (
+        "from repro.core.expcache import EXPERIMENT_CACHE\n"
+        "from repro.core.parallel import map_cells\n\n"
+        + textwrap.dedent(body)
+        + "\n\ndef sweep(cells):\n"
+        "    return map_cells(\n"
+        "        _cell, cells,\n"
+        "        cache=EXPERIMENT_CACHE,\n"
+        "        key_parts=lambda cell: (cell,),\n"
+        + label_line
+        + "    )\n"
+    )
+
+
+def rules_of(findings: list) -> list[str]:
+    return [f.rule for f in findings]
+
+
+# -- DET0xx: determinism ----------------------------------------------------
+
+
+class TestDetRules:
+    def test_det001_wall_clock(self):
+        findings = lint("""\
+            import time
+
+            def stamp():
+                return time.time()
+            """)
+        assert rules_of(findings) == ["DET001"]
+        assert findings[0].symbol == "stamp"
+        assert "time.time" in findings[0].message
+
+    def test_det001_datetime_now_via_from_import(self):
+        findings = lint("""\
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """)
+        assert rules_of(findings) == ["DET001"]
+
+    def test_det001_aliased_import_resolves(self):
+        findings = lint("""\
+            import time as t
+
+            def stamp():
+                return t.perf_counter()
+            """)
+        assert rules_of(findings) == ["DET001"]
+
+    def test_time_sleep_is_not_a_clock_read(self):
+        assert lint("""\
+            import time
+
+            def pause():
+                time.sleep(0.1)
+            """) == []
+
+    def test_det002_module_level_random(self):
+        findings = lint("""\
+            import random
+
+            def draw():
+                return random.random()
+            """)
+        assert rules_of(findings) == ["DET002"]
+
+    def test_det002_unseeded_random_instance(self):
+        findings = lint("""\
+            import random
+
+            def make():
+                return random.Random()
+            """)
+        assert rules_of(findings) == ["DET002"]
+
+    def test_seeded_random_instance_is_clean(self):
+        assert lint("""\
+            import random
+
+            def make(seed):
+                return random.Random(seed)
+            """) == []
+
+    def test_det003_entropy_sources(self):
+        findings = lint("""\
+            import os
+            import uuid
+
+            def token():
+                return uuid.uuid4().hex + os.urandom(4).hex()
+            """)
+        assert rules_of(findings) == ["DET003", "DET003"]
+
+    def test_det004_set_iteration_into_ordered_sink(self):
+        findings = lint("""\
+            def collect(items):
+                seen = set(items)
+                out = []
+                for item in seen:
+                    out.append(item)
+                return out
+            """)
+        assert rules_of(findings) == ["DET004"]
+        assert "sorted" in findings[0].message
+
+    def test_det004_sorted_iteration_is_clean(self):
+        assert lint("""\
+            def collect(items):
+                seen = set(items)
+                out = []
+                for item in sorted(seen):
+                    out.append(item)
+                return out
+            """) == []
+
+    def test_det004_comprehension_over_set(self):
+        findings = lint("""\
+            def collect(items):
+                seen = set(items)
+                return [item for item in seen]
+            """)
+        assert rules_of(findings) == ["DET004"]
+
+    def test_det004_order_free_consumer_is_clean(self):
+        assert lint("""\
+            def total(items):
+                seen = set(items)
+                return sum(item for item in seen)
+            """) == []
+
+    def test_det005_salted_hash(self):
+        findings = lint("""\
+            def key(name):
+                return hash(name) % 64
+            """)
+        assert rules_of(findings) == ["DET005"]
+
+    def test_det005_numeric_literal_hash_is_clean(self):
+        assert lint("""\
+            def key():
+                return hash(42) % 64
+            """) == []
+
+
+# -- POOL0xx: pool purity ---------------------------------------------------
+
+
+class TestPoolRules:
+    def test_pool001_lambda_payload(self):
+        findings = lint(pool_src("""\
+            def sweep(cells):
+                return map_cells(lambda c: c + 1, cells)
+            """))
+        assert rules_of(findings) == ["POOL001"]
+        assert "lambda" in findings[0].message
+
+    def test_pool001_nested_def_payload(self):
+        findings = lint(pool_src("""\
+            def sweep(cells):
+                def _cell(c):
+                    return c + 1
+                return map_cells(_cell, cells)
+            """))
+        assert rules_of(findings) == ["POOL001"]
+
+    def test_pool002_payload_mutates_module_singleton(self):
+        findings = lint(pool_src("""\
+            REGISTRY = dict()
+
+            def _cell(item):
+                REGISTRY.update({item: 1})
+                return item
+
+            def sweep(cells):
+                return map_cells(_cell, cells)
+            """))
+        assert rules_of(findings) == ["POOL002"]
+        assert "REGISTRY" in findings[0].message
+
+    def test_pool002_transitive_through_helper(self):
+        findings = lint(pool_src("""\
+            REGISTRY = dict()
+
+            def _note(item):
+                REGISTRY.update({item: 1})
+
+            def _cell(item):
+                _note(item)
+                return item
+
+            def sweep(cells):
+                return map_cells(_cell, cells)
+            """))
+        assert rules_of(findings) == ["POOL002"]
+        assert "_note" in findings[0].message
+
+    def test_pool002_global_rebind(self):
+        findings = lint(pool_src("""\
+            COUNT = 0
+
+            def _cell(item):
+                global COUNT
+                COUNT = COUNT + 1
+                return item
+
+            def sweep(cells):
+                return map_cells(_cell, cells)
+            """))
+        assert rules_of(findings) == ["POOL002"]
+
+    def test_pool003_unsanctioned_env_read(self):
+        findings = lint(pool_src("""\
+            import os
+
+            def _cell(item):
+                return os.getenv("HOME", "") + item
+
+            def sweep(cells):
+                return map_cells(_cell, cells)
+            """))
+        assert rules_of(findings) == ["POOL003"]
+        assert "HOME" in findings[0].message
+
+    def test_pool003_repro_knobs_are_sanctioned(self):
+        assert lint(pool_src("""\
+            import os
+
+            def _cell(item):
+                jobs = os.getenv("REPRO_JOBS", "1")
+                return (item, jobs)
+
+            def sweep(cells):
+                return map_cells(_cell, cells)
+            """)) == []
+
+    def test_pure_top_level_payload_is_clean(self):
+        assert lint(pool_src("""\
+            def _cell(item):
+                return item * 2
+
+            def sweep(cells):
+                return map_cells(_cell, cells)
+            """)) == []
+
+
+# -- KEY0xx: cache soundness ------------------------------------------------
+
+
+class TestKeyRules:
+    def test_key001_unkeyed_singleton_read(self):
+        findings = lint(keyed_src("""\
+            LOOKUP = dict()
+
+            def _cell(item):
+                return LOOKUP.get(item, 0) + item
+            """))
+        assert rules_of(findings) == ["KEY001"]
+        assert "LOOKUP" in findings[0].message
+        assert "cache-key-covers" in findings[0].message
+
+    def test_key001_env_read_is_an_input(self):
+        findings = lint(keyed_src("""\
+            import os
+
+            def _cell(item):
+                return os.getenv("LANG", "") + str(item)
+            """))
+        # The env read is both impure (POOL003) and unkeyed (KEY001).
+        assert sorted(rules_of(findings)) == ["KEY001", "POOL003"]
+
+    def test_accurate_waiver_suppresses_key001(self):
+        assert lint(keyed_src("""\
+            LOOKUP = dict()
+
+            # repro: cache-key-covers(LOOKUP)
+            def _cell(item):
+                return LOOKUP.get(item, 0) + item
+            """)) == []
+
+    def test_key002_stale_waiver_entry(self):
+        findings = lint(keyed_src("""\
+            LOOKUP = dict()
+
+            # repro: cache-key-covers(LOOKUP, GONE)
+            def _cell(item):
+                return LOOKUP.get(item, 0) + item
+            """))
+        assert rules_of(findings) == ["KEY002"]
+        assert "GONE" in findings[0].message
+
+    def test_key003_missing_label(self):
+        findings = lint(keyed_src("""\
+            def _cell(item):
+                return item * 2
+            """, label=False))
+        assert rules_of(findings) == ["KEY003"]
+
+    def test_unkeyed_fanout_needs_no_label(self):
+        assert lint(pool_src("""\
+            def _cell(item):
+                return item * 2
+
+            def sweep(cells):
+                return map_cells(_cell, cells)
+            """)) == []
+
+
+# -- waiver directives ------------------------------------------------------
+
+
+class TestWaivers:
+    def test_trailing_allow_suppresses_the_line(self):
+        assert lint("""\
+            import time
+
+            def stamp():
+                return time.time()  # repro: allow(DET001) test fixture
+            """) == []
+
+    def test_standalone_allow_attaches_to_next_statement(self):
+        assert lint("""\
+            import time
+
+            def stamp():
+                # repro: allow(DET001) test fixture
+                return time.time()
+            """) == []
+
+    def test_allow_file_waives_the_whole_module(self):
+        assert lint("""\
+            # repro: allow-file(DET001)
+            import time
+
+            def start():
+                return time.time()
+
+            def stop():
+                return time.time()
+            """) == []
+
+    def test_allow_does_not_leak_to_other_rules(self):
+        findings = lint("""\
+            import time
+
+            def stamp(name):
+                salt = hash(name)  # repro: allow(DET001) wrong rule
+                return salt, time.time()
+            """)
+        assert sorted(rules_of(findings)) == ["DET001", "DET005"]
+
+    def test_allow_does_not_leak_to_other_lines(self):
+        findings = lint("""\
+            import time
+
+            def stamp():
+                a = time.time()  # repro: allow(DET001) this one only
+                b = time.time()
+                return a, b
+            """)
+        assert rules_of(findings) == ["DET001"]
+        assert findings[0].line == 5
+
+
+# -- --fix-waivers ----------------------------------------------------------
+
+_FIXABLE = textwrap.dedent("""\
+    from repro.core.expcache import EXPERIMENT_CACHE
+    from repro.core.parallel import map_cells
+
+    LOOKUP = dict()
+
+    # repro: cache-key-covers(LOOKUP, GONE)
+    def _cell(item):
+        return LOOKUP.get(item, 0) + item
+
+    def sweep(cells):
+        return map_cells(
+            _cell, cells,
+            cache=EXPERIMENT_CACHE,
+            key_parts=lambda cell: (cell,),
+            label="sweep-fixture",
+        )
+    """)
+
+
+class TestFixWaivers:
+    def test_rewrites_stale_waiver_in_place(self, tmp_path):
+        mod = tmp_path / "sweepmod.py"
+        mod.write_text(_FIXABLE)
+        changed = analysis.fix_waivers([tmp_path])
+        assert len(changed) == 1
+        text = mod.read_text()
+        assert "# repro: cache-key-covers(LOOKUP)" in text
+        assert "GONE" not in text
+        assert analysis.run([tmp_path]) == []
+
+    def test_inserts_missing_waiver(self, tmp_path):
+        mod = tmp_path / "sweepmod.py"
+        mod.write_text(
+            _FIXABLE.replace(
+                "# repro: cache-key-covers(LOOKUP, GONE)\n", ""
+            )
+        )
+        assert analysis.run([tmp_path]) != []
+        analysis.fix_waivers([tmp_path])
+        assert "# repro: cache-key-covers(LOOKUP)" in mod.read_text()
+        assert analysis.run([tmp_path]) == []
+
+    def test_deletes_waiver_when_cell_has_no_inputs(self, tmp_path):
+        mod = tmp_path / "sweepmod.py"
+        mod.write_text(
+            _FIXABLE.replace("return LOOKUP.get(item, 0) + item",
+                             "return item * 2")
+        )
+        analysis.fix_waivers([tmp_path])
+        assert "cache-key-covers" not in mod.read_text()
+        assert analysis.run([tmp_path]) == []
+
+    def test_accurate_tree_is_a_no_op(self, tmp_path):
+        mod = tmp_path / "sweepmod.py"
+        accurate = _FIXABLE.replace(", GONE", "")
+        mod.write_text(accurate)
+        assert analysis.fix_waivers([tmp_path]) == []
+        assert mod.read_text() == accurate
+
+
+# -- baseline ---------------------------------------------------------------
+
+_DIRTY = """\
+    import time
+
+    def stamp():
+        return time.time()
+    """
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_everything(self, tmp_path):
+        findings = lint(_DIRTY)
+        assert findings
+        path = tmp_path / "baseline.json"
+        analysis.save_baseline(findings, path)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BASELINE_SCHEMA
+        grandfathered = analysis.load_baseline(path)
+        fresh, suppressed = analysis.apply_baseline(
+            findings, grandfathered
+        )
+        assert fresh == []
+        assert suppressed == len(findings)
+
+    def test_fingerprints_survive_line_shifts(self):
+        shifted = "# a comment\n# another\n\n" + textwrap.dedent(_DIRTY)
+        original = lint(_DIRTY)
+        moved = lint(shifted)
+        assert [f.line for f in original] != [f.line for f in moved]
+        assert analysis.fingerprints(original) == \
+            analysis.fingerprints(moved)
+
+    def test_repeated_violations_stay_distinct(self):
+        findings = lint("""\
+            import time
+
+            def stamp():
+                return time.time() - time.time()
+            """)
+        assert len(findings) == 2
+        assert len(set(analysis.fingerprints(findings))) == 2
+
+    def test_new_findings_stay_fresh(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        analysis.save_baseline(lint(_DIRTY), path)
+        grandfathered = analysis.load_baseline(path)
+        both = lint(textwrap.dedent(_DIRTY) + "\n"
+                    "def salted(name):\n"
+                    "    return hash(name)\n")
+        fresh, suppressed = analysis.apply_baseline(both, grandfathered)
+        assert suppressed == 1
+        assert rules_of(fresh) == ["DET005"]
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert analysis.load_baseline(tmp_path / "nope.json") == set()
+
+    def test_unknown_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": "bogus/9",
+                                    "fingerprints": []}))
+        with pytest.raises(ValueError, match="bogus/9"):
+            analysis.load_baseline(path)
+
+
+# -- report formats ---------------------------------------------------------
+
+
+class TestReporting:
+    def test_json_payload_schema_is_locked(self):
+        findings = lint(_DIRTY)
+        payload = analysis.to_json_payload(findings, suppressed=2,
+                                           baseline_path="b.json")
+        assert set(payload) == {"schema", "ok", "counts", "findings",
+                                "baseline"}
+        assert payload["schema"] == REPORT_SCHEMA
+        assert payload["ok"] is False
+        assert payload["counts"] == {"DET001": 1}
+        assert payload["baseline"] == {"path": "b.json",
+                                       "suppressed": 2}
+        assert set(payload["findings"][0]) == {
+            "file", "line", "col", "rule", "symbol", "message",
+            "severity",
+        }
+
+    def test_clean_payload_is_ok(self):
+        payload = analysis.to_json_payload([])
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+
+    def test_text_rendering(self):
+        findings = lint(_DIRTY)
+        text = analysis.render_text(findings)
+        assert "DET001" in text
+        assert "1 finding(s)" in text
+        assert "clean" in analysis.render_text([], suppressed=3)
+
+    def test_every_finding_cites_a_cataloged_rule(self):
+        sampled = lint(_DIRTY) + lint(pool_src("""\
+            def sweep(cells):
+                return map_cells(lambda c: c, cells)
+            """))
+        assert {f.rule for f in sampled} <= set(RULES)
+
+    def test_findings_sort_stably(self):
+        a = Finding("a.py", 1, 1, "DET001", "f", "m")
+        b = Finding("a.py", 2, 1, "DET001", "f", "m")
+        assert sorted([b, a]) == [a, b]
+
+
+# -- the gate itself --------------------------------------------------------
+
+
+class TestLiveTree:
+    def test_shipped_tree_is_clean(self):
+        # The same invariant scripts/check.sh enforces: zero findings
+        # on src/repro with no baseline debt for DET rules.
+        assert analysis.run() == []
+
+    def test_shipped_baseline_is_empty(self):
+        baseline = REPO_ROOT / ".repro-lint-baseline.json"
+        payload = json.loads(baseline.read_text())
+        assert payload["schema"] == BASELINE_SCHEMA
+        assert payload["fingerprints"] == []
+
+
+class TestLintCli:
+    def test_clean_tree_exits_zero_with_json(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == REPORT_SCHEMA
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+
+    @pytest.mark.parametrize("family,source", [
+        ("DET001", "import time\n\ndef f():\n    return time.time()\n"),
+        ("POOL002",
+         "from repro.core.parallel import map_cells\n\n"
+         "REG = dict()\n\n"
+         "def _cell(c):\n    REG.update({c: 1})\n    return c\n\n"
+         "def sweep(cells):\n    return map_cells(_cell, cells)\n"),
+        ("KEY003",
+         "from repro.core.expcache import EXPERIMENT_CACHE\n"
+         "from repro.core.parallel import map_cells\n\n"
+         "def _cell(c):\n    return c\n\n"
+         "def sweep(cells):\n"
+         "    return map_cells(_cell, cells, cache=EXPERIMENT_CACHE,\n"
+         "                     key_parts=lambda c: (c,))\n"),
+    ])
+    def test_injected_violation_exits_nonzero(self, tmp_path, capsys,
+                                              family, source):
+        bad = tmp_path / "bad.py"
+        bad.write_text(source)
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", "--paths", str(bad),
+                  "--baseline", str(tmp_path / "none.json")])
+        assert exc.value.code == 1
+        assert family in capsys.readouterr().out
+
+    def test_baseline_grandfathers_via_cli(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--paths", str(bad),
+                     "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--json", "--paths", str(bad),
+                     "--baseline", str(baseline)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["baseline"]["suppressed"] == 1
+
+    def test_fix_waivers_flag_repairs_the_tree(self, tmp_path, capsys):
+        mod = tmp_path / "sweepmod.py"
+        mod.write_text(_FIXABLE)
+        assert main(["lint", "--fix-waivers",
+                     "--paths", str(tmp_path),
+                     "--baseline", str(tmp_path / "none.json")]) == 0
+        out = capsys.readouterr().out
+        assert "rewrote" in out
+        assert "GONE" not in mod.read_text()

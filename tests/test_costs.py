@@ -54,7 +54,7 @@ class TestReportFormatting:
         out = format_table(["name", "v"], [["a", "1"], ["longer", "2"]])
         lines = out.splitlines()
         assert lines[0].startswith("name")
-        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+        assert len({len(line.rstrip()) for line in lines[2:]}) <= 2
 
     def test_format_table_title(self):
         out = format_table(["x"], [["1"]], title="My Title")
