@@ -7,6 +7,8 @@ end-to-end evaluation against the in-repo reference implementations
 optimization work committed to:
 
 * string-accelerator microbench ≥ 2.0× over the per-character matrix;
+* hash-table kernel ≥ 1.0× — the optimized probe path must never be
+  slower than the pinned reference (a 0.89× regression shipped once);
 * ``full_evaluation`` end-to-end ≥ 1.5× over ``reference_mode`` (the
   seed repo's execution profile: reference kernels, no trace-stream /
   experiment / compiled-pattern caches).
@@ -20,6 +22,7 @@ from __future__ import annotations
 
 from repro.core.perf import (
     E2E_SPEEDUP_MIN,
+    HASH_SPEEDUP_MIN,
     STRING_SPEEDUP_MIN,
     format_perf_report,
     run_perf,
@@ -36,10 +39,15 @@ def bench_perf(benchmark, report_sink):
     report_sink("perf", format_perf_report(payload))
 
     string_speedup = payload["metrics"]["string_accel"]["speedup"]
+    hash_speedup = payload["metrics"]["hash_table"]["speedup"]
     e2e_speedup = payload["metrics"]["e2e_full_evaluation"]["speedup"]
     assert string_speedup >= STRING_SPEEDUP_MIN, (
         f"string-accel speedup {string_speedup:.2f}x below "
         f"{STRING_SPEEDUP_MIN}x"
+    )
+    assert hash_speedup >= HASH_SPEEDUP_MIN, (
+        f"hash-table speedup {hash_speedup:.2f}x below "
+        f"{HASH_SPEEDUP_MIN}x"
     )
     assert e2e_speedup >= E2E_SPEEDUP_MIN, (
         f"e2e speedup {e2e_speedup:.2f}x below {E2E_SPEEDUP_MIN}x"

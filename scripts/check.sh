@@ -47,6 +47,16 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
     python -m repro perf --smoke >/dev/null
 echo "perf smoke ok"
 
+echo "== overload smoke =="
+# Metastability demo: the undefended flash-crowd + retry-storm run
+# must read METASTABLE and the defended run must recover; the report
+# lands in benchmarks/out/ for the CI artifact upload.
+mkdir -p benchmarks/out
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+    python -m repro overload --smoke > benchmarks/out/overload_smoke.txt
+grep -q "METASTABLE" benchmarks/out/overload_smoke.txt
+echo "overload smoke ok"
+
 echo "== conformance smoke =="
 # Differential oracles + simulator invariants; exits non-zero on any
 # divergence and writes shrunk repros to benchmarks/out/conformance/

@@ -197,6 +197,57 @@ def _cmd_fleet(args) -> None:
     print(fleet_report(reports))
 
 
+def _cmd_overload(args) -> None:
+    from dataclasses import replace
+
+    from repro.core.report import (
+        format_table,
+        overload_report,
+        overload_timeline,
+    )
+    from repro.fleet import (
+        defended_config,
+        headline_scenarios,
+        min_nodes_to_survive,
+        overload_topology,
+        run_overload_matrix,
+        undefended_config,
+    )
+
+    smoke = bool(getattr(args, "smoke", False))
+    topology = overload_topology()
+    reports = run_overload_matrix(
+        topology, headline_scenarios(smoke), seed=args.seed,
+        jobs=args.jobs,
+    )
+    print(overload_report(reports))
+    print()
+    for report in reports:
+        print(overload_timeline(report))
+    print()
+    # Node-count price of skipping the defenses: pin the storm to an
+    # absolute rate so every fleet size faces the same traffic.
+    storm_rate = 5.6
+    need = {
+        name: min_nodes_to_survive(
+            lambda n: overload_topology(nodes=n),
+            replace(cfg, arrival_rate=storm_rate),
+            seed=args.seed,
+        )
+        for name, cfg in (
+            ("undefended", undefended_config(smoke)),
+            ("defended", defended_config(smoke)),
+        )
+    }
+    print(format_table(
+        ["scenario", "min nodes to ride out the storm"],
+        [[name, str(n) if n is not None else f"> {8}"]
+         for name, n in need.items()],
+        title=f"Fleet sizing vs the same absolute storm "
+              f"(rate {storm_rate} req/svc)",
+    ))
+
+
 def _cmd_export(args) -> None:
     from repro.core.export import save_evaluation_json
     out = save_evaluation_json(
@@ -325,6 +376,8 @@ _COMMANDS = {
                    "fault-injection scenarios × resilience policies"),
     "fleet": (_cmd_fleet,
               "multi-node fleets × balancers with the object cache"),
+    "overload": (_cmd_overload,
+                 "flash crowds, retry storms, metastability verdicts"),
     "sens": (_cmd_sens, "sensitivity sweeps over accelerator sizing"),
     "perf": (_cmd_perf,
              "wall-clock speedups vs the pinned reference kernels"),

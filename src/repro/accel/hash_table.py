@@ -206,27 +206,37 @@ class HardwareHashTable:
         self.rtt = ReverseTranslationTable(self.config, self.stats)
         self._clock = 0
         self._seq = 0
-        #: (key, base) → probe window; the window is a pure function of
-        #: the pair and the (fixed) geometry, so it is safe to share
-        #: the list object — no caller mutates it.
-        self._window_cache: dict[tuple[str, int], list[int]] = {}
+        #: start slot → probe window; a window is a pure function of
+        #: the start slot and the (fixed) geometry, so there are only
+        #: ``entries`` possible windows and the list objects are safe
+        #: to share — no caller mutates them.  Keying by slot (not by
+        #: (key, base) pair) keeps the cache effective even when every
+        #: request carries a distinct key.
+        self._windows: list[list[int] | None] = [None] * self.config.entries
 
     # -- probing ------------------------------------------------------------------
 
-    _WINDOW_CACHE_MAX = 65536
-
     def _probe_window(self, key: str, base_address: int) -> list[int]:
-        cache_key = (key, base_address)
-        window = self._window_cache.get(cache_key)
+        # Inlined simplified_hash: the fold below is byte-identical to
+        # the module-level function (and to the reference per-char
+        # loop), hoisted here to avoid a call on the hottest path.
+        h = (base_address >> 6) & 0xFFFF_FFFF
+        try:
+            data = key.encode("latin-1")
+        except UnicodeEncodeError:
+            data = bytes(ord(ch) & 0xFF for ch in key)
+        for i in range(0, len(data), 4):
+            h ^= int.from_bytes(data[i:i + 4], "big") + (h << 3)
+            h &= 0xFFFF_FFFF
+        entries = self.config.entries
+        start = h % entries
+        window = self._windows[start]
         if window is None:
-            start = simplified_hash(key, base_address) % self.config.entries
             window = [
-                (start + i) % self.config.entries
-                for i in range(min(self.config.probe_width, self.config.entries))
+                (start + i) % entries
+                for i in range(min(self.config.probe_width, entries))
             ]
-            if len(self._window_cache) >= self._WINDOW_CACHE_MAX:
-                self._window_cache.clear()
-            self._window_cache[cache_key] = window
+            self._windows[start] = window
         return window
 
     def _find(self, key: str, base_address: int) -> Optional[int]:

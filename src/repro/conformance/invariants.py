@@ -144,9 +144,10 @@ def _check_fleet_balance(name: str, rep, config) -> None:
         _fail(name,
               f"cache hits {rep.cache_hits} + node renders {renders} "
               f"!= completed {rep.completed}")
-    if rep.cache_misses != renders + rep.shed:
+    if rep.cache_misses + rep.cache_coalesced != renders + rep.shed:
         _fail(name,
-              f"cache misses {rep.cache_misses} != renders {renders} "
+              f"cache misses {rep.cache_misses} + coalesced "
+              f"{rep.cache_coalesced} != renders {renders} "
               f"+ shed {rep.shed}")
     if not 0.0 <= rep.cache_hit_ratio <= 1.0:
         _fail(name, f"cache hit ratio {rep.cache_hit_ratio} not in [0,1]")
@@ -273,6 +274,38 @@ def check_resilience_retry_accounting(seed: int, smoke: bool) -> str:
     return "request and attempt balances hold across 3 policies"
 
 
+def check_overload_retry_budget_monotone(seed: int, smoke: bool) -> str:
+    """Disabling the retry budget never *reduces* retries sent.
+
+    Metamorphic pair at one seed: the defended overload scenario with
+    and without its :class:`~repro.resilience.policies.RetryBudget`.
+    The budget is a pure gate — it can only withhold retries clients
+    wanted to send — so ``retries_sent`` without it must be >= with
+    it, and a run with no budget can never record a denial.
+    """
+    from repro.fleet.overload import (
+        defended_config,
+        overload_topology,
+        run_overload,
+    )
+
+    name = "overload-retry-budget-monotonicity"
+    topology = overload_topology()
+    on_cfg = defended_config(smoke=True)
+    off_cfg = replace(on_cfg, retry_budget=None)
+    on = run_overload(topology, on_cfg, seed=seed)
+    off = run_overload(topology, off_cfg, seed=seed)
+    if off.retries_denied != 0:
+        _fail(name,
+              f"budget-free run denied {off.retries_denied} retries")
+    if off.retries_sent < on.retries_sent:
+        _fail(name,
+              f"budget off sent {off.retries_sent} retries < budget "
+              f"on {on.retries_sent}")
+    return (f"retries: budget off {off.retries_sent} >= on "
+            f"{on.retries_sent} ({on.retries_denied} denied)")
+
+
 def check_fleet_warmup_exclusion(seed: int, smoke: bool) -> str:
     """Warmup traffic shapes cache state but never report counts."""
     from repro.fleet.simulator import run_fleet
@@ -299,6 +332,8 @@ INVARIANTS = {
     "fleet-slo-monotonicity": check_fleet_slo_capacity_monotone,
     "resilience-determinism": check_resilience_same_seed_identity,
     "resilience-retry-accounting": check_resilience_retry_accounting,
+    "overload-retry-budget-monotonicity":
+        check_overload_retry_budget_monotone,
 }
 
 

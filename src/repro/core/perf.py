@@ -47,14 +47,22 @@ from repro.common.rng import DEFAULT_SEED
 #: Payload format marker; bump on schema changes.
 PERF_SCHEMA = "repro-perf/1"
 
+#: Row format marker for the append-only perf trajectory.
+HISTORY_SCHEMA = "repro-perf-history/1"
+
 #: Asserted speedup floors (full harness only, never CI smoke).
 STRING_SPEEDUP_MIN = 2.0
 E2E_SPEEDUP_MIN = 1.5
+#: The optimized hash kernel must never run slower than the pinned
+#: reference (a 0.89x cross-PR regression slipped through before the
+#: trajectory below existed).
+HASH_SPEEDUP_MIN = 1.0
 
 #: ``src/repro/core/perf.py`` → repo root.
 REPO_ROOT = Path(__file__).resolve().parents[3]
 OUT_DIR = REPO_ROOT / "benchmarks" / "out"
 JSON_PATH = REPO_ROOT / "BENCH_perf.json"
+HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
 
 
 def _best_of(fn: Callable[[], Any], repeats: int) -> float:
@@ -245,16 +253,23 @@ def run_perf(
         "floors": {
             "string_speedup_min": STRING_SPEEDUP_MIN,
             "e2e_speedup_min": E2E_SPEEDUP_MIN,
+            "hash_speedup_min": HASH_SPEEDUP_MIN,
             "asserted": check_speedups,
         },
     }
     validate_perf_payload(payload)
     if check_speedups:
         string_speedup = payload["metrics"]["string_accel"]["speedup"]
+        hash_speedup = payload["metrics"]["hash_table"]["speedup"]
         e2e_speedup = payload["metrics"]["e2e_full_evaluation"]["speedup"]
         assert string_speedup >= STRING_SPEEDUP_MIN, (
             f"string-accel speedup {string_speedup:.2f}x below the "
             f"{STRING_SPEEDUP_MIN}x floor"
+        )
+        assert hash_speedup >= HASH_SPEEDUP_MIN, (
+            f"hash-table speedup {hash_speedup:.2f}x below the "
+            f"{HASH_SPEEDUP_MIN}x floor (optimized kernel slower than "
+            f"the pinned reference)"
         )
         assert e2e_speedup >= E2E_SPEEDUP_MIN, (
             f"end-to-end speedup {e2e_speedup:.2f}x below the "
@@ -262,6 +277,68 @@ def run_perf(
         )
     _persist(payload)
     return payload
+
+
+def history_row(payload: dict[str, Any]) -> dict[str, Any]:
+    """Condense one perf payload into an append-only trajectory row.
+
+    The row keeps exactly what a cross-PR regression scan needs — the
+    four headline ratios plus provenance — so the file stays small
+    enough to diff at PR time.
+    """
+    m = payload["metrics"]
+    return {
+        "schema": HISTORY_SCHEMA,
+        "recorded_utc": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "smoke": payload["smoke"],
+        "seed": payload["seed"],
+        "host": dict(payload["host"]),
+        "string_speedup": m["string_accel"]["speedup"],
+        "hash_speedup": m["hash_table"]["speedup"],
+        "e2e_speedup": m["e2e_full_evaluation"]["speedup"],
+        "fleet_events_per_sec": m["fleet"]["events_per_sec"],
+        "floors_asserted": payload["floors"]["asserted"],
+    }
+
+
+def validate_history_row(row: dict[str, Any]) -> None:
+    """Schema check for one ``BENCH_history.jsonl`` row."""
+    if row.get("schema") != HISTORY_SCHEMA:
+        raise ValueError(
+            f"unexpected history schema: {row.get('schema')!r}"
+        )
+    for name in ("string_speedup", "hash_speedup", "e2e_speedup",
+                 "fleet_events_per_sec"):
+        value = row.get(name)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(
+                f"history row [{name!r}] must be a positive number, "
+                f"got {value!r}"
+            )
+    for name in ("smoke", "floors_asserted"):
+        if not isinstance(row.get(name), bool):
+            raise ValueError(f"history row [{name!r}] must be a bool")
+    if not isinstance(row.get("seed"), int):
+        raise ValueError("history row ['seed'] must be an int")
+    host = row.get("host")
+    if not isinstance(host, dict) or not host.get("python"):
+        raise ValueError("history row ['host'] must name the python")
+    if not isinstance(row.get("recorded_utc"), str):
+        raise ValueError("history row ['recorded_utc'] must be a string")
+
+
+def append_history(
+    payload: dict[str, Any], path: Path | None = None
+) -> Path:
+    """Append one schema-checked row to the perf trajectory file."""
+    row = history_row(payload)
+    validate_history_row(row)
+    path = path or HISTORY_PATH
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return path
 
 
 def validate_perf_payload(payload: dict[str, Any]) -> None:
@@ -328,3 +405,8 @@ def _persist(payload: dict[str, Any]) -> None:
     JSON_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
+    # Append-only trajectory: BENCH_perf.json holds only the latest
+    # run, so cross-PR regressions (like the 0.89x hash kernel this
+    # floor now guards) are invisible there; the history file keeps
+    # every run and travels to CI as an artifact.
+    append_history(payload)

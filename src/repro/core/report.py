@@ -8,6 +8,7 @@ from repro.core.experiment import AppResult
 
 if TYPE_CHECKING:
     from repro.conformance.fuzzer import ConformanceReport
+    from repro.fleet.overload import OverloadReport
     from repro.fleet.report import FleetReport
     from repro.resilience.report import ResilienceReport
 
@@ -149,6 +150,74 @@ def fleet_report(reports: list["FleetReport"]) -> str:
         rows,
         title="Fleet: goodput, balance, and cache shielding per "
               "(topology, balancer)",
+    )
+
+
+def overload_report(reports: list["OverloadReport"]) -> str:
+    """Overload summary: one row per scenario, verdict last.
+
+    ``goodput`` is completions inside the client deadline over first
+    attempts; ``amp`` is attempts per first attempt (the retry-storm
+    load factor); ``recovery`` is how long after the trigger cleared
+    goodput sustained at the recovery SLO (``never`` is the metastable
+    signature: the failure outlived its cause).
+    """
+    rows = []
+    for r in reports:
+        recovery = (
+            f"{r.recovery_services:.0f} svc"
+            if r.recovery_services is not None else "never"
+        )
+        rows.append([
+            r.scenario,
+            f"{r.nodes}x{r.workers // max(r.nodes, 1)}",
+            str(r.arrivals),
+            pct(r.goodput_ratio),
+            f"{r.amplification:.2f}x",
+            str(r.shed + r.shed_expired),
+            str(r.timeouts),
+            str(r.zombies),
+            str(r.stale_served + r.coalesced),
+            pct(r.pre_trigger_goodput),
+            recovery,
+            "METASTABLE" if r.metastable else "recovered",
+        ])
+    return format_table(
+        ["scenario", "fleet", "offered", "goodput", "amp", "shed",
+         "timeout", "zombie", "stampede-saves", "pre-trigger",
+         "recovery", "verdict"],
+        rows,
+        title="Overload: goodput collapse and recovery per scenario "
+              "(flash crowd + retry storm)",
+    )
+
+
+def overload_timeline(report: "OverloadReport") -> str:
+    """Goodput-fraction timeline, one glyph per bucket.
+
+    Height encodes goodput ÷ first arrivals in that bucket (``#`` ≈
+    healthy, ``_`` ≈ collapsed, ``.`` = idle bucket); ``[`` and ``]``
+    bracket the flash-crowd window.  A metastable run reads as a flat
+    ``_`` stretch long after the closing bracket.
+    """
+    glyphs = "_,:-=+*#"
+    cells = []
+    bucket = report.bucket_services
+    for i, f in enumerate(report.goodput_fractions()):
+        start, end = i * bucket, (i + 1) * bucket
+        if f is None:
+            cell = "."
+        else:
+            level = min(int(f * len(glyphs)), len(glyphs) - 1)
+            cell = glyphs[level]
+        if start <= report.flash_start_services < end:
+            cell = "["
+        elif start < report.flash_end_services <= end:
+            cell = "]"
+        cells.append(cell)
+    return (
+        f"{report.scenario:<18} |{''.join(cells)}|  "
+        f"({bucket:.0f} svc/bucket)"
     )
 
 

@@ -11,6 +11,7 @@ object cache, under deterministic invalidation storms.
 * :mod:`repro.fleet.balancer`   — round-robin / least-outstanding / p2c
 * :mod:`repro.fleet.cache_tier` — consistent hashing, LRU, TTL, storms
 * :mod:`repro.fleet.simulator`  — the event-driven composition
+* :mod:`repro.fleet.overload`   — flash crowds, retry storms, recovery
 * :mod:`repro.fleet.report`     — fleet-level metrics
 """
 
@@ -28,6 +29,18 @@ from repro.fleet.cache_tier import (
     ObjectCacheTier,
     ShardRing,
     stable_hash64,
+)
+from repro.fleet.overload import (
+    OverloadConfig,
+    OverloadReport,
+    OverloadSimulator,
+    defended_config,
+    headline_scenarios,
+    min_nodes_to_survive,
+    overload_topology,
+    run_overload,
+    run_overload_matrix,
+    undefended_config,
 )
 from repro.fleet.report import FleetReport, NodeUtilization
 from repro.fleet.simulator import (
@@ -50,6 +63,10 @@ __all__ = [
     "PowerOfTwoChoices", "RoundRobin", "make_balancer",
     "CacheShard", "CacheTierConfig", "ObjectCacheTier", "ShardRing",
     "stable_hash64",
+    "OverloadConfig", "OverloadReport", "OverloadSimulator",
+    "defended_config", "headline_scenarios", "min_nodes_to_survive",
+    "overload_topology", "run_overload", "run_overload_matrix",
+    "undefended_config",
     "FleetReport", "NodeUtilization",
     "FleetConfig", "FleetSimulator", "fleet_slo_capacity",
     "min_nodes_for_slo", "run_fleet", "run_fleet_matrix",

@@ -62,6 +62,19 @@ class CacheTierConfig:
     ttl_services: float | None = 200.0
     #: virtual points per shard on the consistent-hash ring
     virtual_nodes: int = 64
+    #: stampede defense: per-key deterministic TTL spread as a
+    #: fraction of the TTL (0.0 → every same-batch fill expires at
+    #: the same instant, the mass-expiry trigger; 0.2 → expiries
+    #: smear over the trailing 20% of the TTL)
+    ttl_jitter: float = 0.0
+    #: stale-while-revalidate window, × mean backend service: an
+    #: expired entry stays servable as "stale" this long while one
+    #: refresh renders in the background (None → stale == miss)
+    stale_services: float | None = None
+    #: stampede defense: coalesce concurrent misses for one key into
+    #: a single backend render (enforced by the overload simulator;
+    #: the tier only advertises the policy)
+    single_flight: bool = False
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -76,6 +89,12 @@ class CacheTierConfig:
             raise ValueError("ttl_services must be positive when set")
         if self.virtual_nodes < 1:
             raise ValueError("virtual_nodes must be >= 1")
+        if not 0.0 <= self.ttl_jitter < 1.0:
+            raise ValueError(
+                f"ttl_jitter must be in [0, 1), got {self.ttl_jitter}"
+            )
+        if self.stale_services is not None and self.stale_services <= 0:
+            raise ValueError("stale_services must be positive when set")
 
 
 class ShardRing:
@@ -151,6 +170,29 @@ class CacheShard:
         self._entries.move_to_end(key)
         return True
 
+    def probe(
+        self, key: str, now: float, stale_cycles: float | None
+    ) -> str:
+        """Three-way lookup: ``"hit"``, ``"stale"``, or ``"miss"``.
+
+        A ``"stale"`` entry has expired but sits inside the
+        stale-while-revalidate window: it is still servable while one
+        background refresh renders.  Entries beyond the window drop
+        exactly as :meth:`get` drops them.
+        """
+        expiry = self._entries.get(key)
+        if expiry is None:
+            return "miss"
+        if expiry > now:
+            self._entries.move_to_end(key)
+            return "hit"
+        if stale_cycles is not None and now < expiry + stale_cycles:
+            self._entries.move_to_end(key)
+            return "stale"
+        del self._entries[key]
+        self.stats.bump("cache.expirations")
+        return "miss"
+
     def put(self, key: str, now: float, ttl: float | None) -> None:
         """Fill ``key``; evicts the LRU entry when at capacity."""
         if key in self._entries:
@@ -159,6 +201,21 @@ class CacheShard:
             self._entries.popitem(last=False)
             self.stats.bump("cache.evictions")
         self._entries[key] = now + ttl if ttl is not None else float("inf")
+
+    def expire_all(self, now: float) -> int:
+        """Mass expiry: every entry's TTL ends *now*.
+
+        Unlike :meth:`flush` the entries stay resident, so a
+        stale-while-revalidate window can still serve them — this is
+        the "deploy invalidates every page at once" trigger, distinct
+        from losing a shard outright.  Returns entries touched.
+        """
+        touched = 0
+        for key, expiry in self._entries.items():
+            if expiry > now:
+                self._entries[key] = now
+                touched += 1
+        return touched
 
     def flush(self) -> int:
         """Drop every entry; returns how many were dropped."""
@@ -188,6 +245,10 @@ class ObjectCacheTier:
             config.ttl_services * mean_service_cycles
             if config.ttl_services is not None else None
         )
+        self.stale_cycles = (
+            config.stale_services * mean_service_cycles
+            if config.stale_services is not None else None
+        )
         self.stats = StatRegistry("cache")
         self.ring = ShardRing(config.shards, config.virtual_nodes)
         self.shards = [
@@ -205,10 +266,48 @@ class ObjectCacheTier:
         self.stats.bump("cache.misses")
         return False
 
+    def probe(self, key: str, now: float) -> str:
+        """Three-way lookup: ``"hit"``, ``"stale"``, or ``"miss"``.
+
+        The overload simulator's entry point: a stale answer is
+        servable (stale-while-revalidate) but signals that exactly one
+        background refresh should render.  Stats mirror
+        :meth:`lookup`: a stale serve counts as a hit (the client got
+        a page without a synchronous render) plus ``cache.stale_hits``.
+        """
+        shard = self.ring.lookup(key)
+        self.stats.bump("cache.lookups")
+        state = self.shards[shard].probe(key, now, self.stale_cycles)
+        if state == "hit":
+            self.stats.bump("cache.hits")
+        elif state == "stale":
+            self.stats.bump("cache.hits")
+            self.stats.bump("cache.stale_hits")
+        else:
+            self.stats.bump("cache.misses")
+        return state
+
+    def effective_ttl(self, key: str) -> float | None:
+        """The TTL ``fill`` will grant ``key`` (jitter applied).
+
+        Jitter is a pure function of the key — ``stable_hash64`` maps
+        it into ``[0, 1)`` and the lifetime shrinks by up to
+        ``ttl_jitter`` of itself — so a batch of same-instant fills
+        expires smeared instead of synchronized, without spending any
+        rng draws (determinism is free).
+        """
+        if self.ttl_cycles is None:
+            return None
+        jitter = self.config.ttl_jitter
+        if jitter == 0.0:
+            return self.ttl_cycles
+        u = (stable_hash64(f"ttl#{key}") & 0xFFFF_FFFF) / 2.0 ** 32
+        return self.ttl_cycles * (1.0 - jitter * u)
+
     def fill(self, key: str, now: float) -> None:
         """Backend render finished: store the page for ``key``."""
         shard = self.ring.lookup(key)
-        self.shards[shard].put(key, now, self.ttl_cycles)
+        self.shards[shard].put(key, now, self.effective_ttl(key))
         self.stats.bump("cache.fills")
 
     def invalidate_shard(self, shard: int) -> int:
@@ -217,6 +316,13 @@ class ObjectCacheTier:
         self.stats.bump("cache.storms")
         self.stats.bump("cache.storm_invalidations", dropped)
         return dropped
+
+    def expire_all(self, now: float) -> int:
+        """Mass expiry across every shard (the deploy-flush trigger)."""
+        touched = sum(s.expire_all(now) for s in self.shards)
+        self.stats.bump("cache.mass_expiries")
+        self.stats.bump("cache.mass_expired_entries", touched)
+        return touched
 
     @property
     def hit_ratio(self) -> float:

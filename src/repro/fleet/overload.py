@@ -1,0 +1,903 @@
+"""Overload dynamics: flash crowds, retry storms, metastable failure.
+
+The steady-state fleet simulator (:mod:`repro.fleet.simulator`) asks
+"how much traffic can N boxes serve?"; this module asks the question
+that actually sizes production fleets: *what happens at the edge?*  A
+flash crowd pushes queueing delay past the client timeout, timed-out
+clients retry, and the retry traffic keeps the fleet saturated after
+the original trigger has long ended — the **metastable failure**
+pattern (Bronson et al., HotOS'21) where the overloaded state is
+self-sustaining because servers burn capacity rendering pages for
+clients that already hung up ("zombie" work).
+
+The closed loop simulated here:
+
+* **Non-stationary arrivals** — a base Poisson rate modulated by a
+  diurnal sine, a flash-crowd multiplier over a trigger window, and
+  the retry feedback loop itself (synchronized fixed backoff vs the
+  PR-1 decorrelated-jitter recurrence).
+* **Client behavior** — per-attempt deadline; a timed-out or shed
+  attempt retries up to ``max_retries`` times, optionally gated by an
+  SRE-style :class:`~repro.resilience.policies.RetryBudget` (tokens
+  earned by successes, spent by retries) that caps the fleet-wide
+  amplification factor.
+* **Node defenses** — bounded queues (fast-fail shed at admission),
+  :class:`~repro.resilience.policies.AdaptiveConcurrencyLimit` (AIMD
+  on observed latency), and deadline-aware shedding: expired work is
+  dropped at *dequeue* time, which is the mechanism that stops zombie
+  renders from sustaining the loop.
+* **Cache stampede protection** — the
+  :class:`~repro.fleet.cache_tier.ObjectCacheTier` knobs: per-key TTL
+  jitter, stale-while-revalidate (a stale page is served immediately
+  while one background refresh renders), and single-flight coalescing
+  (concurrent misses for one key wait on the in-flight render instead
+  of each dispatching their own).  Mass-expiry and shard-failure
+  triggers exercise them.
+
+Every run produces an :class:`OverloadReport` with per-bucket time
+series (first-attempt arrivals, goodput, queue depth, shed/timeout/
+retry counts) and a **metastability verdict**: goodput is *recovered*
+when its per-bucket fraction of first-attempt arrivals returns to
+``recovery_slo`` × the pre-trigger level and stays there; the run is
+*metastable* when that takes longer than ``metastable_factor`` × the
+trigger duration (or never happens inside the horizon).
+
+Determinism contract matches the rest of the repo: one event heap of
+``(time, seq, kind, payload)`` with a monotonic tie-breaking ``seq``,
+all randomness from named :class:`~repro.common.rng.DeterministicRng`
+forks, arrivals pre-drawn by thinning — same seed, byte-identical
+report, across ``--jobs`` fan-out too.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass, field, replace
+
+from repro.common.rng import DeterministicRng
+from repro.common.stats import StatRegistry
+from repro.fleet.balancer import make_balancer
+from repro.fleet.cache_tier import CacheTierConfig, ObjectCacheTier
+from repro.fleet.topology import FleetTopology, homogeneous_fleet
+from repro.resilience.faults import FaultInjector, FaultScenario
+from repro.resilience.policies import (
+    AdaptiveConcurrencyLimit,
+    AdaptiveConcurrencyPolicy,
+    RetryBudget,
+    RetryBudgetPolicy,
+    RetryPolicy,
+)
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """One overload scenario: trigger shape + client/node/cache knobs.
+
+    Durations are in multiples of the topology's mean service time
+    ("services"), resolved to cycles at run time; rates are fractions
+    of aggregate backend capacity unless ``arrival_rate`` pins an
+    absolute rate (needed when comparing different node counts against
+    the *same* storm, as :func:`min_nodes_to_survive` does).
+    """
+
+    # -- arrival process ---------------------------------------------------
+    horizon_services: float = 600.0
+    base_load: float = 0.7
+    #: absolute first-attempt rate (requests/cycle); overrides base_load
+    arrival_rate: float | None = None
+    flash_multiplier: float = 3.0
+    flash_start_services: float = 150.0
+    flash_duration_services: float = 50.0
+    #: diurnal modulation: rate × (1 + amplitude·sin(2πt/period))
+    diurnal_amplitude: float = 0.0
+    diurnal_period_services: float = 400.0
+    # -- client behavior ---------------------------------------------------
+    timeout_services: float = 8.0
+    max_retries: int = 3
+    #: decorrelated-jitter backoff (PR-1 machinery); None → every
+    #: client retries after the same fixed backoff (synchronized storm)
+    retry_jitter: RetryPolicy | None = None
+    sync_backoff_services: float = 0.5
+    retry_budget: RetryBudgetPolicy | None = None
+    # -- node defenses -----------------------------------------------------
+    max_queue: int | None = None
+    deadline_shedding: bool = False
+    adaptive: AdaptiveConcurrencyPolicy | None = None
+    balancer: str = "p2c"
+    # -- workload / cache --------------------------------------------------
+    key_population: int = 512
+    key_zipf_s: float = 1.1
+    #: the object-cache tier for this scenario (None → no cache);
+    #: deliberately part of the *scenario*, not the topology, so
+    #: defended/undefended runs differ only in this config object
+    cache: CacheTierConfig | None = None
+    #: expire every cache entry the instant the flash crowd starts
+    #: (the "deploy flushed the cache" compound trigger)
+    mass_expiry_at_flash: bool = False
+    #: PR-1 fault windows become shard flushes (cache storms)
+    shard_failure_scenario: FaultScenario | None = None
+    # -- verdict -----------------------------------------------------------
+    bucket_services: float = 10.0
+    #: goodput fraction counts as recovered at this × pre-trigger level
+    recovery_slo: float = 0.95
+    #: metastable when recovery takes > this × trigger duration
+    metastable_factor: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.horizon_services <= 0:
+            raise ValueError("horizon_services must be positive")
+        if self.base_load <= 0:
+            raise ValueError("base_load must be positive")
+        if self.arrival_rate is not None and self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive when set")
+        if self.flash_multiplier < 1.0:
+            raise ValueError("flash_multiplier must be >= 1")
+        if self.flash_start_services < 0:
+            raise ValueError("flash_start_services cannot be negative")
+        if self.flash_duration_services <= 0:
+            raise ValueError("flash_duration_services must be positive")
+        if (
+            self.flash_start_services + self.flash_duration_services
+            >= self.horizon_services
+        ):
+            raise ValueError(
+                "the flash crowd must end before the horizon so the "
+                "recovery window is observable"
+            )
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if self.diurnal_period_services <= 0:
+            raise ValueError("diurnal_period_services must be positive")
+        if self.timeout_services <= 0:
+            raise ValueError("timeout_services must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if self.sync_backoff_services <= 0:
+            raise ValueError("sync_backoff_services must be positive")
+        if self.max_queue is not None and self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.key_population < 1:
+            raise ValueError("key_population must be >= 1")
+        if self.key_zipf_s <= 0:
+            raise ValueError("key_zipf_s must be positive")
+        if self.bucket_services <= 0:
+            raise ValueError("bucket_services must be positive")
+        if not 0.0 < self.recovery_slo <= 1.0:
+            raise ValueError("recovery_slo must be in (0, 1]")
+        if self.metastable_factor < 1.0:
+            raise ValueError("metastable_factor must be >= 1")
+
+    @property
+    def flash_end_services(self) -> float:
+        return self.flash_start_services + self.flash_duration_services
+
+
+@dataclass
+class OverloadReport:
+    """Time-series + verdict of one overload run.
+
+    All counters are attempt-accurate; the per-bucket series index
+    time in ``bucket_services``-wide windows from t=0.  ``None``
+    entries never appear in the series — buckets without first-attempt
+    arrivals are simply skipped by the verdict scan.
+    """
+
+    scenario: str
+    fleet: str
+    nodes: int
+    workers: int
+    bucket_services: float
+    flash_start_services: float
+    flash_end_services: float
+    # -- scalar counters ---------------------------------------------------
+    arrivals: int = 0          #: first attempts offered
+    attempts: int = 0          #: all attempts (first + retries)
+    goodput: int = 0           #: completions inside the attempt deadline
+    failures: int = 0          #: clients that exhausted retries / budget
+    shed: int = 0              #: fast-fail sheds at admission
+    shed_expired: int = 0      #: deadline sheds at dequeue
+    timeouts: int = 0          #: attempts the client abandoned
+    retries_sent: int = 0
+    retries_denied: int = 0    #: retries the budget refused
+    zombies: int = 0           #: renders finished after the client left
+    cache_hits: int = 0
+    stale_served: int = 0      #: stale-while-revalidate serves
+    coalesced: int = 0         #: waiters joined to an in-flight render
+    refreshes: int = 0         #: background SWR refresh renders
+    mass_expiries: int = 0
+    storms: int = 0
+    # -- per-bucket series -------------------------------------------------
+    arrival_series: list[int] = field(default_factory=list)
+    goodput_series: list[int] = field(default_factory=list)
+    shed_series: list[int] = field(default_factory=list)
+    timeout_series: list[int] = field(default_factory=list)
+    retry_series: list[int] = field(default_factory=list)
+    #: total outstanding backend work sampled at each bucket start
+    queue_series: list[int] = field(default_factory=list)
+    # -- verdict -----------------------------------------------------------
+    pre_trigger_goodput: float = 0.0
+    #: services after the flash end until goodput sustains at
+    #: ``recovery_slo`` × pre-trigger (None → never inside the horizon)
+    recovery_services: float | None = None
+    #: same scan at the 50%-of-pre-trigger level (the "still drowned"
+    #: clock the metastability acceptance criterion is written against)
+    half_recovery_services: float | None = None
+    metastable: bool = False
+
+    def goodput_fractions(self) -> list[float | None]:
+        """Per-bucket goodput ÷ first-attempt arrivals (None = idle)."""
+        return [
+            (g / a if a else None)
+            for g, a in zip(self.goodput_series, self.arrival_series)
+        ]
+
+    @property
+    def recovered(self) -> bool:
+        return not self.metastable
+
+    @property
+    def goodput_ratio(self) -> float:
+        """Overall goodput ÷ first attempts (an availability number)."""
+        return self.goodput / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def amplification(self) -> float:
+        """Attempts per first attempt — the retry-storm load factor."""
+        return self.attempts / self.arrivals if self.arrivals else 0.0
+
+
+class _Client:
+    """One logical request: the retry loop's client-side state."""
+
+    __slots__ = ("rid", "key", "retries_used", "prev_backoff", "done")
+
+    def __init__(self, rid: int, key: str) -> None:
+        self.rid = rid
+        self.key = key
+        self.retries_used = 0
+        self.prev_backoff = 0.0
+        self.done = False
+
+
+class _Attempt:
+    """One client attempt (or a client-less SWR refresh)."""
+
+    __slots__ = ("client", "key", "start", "deadline", "leader", "refresh",
+                 "done")
+
+    def __init__(
+        self,
+        client: _Client | None,
+        key: str,
+        start: float,
+        deadline: float,
+        refresh: bool = False,
+    ) -> None:
+        self.client = client
+        self.key = key
+        self.start = start
+        self.deadline = deadline
+        self.leader = False
+        self.refresh = refresh
+        self.done = False
+
+
+class _Node:
+    """Backend runtime state (queue + AIMD limiter)."""
+
+    __slots__ = ("spec", "free", "queue", "rng", "limiter")
+
+    def __init__(self, spec, rng, limiter) -> None:
+        self.spec = spec
+        self.free = spec.workers
+        self.queue: deque[_Attempt] = deque()
+        self.rng = rng
+        self.limiter = limiter
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.queue) + (self.spec.workers - self.free)
+
+
+class OverloadSimulator:
+    """The closed loop: arrivals → queues → timeouts → retries."""
+
+    def __init__(
+        self,
+        topology: FleetTopology,
+        config: OverloadConfig | None = None,
+        rng: DeterministicRng | None = None,
+        scenario: str = "overload",
+    ) -> None:
+        self.topology = topology
+        self.config = config or OverloadConfig()
+        self.scenario = scenario
+        rng = rng or DeterministicRng(17)
+        self._arrival_rng = rng.fork("arrivals")
+        self._key_rng = rng.fork("keys")
+        self._balancer_rng = rng.fork("balancer")
+        self._retry_rng = rng.fork("retries")
+        self._storm_rng = rng.fork("storms")
+        self._node_rngs = [
+            rng.fork(f"service/{n.name}") for n in topology.nodes
+        ]
+        self.stats = StatRegistry("overload")
+
+    # -- arrival process ----------------------------------------------------
+
+    def _base_rate(self) -> float:
+        cfg = self.config
+        if cfg.arrival_rate is not None:
+            return cfg.arrival_rate
+        return cfg.base_load * self.topology.capacity_rps
+
+    def _rate_at(self, t: float, mean: float) -> float:
+        """λ(t) in requests/cycle (t in cycles)."""
+        cfg = self.config
+        rate = self._base_rate()
+        if cfg.diurnal_amplitude:
+            period = cfg.diurnal_period_services * mean
+            rate *= 1.0 + cfg.diurnal_amplitude * math.sin(
+                2.0 * math.pi * t / period
+            )
+        start = cfg.flash_start_services * mean
+        end = cfg.flash_end_services * mean
+        if start <= t < end:
+            rate *= cfg.flash_multiplier
+        return rate
+
+    def _draw_arrivals(self, mean: float) -> list[float]:
+        """Thinning: draw at the peak rate, accept with λ(t)/λ_max."""
+        cfg = self.config
+        horizon = cfg.horizon_services * mean
+        lam_max = (
+            self._base_rate()
+            * (1.0 + cfg.diurnal_amplitude)
+            * cfg.flash_multiplier
+        )
+        out: list[float] = []
+        t = 0.0
+        while True:
+            t += -math.log(
+                max(self._arrival_rng.random(), 1e-12)
+            ) / lam_max
+            if t >= horizon:
+                return out
+            if self._arrival_rng.random() * lam_max <= self._rate_at(t, mean):
+                out.append(t)
+
+    # -- the run ------------------------------------------------------------
+
+    def run(self) -> OverloadReport:
+        cfg = self.config
+        topo = self.topology
+        mean = topo.mean_service
+        timeout = cfg.timeout_services * mean
+        bucket_w = cfg.bucket_services * mean
+        flash_end = cfg.flash_end_services * mean
+
+        arrivals = self._draw_arrivals(mean)
+        keys = [
+            f"k{self._key_rng.zipf(cfg.key_population, cfg.key_zipf_s)}"
+            for _ in arrivals
+        ]
+
+        cache = (
+            ObjectCacheTier(cfg.cache, mean)
+            if cfg.cache is not None else None
+        )
+        balancer = make_balancer(cfg.balancer)
+        nodes = [
+            _Node(
+                spec,
+                self._node_rngs[i],
+                AdaptiveConcurrencyLimit(cfg.adaptive, mean)
+                if cfg.adaptive is not None else None,
+            )
+            for i, spec in enumerate(topo.nodes)
+        ]
+        budget = (
+            RetryBudget(cfg.retry_budget)
+            if cfg.retry_budget is not None else None
+        )
+
+        report = OverloadReport(
+            scenario=self.scenario, fleet=topo.name,
+            nodes=len(topo.nodes),
+            workers=sum(n.workers for n in topo.nodes),
+            bucket_services=cfg.bucket_services,
+            flash_start_services=cfg.flash_start_services,
+            flash_end_services=cfg.flash_end_services,
+        )
+
+        series = (
+            report.arrival_series, report.goodput_series,
+            report.shed_series, report.timeout_series,
+            report.retry_series, report.queue_series,
+        )
+
+        def bucket(at: float) -> int:
+            i = int(at / bucket_w)
+            while len(report.arrival_series) <= i:
+                for s in series:
+                    s.append(0)
+            return i
+
+        events: list[tuple[float, int, str, object]] = []
+        seq = 0
+
+        def push(time: float, kind: str, payload: object) -> None:
+            nonlocal seq
+            heapq.heappush(events, (time, seq, kind, payload))
+            seq += 1
+
+        for i, t in enumerate(arrivals):
+            push(t, "attempt", _Client(i, keys[i]))
+        n_buckets = int(
+            math.ceil(cfg.horizon_services / cfg.bucket_services)
+        )
+        for k in range(n_buckets):
+            push(k * bucket_w, "sample", k)
+        if cache is not None and cfg.mass_expiry_at_flash:
+            push(cfg.flash_start_services * mean, "mass_expiry", None)
+        if cache is not None and cfg.shard_failure_scenario is not None:
+            injector = FaultInjector(
+                cfg.shard_failure_scenario, self._storm_rng, mean
+            )
+            schedule = injector.schedule(
+                cfg.horizon_services * mean, max(len(nodes), 1)
+            )
+            for i, window in enumerate(schedule.windows):
+                push(window.start, "storm", i % len(cache.shards))
+
+        #: single-flight: key → waiters attached to the in-flight render
+        flights: dict[str, list[_Attempt]] = {}
+        #: keys with a stale-while-revalidate refresh already rendering
+        refreshing: set[str] = set()
+
+        def complete(client: _Client, at: float) -> None:
+            """A client got its page inside the deadline: goodput."""
+            client.done = True
+            report.goodput += 1
+            report.goodput_series[bucket(at)] += 1
+            if budget is not None:
+                budget.record_success()
+
+        def retry(client: _Client, at: float) -> None:
+            """Attempt failed (shed or timed out): client-side policy."""
+            if client.done:
+                return
+            if client.retries_used >= cfg.max_retries:
+                client.done = True
+                report.failures += 1
+                return
+            if budget is not None and not budget.try_spend():
+                client.done = True
+                report.failures += 1
+                report.retries_denied += 1
+                return
+            if cfg.retry_jitter is not None:
+                backoff = cfg.retry_jitter.next_backoff(
+                    client.prev_backoff, self._retry_rng
+                )
+            else:
+                backoff = cfg.sync_backoff_services
+            client.prev_backoff = backoff
+            client.retries_used += 1
+            report.retries_sent += 1
+            report.retry_series[bucket(at)] += 1
+            push(at + backoff * mean, "attempt", client)
+
+        def enqueue(attempt: _Attempt, at: float) -> bool:
+            """Admission control; False → shed (fast-fail)."""
+            i = balancer.pick(nodes, self._balancer_rng)
+            node = nodes[i]
+            if (
+                cfg.max_queue is not None
+                and node.outstanding >= cfg.max_queue
+            ) or (
+                node.limiter is not None
+                and not node.limiter.admit(node.outstanding)
+            ):
+                report.shed += 1
+                report.shed_series[bucket(at)] += 1
+                return False
+            node.queue.append(attempt)
+            dispatch(node, at)
+            return True
+
+        def dispatch(node: _Node, at: float) -> None:
+            while node.free and node.queue:
+                attempt = node.queue.popleft()
+                if cfg.deadline_shedding and at >= attempt.deadline:
+                    # The client is gone (or will be before we could
+                    # finish): drop at dequeue, keep the worker for
+                    # work that can still become goodput.
+                    report.shed_expired += 1
+                    report.shed_series[bucket(at)] += 1
+                    if node.limiter is not None:
+                        node.limiter.record(at - attempt.start)
+                    if attempt.leader:
+                        flights.pop(attempt.key, None)
+                    if attempt.refresh:
+                        refreshing.discard(attempt.key)
+                    continue
+                node.free -= 1
+                service = node.rng.choice(node.spec.service_times)
+                push(at + service, "finish", (node, attempt, service))
+
+        while events:
+            at, _, kind, payload = heapq.heappop(events)
+
+            if kind == "attempt":
+                client = payload
+                if client.done:
+                    continue
+                b = bucket(at)
+                report.attempts += 1
+                if client.retries_used == 0:
+                    report.arrivals += 1
+                    report.arrival_series[b] += 1
+                attempt = _Attempt(
+                    client, client.key, at, at + timeout
+                )
+                if cache is not None:
+                    state = cache.probe(client.key, at)
+                    if state == "hit":
+                        report.cache_hits += 1
+                        complete(client, at + cache.hit_cycles)
+                        continue
+                    if state == "stale":
+                        # Serve the stale page now; exactly one
+                        # background refresh re-renders it.
+                        report.stale_served += 1
+                        complete(client, at + cache.hit_cycles)
+                        if client.key not in refreshing:
+                            refreshing.add(client.key)
+                            report.refreshes += 1
+                            ghost = _Attempt(
+                                None, client.key, at, math.inf,
+                                refresh=True,
+                            )
+                            if not enqueue(ghost, at):
+                                refreshing.discard(client.key)
+                        continue
+                    if cfg.cache.single_flight and client.key in flights:
+                        # Coalesce: ride the in-flight render.
+                        report.coalesced += 1
+                        flights[client.key].append(attempt)
+                        push(attempt.deadline, "deadline", attempt)
+                        continue
+                if not enqueue(attempt, at):
+                    retry(client, at)
+                    continue
+                if (
+                    cache is not None and cfg.cache.single_flight
+                ):
+                    attempt.leader = True
+                    flights[client.key] = []
+                push(attempt.deadline, "deadline", attempt)
+
+            elif kind == "deadline":
+                attempt = payload
+                if attempt.done:
+                    continue
+                # Client gives up on this attempt; any render still in
+                # the queue or on a worker is now zombie work.
+                attempt.done = True
+                report.timeouts += 1
+                report.timeout_series[bucket(at)] += 1
+                retry(attempt.client, at)
+
+            elif kind == "finish":
+                node, attempt, service = payload
+                node.free += 1
+                if node.limiter is not None:
+                    node.limiter.record(at - attempt.start)
+                if attempt.refresh:
+                    refreshing.discard(attempt.key)
+                    if cache is not None:
+                        cache.fill(attempt.key, at)
+                    dispatch(node, at)
+                    continue
+                waiters = (
+                    flights.pop(attempt.key, [])
+                    if attempt.leader else []
+                )
+                if attempt.done:
+                    # The client left before the render finished: the
+                    # page is dead work — no goodput, and no fill (the
+                    # worker was torn down with the connection).  This
+                    # is the waste that sustains metastability.
+                    report.zombies += 1
+                    dispatch(node, at)
+                    continue
+                attempt.done = True
+                complete(attempt.client, at)
+                if cache is not None:
+                    cache.fill(attempt.key, at)
+                for waiter in waiters:
+                    if not waiter.done and at <= waiter.deadline:
+                        waiter.done = True
+                        complete(waiter.client, at)
+                dispatch(node, at)
+
+            elif kind == "sample":
+                report.queue_series[bucket(at)] = sum(
+                    n.outstanding for n in nodes
+                )
+
+            elif kind == "mass_expiry":
+                report.mass_expiries += 1
+                cache.expire_all(at)
+
+            elif kind == "storm":
+                cache.invalidate_shard(payload)
+                report.storms += 1
+
+        self._verdict(report)
+        if cache is not None:
+            self.stats.merge(cache.stats)
+        return report
+
+    # -- verdict ------------------------------------------------------------
+
+    def _verdict(self, report: OverloadReport) -> None:
+        """Goodput-fraction recovery scan over trailing windows.
+
+        Per-bucket fractions carry Poisson noise (~±10% at typical
+        bucket populations) and boundary effects (a request arriving
+        at a bucket's edge completes in the next one), so the verdict
+        smooths over a trailing window one trigger-duration wide —
+        the same clock the metastability definition is written in.
+        """
+        cfg = self.config
+        window = max(
+            1,
+            int(round(
+                cfg.flash_duration_services / cfg.bucket_services
+            )),
+        )
+        fractions = self._windowed_fractions(report, window)
+        pre = [
+            f for i, f in enumerate(fractions)
+            if f is not None
+            and (i + 1) * cfg.bucket_services <= cfg.flash_start_services
+        ]
+        report.pre_trigger_goodput = (
+            sum(pre) / len(pre) if pre else 1.0
+        )
+        first_post = int(
+            math.ceil(cfg.flash_end_services / cfg.bucket_services)
+        )
+        report.recovery_services = self._sustained(
+            fractions, first_post,
+            cfg.recovery_slo * report.pre_trigger_goodput,
+        )
+        report.half_recovery_services = self._sustained(
+            fractions, first_post, 0.5 * report.pre_trigger_goodput
+        )
+        report.metastable = (
+            report.recovery_services is None
+            or report.recovery_services
+            > cfg.metastable_factor * cfg.flash_duration_services
+        )
+
+    @staticmethod
+    def _windowed_fractions(
+        report: OverloadReport, window: int
+    ) -> list[float | None]:
+        """Goodput ÷ arrivals over the trailing ``window`` buckets."""
+        out: list[float | None] = []
+        for i in range(len(report.arrival_series)):
+            lo = max(0, i - window + 1)
+            arrived = sum(report.arrival_series[lo:i + 1])
+            good = sum(report.goodput_series[lo:i + 1])
+            out.append(good / arrived if arrived else None)
+        return out
+
+    def _sustained(
+        self,
+        fractions: list[float | None],
+        first_post: int,
+        target: float,
+    ) -> float | None:
+        """Services from flash end until goodput stays ≥ ``target``."""
+        cfg = self.config
+        candidate: int | None = None
+        for i in range(first_post, len(fractions)):
+            f = fractions[i]
+            if f is None:
+                continue
+            if f >= target:
+                if candidate is None:
+                    candidate = i
+            else:
+                candidate = None
+        if candidate is None:
+            return None
+        return (
+            (candidate + 1) * cfg.bucket_services
+            - cfg.flash_end_services
+        )
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def run_overload(
+    topology: FleetTopology,
+    config: OverloadConfig | None = None,
+    seed: int = 17,
+    scenario: str = "overload",
+) -> OverloadReport:
+    """One independent overload run with its own forked rng stream."""
+    cfg = config or OverloadConfig()
+    rng = DeterministicRng(seed).fork(
+        f"overload/{topology.name}/{scenario}"
+    )
+    return OverloadSimulator(topology, cfg, rng, scenario).run()
+
+
+def _run_overload_cell(
+    cell: tuple[str, FleetTopology, OverloadConfig, int]
+) -> OverloadReport:
+    """Picklable scenario cell for the process pool."""
+    scenario, topology, cfg, seed = cell
+    return run_overload(topology, cfg, seed, scenario)
+
+
+def run_overload_matrix(
+    topology: FleetTopology,
+    scenarios: list[tuple[str, OverloadConfig]],
+    seed: int = 17,
+    jobs: int | None = None,
+) -> list[OverloadReport]:
+    """Run named scenarios independently (optionally over a pool).
+
+    Each cell forks its rng stream from ``seed`` keyed by topology and
+    scenario name, so the defended run never perturbs the undefended
+    one — the same isolation (and cache-keying) contract as
+    :func:`repro.fleet.simulator.run_fleet_matrix`.
+    """
+    from repro.core.expcache import EXPERIMENT_CACHE
+    from repro.core.parallel import map_cells
+
+    cells = [
+        (name, topology, cfg, seed) for name, cfg in scenarios
+    ]
+    return map_cells(
+        _run_overload_cell,
+        cells,
+        jobs=jobs,
+        cache=EXPERIMENT_CACHE,
+        key_parts=lambda cell: cell,
+        label="overload-matrix",
+    )
+
+
+def overload_topology(
+    nodes: int = 2, workers: int = 4
+) -> FleetTopology:
+    """The demo fleet: accelerated boxes, mean service 1.0 cycles."""
+    return homogeneous_fleet(
+        "overload-fleet", (0.8, 0.9, 1.0, 1.1, 1.2),
+        nodes=nodes, workers=workers,
+    )
+
+
+def _demo_shape(smoke: bool) -> dict:
+    """Trigger geometry + workload shared by every headline scenario.
+
+    The key popularity is deliberately flatter than the steady-state
+    fleet demo (zipf 0.8 over 2048 keys): a cache that absorbs 80% of
+    a flash crowd hides the queueing dynamics this module exists to
+    show.  With ~40% hit ratio the flash pushes backend load past
+    capacity, queueing delay past the client timeout, and the retry
+    loop closes.
+    """
+    shape = dict(key_population=2_048, key_zipf_s=0.8)
+    if smoke:
+        shape.update(
+            horizon_services=300.0, flash_start_services=80.0,
+            flash_duration_services=40.0, bucket_services=10.0,
+        )
+    else:
+        shape.update(
+            horizon_services=600.0, flash_start_services=150.0,
+            flash_duration_services=50.0, bucket_services=10.0,
+        )
+    return shape
+
+
+def undefended_config(smoke: bool = False) -> OverloadConfig:
+    """The storm with every defense off: synchronized retries, no
+    budget, unbounded queues, naive cache (no jitter/SWR/coalescing),
+    mass expiry at the flash — the metastable baseline."""
+    return OverloadConfig(
+        cache=CacheTierConfig(shards=4, shard_capacity=128),
+        mass_expiry_at_flash=True,
+        **_demo_shape(smoke),
+    )
+
+
+def defended_config(smoke: bool = False) -> OverloadConfig:
+    """Same storm, defenses on: retry budget + decorrelated jitter,
+    bounded queue + deadline shedding + AIMD, stampede-proof cache."""
+    return OverloadConfig(
+        retry_jitter=RetryPolicy(
+            base_backoff_services=0.5, max_backoff_services=20.0
+        ),
+        retry_budget=RetryBudgetPolicy(ratio=0.1, burst=10.0),
+        max_queue=32,
+        deadline_shedding=True,
+        adaptive=AdaptiveConcurrencyPolicy(
+            target_latency_services=6.0, max_limit=64.0
+        ),
+        cache=CacheTierConfig(
+            shards=4, shard_capacity=128,
+            ttl_jitter=0.3, stale_services=100.0, single_flight=True,
+        ),
+        mass_expiry_at_flash=True,
+        **_demo_shape(smoke),
+    )
+
+
+def headline_scenarios(
+    smoke: bool = False,
+) -> list[tuple[str, OverloadConfig]]:
+    """The demo axis the CLI and benchmark sweep."""
+    undef = undefended_config(smoke)
+    return [
+        ("undefended", undef),
+        ("retry-budget-only", replace(
+            undef,
+            retry_jitter=RetryPolicy(
+                base_backoff_services=0.5, max_backoff_services=20.0
+            ),
+            retry_budget=RetryBudgetPolicy(ratio=0.1, burst=10.0),
+        )),
+        ("defended", defended_config(smoke)),
+    ]
+
+
+def min_nodes_to_survive(
+    make_topology,
+    config: OverloadConfig,
+    seed: int = 17,
+    max_nodes: int = 8,
+    slo_goodput: float = 0.9,
+) -> int | None:
+    """Smallest node count that rides out the storm without going
+    metastable.
+
+    ``config.arrival_rate`` must be set (an absolute storm): scaling
+    the fleet must not scale the traffic, otherwise every size faces a
+    different storm and the comparison is meaningless.  Survival is
+    two conditions: the fleet was actually serving before the trigger
+    (pre-trigger goodput fraction ≥ ``slo_goodput`` — recovery back
+    to a drowned baseline is not survival), and the verdict is
+    *recovered*.  This is
+    :func:`repro.fleet.simulator.min_nodes_for_slo` run against the
+    transient instead of the steady state — the node-count price of
+    skipping the defenses.
+    """
+    if config.arrival_rate is None:
+        raise ValueError(
+            "min_nodes_to_survive needs an absolute arrival_rate"
+        )
+    if max_nodes < 1:
+        raise ValueError(f"max_nodes must be >= 1, got {max_nodes}")
+    if not 0.0 < slo_goodput <= 1.0:
+        raise ValueError("slo_goodput must be in (0, 1]")
+    for n in range(1, max_nodes + 1):
+        report = run_overload(
+            make_topology(n), config, seed, scenario=f"sizing-{n}"
+        )
+        if report.recovered and report.pre_trigger_goodput >= slo_goodput:
+            return n
+    return None

@@ -42,6 +42,11 @@ class FleetReport:
     cache_hits: int = 0
     #: cache lookups that missed and went to a backend
     cache_misses: int = 0
+    #: lookups that missed while a render for the same key was already
+    #: in flight — counted separately so a storm's duplicate misses
+    #: cannot double-dip the hit ratio (they are neither hits nor
+    #: first-cause misses)
+    cache_coalesced: int = 0
     #: measured requests shed by full backend queues
     shed: int = 0
     #: shard flushes the storm schedule triggered
@@ -58,7 +63,14 @@ class FleetReport:
 
     @property
     def cache_hit_ratio(self) -> float:
-        """Hits over measured lookups (0 with no cache tier)."""
+        """Hits over first-cause lookups (0 with no cache tier).
+
+        Coalesced lookups (a render for the key already in flight)
+        are excluded from the denominator: an invalidation storm
+        sends a burst of same-key misses to the backends, but only
+        the first of each burst is a genuine miss of the cache —
+        counting the rest would understate the tier's shielding.
+        """
         looked = self.cache_hits + self.cache_misses
         return self.cache_hits / looked if looked else 0.0
 

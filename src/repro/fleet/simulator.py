@@ -199,6 +199,12 @@ class FleetSimulator:
             cache_shards=len(cache.shards) if cache else 0,
             offered=cfg.requests,
         )
+        #: keys with a backend render in flight: a second miss on one
+        #: of these is a duplicate of work already under way (a storm
+        #: artifact), so it is accounted as coalesced, not as another
+        #: first-cause miss.  Scheduling is untouched — the duplicate
+        #: still renders — only the attribution changes.
+        inflight: set[str] = set()
         latencies: list[float] = []
         first_measured_arrival = (
             arrivals[cfg.warmup_requests]
@@ -224,6 +230,8 @@ class FleetSimulator:
                     if measured:
                         if hit:
                             report.cache_hits += 1
+                        elif request.key in inflight:
+                            report.cache_coalesced += 1
                         else:
                             report.cache_misses += 1
                     if hit:
@@ -245,6 +253,7 @@ class FleetSimulator:
                     self.stats.bump("fleet.shed")
                     continue
                 node.queue.append(request)
+                inflight.add(request.key)
                 self.stats.bump("fleet.dispatched")
                 dispatch(node, at)
 
@@ -252,6 +261,7 @@ class FleetSimulator:
                 node, request, service = payload
                 node.free += 1
                 node.completed += not request.is_warmup
+                inflight.discard(request.key)
                 if cache is not None:
                     cache.fill(request.key, at)
                 if not request.is_warmup:

@@ -23,9 +23,13 @@ from repro.resilience.faults import (
     standard_scenarios,
 )
 from repro.resilience.policies import (
+    AdaptiveConcurrencyLimit,
+    AdaptiveConcurrencyPolicy,
     CircuitBreaker,
     CircuitBreakerPolicy,
     ResiliencePolicy,
+    RetryBudget,
+    RetryBudgetPolicy,
     RetryPolicy,
     full_policy,
     no_policy,
@@ -42,7 +46,9 @@ from repro.resilience.simulator import (
 __all__ = [
     "ACCEL_FAULT_KINDS", "FaultInjector", "FaultSchedule", "FaultScenario",
     "FaultWindow", "WorkerCrash", "standard_scenarios",
+    "AdaptiveConcurrencyLimit", "AdaptiveConcurrencyPolicy",
     "CircuitBreaker", "CircuitBreakerPolicy", "ResiliencePolicy",
+    "RetryBudget", "RetryBudgetPolicy",
     "RetryPolicy", "full_policy", "no_policy", "retries_only",
     "standard_policies",
     "ResilienceReport", "ScenarioSweep",

@@ -157,6 +157,129 @@ class CircuitBreaker:
 
 
 @dataclass(frozen=True)
+class RetryBudgetPolicy:
+    """SRE-style retry budget: retries spend tokens successes earn.
+
+    Every successful first attempt deposits ``ratio`` tokens; each
+    retry withdraws one.  When the bucket is empty the retry is simply
+    not sent — which caps the fleet-wide retry amplification at
+    ``1 + ratio`` even when every client times out, breaking the
+    retry-storm sustaining loop of a metastable failure.
+    """
+
+    #: tokens earned per successful request (≈ max retry fraction)
+    ratio: float = 0.1
+    #: bucket depth, in tokens (bounds the post-incident retry burst)
+    burst: float = 10.0
+    #: tokens the bucket starts with
+    initial: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.ratio < 0:
+            raise ValueError("ratio cannot be negative")
+        if self.burst <= 0:
+            raise ValueError("burst must be positive")
+        if not 0 <= self.initial <= self.burst:
+            raise ValueError(
+                f"initial must be in [0, burst], got {self.initial}"
+            )
+
+
+class RetryBudget:
+    """Runtime token bucket for :class:`RetryBudgetPolicy`."""
+
+    def __init__(self, policy: RetryBudgetPolicy) -> None:
+        self.policy = policy
+        self.tokens = policy.initial
+        self.spent = 0
+        self.denied = 0
+
+    def record_success(self) -> None:
+        """A first attempt succeeded: accrue ``ratio`` tokens."""
+        self.tokens = min(
+            self.policy.burst, self.tokens + self.policy.ratio
+        )
+
+    def try_spend(self) -> bool:
+        """Withdraw one token for a retry; False → do not retry."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.denied += 1
+        return False
+
+
+@dataclass(frozen=True)
+class AdaptiveConcurrencyPolicy:
+    """AIMD concurrency limit driven by observed latency.
+
+    The node-local analogue of TCP congestion control: every completed
+    request whose latency stays under ``target_latency_services``
+    grows the limit additively; one over-target completion cuts it
+    multiplicatively.  The limit converges to the largest concurrency
+    the backend can serve within the target — admission beyond it is
+    shed at enqueue time, before any service capacity is wasted.
+    """
+
+    #: latency a completion must beat, × mean service time
+    target_latency_services: float = 8.0
+    #: additive increase per under-target completion
+    increase: float = 0.1
+    #: multiplicative decrease factor on an over-target completion
+    decrease: float = 0.7
+    #: limit bounds (min keeps the node from starving itself)
+    min_limit: float = 1.0
+    max_limit: float = 256.0
+
+    def __post_init__(self) -> None:
+        if self.target_latency_services <= 0:
+            raise ValueError("target_latency_services must be positive")
+        if self.increase <= 0:
+            raise ValueError("increase must be positive")
+        if not 0.0 < self.decrease < 1.0:
+            raise ValueError(
+                f"decrease must be in (0, 1), got {self.decrease}"
+            )
+        if not 1.0 <= self.min_limit <= self.max_limit:
+            raise ValueError(
+                "need 1 <= min_limit <= max_limit, got "
+                f"min={self.min_limit} max={self.max_limit}"
+            )
+
+
+class AdaptiveConcurrencyLimit:
+    """Runtime AIMD state for :class:`AdaptiveConcurrencyPolicy`."""
+
+    def __init__(
+        self,
+        policy: AdaptiveConcurrencyPolicy,
+        mean_service_cycles: float = 1.0,
+    ) -> None:
+        if mean_service_cycles <= 0:
+            raise ValueError("mean_service_cycles must be positive")
+        self.policy = policy
+        self.target_cycles = (
+            policy.target_latency_services * mean_service_cycles
+        )
+        self.limit = policy.max_limit
+        self.decreases = 0
+
+    def admit(self, outstanding: int) -> bool:
+        """May a request enter with ``outstanding`` already in the node?"""
+        return outstanding < self.limit
+
+    def record(self, latency_cycles: float) -> None:
+        """Feed one completion's latency into the AIMD loop."""
+        p = self.policy
+        if latency_cycles <= self.target_cycles:
+            self.limit = min(p.max_limit, self.limit + p.increase)
+        else:
+            self.limit = max(p.min_limit, self.limit * p.decrease)
+            self.decreases += 1
+
+
+@dataclass(frozen=True)
 class ResiliencePolicy:
     """One named bundle of the four mechanisms (None disables each)."""
 

@@ -153,6 +153,76 @@ class TestObjectCacheTier:
         assert tier.stats.get("cache.storms") == 1
 
 
+class TestStampedeProtection:
+    def tier(self, **overrides) -> ObjectCacheTier:
+        base = dict(shards=2, shard_capacity=64)
+        base.update(overrides)
+        return ObjectCacheTier(
+            CacheTierConfig(**base), mean_service_cycles=100.0
+        )
+
+    def test_probe_three_states(self):
+        # ttl 2 services = 200 cycles; stale window 1 service = 100.
+        tier = self.tier(ttl_services=2.0, stale_services=1.0)
+        assert tier.probe("page", 0.0) == "miss"
+        tier.fill("page", 0.0)
+        assert tier.probe("page", 100.0) == "hit"
+        assert tier.probe("page", 250.0) == "stale"
+        assert tier.probe("page", 350.0) == "miss"
+        s = tier.stats
+        assert s.get("cache.stale_hits") == 1
+        # Stale serves count as hits: the client got a page without a
+        # synchronous render.
+        assert s.get("cache.hits") == 2
+        assert s.get("cache.misses") == 2
+        assert s.get("cache.lookups") == 4
+
+    def test_no_stale_window_means_expired_is_miss(self):
+        tier = self.tier(ttl_services=2.0)
+        tier.fill("page", 0.0)
+        assert tier.probe("page", 250.0) == "miss"
+
+    def test_ttl_jitter_smears_same_instant_expiries(self):
+        jittered = self.tier(ttl_services=2.0, ttl_jitter=0.5)
+        uniform = self.tier(ttl_services=2.0)
+        keys = [f"k{i}" for i in range(64)]
+        assert len({uniform.effective_ttl(k) for k in keys}) == 1
+        ttls = {jittered.effective_ttl(k) for k in keys}
+        assert len(ttls) > 32  # spread, not synchronized
+        assert all(100.0 <= t <= 200.0 for t in ttls)
+
+    def test_ttl_jitter_is_deterministic_per_key(self):
+        a = self.tier(ttl_services=2.0, ttl_jitter=0.3)
+        b = self.tier(ttl_services=2.0, ttl_jitter=0.3)
+        for i in range(32):
+            assert a.effective_ttl(f"k{i}") == b.effective_ttl(f"k{i}")
+
+    def test_expire_all_keeps_entries_servable_as_stale(self):
+        tier = self.tier(ttl_services=10.0, stale_services=1.0)
+        for i in range(8):
+            tier.fill(f"k{i}", 0.0)
+        assert tier.expire_all(50.0) == 8
+        assert tier.probe("k0", 60.0) == "stale"
+        assert tier.probe("k0", 200.0) == "miss"
+
+    def test_expire_all_without_stale_window_is_a_full_miss_wave(self):
+        tier = self.tier(ttl_services=10.0)
+        for i in range(8):
+            tier.fill(f"k{i}", 0.0)
+        tier.expire_all(50.0)
+        assert all(
+            tier.probe(f"k{i}", 60.0) == "miss" for i in range(8)
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CacheTierConfig(ttl_jitter=1.0)
+        with pytest.raises(ValueError):
+            CacheTierConfig(ttl_jitter=-0.1)
+        with pytest.raises(ValueError):
+            CacheTierConfig(stale_services=0.0)
+
+
 class TestBalancers:
     class FakeNode:
         def __init__(self, outstanding: int) -> None:
@@ -219,9 +289,25 @@ class TestFleetSimulator:
     def test_cache_hit_accounting_covers_every_measured_arrival(self):
         report = run_fleet(self.cached_topology(), small_config(), seed=5)
         assert report.offered == 800
-        assert report.cache_hits + report.cache_misses == report.offered
+        assert (
+            report.cache_hits + report.cache_misses
+            + report.cache_coalesced
+            == report.offered
+        )
         assert report.completed == report.offered - report.shed
         assert 0.0 < report.cache_hit_ratio < 1.0
+
+    def test_coalesced_lookups_do_not_depress_hit_ratio(self):
+        # A same-key miss while that key is already rendering is not a
+        # second first-cause miss; the hit ratio must exclude it from
+        # its denominator.
+        report = run_fleet(self.cached_topology(), small_config(), seed=5)
+        looked = report.cache_hits + report.cache_misses
+        assert report.cache_hit_ratio == pytest.approx(
+            report.cache_hits / looked
+        )
+        naive = report.cache_hits / (looked + report.cache_coalesced)
+        assert report.cache_hit_ratio >= naive
 
     def test_cacheless_fleet_reports_no_cache_traffic(self):
         topo = self.cached_topology().without_cache()

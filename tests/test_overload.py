@@ -1,0 +1,326 @@
+"""Unit tests: overload dynamics, metastability verdicts, defenses.
+
+The headline acceptance criteria live here: with defenses disabled the
+flash-crowd + retry-storm demo stays collapsed long after the trigger
+clears (metastable), and with defenses enabled the same storm recovers
+to the SLO within one trigger duration — deterministically, at the
+pinned seed, byte-identically across ``--jobs`` fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.report import overload_report, overload_timeline
+from repro.fleet import (
+    OverloadConfig,
+    min_nodes_to_survive,
+    overload_topology,
+    run_overload,
+    run_overload_matrix,
+)
+from repro.fleet.overload import (
+    defended_config,
+    headline_scenarios,
+    undefended_config,
+)
+from repro.resilience.policies import (
+    AdaptiveConcurrencyLimit,
+    AdaptiveConcurrencyPolicy,
+    RetryBudget,
+    RetryBudgetPolicy,
+)
+
+SEED = 17
+
+
+def small_config(**overrides) -> OverloadConfig:
+    base = dict(
+        horizon_services=120.0,
+        flash_start_services=30.0,
+        flash_duration_services=20.0,
+        bucket_services=10.0,
+    )
+    base.update(overrides)
+    return OverloadConfig(**base)
+
+
+class TestOverloadConfig:
+    @pytest.mark.parametrize("kwargs", [
+        dict(horizon_services=0.0),
+        dict(base_load=0.0),
+        dict(arrival_rate=-1.0),
+        dict(flash_multiplier=0.5),
+        dict(flash_start_services=-1.0),
+        dict(flash_duration_services=0.0),
+        # flash must end before the horizon
+        dict(flash_start_services=100.0, flash_duration_services=20.0),
+        dict(diurnal_amplitude=1.0),
+        dict(diurnal_period_services=0.0),
+        dict(timeout_services=0.0),
+        dict(max_retries=-1),
+        dict(sync_backoff_services=0.0),
+        dict(max_queue=0),
+        dict(key_population=0),
+        dict(key_zipf_s=0.0),
+        dict(bucket_services=0.0),
+        dict(recovery_slo=0.0),
+        dict(recovery_slo=1.5),
+        dict(metastable_factor=0.5),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            small_config(**kwargs)
+
+    def test_flash_end(self):
+        cfg = small_config()
+        assert cfg.flash_end_services == 50.0
+
+
+class TestPolicies:
+    def test_retry_budget_earns_and_spends(self):
+        budget = RetryBudget(RetryBudgetPolicy(
+            ratio=0.5, burst=2.0, initial=1.0
+        ))
+        assert budget.try_spend()          # 1.0 -> 0.0
+        assert not budget.try_spend()      # empty: denied
+        assert budget.denied == 1
+        for _ in range(10):
+            budget.record_success()        # capped at burst
+        assert budget.tokens == 2.0
+        assert budget.try_spend() and budget.try_spend()
+        assert budget.spent == 3
+
+    def test_retry_budget_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudgetPolicy(ratio=-0.1)
+        with pytest.raises(ValueError):
+            RetryBudgetPolicy(burst=0.0)
+        with pytest.raises(ValueError):
+            RetryBudgetPolicy(burst=5.0, initial=6.0)
+
+    def test_adaptive_limit_aimd(self):
+        policy = AdaptiveConcurrencyPolicy(
+            target_latency_services=4.0, increase=0.5, decrease=0.5,
+            min_limit=1.0, max_limit=8.0,
+        )
+        limit = AdaptiveConcurrencyLimit(policy, mean_service_cycles=10.0)
+        assert limit.limit == 8.0
+        limit.record(100.0)                # over 40 cycles: halve
+        assert limit.limit == 4.0 and limit.decreases == 1
+        limit.record(10.0)                 # under target: +0.5
+        assert limit.limit == 4.5
+        for _ in range(100):
+            limit.record(1000.0)
+        assert limit.limit == 1.0          # floored at min_limit
+        assert limit.admit(0) and not limit.admit(1)
+
+    def test_adaptive_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveConcurrencyPolicy(target_latency_services=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveConcurrencyPolicy(decrease=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveConcurrencyPolicy(min_limit=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveConcurrencyLimit(
+                AdaptiveConcurrencyPolicy(), mean_service_cycles=0.0
+            )
+
+
+class TestOverloadSimulator:
+    def test_same_seed_identical_report(self):
+        topo = overload_topology()
+        cfg = undefended_config(smoke=True)
+        a = run_overload(topo, cfg, seed=23)
+        b = run_overload(topo, cfg, seed=23)
+        assert a == b
+        assert repr(a) == repr(b)
+        assert overload_report([a]) == overload_report([b])
+
+    def test_different_seeds_differ(self):
+        topo = overload_topology()
+        cfg = small_config()
+        assert run_overload(topo, cfg, seed=1) != run_overload(
+            topo, cfg, seed=2
+        )
+
+    def test_series_account_for_every_arrival(self):
+        report = run_overload(
+            overload_topology(), small_config(), seed=SEED
+        )
+        assert report.arrivals > 0
+        assert sum(report.arrival_series) == report.arrivals
+        assert sum(report.goodput_series) == report.goodput
+        n = len(report.arrival_series)
+        for series in (report.goodput_series, report.shed_series,
+                       report.timeout_series, report.retry_series,
+                       report.queue_series):
+            assert len(series) == n
+        assert report.goodput <= report.arrivals
+        assert report.attempts >= report.arrivals
+
+    def test_flash_crowd_lifts_arrival_rate(self):
+        report = run_overload(
+            overload_topology(),
+            small_config(flash_multiplier=4.0, base_load=0.3),
+            seed=SEED,
+        )
+        per_bucket = report.arrival_series
+        flash = per_bucket[3:5]            # buckets covering 30..50
+        calm = per_bucket[0:3]
+        assert min(flash) > max(calm)
+
+    def test_diurnal_modulation_changes_arrivals(self):
+        flat = run_overload(
+            overload_topology(), small_config(), seed=SEED
+        )
+        wavy = run_overload(
+            overload_topology(),
+            small_config(diurnal_amplitude=0.5,
+                         diurnal_period_services=60.0),
+            seed=SEED,
+        )
+        assert flat.arrival_series != wavy.arrival_series
+
+    def test_mass_expiry_fires_at_flash(self):
+        report = run_overload(
+            overload_topology(), undefended_config(smoke=True),
+            seed=SEED,
+        )
+        assert report.mass_expiries == 1
+
+
+class TestHeadlineDemo:
+    """The PR's acceptance criteria, asserted at the pinned seed."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return {
+            r.scenario: r for r in run_overload_matrix(
+                overload_topology(), headline_scenarios(smoke=True),
+                seed=SEED,
+            )
+        }
+
+    def test_both_runs_healthy_before_the_trigger(self, reports):
+        assert reports["undefended"].pre_trigger_goodput >= 0.9
+        assert reports["defended"].pre_trigger_goodput >= 0.9
+
+    def test_undefended_run_is_metastable(self, reports):
+        undef = reports["undefended"]
+        flash = undef.flash_end_services - undef.flash_start_services
+        assert undef.metastable and not undef.recovered
+        # Goodput never sustains even 50% of the pre-trigger level
+        # within 5 trigger durations of the flash ending.
+        assert (
+            undef.half_recovery_services is None
+            or undef.half_recovery_services >= 5.0 * flash
+        )
+        # The sustaining loop: retries amplify load, zombie renders
+        # burn capacity for clients that already hung up.
+        assert undef.amplification > 1.5
+        assert undef.zombies > 0
+        assert undef.timeouts > 0
+
+    def test_defended_run_recovers_within_one_trigger(self, reports):
+        defended = reports["defended"]
+        flash = (
+            defended.flash_end_services - defended.flash_start_services
+        )
+        assert defended.recovered
+        assert defended.recovery_services is not None
+        assert defended.recovery_services <= flash
+        # Every defense layer actually engaged.
+        assert defended.retries_denied > 0
+        assert defended.shed + defended.shed_expired > 0
+        assert defended.stale_served + defended.coalesced > 0
+        assert (
+            defended.goodput_ratio
+            > reports["undefended"].goodput_ratio
+        )
+
+    def test_retry_budget_alone_breaks_the_loop(self, reports):
+        budget_only = reports["retry-budget-only"]
+        assert budget_only.recovered
+        assert budget_only.retries_denied > 0
+        assert (
+            budget_only.amplification
+            < reports["undefended"].amplification
+        )
+
+    def test_timeline_renders_flash_window(self, reports):
+        for report in reports.values():
+            line = overload_timeline(report)
+            assert "[" in line and "]" in line
+            assert report.scenario in line
+        table = overload_report(list(reports.values()))
+        assert "METASTABLE" in table and "recovered" in table
+
+
+class TestRetryBudgetMonotonicity:
+    """Metamorphic invariant: disabling the budget never sends fewer
+    retries at equal seeds — the budget only ever withholds."""
+
+    @pytest.mark.parametrize("seed", [17, 23, 99])
+    def test_budget_off_sends_at_least_as_many_retries(self, seed):
+        topo = overload_topology()
+        on_cfg = defended_config(smoke=True)
+        off_cfg = replace(on_cfg, retry_budget=None)
+        on = run_overload(topo, on_cfg, seed=seed)
+        off = run_overload(topo, off_cfg, seed=seed)
+        assert off.retries_sent >= on.retries_sent
+        assert on.retries_denied > 0
+        assert off.retries_denied == 0
+
+
+class TestJobsByteIdentity:
+    def test_matrix_identical_across_pool_fanout(self):
+        from repro.core.expcache import EXPERIMENT_CACHE
+
+        topo = overload_topology()
+        scenarios = headline_scenarios(smoke=True)
+        EXPERIMENT_CACHE.clear()
+        serial = run_overload_matrix(topo, scenarios, seed=SEED, jobs=1)
+        EXPERIMENT_CACHE.clear()
+        pooled = run_overload_matrix(topo, scenarios, seed=SEED, jobs=4)
+        assert repr(serial) == repr(pooled)
+        assert overload_report(serial) == overload_report(pooled)
+
+
+class TestMinNodesToSurvive:
+    def test_requires_absolute_rate(self):
+        with pytest.raises(ValueError):
+            min_nodes_to_survive(
+                lambda n: overload_topology(nodes=n),
+                undefended_config(smoke=True),
+            )
+
+    def test_validation(self):
+        cfg = replace(undefended_config(smoke=True), arrival_rate=5.6)
+        with pytest.raises(ValueError):
+            min_nodes_to_survive(
+                lambda n: overload_topology(nodes=n), cfg, max_nodes=0
+            )
+        with pytest.raises(ValueError):
+            min_nodes_to_survive(
+                lambda n: overload_topology(nodes=n), cfg,
+                slo_goodput=0.0,
+            )
+
+    def test_defenses_cut_the_node_count(self):
+        rate = 5.6
+        need_undef = min_nodes_to_survive(
+            lambda n: overload_topology(nodes=n),
+            replace(undefended_config(smoke=True), arrival_rate=rate),
+            seed=SEED,
+        )
+        need_def = min_nodes_to_survive(
+            lambda n: overload_topology(nodes=n),
+            replace(defended_config(smoke=True), arrival_rate=rate),
+            seed=SEED,
+        )
+        assert need_def is not None
+        assert need_undef is None or need_undef > need_def

@@ -18,9 +18,14 @@ from pathlib import Path
 import pytest
 
 from repro.core.perf import (
+    HASH_SPEEDUP_MIN,
+    HISTORY_PATH,
+    HISTORY_SCHEMA,
     JSON_PATH,
     PERF_SCHEMA,
+    append_history,
     format_perf_report,
+    validate_history_row,
     validate_perf_payload,
 )
 
@@ -59,8 +64,21 @@ class TestBenchPerfJson:
         assert payload["host"]["python"]
         assert payload["host"]["platform"]
         assert set(payload["floors"]) >= {
-            "string_speedup_min", "e2e_speedup_min", "asserted",
+            "string_speedup_min", "e2e_speedup_min",
+            "hash_speedup_min", "asserted",
         }
+        assert payload["floors"]["hash_speedup_min"] >= 1.0
+
+    def test_hash_floor_holds_when_asserted(self, payload):
+        # The committed artifact must come from a run that asserted the
+        # floors — and the hash kernel must actually clear its floor
+        # (this is the regression the floor exists to catch).
+        if not payload["floors"]["asserted"]:
+            pytest.skip("committed payload is an unasserted smoke run")
+        assert (
+            payload["metrics"]["hash_table"]["speedup"]
+            >= HASH_SPEEDUP_MIN
+        )
 
     def test_every_number_is_finite_and_nonnegative(self, payload):
         checked = 0
@@ -102,3 +120,53 @@ class TestPerfTxt:
     def test_matches_the_json_it_was_rendered_from(self, payload):
         assert PERF_TXT.read_text().strip() \
             == format_perf_report(payload).strip()
+
+
+class TestBenchHistory:
+    """The append-only perf trajectory (``BENCH_history.jsonl``)."""
+
+    def test_committed_rows_pass_the_validator(self):
+        assert HISTORY_PATH.exists(), (
+            "BENCH_history.jsonl missing: run `python -m repro perf`"
+        )
+        rows = [
+            json.loads(line)
+            for line in HISTORY_PATH.read_text().splitlines()
+            if line.strip()
+        ]
+        assert rows, "history file exists but holds no rows"
+        for row in rows:
+            validate_history_row(row)
+            assert row["schema"] == HISTORY_SCHEMA
+
+    def test_append_derives_a_valid_row_and_only_appends(
+        self, payload, tmp_path
+    ):
+        path = tmp_path / "history.jsonl"
+        append_history(payload, path)
+        append_history(payload, path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            row = json.loads(line)
+            validate_history_row(row)
+            assert row["hash_speedup"] == pytest.approx(
+                payload["metrics"]["hash_table"]["speedup"]
+            )
+            assert row["floors_asserted"] == payload["floors"]["asserted"]
+
+    def test_validator_rejects_corrupt_rows(self, payload):
+        from repro.core.perf import history_row
+
+        good = history_row(payload)
+        validate_history_row(good)
+        for corrupt in (
+            {**good, "schema": "repro-perf/1"},
+            {**good, "hash_speedup": 0.0},
+            {**good, "e2e_speedup": "fast"},
+            {**good, "smoke": "no"},
+            {**good, "seed": "42"},
+            {**good, "host": {}},
+        ):
+            with pytest.raises(ValueError):
+                validate_history_row(corrupt)
