@@ -7,6 +7,14 @@ a template renders a post by extracting variables into a symbol table
 manager), assembling and escaping HTML (string accelerator), and
 iterating the symbol table with PHP's insertion-order ``foreach``.
 
+This is the repo's *simulated* request notion: one operation trace
+evaluated in deterministic event-driven time, no sockets, no
+wall-clock.  The *live* request notion — a real asyncio HTTP/1.1
+server rendering the same templates under concurrent connections and
+wall-clock deadlines — is ``python -m repro serve``
+(``src/repro/serve/``, "Live serving path" in DESIGN.md).  The two
+share the renderer but not a clock; don't conflate their latencies.
+
 Run:  python examples/php_request_simulation.py
 """
 

@@ -57,6 +57,16 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
 grep -q "METASTABLE" benchmarks/out/overload_smoke.txt
 echo "overload smoke ok"
 
+echo "== serve smoke =="
+# Live serving gate (blocking): a real asyncio HTTP server under 1k
+# keep-alive connections of open-loop load must clear the 95% goodput
+# SLO and the served-bytes oracle. The report and per-request
+# telemetry land in benchmarks/out/ for the CI artifact upload.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+    python -m repro serve --bench --smoke > benchmarks/out/serve_smoke.txt
+grep -q "PASS" benchmarks/out/serve_smoke.txt
+echo "serve smoke ok"
+
 echo "== conformance smoke =="
 # Differential oracles + simulator invariants; exits non-zero on any
 # divergence and writes shrunk repros to benchmarks/out/conformance/

@@ -323,6 +323,22 @@ def _cmd_conform(args) -> None:
         raise SystemExit(1)
 
 
+def _cmd_serve(args) -> None:
+    from repro.core.report import serve_report
+    from repro.serve.run import run_serve
+    payload = run_serve(
+        bench=bool(getattr(args, "bench", False)),
+        smoke=bool(getattr(args, "smoke", False)),
+        seed=args.seed,
+    )
+    print(serve_report(payload))
+    print()
+    print("served-bytes oracle: PASS (HTTP responses byte-identical "
+          "to direct renders)")
+    if not payload["slo_ok"]:
+        raise SystemExit(1)
+
+
 def _cmd_lint(args) -> None:
     from pathlib import Path
 
@@ -383,6 +399,9 @@ _COMMANDS = {
              "wall-clock speedups vs the pinned reference kernels"),
     "conform": (_cmd_conform,
                 "differential oracles + metamorphic fuzzing vs shadows"),
+    "serve": (_cmd_serve,
+              "live asyncio HTTP server + open-loop load, wall-clock "
+              "SLOs"),
     "lint": (_cmd_lint,
              "static analysis: determinism / pool purity / cache keys"),
     "export": (_cmd_export, "write the evaluation as JSON"),
@@ -409,6 +428,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="tiny fast run (fleet/perf commands; used "
                              "by CI — perf --smoke skips the speedup "
                              "assertions)")
+    parser.add_argument("--bench", action="store_true",
+                        help="serve: run the open-loop load bench "
+                             "(1k connections with --smoke, 10k "
+                             "requested without) instead of the "
+                             "self-test")
     parser.add_argument("--jobs", type=int, default=None,
                         help="process-pool workers for sweep commands "
                              "(default: REPRO_JOBS env, else 1)")

@@ -32,15 +32,17 @@ from repro.conformance.oracles import (
     run_heap_oracle,
     run_regex_oracle,
     run_reuse_oracle,
+    run_serve_oracle,
     run_string_oracle,
 )
 
 #: Fuzzed domains, one differential oracle each (reuse rides on the
 #: regex stack but has its own script shape, hence its own domain;
 #: checksum pins the process-stable result mixing that DET005 and the
-#: pool-identity invariants rely on).
+#: pool-identity invariants rely on; serve pins the live HTTP path's
+#: bytes to the direct interpreter render).
 DOMAINS: tuple[str, ...] = (
-    "hash", "heap", "string", "regex", "reuse", "checksum"
+    "hash", "heap", "string", "regex", "reuse", "checksum", "serve"
 )
 
 #: Cases per domain: smoke keeps ``scripts/check.sh`` fast.
@@ -238,6 +240,18 @@ def _gen_checksum(rng: DeterministicRng) -> list:
     return ops
 
 
+_SERVE_APPS = ("wordpress", "drupal", "mediawiki")
+
+
+def _gen_serve(rng: DeterministicRng) -> list:
+    # Small case sizes: every op costs two real HTTP round trips plus
+    # a direct render, and each case boots its own transient server.
+    return [
+        [rng.choice(_SERVE_APPS), rng.randint(0, 9), rng.randint(0, 2)]
+        for _ in range(rng.randint(1, 3))
+    ]
+
+
 _GENERATORS = {
     "hash": _gen_hash,
     "heap": _gen_heap,
@@ -245,6 +259,7 @@ _GENERATORS = {
     "regex": _gen_regex,
     "reuse": _gen_reuse,
     "checksum": _gen_checksum,
+    "serve": _gen_serve,
 }
 
 
@@ -277,6 +292,8 @@ def run_case(domain: str, case: list) -> None:
             run_reuse_oracle(script, pattern)
         elif domain == "checksum":
             run_checksum_oracle(case)
+        elif domain == "serve":
+            run_serve_oracle(case)
         else:
             raise ValueError(f"unknown fuzz domain {domain!r}")
     except ConformanceFailure:

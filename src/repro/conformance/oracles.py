@@ -551,3 +551,41 @@ def run_checksum_oracle(case: list) -> None:
                       f"longer process-stable/canonical", step)
         else:
             _fail(domain, f"unknown checksum op {kind!r}", step)
+
+
+# -- live serving path vs direct interpreter render --------------------------------
+
+
+def run_serve_oracle(case: list) -> None:
+    """Served-bytes differential oracle for the live HTTP path.
+
+    ``case`` is a list of ``[app, seed, vary]`` requests.  Each is
+    fetched over a real HTTP connection from a transient
+    :class:`~repro.serve.httpd.MiniPhpServer` — twice, so both the
+    fresh render and the fragment-cached copy are checked — and must
+    be byte-identical to a direct
+    :func:`~repro.workloads.templates.render_http_page` render.  This
+    pins the whole serving stack (request parsing, routing, the
+    thread-pool handoff, the value-carrying cache shards, response
+    framing) to the interpreter's output: the server may shed or
+    delay under load, but it may never serve *different bytes*.
+    """
+    from repro.serve.run import serve_oracle_mismatches
+
+    domain = "serve"
+    triples = []
+    for step, op in enumerate(case):
+        if len(op) != 3 or not isinstance(op[0], str):
+            _fail(domain, f"malformed case op {op!r}", step)
+        triples.append((op[0], int(op[1]), int(op[2])))
+    mismatches = serve_oracle_mismatches(triples)
+    if mismatches:
+        first = mismatches[0]
+        _fail(
+            domain,
+            f"GET /{first['app']}?seed={first['seed']}"
+            f"&vary={first['vary']} ({first['pass']} pass): "
+            f"{first['error']}"
+            + (f" (+{len(mismatches) - 1} more)"
+               if len(mismatches) > 1 else ""),
+        )

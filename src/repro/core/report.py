@@ -297,3 +297,17 @@ def energy_report(results: list[AppResult]) -> str:
         ["app", "energy saving"], rows,
         title="Section 5.2: CPU energy savings vs optimized baseline",
     )
+
+
+def serve_report(payload: dict) -> str:
+    """Live serving-path summary (``python -m repro serve``).
+
+    The payload is the schema-validated ``repro-serve/1`` document
+    from :func:`repro.serve.run.run_serve`; the table itself lives
+    next to the schema in :mod:`repro.serve.report` (imported lazily —
+    the serve stack pulls in asyncio machinery the figure commands
+    never need).
+    """
+    from repro.serve.report import format_serve_report
+
+    return format_serve_report(payload)

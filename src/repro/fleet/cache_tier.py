@@ -42,6 +42,23 @@ def stable_hash64(text: str) -> int:
     return int.from_bytes(digest, "little")
 
 
+def jittered_ttl(key: str, ttl: float | None, jitter: float) -> float | None:
+    """Per-key deterministic TTL spread (the stampede smear).
+
+    A pure function of the key: ``stable_hash64`` maps it into
+    ``[0, 1)`` and the lifetime shrinks by up to ``jitter`` of itself,
+    so a batch of same-instant fills expires smeared instead of
+    synchronized without spending any rng draws.  Shared by the
+    event-driven :class:`ObjectCacheTier` (cycles) and the wall-clock
+    rendered-fragment cache in :mod:`repro.serve.httpd` (seconds) —
+    the unit is whatever ``ttl`` is in.
+    """
+    if ttl is None or jitter == 0.0:
+        return ttl
+    u = (stable_hash64(f"ttl#{key}") & 0xFFFF_FFFF) / 2.0 ** 32
+    return ttl * (1.0 - jitter * u)
+
+
 @dataclass(frozen=True)
 class CacheTierConfig:
     """Shape and timing of the object-cache tier.
@@ -145,7 +162,15 @@ class ShardRing:
 
 
 class CacheShard:
-    """One shard: bounded LRU of key → expiry-time entries."""
+    """One shard: bounded LRU of key → expiry-time entries.
+
+    The fleet simulator only tracks *presence* (a hit skips the
+    backend render; no bytes exist in event-driven time), but the live
+    server's rendered-fragment cache (:mod:`repro.serve.httpd`) needs
+    the same LRU/TTL/stale state machine *and* the rendered bytes, so
+    ``put`` optionally carries a value that lives and dies with its
+    entry (evicted, expired, and flushed together).
+    """
 
     def __init__(self, capacity: int, stats: StatRegistry) -> None:
         if capacity < 1:
@@ -154,6 +179,8 @@ class CacheShard:
         self.stats = stats
         #: key → expiry cycle (inf when no TTL); order = LRU order
         self._entries: OrderedDict[str, float] = OrderedDict()
+        #: key → cached payload, only for entries filled with a value
+        self._values: dict[str, object] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -165,6 +192,7 @@ class CacheShard:
             return False
         if expiry <= now:
             del self._entries[key]
+            self._values.pop(key, None)
             self.stats.bump("cache.expirations")
             return False
         self._entries.move_to_end(key)
@@ -190,17 +218,28 @@ class CacheShard:
             self._entries.move_to_end(key)
             return "stale"
         del self._entries[key]
+        self._values.pop(key, None)
         self.stats.bump("cache.expirations")
         return "miss"
 
-    def put(self, key: str, now: float, ttl: float | None) -> None:
+    def put(
+        self, key: str, now: float, ttl: float | None,
+        value: object | None = None,
+    ) -> None:
         """Fill ``key``; evicts the LRU entry when at capacity."""
         if key in self._entries:
             self._entries.move_to_end(key)
         elif len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._values.pop(evicted, None)
             self.stats.bump("cache.evictions")
         self._entries[key] = now + ttl if ttl is not None else float("inf")
+        if value is not None:
+            self._values[key] = value
+
+    def value_of(self, key: str) -> object | None:
+        """The payload stored with ``key`` (None when presence-only)."""
+        return self._values.get(key)
 
     def expire_all(self, now: float) -> int:
         """Mass expiry: every entry's TTL ends *now*.
@@ -221,6 +260,7 @@ class CacheShard:
         """Drop every entry; returns how many were dropped."""
         dropped = len(self._entries)
         self._entries.clear()
+        self._values.clear()
         return dropped
 
 
@@ -296,13 +336,7 @@ class ObjectCacheTier:
         expires smeared instead of synchronized, without spending any
         rng draws (determinism is free).
         """
-        if self.ttl_cycles is None:
-            return None
-        jitter = self.config.ttl_jitter
-        if jitter == 0.0:
-            return self.ttl_cycles
-        u = (stable_hash64(f"ttl#{key}") & 0xFFFF_FFFF) / 2.0 ** 32
-        return self.ttl_cycles * (1.0 - jitter * u)
+        return jittered_ttl(key, self.ttl_cycles, self.config.ttl_jitter)
 
     def fill(self, key: str, now: float) -> None:
         """Backend render finished: store the page for ``key``."""

@@ -1,0 +1,54 @@
+"""Live serving path: asyncio HTTP/1.1 over the MiniPHP renderer.
+
+Everything else in this repo evaluates requests in *event-driven*
+time; this package is the wall-clock substrate ROADMAP item 1 asks
+for — real concurrent sockets in front of
+:class:`~repro.runtime.interp.MiniPhpInterpreter` on the accelerated
+backend, with the PR-1/PR-6 overload policies re-costed onto seconds:
+
+* :mod:`repro.serve.httpd` — the server: routes ``/wordpress``,
+  ``/drupal``, ``/mediawiki`` (seeded query params vary the render
+  context), admission control, per-request deadlines, AIMD adaptive
+  concurrency, and a rendered-fragment cache reusing the
+  stampede defenses from :mod:`repro.fleet.cache_tier`
+  (single-flight, stale-while-revalidate, TTL jitter).
+* :mod:`repro.serve.loadclient` — an open-loop asyncio load driver
+  holding thousands of keep-alive connections, with the
+  diurnal/flash arrival shapes of :mod:`repro.fleet.overload` and a
+  retry budget capping client amplification.
+* :mod:`repro.serve.telemetry` — a bounded per-request JSONL event
+  stream (``repro-serve-telemetry/1``).
+* :mod:`repro.serve.report` — the :class:`ServeReport` (goodput,
+  wall-clock p50/p99/p999, cache hit ratio, shed/timeout counts, SLO
+  verdict at the simulators' 95% bar) plus the
+  ``repro-serve-history/1`` trajectory row.
+
+Wall-clock access is only through :mod:`repro.core.clock` — the
+DET001 lint rule stays blocking over this package.
+"""
+
+from repro.serve.httpd import MiniPhpServer, ServeConfig
+from repro.serve.loadclient import LoadConfig, LoadResult, run_load
+from repro.serve.report import (
+    SERVE_SCHEMA,
+    ServeReport,
+    append_serve_history,
+    validate_serve_payload,
+)
+from repro.serve.run import run_serve
+from repro.serve.telemetry import TELEMETRY_SCHEMA, TelemetryLog
+
+__all__ = [
+    "SERVE_SCHEMA",
+    "TELEMETRY_SCHEMA",
+    "LoadConfig",
+    "LoadResult",
+    "MiniPhpServer",
+    "ServeConfig",
+    "ServeReport",
+    "TelemetryLog",
+    "append_serve_history",
+    "run_load",
+    "run_serve",
+    "validate_serve_payload",
+]

@@ -1,0 +1,285 @@
+"""ServeReport: what one live serving run measured, schema-checked.
+
+The wall-clock sibling of the event-driven
+:class:`~repro.fleet.overload.OverloadReport`: goodput against the
+offered open-loop schedule, the latency tail (p50/p99/p999 of
+milliseconds, via the repo's one nearest-rank percentile), cache hit
+ratio, shed/timeout accounting, and an SLO verdict at the simulators'
+95% goodput bar.  ``to_payload`` emits the ``repro-serve/1`` document
+(written to ``benchmarks/out/serve.txt`` + validated by the CI smoke
+gate); :func:`append_serve_history` adds one ``repro-serve-history/1``
+row to the same append-only ``BENCH_history.jsonl`` trajectory the
+perf harness uses, so serve throughput regressions are visible
+cross-PR next to kernel speedups.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.common.stats import LatencySummary
+from repro.core import clock
+from repro.core.perf import HISTORY_PATH
+from repro.core.report import format_table, pct
+
+SERVE_SCHEMA = "repro-serve/1"
+SERVE_HISTORY_SCHEMA = "repro-serve-history/1"
+
+#: The SLO bar: the simulators' sustained-goodput target (the
+#: fraction of offered requests that must be answered 2xx).
+SLO_GOODPUT_RATIO = 0.95
+
+
+@dataclass
+class ServeReport:
+    """One live run, summarized."""
+
+    mode: str = "smoke"
+    seed: int = 0
+    #: keep-alive connections the driver held open
+    connections: int = 0
+    #: peak simultaneous connections the *server* saw
+    peak_connections: int = 0
+    offered: int = 0
+    answered: int = 0
+    ok: int = 0
+    goodput_rps: float = 0.0
+    goodput_ratio: float = 0.0
+    latency: LatencySummary = field(default_factory=LatencySummary)
+    cache_hit_ratio: float = 0.0
+    #: X-Cache outcome → count, as the client saw them
+    cache_outcomes: dict[str, int] = field(default_factory=dict)
+    #: HTTP status → count
+    statuses: dict[str, int] = field(default_factory=dict)
+    #: server-side 503s (admission + adaptive limit)
+    shed: int = 0
+    #: server-side 504s + client-side timeouts
+    timeouts: int = 0
+    client_conn_errors: int = 0
+    retries_sent: int = 0
+    retries_denied: int = 0
+    #: synchronous + background renders the server performed
+    renders: int = 0
+    #: miss requests coalesced onto an in-flight render
+    coalesced: int = 0
+    #: queued renders skipped because their requester's deadline
+    #: passed (the dequeue-time zombie shed)
+    zombie_renders_avoided: int = 0
+    bytes_in: int = 0
+    duration_s: float = 0.0
+    slo_target: float = SLO_GOODPUT_RATIO
+    slo_ok: bool = False
+    #: the served-bytes differential oracle passed for this run
+    oracle_ok: bool = False
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = {"schema": SERVE_SCHEMA}
+        payload.update(asdict(self))
+        payload["latency"] = asdict(self.latency)
+        payload["host"] = {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        }
+        return payload
+
+
+def build_report(
+    mode: str, seed: int, load_result: Any, server: Any
+) -> ServeReport:
+    """Fuse the driver's and the server's views into one report."""
+    stats = server.stats
+    shed = (
+        stats.get("serve.shed_admission")
+        + stats.get("serve.shed_adaptive")
+    )
+    timeouts = stats.get("serve.timeouts") + load_result.timeouts
+    cache_hit_ratio = (
+        server.cache.hit_ratio if server.cache is not None else 0.0
+    )
+    report = ServeReport(
+        mode=mode,
+        seed=seed,
+        connections=load_result.connections,
+        peak_connections=server.peak_connections,
+        offered=load_result.offered,
+        answered=load_result.answered,
+        ok=load_result.ok,
+        goodput_rps=load_result.goodput_rps,
+        goodput_ratio=load_result.goodput_ratio,
+        latency=load_result.latency_summary(),
+        cache_hit_ratio=cache_hit_ratio,
+        cache_outcomes=dict(sorted(load_result.cache_outcomes.items())),
+        statuses=dict(sorted(load_result.statuses.items())),
+        shed=shed,
+        timeouts=timeouts,
+        client_conn_errors=load_result.conn_errors,
+        retries_sent=load_result.retries_sent,
+        retries_denied=load_result.retries_denied,
+        renders=stats.get("serve.renders"),
+        coalesced=stats.get("serve.coalesced"),
+        zombie_renders_avoided=stats.get(
+            "serve.zombie_renders_avoided"
+        ),
+        bytes_in=load_result.bytes_in,
+        duration_s=load_result.duration_s,
+    )
+    report.slo_ok = report.goodput_ratio >= report.slo_target
+    return report
+
+
+def validate_serve_payload(payload: dict[str, Any]) -> None:
+    """Schema check for one serve payload (the CI smoke gate)."""
+    if payload.get("schema") != SERVE_SCHEMA:
+        raise ValueError(
+            f"unexpected serve schema: {payload.get('schema')!r}"
+        )
+    if payload.get("mode") not in ("smoke", "bench"):
+        raise ValueError(
+            f"serve payload ['mode'] must be smoke|bench, "
+            f"got {payload.get('mode')!r}"
+        )
+    for name in ("offered", "answered", "ok", "connections",
+                 "peak_connections", "shed", "timeouts", "renders",
+                 "coalesced", "bytes_in"):
+        value = payload.get(name)
+        if not isinstance(value, int) or value < 0:
+            raise ValueError(
+                f"serve payload [{name!r}] must be a non-negative "
+                f"int, got {value!r}"
+            )
+    for name in ("goodput_rps", "goodput_ratio", "cache_hit_ratio",
+                 "duration_s"):
+        value = payload.get(name)
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(
+                f"serve payload [{name!r}] must be a non-negative "
+                f"number, got {value!r}"
+            )
+    if not 0.0 <= payload["goodput_ratio"] <= 1.0:
+        raise ValueError("serve payload ['goodput_ratio'] not in [0,1]")
+    latency = payload.get("latency")
+    if not isinstance(latency, dict):
+        raise ValueError("serve payload missing 'latency' mapping")
+    for name in ("count", "mean", "p50", "p99", "p999"):
+        value = latency.get(name)
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(
+                f"serve payload ['latency'][{name!r}] must be a "
+                f"non-negative number, got {value!r}"
+            )
+    if payload["ok"] > 0 and latency["count"] == 0:
+        raise ValueError(
+            "serve payload served requests but has no latency samples"
+        )
+    for name in ("slo_ok", "oracle_ok"):
+        if not isinstance(payload.get(name), bool):
+            raise ValueError(f"serve payload [{name!r}] must be a bool")
+    host = payload.get("host")
+    if not isinstance(host, dict) or not host.get("python"):
+        raise ValueError("serve payload ['host'] must name the python")
+
+
+def serve_history_row(payload: dict[str, Any]) -> dict[str, Any]:
+    """The trajectory row for one serve payload."""
+    return {
+        "schema": SERVE_HISTORY_SCHEMA,
+        "recorded_utc": clock.utc_stamp(),
+        "mode": payload["mode"],
+        "seed": payload["seed"],
+        "host": dict(payload["host"]),
+        "connections": payload["connections"],
+        "offered": payload["offered"],
+        "goodput_rps": payload["goodput_rps"],
+        "goodput_ratio": payload["goodput_ratio"],
+        "p99_ms": payload["latency"]["p99"],
+        "cache_hit_ratio": payload["cache_hit_ratio"],
+        "slo_ok": payload["slo_ok"],
+    }
+
+
+def validate_serve_history_row(row: dict[str, Any]) -> None:
+    """Schema check for one ``repro-serve-history/1`` row."""
+    if row.get("schema") != SERVE_HISTORY_SCHEMA:
+        raise ValueError(
+            f"unexpected serve-history schema: {row.get('schema')!r}"
+        )
+    if row.get("mode") not in ("smoke", "bench"):
+        raise ValueError("serve-history row ['mode'] must be smoke|bench")
+    for name in ("connections", "offered"):
+        value = row.get(name)
+        if not isinstance(value, int) or value < 0:
+            raise ValueError(
+                f"serve-history row [{name!r}] must be a "
+                f"non-negative int, got {value!r}"
+            )
+    for name in ("goodput_rps", "goodput_ratio", "p99_ms",
+                 "cache_hit_ratio"):
+        value = row.get(name)
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(
+                f"serve-history row [{name!r}] must be a "
+                f"non-negative number, got {value!r}"
+            )
+    if not isinstance(row.get("slo_ok"), bool):
+        raise ValueError("serve-history row ['slo_ok'] must be a bool")
+    if not isinstance(row.get("seed"), int):
+        raise ValueError("serve-history row ['seed'] must be an int")
+    host = row.get("host")
+    if not isinstance(host, dict) or not host.get("python"):
+        raise ValueError("serve-history row ['host'] must name the python")
+    if not isinstance(row.get("recorded_utc"), str):
+        raise ValueError(
+            "serve-history row ['recorded_utc'] must be a string"
+        )
+
+
+def append_serve_history(
+    payload: dict[str, Any], path: Optional[Path] = None
+) -> Path:
+    """Append one serve row to the shared trajectory file."""
+    row = serve_history_row(payload)
+    validate_serve_history_row(row)
+    path = path or HISTORY_PATH
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return path
+
+
+def format_serve_report(payload: dict[str, Any]) -> str:
+    """Human-readable serve summary (``benchmarks/out/serve.txt``)."""
+    latency = payload["latency"]
+    rows = [
+        ["mode", payload["mode"]],
+        ["seed", str(payload["seed"])],
+        ["connections", str(payload["connections"])],
+        ["peak server conns", str(payload["peak_connections"])],
+        ["offered", str(payload["offered"])],
+        ["answered", str(payload["answered"])],
+        ["2xx (goodput)", str(payload["ok"])],
+        ["goodput", f"{payload['goodput_rps']:.1f} req/s"],
+        ["goodput ratio", pct(payload["goodput_ratio"])],
+        ["p50 / p99 / p999",
+         f"{latency['p50']:.2f} / {latency['p99']:.2f} / "
+         f"{latency['p999']:.2f} ms"],
+        ["cache hit ratio", pct(payload["cache_hit_ratio"])],
+        ["shed (503)", str(payload["shed"])],
+        ["timeouts", str(payload["timeouts"])],
+        ["renders", str(payload["renders"])],
+        ["coalesced misses", str(payload["coalesced"])],
+        ["zombie renders avoided",
+         str(payload["zombie_renders_avoided"])],
+        ["retries sent / denied",
+         f"{payload['retries_sent']} / {payload['retries_denied']}"],
+        ["duration", f"{payload['duration_s']:.2f} s"],
+        ["SLO (goodput >= " + pct(payload["slo_target"], 0) + ")",
+         "PASS" if payload["slo_ok"] else "FAIL"],
+    ]
+    return format_table(
+        ["metric", "value"], rows,
+        title="live serving path (wall-clock)",
+    )

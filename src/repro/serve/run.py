@@ -1,0 +1,270 @@
+"""Orchestrate one live serving run: server + load + oracle + report.
+
+``python -m repro serve`` lands here.  The flow:
+
+1. start a :class:`~repro.serve.httpd.MiniPhpServer` on an ephemeral
+   port,
+2. drive it with the open-loop :func:`~repro.serve.loadclient.run_load`
+   (scaled by ``--smoke``/``--bench``),
+3. replay the pinned served-bytes differential oracle — every page
+   fetched over HTTP must be byte-identical to a direct
+   :func:`~repro.workloads.templates.render_http_page` render,
+4. fuse both views into a schema-validated ``repro-serve/1`` payload,
+   write ``benchmarks/out/serve.txt`` + the telemetry JSONL, and (for
+   ``--bench``) append a ``repro-serve-history/1`` row to
+   ``BENCH_history.jsonl``.
+
+Scale ladder (all open-loop):
+
+==========  ===========  ======  ========  =====================
+mode        connections  rps     duration  purpose
+==========  ===========  ======  ========  =====================
+(default)   64           150     2 s       self-test
+bench+smoke 1 000        400     6 s       CI gate (blocking)
+bench       10 000       1 500   20 s      full harness
+==========  ===========  ======  ========  =====================
+
+The full bench *requests* 10k connections; the driver clamps to the
+``RLIMIT_NOFILE`` budget (two fds per in-process connection), so on a
+20k-fd box it holds ~9.9k.  The smoke gate asserts ≥1k held
+connections — the acceptance bar CI enforces on every push.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.common.rng import DEFAULT_SEED
+from repro.core.perf import OUT_DIR
+from repro.serve.httpd import MiniPhpServer, ServeConfig
+from repro.serve.loadclient import (
+    ArrivalShape,
+    LoadConfig,
+    LoadResult,
+    run_load,
+)
+from repro.serve.report import (
+    ServeReport,
+    append_serve_history,
+    build_report,
+    format_serve_report,
+    validate_serve_payload,
+)
+from repro.workloads.templates import APP_TEMPLATES, render_http_page
+
+#: The pinned oracle schedule: every route, two seeds, two varies.
+PINNED_ORACLE_CASES: tuple[tuple[str, int, int], ...] = tuple(
+    (app, seed, vary)
+    for app in sorted(APP_TEMPLATES)
+    for seed in (0, 7)
+    for vary in (0, 1)
+)
+
+#: Smoke CI must hold at least this many concurrent connections.
+SMOKE_MIN_CONNECTIONS = 1_000
+#: The full bench asks for this many (fd budget may clamp slightly).
+BENCH_CONNECTIONS = 10_000
+
+
+def oracle_server_config() -> ServeConfig:
+    """A server shaped for determinism, not overload realism.
+
+    No deadline, no adaptive limit, effectively unbounded admission —
+    the oracle asks "are the bytes right", and a 503/504 would only
+    say "the laptop was busy".  The fragment cache stays *on* so the
+    oracle also proves cached bytes equal freshly rendered bytes.
+    """
+    return ServeConfig(
+        deadline_s=None,
+        adaptive=None,
+        max_pending_renders=1_000_000,
+    )
+
+
+async def _fetch_page(
+    host: str, port: int, app: str, seed: int, vary: int
+) -> tuple[int, bytes]:
+    """One close-delimited GET; returns (status, body bytes)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        request = (
+            f"GET /{app}?seed={seed}&vary={vary} HTTP/1.1\r\n"
+            f"Host: {host}\r\nConnection: close\r\n\r\n"
+        ).encode("ascii")
+        writer.write(request)
+        await writer.drain()
+        raw = await reader.read(-1)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+    head, sep, body = raw.partition(b"\r\n\r\n")
+    if not sep:
+        raise AssertionError(
+            f"GET /{app}?seed={seed}&vary={vary}: no header/body "
+            f"separator in {raw[:80]!r}"
+        )
+    status = int(head.split(b" ", 2)[1])
+    return status, body
+
+
+async def _oracle_session(
+    cases: list[tuple[str, int, int]], config: Optional[ServeConfig]
+) -> list[dict]:
+    server = MiniPhpServer(config or oracle_server_config())
+    await server.start()
+    mismatches: list[dict] = []
+    try:
+        for app, seed, vary in cases:
+            expected = render_http_page(app, seed, vary)[0] \
+                .encode("utf-8")
+            # Twice: the first render fills the fragment cache, the
+            # second serves from it — both must be byte-identical.
+            for pass_name in ("render", "cached"):
+                status, body = await _fetch_page(
+                    server.config.host, server.port, app, seed, vary
+                )
+                if status != 200:
+                    mismatches.append({
+                        "app": app, "seed": seed, "vary": vary,
+                        "pass": pass_name,
+                        "error": f"HTTP {status} instead of 200",
+                    })
+                    break
+                if body != expected:
+                    mismatches.append({
+                        "app": app, "seed": seed, "vary": vary,
+                        "pass": pass_name,
+                        "error": (
+                            f"served {len(body)} bytes != direct "
+                            f"render {len(expected)} bytes"
+                            if len(body) != len(expected) else
+                            "served bytes differ from direct render"
+                        ),
+                    })
+                    break
+    finally:
+        await server.stop()
+    return mismatches
+
+
+def serve_oracle_mismatches(
+    cases: Optional[list[tuple[str, int, int]]] = None,
+    config: Optional[ServeConfig] = None,
+) -> list[dict]:
+    """Run the served-bytes differential oracle; [] means conformant.
+
+    Each case is ``(app, seed, vary)``.  For every case the page is
+    fetched over a real HTTP connection twice (fresh render, then the
+    cached fragment) and compared byte-for-byte against the direct
+    interpreter render — the conformance subsystem's entry point
+    (:func:`repro.conformance.oracles.run_serve_oracle` wraps this).
+    """
+    case_list = list(cases) if cases is not None \
+        else list(PINNED_ORACLE_CASES)
+    return asyncio.run(_oracle_session(case_list, config))
+
+
+def _bench_configs(
+    smoke: bool, seed: int
+) -> tuple[ServeConfig, LoadConfig]:
+    if smoke:
+        shape = ArrivalShape(
+            rate_rps=400.0, duration_s=6.0,
+            flash_multiplier=2.5, flash_start_s=2.0,
+            flash_duration_s=1.5,
+            diurnal_amplitude=0.3, diurnal_period_s=6.0,
+        )
+        load = LoadConfig(
+            connections=SMOKE_MIN_CONNECTIONS, shape=shape,
+            seed=seed, seed_space=24, vary_space=2,
+        )
+    else:
+        shape = ArrivalShape(
+            rate_rps=1_500.0, duration_s=20.0,
+            flash_multiplier=2.0, flash_start_s=8.0,
+            flash_duration_s=4.0,
+            diurnal_amplitude=0.3, diurnal_period_s=20.0,
+        )
+        load = LoadConfig(
+            connections=BENCH_CONNECTIONS, shape=shape,
+            seed=seed, seed_space=64, vary_space=2,
+        )
+    return ServeConfig(), load
+
+
+def _selftest_configs(seed: int) -> tuple[ServeConfig, LoadConfig]:
+    shape = ArrivalShape(rate_rps=150.0, duration_s=2.0)
+    load = LoadConfig(
+        connections=64, shape=shape, seed=seed,
+        seed_space=12, vary_space=2,
+    )
+    return ServeConfig(), load
+
+
+async def _load_session(
+    server_config: ServeConfig, load_config: LoadConfig
+) -> tuple[LoadResult, MiniPhpServer]:
+    server = MiniPhpServer(server_config)
+    await server.start()
+    try:
+        result = await run_load(
+            server.config.host, server.port, load_config
+        )
+    finally:
+        await server.stop()
+    return result, server
+
+
+def run_serve(
+    bench: bool = False,
+    smoke: bool = False,
+    seed: int = DEFAULT_SEED,
+    out_dir: Optional[Path] = None,
+    history_path: Optional[Path] = None,
+) -> dict[str, Any]:
+    """One full serving run; returns the validated payload.
+
+    Raises :class:`AssertionError` when the served-bytes oracle finds
+    a divergence, and (under ``--bench``) when the driver could not
+    hold the smoke connection floor.
+    """
+    mode = "bench" if bench else "smoke"
+    server_config, load_config = (
+        _bench_configs(smoke, seed) if bench
+        else _selftest_configs(seed)
+    )
+    result, server = asyncio.run(
+        _load_session(server_config, load_config)
+    )
+    report: ServeReport = build_report(mode, seed, result, server)
+    mismatches = serve_oracle_mismatches()
+    if mismatches:
+        raise AssertionError(
+            f"served-bytes oracle found {len(mismatches)} "
+            f"divergence(s); first: {mismatches[0]}"
+        )
+    report.oracle_ok = True
+    if bench and result.connections < min(
+        SMOKE_MIN_CONNECTIONS, load_config.connections
+    ):
+        raise AssertionError(
+            f"driver held only {result.connections} connections; the "
+            f"bench gate requires >= "
+            f"{min(SMOKE_MIN_CONNECTIONS, load_config.connections)}"
+        )
+    payload = report.to_payload()
+    validate_serve_payload(payload)
+    out = Path(out_dir) if out_dir is not None else OUT_DIR
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "serve.txt").write_text(
+        format_serve_report(payload) + "\n"
+    )
+    server.telemetry.write_jsonl(out / "serve_telemetry.jsonl")
+    if bench:
+        append_serve_history(payload, path=history_path)
+    return payload

@@ -1,0 +1,169 @@
+"""Bounded per-request telemetry for the live serving path.
+
+Every request the server finishes (served, shed, timed out, or
+rejected at parse) appends one event; the log is a bounded ring so a
+10k-connection run cannot grow memory without bound — overflow drops
+the *oldest* events and counts them, so the tail of a run (the part a
+post-mortem reads first) always survives.  ``write_jsonl`` persists
+the ring to ``benchmarks/out/`` as one JSON object per line, each
+self-describing via the ``repro-serve-telemetry/1`` schema marker.
+
+This is the measured-traffic stream the OpenDT-style calibration loop
+(ROADMAP item 3) will consume: per-request queue wait, render time,
+cache outcome, and backend op counters — enough to fit service-time
+distributions and hit ratios against observed, not assumed, traffic.
+
+Timestamps are *relative* milliseconds since the run started (from
+:mod:`repro.core.clock` monotonic reads): wall-clock values are
+inherently non-reproducible, so no absolute time ever lands in an
+event row.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+#: Event format marker; bump on schema changes.
+TELEMETRY_SCHEMA = "repro-serve-telemetry/1"
+
+#: Cache outcome vocabulary (``none`` = the request never reached the
+#: render path: parse errors, unknown routes, sheds).
+CACHE_OUTCOMES = ("hit", "stale", "miss", "coalesced", "none")
+
+
+@dataclass(frozen=True)
+class RequestEvent:
+    """One finished request, as the server saw it."""
+
+    #: milliseconds since the telemetry epoch (run start)
+    t_ms: float
+    #: route name (``wordpress``/``drupal``/``mediawiki``) or ``-``
+    route: str
+    #: HTTP status the client was sent (0 = connection died first)
+    status: int
+    #: cache outcome, one of :data:`CACHE_OUTCOMES`
+    cache: str
+    #: time from arrival to render dispatch (0 for cache hits)
+    queue_wait_ms: float
+    #: synchronous render time billed to this request (0 on hits)
+    render_ms: float
+    #: arrival to last response byte
+    total_ms: float
+    #: response body bytes
+    bytes_out: int
+    #: why the request was refused ("" when served)
+    shed: str = ""
+    #: interpreter/backend op counters for this render ({} on hits)
+    ops: dict = field(default_factory=dict)
+
+    def to_row(self) -> dict:
+        row = {"schema": TELEMETRY_SCHEMA}
+        row.update(asdict(self))
+        return row
+
+
+def validate_event_row(row: dict) -> None:
+    """Schema check for one telemetry JSONL row."""
+    if row.get("schema") != TELEMETRY_SCHEMA:
+        raise ValueError(
+            f"unexpected telemetry schema: {row.get('schema')!r}"
+        )
+    for name in ("t_ms", "queue_wait_ms", "render_ms", "total_ms"):
+        value = row.get(name)
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(
+                f"telemetry row [{name!r}] must be a non-negative "
+                f"number, got {value!r}"
+            )
+    if not isinstance(row.get("route"), str):
+        raise ValueError("telemetry row ['route'] must be a string")
+    status = row.get("status")
+    if not isinstance(status, int) or not (0 <= status <= 599):
+        raise ValueError(
+            f"telemetry row ['status'] must be an HTTP status or 0, "
+            f"got {status!r}"
+        )
+    if row.get("cache") not in CACHE_OUTCOMES:
+        raise ValueError(
+            f"telemetry row ['cache'] must be one of {CACHE_OUTCOMES}, "
+            f"got {row.get('cache')!r}"
+        )
+    bytes_out = row.get("bytes_out")
+    if not isinstance(bytes_out, int) or bytes_out < 0:
+        raise ValueError(
+            "telemetry row ['bytes_out'] must be a non-negative int"
+        )
+    if not isinstance(row.get("shed"), str):
+        raise ValueError("telemetry row ['shed'] must be a string")
+    if not isinstance(row.get("ops"), dict):
+        raise ValueError("telemetry row ['ops'] must be an object")
+
+
+class TelemetryLog:
+    """Bounded in-memory event ring with JSONL persistence."""
+
+    def __init__(self, max_events: int = 50_000) -> None:
+        if max_events < 1:
+            raise ValueError(
+                f"max_events must be >= 1, got {max_events}"
+            )
+        self.max_events = max_events
+        self._events: deque[RequestEvent] = deque(maxlen=max_events)
+        #: events discarded because the ring was full
+        self.dropped = 0
+        #: every event ever offered (kept + dropped)
+        self.recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[RequestEvent]:
+        return iter(self._events)
+
+    def record(self, event: RequestEvent) -> None:
+        self.recorded += 1
+        if len(self._events) == self.max_events:
+            self.dropped += 1
+        self._events.append(event)
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Persist the ring, one schema-tagged JSON object per line."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as fh:
+            for event in self._events:
+                fh.write(json.dumps(event.to_row(), sort_keys=True))
+                fh.write("\n")
+        return path
+
+    @staticmethod
+    def read_jsonl(path: str | Path) -> list[dict]:
+        """Load and schema-check a persisted telemetry stream."""
+        rows = []
+        for line in Path(path).read_text().splitlines():
+            if not line.strip():
+                continue
+            row = json.loads(line)
+            validate_event_row(row)
+            rows.append(row)
+        return rows
+
+    def latency_samples(self) -> list[float]:
+        """Total-latency samples (ms) of the *served* requests."""
+        return [
+            e.total_ms for e in self._events
+            if 200 <= e.status < 300
+        ]
+
+
+def summarize_ops(events: Iterator[RequestEvent]) -> dict[str, int]:
+    """Aggregate backend op counters across a stream of events."""
+    totals: dict[str, int] = {}
+    for event in events:
+        for name, value in event.ops.items():
+            totals[name] = totals.get(name, 0) + int(value)
+    return totals

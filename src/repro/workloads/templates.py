@@ -156,3 +156,37 @@ def render_app_page(
     """Render one request's page for ``app`` on ``interp``'s backend."""
     template = APP_TEMPLATES[app]
     return interp.render(template.source, build_variables(app, interp, rng))
+
+
+def render_http_page(
+    app: str, seed: int, vary: int = 0, accelerated: bool = True
+) -> tuple[str, dict[str, int]]:
+    """Render the page the live HTTP server serves for one route.
+
+    The single source of truth for what ``GET /<app>?seed=S&vary=V``
+    returns: a fresh interpreter (accelerated backend by default) over
+    a rng forked from ``(seed, vary)``, so the bytes are a pure
+    function of the query — which is what makes the served-bytes
+    differential oracle in :mod:`repro.conformance.oracles` possible,
+    and what makes the fragment cache in :mod:`repro.serve.httpd`
+    sound (same key, same bytes).  Returns ``(html, op_counters)``
+    where the counters are the interpreter/backend work done for this
+    render (the telemetry stream's per-request backend column).
+    """
+    if app not in APP_TEMPLATES:
+        raise KeyError(f"unknown app {app!r}")
+    if accelerated:
+        from repro.runtime.interp import AcceleratedBackend
+
+        interp = MiniPhpInterpreter(AcceleratedBackend())
+    else:
+        interp = MiniPhpInterpreter()
+    rng = DeterministicRng(seed).fork(f"serve-{app}-{vary}")
+    html = render_app_page(app, interp, rng)
+    ops = {
+        "var_gets": interp.stats.get("interp.var_gets"),
+        "var_sets": interp.stats.get("interp.var_sets"),
+        "calls": interp.stats.get("interp.calls"),
+        "backend_cycles": int(interp.backend.cost_cycles()),
+    }
+    return html, ops

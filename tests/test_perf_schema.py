@@ -126,6 +126,13 @@ class TestBenchHistory:
     """The append-only perf trajectory (``BENCH_history.jsonl``)."""
 
     def test_committed_rows_pass_the_validator(self):
+        # The trajectory file is shared: perf rows and serve rows
+        # interleave, each validated by its own schema's validator.
+        from repro.serve.report import (
+            SERVE_HISTORY_SCHEMA,
+            validate_serve_history_row,
+        )
+
         assert HISTORY_PATH.exists(), (
             "BENCH_history.jsonl missing: run `python -m repro perf`"
         )
@@ -135,9 +142,19 @@ class TestBenchHistory:
             if line.strip()
         ]
         assert rows, "history file exists but holds no rows"
+        validators = {
+            HISTORY_SCHEMA: validate_history_row,
+            SERVE_HISTORY_SCHEMA: validate_serve_history_row,
+        }
+        seen = set()
         for row in rows:
-            validate_history_row(row)
-            assert row["schema"] == HISTORY_SCHEMA
+            schema = row.get("schema")
+            assert schema in validators, (
+                f"unknown history row schema {schema!r}"
+            )
+            validators[schema](row)
+            seen.add(schema)
+        assert HISTORY_SCHEMA in seen, "no perf rows in the trajectory"
 
     def test_append_derives_a_valid_row_and_only_appends(
         self, payload, tmp_path
