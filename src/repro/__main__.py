@@ -297,11 +297,31 @@ def _cmd_sens(args) -> None:
 def _cmd_perf(args) -> None:
     from repro.core.perf import format_perf_report, run_perf
     from repro.core.report import perf_observability_report
-    payload = run_perf(smoke=bool(getattr(args, "smoke", False)),
-                       seed=args.seed)
+    backend = getattr(args, "backend", None)
+    payload = run_perf(
+        smoke=bool(getattr(args, "smoke", False)),
+        seed=args.seed,
+        backends=(backend,) if backend else None,
+    )
     print(format_perf_report(payload))
     print()
     print(perf_observability_report())
+
+
+def _cmd_backends(args) -> None:
+    from repro.accel.registry import available_backends
+    from repro.core.report import format_table
+    rows = []
+    for row in available_backends():
+        rows.append([
+            row["name"],
+            "yes" if row["available"] else f"degraded ({row['reason']})",
+            ", ".join(row["kernels"]) or "(optimized fallback)",
+        ])
+    print(format_table(
+        ["backend", "available", "registered kernels"], rows,
+        title="Accelerator backend registry",
+    ))
 
 
 def _cmd_conform(args) -> None:
@@ -330,6 +350,7 @@ def _cmd_serve(args) -> None:
         bench=bool(getattr(args, "bench", False)),
         smoke=bool(getattr(args, "smoke", False)),
         seed=args.seed,
+        backend=getattr(args, "backend", None) or "optimized",
     )
     print(serve_report(payload))
     print()
@@ -397,6 +418,8 @@ _COMMANDS = {
     "sens": (_cmd_sens, "sensitivity sweeps over accelerator sizing"),
     "perf": (_cmd_perf,
              "wall-clock speedups vs the pinned reference kernels"),
+    "backends": (_cmd_backends,
+                 "list registered accelerator backends + availability"),
     "conform": (_cmd_conform,
                 "differential oracles + metamorphic fuzzing vs shadows"),
     "serve": (_cmd_serve,
@@ -433,6 +456,10 @@ def main(argv: list[str] | None = None) -> int:
                              "(1k connections with --smoke, 10k "
                              "requested without) instead of the "
                              "self-test")
+    parser.add_argument("--backend", type=str, default=None,
+                        help="perf: measure only this backend; serve: "
+                             "run the server on this backend's kernels "
+                             "(default: optimized)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="process-pool workers for sweep commands "
                              "(default: REPRO_JOBS env, else 1)")

@@ -1,0 +1,10 @@
+"""Pluggable accelerator backends, one module per variant.
+
+Every module in this package self-registers with
+:data:`repro.accel.registry.REGISTRY` at import time;
+``BackendRegistry._ensure_loaded`` imports the whole package via
+``pkgutil``, so dropping a new variant here (PIM-batched,
+tiered-memory, ...) requires zero edits anywhere else — the
+conformance fuzzer, perf harness, and CLI enumerate backends through
+the registry.
+"""

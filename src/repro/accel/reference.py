@@ -21,6 +21,7 @@ from contextlib import contextmanager
 from typing import Optional
 
 from repro.accel.hash_table import HardwareHashTable
+from repro.accel.registry import REGISTRY, backend_mode
 from repro.accel.string_accel import (
     MatrixConfigState,
     StringAccelerator,
@@ -261,60 +262,68 @@ def reference_search(
 
 
 # ---------------------------------------------------------------------------
-# reference_mode: run the whole simulator on the original kernels
+# registration + reference_mode
 # ---------------------------------------------------------------------------
 
 
 @contextmanager
-def reference_mode():
-    """Temporarily run the simulator on pre-optimization kernels.
+def _seed_cache_profile():
+    """Restore the seed repo's cache profile while in reference mode.
 
-    Patches the optimized methods back to their reference versions and
-    disables the trace-stream cache, the experiment cache, and the
-    compiled-pattern memo — i.e. restores the seed repo's execution
-    profile — so end-to-end speedups can be measured in-process against
-    a faithful baseline.  Results must be byte-identical either way;
-    the perf harness asserts that too.
+    Disables the trace-stream cache, the experiment cache, and the
+    compiled-pattern memo — so end-to-end speedups are measured
+    against a faithful pre-optimization execution profile, not one
+    that still benefits from the caches added later.
     """
     import repro.regex.engine as engine_mod
     from repro.core import expcache
     from repro.workloads.loadgen import TRACE_CACHE
 
-    saved = {
-        "find": StringAccelerator.find,
-        "compare": StringAccelerator.compare,
-        "html_escape": StringAccelerator.html_escape,
-        "char_class_bitmap": StringAccelerator.char_class_bitmap,
-        "probe_window": HardwareHashTable._probe_window,
-        "search": CompiledRegex.search,
-        "state_after": CompiledRegex.state_after,
-        "resume": CompiledRegex.resume,
-        "compile_tables": engine_mod._compile_tables,
-        "trace_cache_enabled": TRACE_CACHE.enabled,
-    }
-    StringAccelerator.find = reference_find
-    StringAccelerator.compare = reference_compare
-    StringAccelerator.html_escape = reference_html_escape
-    StringAccelerator.char_class_bitmap = reference_char_class_bitmap
-    HardwareHashTable._probe_window = reference_probe_window
-    CompiledRegex.search = reference_search
-    CompiledRegex.state_after = reference_state_after
-    CompiledRegex.resume = reference_resume
-    engine_mod._compile_tables = engine_mod._compile_tables.__wrapped__
+    saved_tables = engine_mod._compile_tables
+    saved_trace = TRACE_CACHE.enabled
+    engine_mod._compile_tables = getattr(
+        saved_tables, "__wrapped__", saved_tables
+    )
     TRACE_CACHE.enabled = False
     TRACE_CACHE.clear()
     try:
         with expcache.disabled():
             yield
     finally:
-        StringAccelerator.find = saved["find"]
-        StringAccelerator.compare = saved["compare"]
-        StringAccelerator.html_escape = saved["html_escape"]
-        StringAccelerator.char_class_bitmap = saved["char_class_bitmap"]
-        HardwareHashTable._probe_window = saved["probe_window"]
-        CompiledRegex.search = saved["search"]
-        CompiledRegex.state_after = saved["state_after"]
-        CompiledRegex.resume = saved["resume"]
-        engine_mod._compile_tables = saved["compile_tables"]
-        TRACE_CACHE.enabled = saved["trace_cache_enabled"]
+        engine_mod._compile_tables = saved_tables
+        TRACE_CACHE.enabled = saved_trace
         TRACE_CACHE.clear()
+
+
+REGISTRY.register_backend("reference")
+REGISTRY.register("string.find", "reference", reference_find)
+REGISTRY.register("string.compare", "reference", reference_compare)
+REGISTRY.register("string.html_escape", "reference",
+                  reference_html_escape)
+REGISTRY.register("string.char_class_bitmap", "reference",
+                  reference_char_class_bitmap)
+REGISTRY.register("string.matrix_for_block", "reference",
+                  reference_matrix_for_block)
+REGISTRY.register("hash.probe_window", "reference",
+                  reference_probe_window)
+REGISTRY.register("regex.search", "reference", reference_search)
+REGISTRY.register("regex.state_after", "reference",
+                  reference_state_after)
+REGISTRY.register("regex.resume", "reference", reference_resume)
+REGISTRY.add_mode_hook("reference", _seed_cache_profile)
+
+
+@contextmanager
+def reference_mode():
+    """Temporarily run the simulator on pre-optimization kernels.
+
+    Now a thin alias for ``backend_mode("reference")``: the registry
+    patches the optimized methods back to their reference versions,
+    and the mode hook above disables the trace-stream cache, the
+    experiment cache, and the compiled-pattern memo — i.e. restores
+    the seed repo's execution profile — so end-to-end speedups can be
+    measured in-process against a faithful baseline.  Results must be
+    byte-identical either way; the perf harness asserts that too.
+    """
+    with backend_mode("reference"):
+        yield

@@ -1,0 +1,301 @@
+"""Pluggable accelerator-backend registry.
+
+Every hot kernel the paper models (string scan/membership, hash probe,
+regex DFA stepping, heap management) exists in more than one software
+realization: the pinned seed-era ``reference`` kernels
+(:mod:`repro.accel.reference`), the hand-``optimized`` defaults living
+on the accelerator classes, and bulk/vectorized variants under
+:mod:`repro.accel.backends`.  This module names each patchable kernel
+as a *binding point* — ``(owner class, attribute)`` — and resolves an
+implementation per ``(kernel, backend)`` pair, so the conformance
+oracles, perf harness, fuzzer, and CLI can enumerate backends instead
+of hard-coding module pairs.
+
+Key properties:
+
+* **Zero-edit extension.**  A new backend is one module under
+  ``repro.accel.backends/`` that calls :func:`register` at import
+  time; discovery walks the package, so nothing else in the repo
+  needs touching.
+* **Fallback resolution.**  A backend that registers only some
+  kernels shares the ``optimized`` implementation for the rest (the
+  heap manager, for example, has a single implementation that every
+  backend uses).
+* **Nestable patching.**  :func:`backend_mode` swaps every binding
+  point process-wide for the duration of a ``with`` block, restoring
+  whatever was active before — nesting ``backend_mode("reference")``
+  inside ``backend_mode("bulk")`` works and unwinds correctly.
+* **Mode hooks.**  A backend may attach context managers entered for
+  the duration of its mode; the ``reference`` backend uses one to
+  restore the seed repo's cache profile (trace/experiment/pattern
+  caches off), exactly what the old ``reference_mode()`` did.
+
+Results must be byte-identical across backends on every input; the
+conformance suite and the perf harness both assert that.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+#: The backend the accelerator classes ship with: the attribute values
+#: captured from the classes themselves at first use.
+DEFAULT_BACKEND = "optimized"
+
+#: The pinned seed-era baseline backend (never perf-measured against
+#: itself; everything else is reported as a speedup over it).
+REFERENCE_BACKEND = "reference"
+
+
+@dataclass(frozen=True)
+class KernelPoint:
+    """One patchable kernel: ``setattr(owner, attr, impl)``."""
+
+    name: str
+    owner: type
+    attr: str
+
+
+class BackendRegistry:
+    """Backend name → kernel implementations, plus the mode switch."""
+
+    def __init__(self) -> None:
+        self._points: dict[str, KernelPoint] = {}
+        #: kernel name → backend name → implementation
+        self._impls: dict[str, dict[str, Callable]] = {}
+        #: backend name → context-manager factories entered in-mode
+        self._hooks: dict[str, list[Callable[[], Any]]] = {}
+        #: backend name → callable returning why it is unavailable
+        #: (None when it can run at full strength here)
+        self._degraded: dict[str, Callable[[], Optional[str]]] = {}
+        self._backends: list[str] = [DEFAULT_BACKEND]
+        self._stack: list[str] = []
+        self._loaded = False
+
+    # -- registration (import-time API for backend modules) ------------------
+
+    def register_backend(
+        self,
+        name: str,
+        *,
+        unavailable_reason: Callable[[], Optional[str]] | None = None,
+    ) -> None:
+        """Declare a backend; idempotent.
+
+        ``unavailable_reason`` reports (as a string) why the backend
+        cannot run at full strength in this environment — e.g. a
+        missing optional dependency.  Such a backend stays selectable:
+        its kernels are expected to degrade gracefully to the
+        ``optimized`` implementations per call.
+        """
+        if name not in self._backends:
+            self._backends.append(name)
+        if unavailable_reason is not None:
+            self._degraded[name] = unavailable_reason
+
+    def register(self, kernel: str, backend: str, impl: Callable) -> None:
+        """Bind ``impl`` as backend ``backend``'s ``kernel``."""
+        self.register_backend(backend)
+        self._impls.setdefault(kernel, {})[backend] = impl
+
+    def add_mode_hook(
+        self, backend: str, hook: Callable[[], Any]
+    ) -> None:
+        """Enter ``hook()`` (a context manager) while in this mode."""
+        self.register_backend(backend)
+        self._hooks.setdefault(backend, []).append(hook)
+
+    # -- lazy core binding ----------------------------------------------------
+
+    def _bind(self, kernel: str, owner: type, attr: str) -> None:
+        self._points[kernel] = KernelPoint(kernel, owner, attr)
+        # The class attribute *is* the optimized implementation.
+        self._impls.setdefault(kernel, {})[DEFAULT_BACKEND] = (
+            owner.__dict__[attr]
+        )
+
+    def _ensure_loaded(self) -> None:
+        """Bind the core kernel points, then import every backend.
+
+        Runs once, before any resolution or patching, so the captured
+        ``optimized`` implementations are always the unpatched class
+        attributes.  Backend discovery walks
+        ``repro.accel.backends/`` — adding a variant there requires no
+        edits anywhere else.
+        """
+        if self._loaded:
+            return
+        self._loaded = True
+        from repro.accel.hash_table import HardwareHashTable
+        from repro.accel.heap_manager import HardwareHeapManager
+        from repro.accel.string_accel import StringAccelerator
+        from repro.regex.engine import CompiledRegex
+
+        self._bind("string.find", StringAccelerator, "find")
+        self._bind("string.compare", StringAccelerator, "compare")
+        self._bind("string.html_escape", StringAccelerator, "html_escape")
+        self._bind("string.char_class_bitmap", StringAccelerator,
+                   "char_class_bitmap")
+        self._bind("string.matrix_for_block", StringAccelerator,
+                   "_matrix_for_block")
+        self._bind("hash.probe_window", HardwareHashTable, "_probe_window")
+        self._bind("regex.search", CompiledRegex, "search")
+        self._bind("regex.state_after", CompiledRegex, "state_after")
+        self._bind("regex.resume", CompiledRegex, "resume")
+        self._bind("heap.hmmalloc", HardwareHeapManager, "hmmalloc")
+        self._bind("heap.hmfree", HardwareHeapManager, "hmfree")
+
+        import repro.accel.backends as backends_pkg
+        import repro.accel.reference  # noqa: F401  registers "reference"
+        for info in sorted(pkgutil.iter_modules(backends_pkg.__path__),
+                           key=lambda m: m.name):
+            importlib.import_module(
+                f"{backends_pkg.__name__}.{info.name}"
+            )
+
+    # -- resolution -----------------------------------------------------------
+
+    def backend_names(self) -> tuple[str, ...]:
+        """Registered backend names, registration order."""
+        self._ensure_loaded()
+        return tuple(self._backends)
+
+    def kernel_names(self) -> tuple[str, ...]:
+        """All bound kernel binding points, sorted."""
+        self._ensure_loaded()
+        return tuple(sorted(self._points))
+
+    def current_backend(self) -> str:
+        """The innermost active :func:`backend_mode`, or the default."""
+        return self._stack[-1] if self._stack else DEFAULT_BACKEND
+
+    def resolve(self, kernel: str, backend: str) -> Callable:
+        """Implementation for ``(kernel, backend)``, with fallback.
+
+        A backend that does not register ``kernel`` shares the
+        ``optimized`` implementation.  Unknown kernels and unknown
+        backends raise :class:`ValueError`.
+        """
+        self._ensure_loaded()
+        if backend not in self._backends:
+            raise ValueError(
+                f"unknown backend {backend!r}; registered: "
+                f"{', '.join(self._backends)}"
+            )
+        if kernel not in self._points:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; bound: "
+                f"{', '.join(sorted(self._points))}"
+            )
+        impls = self._impls[kernel]
+        impl = impls.get(backend)
+        if impl is None:
+            impl = impls[DEFAULT_BACKEND]
+        return impl
+
+    def available_backends(self) -> list[dict[str, Any]]:
+        """One report row per registered backend.
+
+        Each row: ``{"name", "available", "reason", "kernels"}`` —
+        ``available`` is False when the backend would degrade to the
+        optimized kernels here (e.g. numpy missing), ``reason`` says
+        why, and ``kernels`` lists the binding points the backend
+        registers its own implementation for.
+        """
+        self._ensure_loaded()
+        rows: list[dict[str, Any]] = []
+        for name in self._backends:
+            probe = self._degraded.get(name)
+            reason = probe() if probe is not None else None
+            kernels = sorted(
+                kernel for kernel, impls in self._impls.items()
+                if name in impls and kernel in self._points
+            )
+            rows.append({
+                "name": name,
+                "available": reason is None,
+                "reason": reason,
+                "kernels": kernels,
+            })
+        return rows
+
+    def measured_backends(self) -> tuple[str, ...]:
+        """Backends the perf harness should time against reference.
+
+        Every registered backend except ``reference`` itself (the
+        baseline), skipping ones that would silently degrade to
+        ``optimized`` here — timing the fallback would report the
+        wrong backend's number.
+        """
+        return tuple(
+            row["name"] for row in self.available_backends()
+            if row["name"] != REFERENCE_BACKEND and row["available"]
+        )
+
+    # -- the mode switch ------------------------------------------------------
+
+    @contextmanager
+    def backend_mode(self, name: str) -> Iterator[None]:
+        """Run the process on backend ``name``'s kernels.
+
+        Patches every binding point, enters the backend's mode hooks,
+        and restores the previously active implementations on exit —
+        whatever they were, so nesting works.
+        """
+        self._ensure_loaded()
+        if name not in self._backends:
+            raise ValueError(
+                f"unknown backend {name!r}; registered: "
+                f"{', '.join(self._backends)}"
+            )
+        points = [self._points[kernel]
+                  for kernel in sorted(self._points)]
+        saved = [(pt, pt.owner.__dict__[pt.attr]) for pt in points]
+        self._stack.append(name)
+        try:
+            with ExitStack() as stack:
+                for hook in self._hooks.get(name, ()):
+                    stack.enter_context(hook())
+                for pt in points:
+                    setattr(pt.owner, pt.attr,
+                            self.resolve(pt.name, name))
+                try:
+                    yield
+                finally:
+                    for pt, impl in saved:
+                        setattr(pt.owner, pt.attr, impl)
+        finally:
+            self._stack.pop()
+
+
+#: The process-wide registry every accelerator kernel resolves through.
+REGISTRY = BackendRegistry()
+
+
+def backend_mode(name: str):
+    """Module-level convenience for ``REGISTRY.backend_mode``."""
+    return REGISTRY.backend_mode(name)
+
+
+def available_backends() -> list[dict[str, Any]]:
+    """Module-level convenience for ``REGISTRY.available_backends``."""
+    return REGISTRY.available_backends()
+
+
+def backend_names() -> tuple[str, ...]:
+    """Module-level convenience for ``REGISTRY.backend_names``."""
+    return REGISTRY.backend_names()
+
+
+def current_backend() -> str:
+    """Module-level convenience for ``REGISTRY.current_backend``."""
+    return REGISTRY.current_backend()
+
+
+def measured_backends() -> tuple[str, ...]:
+    """Module-level convenience for ``REGISTRY.measured_backends``."""
+    return REGISTRY.measured_backends()

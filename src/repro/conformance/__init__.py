@@ -35,6 +35,7 @@ from repro.conformance.invariants import (
     run_invariant,
 )
 from repro.conformance.fuzzer import (
+    BASE_DOMAINS,
     DOMAINS,
     ConformanceReport,
     DomainResult,
@@ -43,10 +44,12 @@ from repro.conformance.fuzzer import (
     run_case,
     run_conformance,
     shrink_case,
+    split_domain,
     write_failure_artifacts,
 )
 
 __all__ = [
+    "BASE_DOMAINS",
     "ConformanceFailure",
     "ConformanceReport",
     "DomainResult",
@@ -67,5 +70,6 @@ __all__ = [
     "run_string_oracle",
     "shadow_checksum",
     "shrink_case",
+    "split_domain",
     "write_failure_artifacts",
 ]

@@ -41,6 +41,8 @@ class ServeReport:
 
     mode: str = "smoke"
     seed: int = 0
+    #: which accelerator backend's kernels served the run
+    backend: str = "optimized"
     #: keep-alive connections the driver held open
     connections: int = 0
     #: peak simultaneous connections the *server* saw
@@ -89,7 +91,8 @@ class ServeReport:
 
 
 def build_report(
-    mode: str, seed: int, load_result: Any, server: Any
+    mode: str, seed: int, load_result: Any, server: Any,
+    backend: str = "optimized",
 ) -> ServeReport:
     """Fuse the driver's and the server's views into one report."""
     stats = server.stats
@@ -104,6 +107,7 @@ def build_report(
     report = ServeReport(
         mode=mode,
         seed=seed,
+        backend=backend,
         connections=load_result.connections,
         peak_connections=server.peak_connections,
         offered=load_result.offered,
@@ -142,6 +146,11 @@ def validate_serve_payload(payload: dict[str, Any]) -> None:
         raise ValueError(
             f"serve payload ['mode'] must be smoke|bench, "
             f"got {payload.get('mode')!r}"
+        )
+    backend = payload.get("backend", "optimized")
+    if not isinstance(backend, str) or not backend:
+        raise ValueError(
+            "serve payload ['backend'] must be a non-empty string"
         )
     for name in ("offered", "answered", "ok", "connections",
                  "peak_connections", "shed", "timeouts", "renders",
@@ -191,6 +200,7 @@ def serve_history_row(payload: dict[str, Any]) -> dict[str, Any]:
         "recorded_utc": clock.utc_stamp(),
         "mode": payload["mode"],
         "seed": payload["seed"],
+        "backend": payload.get("backend", "optimized"),
         "host": dict(payload["host"]),
         "connections": payload["connections"],
         "offered": payload["offered"],
@@ -229,6 +239,13 @@ def validate_serve_history_row(row: dict[str, Any]) -> None:
         raise ValueError("serve-history row ['slo_ok'] must be a bool")
     if not isinstance(row.get("seed"), int):
         raise ValueError("serve-history row ['seed'] must be an int")
+    if "backend" in row:
+        backend = row["backend"]
+        if not isinstance(backend, str) or not backend:
+            raise ValueError(
+                "serve-history row ['backend'] must be a non-empty "
+                "string"
+            )
     host = row.get("host")
     if not isinstance(host, dict) or not host.get("python"):
         raise ValueError("serve-history row ['host'] must name the python")
@@ -256,6 +273,7 @@ def format_serve_report(payload: dict[str, Any]) -> str:
     rows = [
         ["mode", payload["mode"]],
         ["seed", str(payload["seed"])],
+        ["backend", payload.get("backend", "optimized")],
         ["connections", str(payload["connections"])],
         ["peak server conns", str(payload["peak_connections"])],
         ["offered", str(payload["offered"])],

@@ -226,23 +226,33 @@ def run_serve(
     seed: int = DEFAULT_SEED,
     out_dir: Optional[Path] = None,
     history_path: Optional[Path] = None,
+    backend: str = "optimized",
 ) -> dict[str, Any]:
     """One full serving run; returns the validated payload.
+
+    ``backend`` selects the accelerator backend the whole run (load
+    session *and* served-bytes oracle) executes on, so the live SLO
+    gate prices each registered backend in wall-clock seconds.
 
     Raises :class:`AssertionError` when the served-bytes oracle finds
     a divergence, and (under ``--bench``) when the driver could not
     hold the smoke connection floor.
     """
+    from repro.accel.registry import backend_mode
+
     mode = "bench" if bench else "smoke"
     server_config, load_config = (
         _bench_configs(smoke, seed) if bench
         else _selftest_configs(seed)
     )
-    result, server = asyncio.run(
-        _load_session(server_config, load_config)
-    )
-    report: ServeReport = build_report(mode, seed, result, server)
-    mismatches = serve_oracle_mismatches()
+    with backend_mode(backend):
+        result, server = asyncio.run(
+            _load_session(server_config, load_config)
+        )
+        report: ServeReport = build_report(
+            mode, seed, result, server, backend=backend
+        )
+        mismatches = serve_oracle_mismatches()
     if mismatches:
         raise AssertionError(
             f"served-bytes oracle found {len(mismatches)} "

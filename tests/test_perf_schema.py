@@ -5,8 +5,9 @@ and ``benchmarks/out/perf.txt`` next to the other benchmark outputs;
 both are committed so the numbers travel with the code.  These tests
 validate the committed files without regenerating them (regeneration
 is the perf harness's job): required fields present, every ratio
-finite and non-negative, and the rendered table consistent with the
-JSON it was derived from.
+finite and non-negative, per-backend metric rows covering every
+measured backend, and the rendered table consistent with the JSON it
+was derived from.
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ from pathlib import Path
 import pytest
 
 from repro.core.perf import (
+    BULK_STRING_SPEEDUP_MIN,
     HASH_SPEEDUP_MIN,
     HISTORY_PATH,
     HISTORY_SCHEMA,
@@ -25,6 +27,7 @@ from repro.core.perf import (
     PERF_SCHEMA,
     append_history,
     format_perf_report,
+    string_floor,
     validate_history_row,
     validate_perf_payload,
 )
@@ -65,20 +68,48 @@ class TestBenchPerfJson:
         assert payload["host"]["platform"]
         assert set(payload["floors"]) >= {
             "string_speedup_min", "e2e_speedup_min",
-            "hash_speedup_min", "asserted",
+            "hash_speedup_min", "bulk_string_speedup_min", "asserted",
         }
-        assert payload["floors"]["hash_speedup_min"] >= 1.0
+        assert payload["floors"]["hash_speedup_min"] >= 1.2
+        assert payload["floors"]["bulk_string_speedup_min"] \
+            == BULK_STRING_SPEEDUP_MIN
 
-    def test_hash_floor_holds_when_asserted(self, payload):
+    def test_backend_availability_report(self, payload):
+        rows = payload["backends"]
+        assert isinstance(rows, list) and rows
+        names = [row["name"] for row in rows]
+        assert "reference" in names
+        assert "optimized" in names
+        for row in rows:
+            assert isinstance(row["available"], bool)
+            assert isinstance(row["kernels"], list) and row["kernels"]
+            if not row["available"]:
+                assert row["reason"]
+
+    def test_per_backend_rows_cover_every_measured_backend(
+        self, payload
+    ):
+        measured = payload["measured_backends"]
+        assert isinstance(measured, list) and measured
+        assert "reference" not in measured
+        for section in ("string_accel", "hash_table",
+                        "e2e_full_evaluation"):
+            backends = payload["metrics"][section]["backends"]
+            assert set(backends) >= set(measured)
+
+    def test_floors_hold_when_asserted(self, payload):
         # The committed artifact must come from a run that asserted the
-        # floors — and the hash kernel must actually clear its floor
-        # (this is the regression the floor exists to catch).
+        # floors — and every measured backend must actually clear its
+        # floors (this is the regression the floors exist to catch,
+        # including the 2.5x bar the bulk backend committed to).
         if not payload["floors"]["asserted"]:
             pytest.skip("committed payload is an unasserted smoke run")
-        assert (
-            payload["metrics"]["hash_table"]["speedup"]
-            >= HASH_SPEEDUP_MIN
-        )
+        m = payload["metrics"]
+        for name in payload["measured_backends"]:
+            assert m["string_accel"]["backends"][name]["speedup"] \
+                >= string_floor(name)
+            assert m["hash_table"]["backends"][name]["speedup"] \
+                >= HASH_SPEEDUP_MIN
 
     def test_every_number_is_finite_and_nonnegative(self, payload):
         checked = 0
@@ -91,19 +122,58 @@ class TestBenchPerfJson:
     def test_speedup_ratios_are_consistent(self, payload):
         m = payload["metrics"]
         string = m["string_accel"]
-        assert string["speedup"] == pytest.approx(
-            string["bytes_per_sec_optimized"]
-            / string["bytes_per_sec_reference"], rel=1e-6,
-        )
+        for name, row in string["backends"].items():
+            assert row["speedup"] == pytest.approx(
+                row["bytes_per_sec"]
+                / string["bytes_per_sec_reference"], rel=1e-6,
+            ), f"string_accel[{name}]"
         hash_ = m["hash_table"]
-        assert hash_["speedup"] == pytest.approx(
-            hash_["ops_per_sec_optimized"]
-            / hash_["ops_per_sec_reference"], rel=1e-6,
-        )
+        for name, row in hash_["backends"].items():
+            assert row["speedup"] == pytest.approx(
+                row["ops_per_sec"]
+                / hash_["ops_per_sec_reference"], rel=1e-6,
+            ), f"hash_table[{name}]"
         e2e = m["e2e_full_evaluation"]
-        assert e2e["speedup"] == pytest.approx(
-            e2e["seconds_reference"] / e2e["seconds_optimized"], rel=1e-6,
+        for name, row in e2e["backends"].items():
+            assert row["speedup"] == pytest.approx(
+                e2e["seconds_reference"] / row["seconds"], rel=1e-6,
+            ), f"e2e[{name}]"
+
+    def test_legacy_mirror_fields_track_the_default_backend(
+        self, payload
+    ):
+        # The /1 top-level fields stay as mirrors of the `optimized`
+        # rows so pre-registry tooling keeps parsing the artifact.
+        m = payload["metrics"]
+        opt = m["string_accel"]["backends"].get("optimized")
+        if opt is None:
+            pytest.skip("optimized backend not measured in this run")
+        assert m["string_accel"]["bytes_per_sec_optimized"] \
+            == pytest.approx(opt["bytes_per_sec"])
+        assert m["string_accel"]["speedup"] \
+            == pytest.approx(opt["speedup"])
+        assert m["hash_table"]["ops_per_sec_optimized"] == pytest.approx(
+            m["hash_table"]["backends"]["optimized"]["ops_per_sec"]
         )
+        assert m["e2e_full_evaluation"]["seconds_optimized"] \
+            == pytest.approx(
+                m["e2e_full_evaluation"]["backends"]["optimized"]["seconds"]
+            )
+
+    def test_validator_rejects_corrupt_payloads(self, payload):
+        for corrupt in (
+            {**payload, "schema": "repro-perf/1"},
+            {**payload, "measured_backends": []},
+            {**payload, "metrics": {
+                **payload["metrics"],
+                "string_accel": {
+                    **payload["metrics"]["string_accel"],
+                    "backends": {},
+                },
+            }},
+        ):
+            with pytest.raises(ValueError):
+                validate_perf_payload(corrupt)
 
 
 class TestPerfTxt:
@@ -116,6 +186,11 @@ class TestPerfTxt:
         for row in ("string accel", "hash table",
                     "full evaluation", "fleet"):
             assert row in text, f"missing row: {row}"
+
+    def test_one_row_per_backend_per_kernel(self, payload):
+        text = PERF_TXT.read_text()
+        for name in payload["measured_backends"]:
+            assert f"[{name}]" in text, f"missing backend rows: {name}"
 
     def test_matches_the_json_it_was_rendered_from(self, payload):
         assert PERF_TXT.read_text().strip() \
@@ -156,27 +231,41 @@ class TestBenchHistory:
             seen.add(schema)
         assert HISTORY_SCHEMA in seen, "no perf rows in the trajectory"
 
-    def test_append_derives_a_valid_row_and_only_appends(
+    def test_append_writes_one_row_per_measured_backend(
         self, payload, tmp_path
     ):
         path = tmp_path / "history.jsonl"
+        measured = payload["measured_backends"]
         append_history(payload, path)
         append_history(payload, path)
         lines = path.read_text().splitlines()
-        assert len(lines) == 2
+        assert len(lines) == 2 * len(measured)
+        backends_seen = []
         for line in lines:
             row = json.loads(line)
             validate_history_row(row)
+            backend = row["backend"]
+            backends_seen.append(backend)
+            m = payload["metrics"]
             assert row["hash_speedup"] == pytest.approx(
-                payload["metrics"]["hash_table"]["speedup"]
+                m["hash_table"]["backends"][backend]["speedup"]
             )
             assert row["floors_asserted"] == payload["floors"]["asserted"]
+        assert backends_seen == measured * 2
+
+    def test_legacy_rows_without_backend_still_validate(self, payload):
+        from repro.core.perf import history_row
+
+        row = history_row(payload)
+        del row["backend"]
+        validate_history_row(row)
 
     def test_validator_rejects_corrupt_rows(self, payload):
         from repro.core.perf import history_row
 
         good = history_row(payload)
         validate_history_row(good)
+        assert good["backend"] in payload["measured_backends"]
         for corrupt in (
             {**good, "schema": "repro-perf/1"},
             {**good, "hash_speedup": 0.0},
@@ -184,6 +273,8 @@ class TestBenchHistory:
             {**good, "smoke": "no"},
             {**good, "seed": "42"},
             {**good, "host": {}},
+            {**good, "backend": ""},
+            {**good, "backend": 7},
         ):
             with pytest.raises(ValueError):
                 validate_history_row(corrupt)
