@@ -1,0 +1,54 @@
+"""Digital-twin calibration loop: the self-consistency gate as a bench.
+
+The twin generates telemetry from known ground-truth parameters, the
+calibration service fits that telemetry blind, and the fitted twin
+re-predicts the stream.  The acceptance bars are the PR's headline
+claims: the fitted model reproduces the measured tail (p99 MAPE) and
+cache behaviour (hit-ratio MAPE) inside the pinned bounds, parameter
+recovery lands near the generating truth, and the fitted what-if
+capacity answer exists — the simulator priced against traffic instead
+of assumptions.
+
+Set ``REPRO_CALIBRATE_FULL=1`` for the full-scale stream (350 rps for
+75 s vs the 200 rps / 30 s smoke run).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.calibrate import (
+    MAPE_HIT_RATIO_BOUND,
+    MAPE_P99_BOUND,
+    format_calibration_report,
+    run_calibrate,
+)
+from repro.common.rng import DEFAULT_SEED
+
+FULL = os.environ.get("REPRO_CALIBRATE_FULL", "") not in ("", "0")
+
+
+def bench_calibrate_self_consistency(benchmark, report_sink, out_dir):
+    def run():
+        return run_calibrate(
+            smoke=not FULL, seed=DEFAULT_SEED, out_dir=out_dir,
+        )
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_sink("calibrate", format_calibration_report(payload))
+
+    # The gate's own verdict, then the individual bars it summarizes.
+    assert payload["ok"]
+    assert payload["mape"]["p99"] <= MAPE_P99_BOUND
+    assert payload["mape"]["hit_ratio"] <= MAPE_HIT_RATIO_BOUND
+    assert payload["mape"]["overall"] <= 0.10
+
+    # Blind parameter recovery stayed near the generating truth.
+    recovery = payload["self_test"]["recovery"]
+    assert recovery["service_mean_err"] <= 0.10
+    assert recovery["amplitude_abs_err"] <= 0.10
+    assert recovery["flash_multiplier_err"] <= 0.30
+
+    # The what-if answered: capacity priced under fitted distributions.
+    assert payload["what_if"]["nodes_fitted"] is not None
+    assert payload["events"] > 1000

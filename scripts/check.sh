@@ -81,6 +81,18 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
 grep -q "PASS" benchmarks/out/serve_smoke.txt
 echo "serve smoke ok"
 
+echo "== calibrate smoke =="
+# Digital-twin calibration gate (blocking): the twin generates
+# telemetry from known ground truth, the fitters recover it blind,
+# and the fitted twin's predictions must land inside the pinned MAPE
+# bounds (p99 and hit ratio <= 10%). calibration.json lands in
+# benchmarks/out/ for the CI artifact upload.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+    python -m repro calibrate --smoke > benchmarks/out/calibrate_smoke.txt
+grep -q "PASS" benchmarks/out/calibrate_smoke.txt
+test -s benchmarks/out/calibration.json
+echo "calibrate smoke ok"
+
 echo "== conformance smoke =="
 # Differential oracles + simulator invariants; exits non-zero on any
 # divergence and writes shrunk repros to benchmarks/out/conformance/

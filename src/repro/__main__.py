@@ -360,6 +360,20 @@ def _cmd_serve(args) -> None:
         raise SystemExit(1)
 
 
+def _cmd_calibrate(args) -> None:
+    from repro.calibrate.run import run_calibrate
+    from repro.core.report import calibrate_report
+    payload = run_calibrate(
+        smoke=bool(getattr(args, "smoke", False)),
+        seed=args.seed,
+        jobs=args.jobs,
+        telemetry=getattr(args, "telemetry", None),
+    )
+    print(calibrate_report(payload))
+    if not payload["ok"]:
+        raise SystemExit(1)
+
+
 def _cmd_lint(args) -> None:
     from pathlib import Path
 
@@ -425,6 +439,9 @@ _COMMANDS = {
     "serve": (_cmd_serve,
               "live asyncio HTTP server + open-loop load, wall-clock "
               "SLOs"),
+    "calibrate": (_cmd_calibrate,
+                  "fit the fleet twin to serve telemetry, report "
+                  "prediction MAPE + fitted what-if capacity"),
     "lint": (_cmd_lint,
              "static analysis: determinism / pool purity / cache keys"),
     "export": (_cmd_export, "write the evaluation as JSON"),
@@ -460,6 +477,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="perf: measure only this backend; serve: "
                              "run the server on this backend's kernels "
                              "(default: optimized)")
+    parser.add_argument("--telemetry", type=str, default=None,
+                        help="calibrate: fit this repro-serve-telemetry/1 "
+                             "JSONL instead of the self-consistency "
+                             "twin stream")
     parser.add_argument("--jobs", type=int, default=None,
                         help="process-pool workers for sweep commands "
                              "(default: REPRO_JOBS env, else 1)")

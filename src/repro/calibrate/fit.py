@@ -1,0 +1,368 @@
+"""Fit the fleet twin's knobs to measured serve telemetry.
+
+Pure functions from ``repro-serve-telemetry/1`` rows to fitted
+parameters — no clocks, no I/O, no global state — so every fit is a
+:func:`repro.core.parallel.map_cells` cell and a calibration run is
+byte-identical at any ``--jobs`` count.  Three fit families:
+
+* **service times** (per route): method of moments (mean + population
+  variance → coefficient of variation) plus quantile matching — the
+  fitted *distribution* is the equi-probable midpoint-quantile sample
+  of the observed ``render_ms`` values, which is exactly the
+  empirical-tuple shape :class:`repro.fleet.topology.NodeSpec`
+  consumes (uniform draws from it reproduce the measurement);
+* **cache mix** (per route): hit/stale/miss/coalesced ratios over the
+  render-path requests;
+* **arrival shape**: base rate, diurnal amplitude/phase (least-squares
+  sinusoid at the fundamental period over flash-free buckets) and
+  flash multiplier/window (longest contiguous super-threshold bucket
+  run) recovered from bucketed request timestamps.
+
+The conformance oracle (:func:`repro.conformance.oracles.run_calibrate_oracle`)
+re-derives every one of these numbers with independent brute-force
+shadows (grid minimizers, counting quantiles), so a silent regression
+in this module is a fuzzable divergence, not a quiet drift.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Sequence
+
+from repro.common.stats import percentile
+
+#: Reporting grid (percent) for the per-route quantile summary.
+QUANTILE_GRID: tuple[float, ...] = (
+    1.0, 5.0, 10.0, 25.0, 40.0, 50.0, 60.0, 75.0,
+    90.0, 95.0, 99.0, 99.5, 99.9,
+)
+
+#: Size of the fitted *equi-probable* sample: ``sample_ms[i]`` is the
+#: midpoint quantile ``(i + 0.5) / SAMPLE_POINTS``, so drawing
+#: uniformly from the sample (what the twin and ``NodeSpec`` do)
+#: reproduces the measured distribution — a tail-heavy grid would
+#: overweight its extreme points ~1/len(grid) each and inflate the
+#: redrawn p99 far above the measured one.
+SAMPLE_POINTS = 128
+
+#: Cache outcomes that reached the render path (``none`` = parse
+#: errors / sheds, excluded from cache-mix fits).
+RENDER_PATH_OUTCOMES = ("hit", "stale", "miss", "coalesced")
+
+#: Arrival-shape recovery: histogram resolution and the flash
+#: detector's threshold over the robust (median) baseline.  1.5×
+#: sits above any admissible diurnal peak (amplitude < 0.5 here)
+#: and below any flash worth modelling.
+ARRIVAL_BUCKETS = 48
+FLASH_THRESHOLD = 1.5
+#: Below this many events the shape fit degenerates to a flat rate.
+MIN_SHAPE_EVENTS = 64
+
+
+class CalibrationError(ValueError):
+    """Telemetry that cannot be calibrated against (empty, truncated
+    beyond the refusal bound, or malformed)."""
+
+
+def mape(predicted: float, measured: float, floor: float = 1e-9) -> float:
+    """Absolute percentage error of one prediction, as a fraction."""
+    return abs(predicted - measured) / max(abs(measured), floor)
+
+
+# -- service times: method of moments + quantile matching --------------------------
+
+
+def fit_service(values: Sequence[float]) -> dict[str, Any]:
+    """Moment + quantile fit of one service-time sample (ms).
+
+    Raises :class:`CalibrationError` on an empty sample; a single
+    observation (or an all-identical sample) fits exactly with cv 0.
+    """
+    if not values:
+        raise CalibrationError("service fit needs at least one sample")
+    n = len(values)
+    if min(values) == max(values):
+        # Degenerate sample: fit exactly (fsum/n would round).
+        mean, var = float(values[0]), 0.0
+    else:
+        mean = math.fsum(values) / n
+        # Method of moments, population variance (two-pass, fsum —
+        # the conformance oracle holds this to statistics.pvariance).
+        var = math.fsum((v - mean) ** 2 for v in values) / n
+    std = math.sqrt(max(var, 0.0))
+    cv = std / mean if mean > 0 else 0.0
+    sample = tuple(
+        percentile(values, (i + 0.5) * 100.0 / SAMPLE_POINTS)
+        for i in range(SAMPLE_POINTS)
+    )
+    return {
+        "count": n,
+        "mean_ms": mean,
+        "std_ms": std,
+        "cv": cv,
+        "p50_ms": percentile(values, 50),
+        "p99_ms": percentile(values, 99),
+        "quantiles": {
+            f"{q:g}": percentile(values, q) for q in QUANTILE_GRID
+        },
+        "sample_ms": list(sample),
+    }
+
+
+def exponential_sample(mean: float) -> tuple[float, ...]:
+    """The textbook-assumption counterpart of a fitted sample.
+
+    Midpoint quantiles of Exp(mean) on the same equi-probable grid —
+    what capacity planning would use if it *assumed* memoryless
+    service instead of fitting the measured distribution; the
+    ``what_if`` section prices both.
+    """
+    if mean <= 0:
+        raise CalibrationError(f"mean must be positive, got {mean}")
+    return tuple(
+        max(mean * 1e-3,
+            -mean * math.log(1.0 - (i + 0.5) / SAMPLE_POINTS))
+        for i in range(SAMPLE_POINTS)
+    )
+
+
+# -- cache mix ---------------------------------------------------------------------
+
+
+def fit_cache(rows: Sequence[dict]) -> dict[str, Any]:
+    """Hit/stale/miss/coalesced ratios over render-path requests."""
+    counts = {name: 0 for name in RENDER_PATH_OUTCOMES}
+    for row in rows:
+        outcome = row.get("cache")
+        if outcome in counts:
+            counts[outcome] += 1
+    total = sum(counts.values())
+    ratios = {
+        name: (counts[name] / total if total else 0.0)
+        for name in RENDER_PATH_OUTCOMES
+    }
+    ratios["requests"] = total
+    return ratios
+
+
+# -- per-route fit cell ------------------------------------------------------------
+
+
+def fit_route(rows: Sequence[dict], total_events: int) -> dict[str, Any]:
+    """One route's full fit: traffic share, service, cache, hit cost."""
+    if not rows:
+        raise CalibrationError("route fit needs at least one event")
+    cache = fit_cache(rows)
+    renders = [
+        float(row["render_ms"]) for row in rows
+        if row.get("cache") == "miss" and float(row["render_ms"]) > 0.0
+    ]
+    served_fast = sorted(
+        float(row["total_ms"]) for row in rows
+        if row.get("cache") in ("hit", "stale")
+    )
+    hit_ms = percentile(served_fast, 50) if served_fast else 0.1
+    bytes_out = [int(row.get("bytes_out", 0)) for row in rows
+                 if 200 <= int(row.get("status", 0)) < 300]
+    fit = {
+        "count": len(rows),
+        "weight": len(rows) / max(total_events, 1),
+        "cache": cache,
+        "hit_ms": hit_ms,
+        "bytes_out": (
+            int(sum(bytes_out) / len(bytes_out)) if bytes_out else 0
+        ),
+    }
+    # A route served entirely from cache has no service observations;
+    # the twin then renders its (≈0 probability) misses at hit cost.
+    fit["service"] = (
+        fit_service(renders) if renders else fit_service([hit_ms])
+    )
+    fit["service"]["observed"] = bool(renders)
+    return fit
+
+
+# -- arrival shape -----------------------------------------------------------------
+
+
+def _solve3(a: list[list[float]], b: list[float]) -> Optional[list[float]]:
+    """Gaussian elimination for the 3×3 normal equations (None if
+    singular — degenerate bucket layouts fall back to a flat fit)."""
+    m = [row[:] + [bi] for row, bi in zip(a, b)]
+    for col in range(3):
+        pivot = max(range(col, 3), key=lambda r: abs(m[r][col]))
+        if abs(m[pivot][col]) < 1e-12:
+            return None
+        m[col], m[pivot] = m[pivot], m[col]
+        for row in range(3):
+            if row == col:
+                continue
+            factor = m[row][col] / m[col][col]
+            for k in range(col, 4):
+                m[row][k] -= factor * m[col][k]
+    return [m[i][3] / m[i][i] for i in range(3)]
+
+
+def fit_arrivals(
+    t_ms: Sequence[float],
+    duration_s: Optional[float] = None,
+    period_s: Optional[float] = None,
+    buckets: int = ARRIVAL_BUCKETS,
+) -> dict[str, Any]:
+    """Recover (base rate, diurnal sinusoid, flash window) from
+    bucketed request timestamps.
+
+    Three passes over the bucket histogram:
+
+    1. robust baseline = median bucket rate (the flash occupies a
+       minority of buckets, so the median ignores it);
+    2. flash = the longest contiguous run of buckets above
+       ``FLASH_THRESHOLD × baseline``; its multiplier is the mean
+       observed rate in the window over the diurnal model's rate
+       there;
+    3. least-squares sinusoid ``b + s·sin(ωt) + c·cos(ωt)`` at the
+       fundamental period over the *flash-free* buckets.
+
+    ``curve_mape`` is the fitted λ(t) vs observed bucket-rate error —
+    the arrivals subsystem's measure-vs-model accuracy in the report.
+    """
+    n = len(t_ms)
+    if duration_s is None:
+        duration_s = (max(t_ms) / 1000.0) if n else 0.0
+    if duration_s <= 0:
+        raise CalibrationError("arrival fit needs a positive duration")
+    flat = {
+        "events": n,
+        "duration_s": duration_s,
+        "base_rps": n / duration_s,
+        "diurnal_amplitude": 0.0,
+        "diurnal_phase": 0.0,
+        "diurnal_period_s": period_s or duration_s,
+        "flash_multiplier": 1.0,
+        "flash_start_s": 0.0,
+        "flash_duration_s": 0.0,
+        "buckets": 0,
+        "curve_mape": 0.0,
+    }
+    if n < MIN_SHAPE_EVENTS:
+        return flat
+    buckets = max(8, min(buckets, n // 8))
+    width = duration_s / buckets
+    rates = [0.0] * buckets
+    for t in t_ms:
+        idx = min(buckets - 1, int((t / 1000.0) / width))
+        rates[idx] += 1.0 / width
+    centers = [(i + 0.5) * width for i in range(buckets)]
+    baseline = percentile(rates, 50)
+    if baseline <= 0:
+        return flat
+    # Pass 2: flash window = longest contiguous super-threshold run.
+    hot = [r > FLASH_THRESHOLD * baseline for r in rates]
+    best_start, best_len, i = 0, 0, 0
+    while i < buckets:
+        if hot[i]:
+            j = i
+            while j < buckets and hot[j]:
+                j += 1
+            if j - i > best_len:
+                best_start, best_len = i, j - i
+            i = j
+        else:
+            i += 1
+    flash_idx = set(range(best_start, best_start + best_len))
+    period = period_s or duration_s
+    omega = 2.0 * math.pi / period
+    # Pass 3: sinusoid over the flash-free buckets.
+    calm = [i for i in range(buckets) if i not in flash_idx]
+    design = [(1.0, math.sin(omega * centers[i]),
+               math.cos(omega * centers[i])) for i in calm]
+    ata = [[sum(r[p] * r[q] for r in design) for q in range(3)]
+           for p in range(3)]
+    atb = [sum(r[p] * rates[i] for r, i in zip(design, calm))
+           for p in range(3)]
+    solved = _solve3(ata, atb) if len(calm) >= 8 else None
+    if solved is None or solved[0] <= 0:
+        base, s_coef, c_coef = (
+            sum(rates[i] for i in calm) / max(len(calm), 1), 0.0, 0.0,
+        )
+    else:
+        base, s_coef, c_coef = solved
+    amplitude = min(0.999, math.hypot(s_coef, c_coef) / base) \
+        if base > 0 else 0.0
+    phase = math.atan2(c_coef, s_coef) if amplitude > 1e-6 else 0.0
+
+    def model(t: float, with_flash: bool = True) -> float:
+        rate = base + s_coef * math.sin(omega * t) \
+            + c_coef * math.cos(omega * t)
+        if with_flash and best_len:
+            start = best_start * width
+            if start <= t < start + best_len * width:
+                rate *= multiplier
+        return max(rate, 1e-9)
+
+    if best_len:
+        observed_flash = sum(rates[i] for i in flash_idx) / best_len
+        calm_model = sum(
+            model(centers[i], with_flash=False) for i in flash_idx
+        ) / best_len
+        multiplier = max(1.0, observed_flash / max(calm_model, 1e-9))
+    else:
+        multiplier = 1.0
+    populated = [i for i in range(buckets) if rates[i] > 0]
+    curve = (
+        sum(mape(model(centers[i]), rates[i]) for i in populated)
+        / len(populated) if populated else 0.0
+    )
+    return {
+        "events": n,
+        "duration_s": duration_s,
+        "base_rps": base,
+        "diurnal_amplitude": amplitude,
+        "diurnal_phase": phase,
+        "diurnal_period_s": period,
+        "flash_multiplier": multiplier,
+        "flash_start_s": best_start * width,
+        "flash_duration_s": best_len * width,
+        "buckets": buckets,
+        "curve_mape": curve,
+    }
+
+
+# -- measured-summary (the reference side of every MAPE) ---------------------------
+
+
+def summarize_rows(rows: Sequence[dict]) -> dict[str, Any]:
+    """What the telemetry *measured*: the reference for every MAPE.
+
+    Hit ratio counts ``hit`` + ``stale`` as served-from-cache over the
+    render-path requests (coalesced requests rode someone else's
+    render, so they count toward the denominator only) — the same
+    bookkeeping on both the measured and twin-predicted side, which is
+    what makes the MAPE a model error rather than a definition error.
+    """
+    if not rows:
+        raise CalibrationError("cannot summarize an empty telemetry stream")
+    latencies = [
+        float(row["total_ms"]) for row in rows
+        if 200 <= int(row.get("status", 0)) < 300
+    ]
+    if not latencies:
+        raise CalibrationError("telemetry holds no served (2xx) requests")
+    outcomes: dict[str, int] = {}
+    for row in rows:
+        outcome = str(row.get("cache"))
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+    render_path = sum(outcomes.get(o, 0) for o in RENDER_PATH_OUTCOMES)
+    cached = outcomes.get("hit", 0) + outcomes.get("stale", 0)
+    duration_s = max(float(row["t_ms"]) for row in rows) / 1000.0
+    if duration_s <= 0:
+        duration_s = 1e-3
+    return {
+        "events": len(rows),
+        "duration_s": duration_s,
+        "goodput_rps": len(latencies) / duration_s,
+        "p50_ms": percentile(latencies, 50),
+        "p99_ms": percentile(latencies, 99),
+        "hit_ratio": cached / render_path if render_path else 0.0,
+        "outcomes": dict(sorted(outcomes.items())),
+    }

@@ -1,0 +1,381 @@
+"""CalibrationReport: fitted knobs + twin prediction error, schema-checked.
+
+``to_payload`` emits the ``repro-calibrate/1`` document (written to
+``benchmarks/out/calibration.json`` and rendered as the CLI table):
+the fitted per-route service/cache parameters and arrival shape, the
+per-subsystem MAPE between twin-predicted and measured
+goodput/p50/p99/hit-ratio, and the ``what_if`` capacity answer —
+``min_nodes_for_slo`` re-run under the *fitted* service distribution
+next to the textbook exponential assumption at the same mean.
+
+:func:`append_calibrate_history` adds one ``repro-calibrate-history/1``
+row to the shared append-only ``BENCH_history.jsonl`` trajectory, so
+twin prediction error is tracked cross-PR next to kernel speedups and
+serve goodput.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.core import clock
+from repro.core.perf import HISTORY_PATH
+from repro.core.report import format_table, pct
+
+CALIBRATE_SCHEMA = "repro-calibrate/1"
+CALIBRATE_HISTORY_SCHEMA = "repro-calibrate-history/1"
+
+#: The acceptance bars the smoke gate (and the self-consistency
+#: invariant) hold the twin to: predicted p99 and cache hit ratio
+#: within 10% of measured on simulator-generated telemetry.
+MAPE_P99_BOUND = 0.10
+MAPE_HIT_RATIO_BOUND = 0.10
+
+#: Calibration refuses telemetry whose ring dropped more than this
+#: fraction of recorded events (the head of the run is gone — fitted
+#: arrival shapes and tails would be silently biased).
+MAX_DROPPED_FRACTION = 0.01
+
+#: The four twin-predicted vs measured metrics every report carries.
+MAPE_METRICS = ("goodput", "p50", "p99", "hit_ratio")
+
+
+@dataclass
+class CalibrationReport:
+    """One calibration run, summarized."""
+
+    mode: str = "smoke"
+    seed: int = 0
+    #: where the telemetry came from: ``twin-self`` (the simulator's
+    #: own stream, the CI gate) or a telemetry JSONL path
+    source: str = "twin-self"
+    events: int = 0
+    #: ring-dropped events the producer reported (0 = complete run)
+    telemetry_dropped: int = 0
+    fitted: dict[str, Any] = field(default_factory=dict)
+    measured: dict[str, Any] = field(default_factory=dict)
+    predicted: dict[str, Any] = field(default_factory=dict)
+    mape: dict[str, float] = field(default_factory=dict)
+    what_if: dict[str, Any] = field(default_factory=dict)
+    #: present only for ``twin-self`` runs: generating params next to
+    #: recovery errors, the self-consistency evidence
+    self_test: Optional[dict[str, Any]] = None
+    #: latest serve/fleet history context the run calibrated alongside
+    history_context: Optional[dict[str, Any]] = None
+    ok: bool = False
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "schema": CALIBRATE_SCHEMA,
+            "mode": self.mode,
+            "seed": self.seed,
+            "source": self.source,
+            "events": self.events,
+            "telemetry_dropped": self.telemetry_dropped,
+            "fitted": self.fitted,
+            "measured": self.measured,
+            "predicted": self.predicted,
+            "mape": self.mape,
+            "what_if": self.what_if,
+            "self_test": self.self_test,
+            "history_context": self.history_context,
+            "bounds": {
+                "mape_p99": MAPE_P99_BOUND,
+                "mape_hit_ratio": MAPE_HIT_RATIO_BOUND,
+            },
+            "ok": self.ok,
+            "host": {
+                "python": sys.version.split()[0],
+                "platform": platform.platform(),
+            },
+        }
+
+
+def validate_calibration_payload(payload: dict[str, Any]) -> None:
+    """Schema check for one ``repro-calibrate/1`` document."""
+    if payload.get("schema") != CALIBRATE_SCHEMA:
+        raise ValueError(
+            f"unexpected calibrate schema: {payload.get('schema')!r}"
+        )
+    if payload.get("mode") not in ("smoke", "full"):
+        raise ValueError(
+            f"calibrate payload ['mode'] must be smoke|full, "
+            f"got {payload.get('mode')!r}"
+        )
+    if not isinstance(payload.get("seed"), int):
+        raise ValueError("calibrate payload ['seed'] must be an int")
+    source = payload.get("source")
+    if not isinstance(source, str) or not source:
+        raise ValueError(
+            "calibrate payload ['source'] must be a non-empty string"
+        )
+    for name in ("events", "telemetry_dropped"):
+        value = payload.get(name)
+        if not isinstance(value, int) or value < 0:
+            raise ValueError(
+                f"calibrate payload [{name!r}] must be a non-negative "
+                f"int, got {value!r}"
+            )
+    if payload["events"] < 1:
+        raise ValueError("calibrate payload fitted zero events")
+    fitted = payload.get("fitted")
+    if not isinstance(fitted, dict) or not fitted.get("routes"):
+        raise ValueError(
+            "calibrate payload ['fitted']['routes'] must be non-empty"
+        )
+    for route, fit in fitted["routes"].items():
+        service = fit.get("service", {})
+        sample = service.get("sample_ms")
+        if not isinstance(sample, list) or not sample:
+            raise ValueError(
+                f"calibrate payload: route {route!r} has no fitted "
+                f"service sample"
+            )
+        if any(not isinstance(v, (int, float)) or v <= 0
+               for v in sample):
+            raise ValueError(
+                f"calibrate payload: route {route!r} sample must be "
+                f"positive numbers"
+            )
+        if sorted(sample) != sample:
+            raise ValueError(
+                f"calibrate payload: route {route!r} quantile sample "
+                f"must be sorted"
+            )
+        mix = fit.get("cache", {})
+        for name in ("hit", "stale", "miss", "coalesced"):
+            ratio = mix.get(name)
+            if not isinstance(ratio, (int, float)) \
+                    or not 0.0 <= ratio <= 1.0:
+                raise ValueError(
+                    f"calibrate payload: route {route!r} cache "
+                    f"[{name!r}] not in [0,1]"
+                )
+    arrivals = fitted.get("arrivals")
+    if not isinstance(arrivals, dict):
+        raise ValueError("calibrate payload ['fitted']['arrivals'] missing")
+    for name in ("base_rps", "flash_multiplier"):
+        value = arrivals.get(name)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(
+                f"calibrate payload ['fitted']['arrivals'][{name!r}] "
+                f"must be positive, got {value!r}"
+            )
+    amplitude = arrivals.get("diurnal_amplitude")
+    if not isinstance(amplitude, (int, float)) \
+            or not 0.0 <= amplitude < 1.0:
+        raise ValueError(
+            "calibrate payload fitted diurnal_amplitude not in [0,1)"
+        )
+    for side in ("measured", "predicted"):
+        summary = payload.get(side)
+        if not isinstance(summary, dict):
+            raise ValueError(f"calibrate payload [{side!r}] missing")
+        for name in ("goodput_rps", "p50_ms", "p99_ms", "hit_ratio"):
+            value = summary.get(name)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"calibrate payload [{side!r}][{name!r}] must be "
+                    f"a non-negative number, got {value!r}"
+                )
+        if not 0.0 <= summary["hit_ratio"] <= 1.0:
+            raise ValueError(
+                f"calibrate payload [{side!r}]['hit_ratio'] not in [0,1]"
+            )
+    mape = payload.get("mape")
+    if not isinstance(mape, dict):
+        raise ValueError("calibrate payload ['mape'] missing")
+    for name in MAPE_METRICS + ("overall",):
+        value = mape.get(name)
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(
+                f"calibrate payload ['mape'][{name!r}] must be a "
+                f"non-negative number, got {value!r}"
+            )
+    what_if = payload.get("what_if")
+    if not isinstance(what_if, dict):
+        raise ValueError("calibrate payload ['what_if'] missing")
+    for name in ("render_rps", "slo_latency_ms"):
+        value = what_if.get(name)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(
+                f"calibrate payload ['what_if'][{name!r}] must be "
+                f"positive, got {value!r}"
+            )
+    for name in ("nodes_fitted", "nodes_assumed"):
+        value = what_if.get(name)
+        if value is not None and (
+            not isinstance(value, int) or value < 1
+        ):
+            raise ValueError(
+                f"calibrate payload ['what_if'][{name!r}] must be a "
+                f"positive int or null, got {value!r}"
+            )
+    if not isinstance(payload.get("ok"), bool):
+        raise ValueError("calibrate payload ['ok'] must be a bool")
+    host = payload.get("host")
+    if not isinstance(host, dict) or not host.get("python"):
+        raise ValueError("calibrate payload ['host'] must name the python")
+
+
+def calibrate_history_row(payload: dict[str, Any]) -> dict[str, Any]:
+    """The trajectory row for one calibration payload."""
+    return {
+        "schema": CALIBRATE_HISTORY_SCHEMA,
+        "recorded_utc": clock.utc_stamp(),
+        "mode": payload["mode"],
+        "seed": payload["seed"],
+        "source": payload["source"],
+        "events": payload["events"],
+        "telemetry_dropped": payload["telemetry_dropped"],
+        "mape_goodput": payload["mape"]["goodput"],
+        "mape_p50": payload["mape"]["p50"],
+        "mape_p99": payload["mape"]["p99"],
+        "mape_hit_ratio": payload["mape"]["hit_ratio"],
+        "mape_overall": payload["mape"]["overall"],
+        "what_if_nodes_fitted": payload["what_if"].get("nodes_fitted"),
+        "ok": payload["ok"],
+        "host": dict(payload["host"]),
+    }
+
+
+def validate_calibrate_history_row(row: dict[str, Any]) -> None:
+    """Schema check for one ``repro-calibrate-history/1`` row."""
+    if row.get("schema") != CALIBRATE_HISTORY_SCHEMA:
+        raise ValueError(
+            f"unexpected calibrate-history schema: {row.get('schema')!r}"
+        )
+    if row.get("mode") not in ("smoke", "full"):
+        raise ValueError(
+            "calibrate-history row ['mode'] must be smoke|full"
+        )
+    if not isinstance(row.get("seed"), int):
+        raise ValueError("calibrate-history row ['seed'] must be an int")
+    source = row.get("source")
+    if not isinstance(source, str) or not source:
+        raise ValueError(
+            "calibrate-history row ['source'] must be a non-empty string"
+        )
+    for name in ("events", "telemetry_dropped"):
+        value = row.get(name)
+        if not isinstance(value, int) or value < 0:
+            raise ValueError(
+                f"calibrate-history row [{name!r}] must be a "
+                f"non-negative int, got {value!r}"
+            )
+    if row["events"] < 1:
+        raise ValueError("calibrate-history row fitted zero events")
+    for name in ("mape_goodput", "mape_p50", "mape_p99",
+                 "mape_hit_ratio", "mape_overall"):
+        value = row.get(name)
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(
+                f"calibrate-history row [{name!r}] must be a "
+                f"non-negative number, got {value!r}"
+            )
+    nodes = row.get("what_if_nodes_fitted")
+    if nodes is not None and (not isinstance(nodes, int) or nodes < 1):
+        raise ValueError(
+            "calibrate-history row ['what_if_nodes_fitted'] must be a "
+            "positive int or null"
+        )
+    if not isinstance(row.get("ok"), bool):
+        raise ValueError("calibrate-history row ['ok'] must be a bool")
+    host = row.get("host")
+    if not isinstance(host, dict) or not host.get("python"):
+        raise ValueError(
+            "calibrate-history row ['host'] must name the python"
+        )
+    if not isinstance(row.get("recorded_utc"), str):
+        raise ValueError(
+            "calibrate-history row ['recorded_utc'] must be a string"
+        )
+
+
+def append_calibrate_history(
+    payload: dict[str, Any], path: Optional[Path] = None
+) -> Path:
+    """Append one calibrate row to the shared trajectory file."""
+    row = calibrate_history_row(payload)
+    validate_calibrate_history_row(row)
+    path = path or HISTORY_PATH
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return path
+
+
+def format_calibration_report(payload: dict[str, Any]) -> str:
+    """Human-readable calibration summary (the CLI table)."""
+    fitted = payload["fitted"]
+    arrivals = fitted["arrivals"]
+    measured = payload["measured"]
+    predicted = payload["predicted"]
+    mape = payload["mape"]
+    what_if = payload["what_if"]
+    rows = [
+        ["mode", payload["mode"]],
+        ["seed", str(payload["seed"])],
+        ["telemetry source", payload["source"]],
+        ["events fitted", str(payload["events"])],
+        ["telemetry dropped", str(payload["telemetry_dropped"])],
+    ]
+    for name, fit in sorted(fitted["routes"].items()):
+        service = fit["service"]
+        mix = fit["cache"]
+        rows.append([
+            f"route {name}",
+            f"w={fit['weight']:.2f} service {service['mean_ms']:.2f}ms "
+            f"cv={service['cv']:.2f} p99={service['p99_ms']:.2f}ms "
+            f"hit={pct(mix['hit'])}",
+        ])
+    rows.extend([
+        ["arrivals",
+         f"{arrivals['base_rps']:.1f} rps, diurnal "
+         f"{arrivals['diurnal_amplitude']:.3f}, flash "
+         f"x{arrivals['flash_multiplier']:.2f} "
+         f"({arrivals['flash_duration_s']:.1f}s)"],
+        ["measured",
+         f"{measured['goodput_rps']:.1f} rps, p50 "
+         f"{measured['p50_ms']:.2f}ms, p99 {measured['p99_ms']:.2f}ms, "
+         f"hit {pct(measured['hit_ratio'])}"],
+        ["twin predicted",
+         f"{predicted['goodput_rps']:.1f} rps, p50 "
+         f"{predicted['p50_ms']:.2f}ms, p99 {predicted['p99_ms']:.2f}ms, "
+         f"hit {pct(predicted['hit_ratio'])}"],
+        ["MAPE goodput/p50/p99/hit",
+         f"{pct(mape['goodput'])} / {pct(mape['p50'])} / "
+         f"{pct(mape['p99'])} / {pct(mape['hit_ratio'])}"],
+        ["MAPE arrival curve", pct(mape.get("arrival_curve", 0.0))],
+        ["what-if render load",
+         f"{what_if['render_rps']:.1f} rps @ SLO p99 <= "
+         f"{what_if['slo_latency_ms']:.1f}ms"],
+        ["what-if nodes (fitted dist)",
+         str(what_if["nodes_fitted"]) if what_if["nodes_fitted"]
+         else f"> {what_if['max_nodes']}"],
+        ["what-if nodes (exp. assumption)",
+         str(what_if["nodes_assumed"]) if what_if["nodes_assumed"]
+         else f"> {what_if['max_nodes']}"],
+    ])
+    if payload.get("self_test"):
+        recovery = payload["self_test"]["recovery"]
+        rows.append([
+            "self-test recovery",
+            f"service mean err {pct(recovery['service_mean_err'])}, "
+            f"amplitude err {recovery['amplitude_abs_err']:.3f}, "
+            f"flash err {pct(recovery['flash_multiplier_err'])}",
+        ])
+    bounds = payload["bounds"]
+    rows.append([
+        f"self-consistency (p99 <= {pct(bounds['mape_p99'], 0)}, "
+        f"hit <= {pct(bounds['mape_hit_ratio'], 0)})",
+        "PASS" if payload["ok"] else "FAIL",
+    ])
+    return format_table(
+        ["metric", "value"], rows,
+        title="digital-twin calibration (fitted vs measured)",
+    )

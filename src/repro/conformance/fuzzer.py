@@ -28,6 +28,7 @@ from repro.common.rng import DEFAULT_SEED, DeterministicRng
 from repro.conformance.invariants import INVARIANTS, run_invariant
 from repro.conformance.oracles import (
     ConformanceFailure,
+    run_calibrate_oracle,
     run_checksum_oracle,
     run_hash_oracle,
     run_heap_oracle,
@@ -41,9 +42,11 @@ from repro.conformance.oracles import (
 #: the regex stack but has its own script shape, hence its own domain;
 #: checksum pins the process-stable result mixing that DET005 and the
 #: pool-identity invariants rely on; serve pins the live HTTP path's
-#: bytes to the direct interpreter render).
+#: bytes to the direct interpreter render; calibrate pins the
+#: digital-twin fitters to brute-force shadow fits).
 BASE_DOMAINS: tuple[str, ...] = (
-    "hash", "heap", "string", "regex", "reuse", "checksum", "serve"
+    "hash", "heap", "string", "regex", "reuse", "checksum", "serve",
+    "calibrate",
 )
 
 #: Base domains whose oracles exercise registry-swappable kernels;
@@ -281,6 +284,50 @@ def _gen_serve(rng: DeterministicRng) -> list:
     ]
 
 
+_CAL_ROUTES = ("wordpress", "drupal", "mediawiki")
+
+
+def _gen_calibrate(rng: DeterministicRng) -> list:
+    """Seeded telemetry scripts for the fitter-vs-shadow oracle.
+
+    Rows are ``[t_ms, route, cache, queue_ms, render_ms]``.  Most
+    cases stay under MIN_SHAPE_EVENTS (the exactly-checkable flat
+    arrival path); a dense flavor crosses into the sinusoid fit, and
+    degenerate flavors (all-identical renders, single route, all
+    cache hits) pin the fitters' edge cases.
+    """
+    flavor = rng.random()
+    if flavor < 0.10:
+        n = rng.randint(64, 160)            # dense: sinusoid-fit path
+    else:
+        n = rng.randint(1, 50)
+    identical = rng.random() < 0.15
+    single_route = rng.random() < 0.15
+    all_hits = rng.random() < 0.08
+    fixed_render = round(rng.uniform(0.5, 20.0), 3)
+    route = rng.choice(_CAL_ROUTES)
+    rows: list = []
+    t = 0.0
+    for _ in range(n):
+        t += rng.uniform(0.1, 50.0)
+        roll = rng.random()
+        if all_hits or roll >= 0.45:
+            cache = ("hit" if roll < 0.75 or all_hits
+                     else "stale" if roll < 0.90 else "coalesced")
+            queue, render = 0.0, 0.0
+        else:
+            cache = "miss"
+            queue = round(rng.uniform(0.0, 5.0), 3)
+            render = (fixed_render if identical
+                      else round(rng.uniform(0.2, 25.0), 3))
+        rows.append([
+            round(t, 3),
+            route if single_route else rng.choice(_CAL_ROUTES),
+            cache, queue, render,
+        ])
+    return rows
+
+
 _GENERATORS = {
     "hash": _gen_hash,
     "heap": _gen_heap,
@@ -289,6 +336,7 @@ _GENERATORS = {
     "reuse": _gen_reuse,
     "checksum": _gen_checksum,
     "serve": _gen_serve,
+    "calibrate": _gen_calibrate,
 }
 
 
@@ -342,6 +390,8 @@ def run_case(domain: str, case: list) -> None:
                 run_checksum_oracle(case)
             elif base == "serve":
                 run_serve_oracle(case)
+            elif base == "calibrate":
+                run_calibrate_oracle(case)
             else:
                 raise ValueError(f"unknown fuzz domain {domain!r}")
     except ConformanceFailure:

@@ -323,6 +323,87 @@ def check_fleet_warmup_exclusion(seed: int, smoke: bool) -> str:
     return "offered count independent of warmup prefix"
 
 
+def check_calibrate_self_consistency(seed: int, smoke: bool) -> str:
+    """Calibrating the twin's own telemetry recovers the generator.
+
+    The metamorphic core of the calibration loop: a stream generated
+    by the simulator under pinned ground truth, fitted and re-predicted,
+    must land within the report's MAPE bounds *and* recover the
+    generating parameters themselves (service means, diurnal
+    amplitude, flash multiplier) within tolerance.
+    """
+    from repro.calibrate.report import (
+        MAPE_HIT_RATIO_BOUND,
+        MAPE_P99_BOUND,
+    )
+    from repro.calibrate.run import self_calibrate
+
+    name = "calibrate-self-consistency"
+    report = self_calibrate(seed=seed, smoke=True, jobs=1)
+    if report.mape["p99"] > MAPE_P99_BOUND:
+        _fail(name, f"p99 MAPE {report.mape['p99']:.1%} > "
+                    f"{MAPE_P99_BOUND:.0%}")
+    if report.mape["hit_ratio"] > MAPE_HIT_RATIO_BOUND:
+        _fail(name, f"hit-ratio MAPE {report.mape['hit_ratio']:.1%} > "
+                    f"{MAPE_HIT_RATIO_BOUND:.0%}")
+    recovery = report.self_test["recovery"]
+    if recovery["service_mean_err"] > 0.10:
+        _fail(name, f"worst service-mean recovery error "
+                    f"{recovery['service_mean_err']:.1%} > 10%")
+    if recovery["amplitude_abs_err"] > 0.10:
+        _fail(name, f"diurnal amplitude off by "
+                    f"{recovery['amplitude_abs_err']:.3f} (> 0.10)")
+    if recovery["flash_multiplier_err"] > 0.30:
+        _fail(name, f"flash multiplier recovery error "
+                    f"{recovery['flash_multiplier_err']:.1%} > 30%")
+    return (f"p99 MAPE {report.mape['p99']:.1%}, hit MAPE "
+            f"{report.mape['hit_ratio']:.1%}, mean err "
+            f"{recovery['service_mean_err']:.1%}")
+
+
+def check_calibrate_superset_monotonicity(seed: int, smoke: bool) -> str:
+    """More telemetry never worsens the self-consistency fit.
+
+    Fit a strict subset (every other event) and the full stream, score
+    both predictions against the *same* full-stream measurement;
+    the superset fit must be at least as good (small slack absorbs
+    redraw noise).  A fitter that gets worse with more data is broken
+    even when each individual fit looks plausible.
+    """
+    from repro.calibrate.run import calibrate_rows
+    from repro.calibrate.twin import ground_truth_params, simulate_twin
+
+    name = "calibrate-superset-monotonicity"
+    slack = 0.02
+    truth = ground_truth_params(True)
+    rows = simulate_twin(
+        truth, DeterministicRng(seed).fork("calibrate/truth")
+    )
+    subset = rows[::2]
+    if not len(subset) < len(rows):
+        _fail(name, "subset is not strict")
+    kwargs = dict(
+        seed=seed, smoke=True, jobs=1,
+        duration_s=truth.shape.duration_s,
+        period_s=truth.shape.diurnal_period_s,
+        workers=truth.workers,
+    )
+    sub = calibrate_rows(subset, source="twin-subset",
+                         reference_rows=rows, **kwargs)
+    full = calibrate_rows(rows, source="twin-self", **kwargs)
+
+    def score(report) -> float:
+        return 0.5 * (report.mape["p99"] + report.mape["hit_ratio"])
+
+    if score(full) > score(sub) + slack:
+        _fail(name,
+              f"superset fit scored {score(full):.4f}, worse than the "
+              f"{len(subset)}-event subset {score(sub):.4f} + "
+              f"slack {slack}")
+    return (f"superset {score(full):.4f} <= subset {score(sub):.4f} "
+            f"+ {slack} ({len(rows)} vs {len(subset)} events)")
+
+
 #: Registry the fuzzer and CLI iterate: name -> check(seed, smoke).
 INVARIANTS = {
     "server-latency-conservation": check_server_latency_conservation,
@@ -334,6 +415,9 @@ INVARIANTS = {
     "resilience-retry-accounting": check_resilience_retry_accounting,
     "overload-retry-budget-monotonicity":
         check_overload_retry_budget_monotone,
+    "calibrate-self-consistency": check_calibrate_self_consistency,
+    "calibrate-superset-monotonicity":
+        check_calibrate_superset_monotonicity,
 }
 
 

@@ -589,3 +589,268 @@ def run_serve_oracle(case: list) -> None:
             + (f" (+{len(mismatches) - 1} more)"
                if len(mismatches) > 1 else ""),
         )
+
+
+# -- calibration fitters vs brute-force shadow fits --------------------------------
+
+
+def _calibrate_case_rows(case: list) -> list[dict]:
+    """Expand ``[t_ms, route, cache, queue_ms, render_ms]`` ops into
+    schema-valid telemetry rows (the fitters' real input shape)."""
+    from repro.serve.telemetry import TELEMETRY_SCHEMA, validate_event_row
+
+    domain = "calibrate"
+    rows = []
+    for step, op in enumerate(case):
+        if len(op) != 5:
+            _fail(domain, f"malformed case op {op!r}", step)
+        t_ms, route, cache, queue_ms, render_ms = op
+        row = {
+            "schema": TELEMETRY_SCHEMA,
+            "t_ms": float(t_ms),
+            "route": str(route),
+            "status": 200,
+            "cache": str(cache),
+            "queue_wait_ms": float(queue_ms),
+            "render_ms": float(render_ms),
+            "total_ms": round(float(queue_ms) + float(render_ms) + 0.1, 3),
+            "bytes_out": 1_024,
+            "shed": "",
+            "ops": {},
+        }
+        try:
+            validate_event_row(row)
+        except ValueError as exc:
+            _fail(domain, f"case op expands to invalid row: {exc}", step)
+        rows.append(row)
+    return rows
+
+
+def _counting_quantile(values: list[float], p: float) -> float:
+    """Independent nearest-rank quantile: no sort, O(n²) counting.
+
+    The smallest value whose ≤-count reaches ``ceil(p/100 · n)`` — by
+    definition the nearest-rank percentile, computed without sharing
+    any code with :func:`repro.common.stats.percentile`.
+    """
+    import math as _math
+
+    rank = max(1, _math.ceil(p / 100.0 * len(values)))
+    best = None
+    for v in values:
+        count = sum(1 for w in values if w <= v)
+        if count >= rank and (best is None or v < best):
+            best = v
+    return best
+
+
+def _grid_argmin(lo: float, hi: float, cost, points: int = 2_001) -> float:
+    """Brute-force 1-D minimizer on an even grid (the shadow fit)."""
+    if hi <= lo:
+        return lo
+    best_x, best_c = lo, cost(lo)
+    for i in range(1, points):
+        x = lo + (hi - lo) * i / (points - 1)
+        c = cost(x)
+        if c < best_c:
+            best_x, best_c = x, c
+    return best_x
+
+
+def run_calibrate_oracle(case: list) -> None:
+    """Calibration fitters vs independent brute-force shadow fits.
+
+    ``case`` is a list of ``[t_ms, route, cache, queue_ms, render_ms]``
+    rows.  Checked against shadows that share no code with
+    :mod:`repro.calibrate.fit`:
+
+    * **moments**: fitted mean/std vs :func:`statistics.fmean` /
+      :func:`statistics.pvariance`, plus a 2001-point grid minimizer
+      of the squared-deviation cost (whose argmin is the mean) — the
+      fitted mean must sit within one grid step of the brute-force
+      optimum;
+    * **quantiles**: every reported quantile and sampled point vs an
+      O(n²) counting-loop nearest-rank quantile — exact equality;
+    * **cache mix**: fitted ratios vs brute counts and vs a 1/2048
+      ratio-grid minimizer of ``|r·total − count|``;
+    * **summary**: goodput/p50/p99/hit-ratio vs independent loops;
+    * **arrival flat path** (< MIN_SHAPE_EVENTS events): exact
+      ``n / duration`` base rate, zero amplitude, unit flash;
+      dense streams get structural bounds (the sinusoid path's
+      recovery accuracy is the self-consistency invariant's job).
+    """
+    import math as _math
+    import statistics
+
+    from repro.calibrate.fit import (
+        MIN_SHAPE_EVENTS,
+        QUANTILE_GRID,
+        SAMPLE_POINTS,
+        fit_arrivals,
+        fit_cache,
+        fit_route,
+        fit_service,
+        summarize_rows,
+    )
+
+    domain = "calibrate"
+    rows = _calibrate_case_rows(case)
+
+    # -- service moments + quantiles vs shadows --
+    renders = [r["render_ms"] for r in rows
+               if r["cache"] == "miss" and r["render_ms"] > 0.0]
+    if renders:
+        fit = fit_service(renders)
+        mean = statistics.fmean(renders)
+        std = _math.sqrt(statistics.pvariance(renders))
+        if abs(fit["mean_ms"] - mean) > 1e-9 * max(1.0, abs(mean)):
+            _fail(domain, f"fitted mean {fit['mean_ms']} != "
+                          f"statistics.fmean {mean}")
+        if abs(fit["std_ms"] - std) > 1e-9 * max(1.0, std):
+            _fail(domain, f"fitted std {fit['std_ms']} != "
+                          f"statistics shadow {std}")
+        lo, hi = min(renders), max(renders)
+        if hi > lo:
+            step = (hi - lo) / 2_000
+            shadow_mean = _grid_argmin(
+                lo, hi,
+                lambda m: sum((v - m) ** 2 for v in renders),
+            )
+            if abs(fit["mean_ms"] - shadow_mean) > step + 1e-12:
+                _fail(domain,
+                      f"fitted mean {fit['mean_ms']} is {abs(fit['mean_ms'] - shadow_mean)} "
+                      f"from the grid-minimizer optimum {shadow_mean} "
+                      f"(> one grid step {step})")
+        elif fit["mean_ms"] != lo:
+            _fail(domain, f"all-identical sample fitted mean "
+                          f"{fit['mean_ms']} != value {lo}")
+        if fit["cv"] < 0:
+            _fail(domain, f"negative fitted cv {fit['cv']}")
+        sample = fit["sample_ms"]
+        if len(sample) != SAMPLE_POINTS:
+            _fail(domain, f"sample_ms has {len(sample)} points, "
+                          f"expected {SAMPLE_POINTS}")
+        if sample != sorted(sample):
+            _fail(domain, "sample_ms is not sorted ascending")
+        for i in (0, SAMPLE_POINTS // 2, SAMPLE_POINTS - 1):
+            p = (i + 0.5) * 100.0 / SAMPLE_POINTS
+            shadow = _counting_quantile(renders, p)
+            if sample[i] != shadow:
+                _fail(domain,
+                      f"sample_ms[{i}] (p{p:.2f}) = {sample[i]} != "
+                      f"counting-loop quantile {shadow}")
+        for q in QUANTILE_GRID:
+            shadow = _counting_quantile(renders, q)
+            if fit["quantiles"][f"{q:g}"] != shadow:
+                _fail(domain,
+                      f"fitted p{q:g} {fit['quantiles'][f'{q:g}']} != "
+                      f"counting-loop quantile {shadow}")
+        if not (min(renders) <= fit["mean_ms"] <= max(renders)):
+            _fail(domain, f"fitted mean {fit['mean_ms']} outside the "
+                          f"sample range")
+
+    # -- cache mix vs brute counts + ratio-grid minimizer --
+    mix = fit_cache(rows)
+    counts = {}
+    for r in rows:
+        counts[r["cache"]] = counts.get(r["cache"], 0) + 1
+    total = sum(counts.get(o, 0)
+                for o in ("hit", "stale", "miss", "coalesced"))
+    if mix["requests"] != total:
+        _fail(domain, f"cache fit saw {mix['requests']} render-path "
+                      f"requests, shadow counted {total}")
+    if total:
+        ratio_sum = 0.0
+        for outcome in ("hit", "stale", "miss", "coalesced"):
+            count = counts.get(outcome, 0)
+            exact = count / total
+            if abs(mix[outcome] - exact) > 1e-12:
+                _fail(domain, f"cache ratio [{outcome}] {mix[outcome]} "
+                              f"!= {count}/{total}")
+            shadow = _grid_argmin(
+                0.0, 1.0,
+                lambda g, c=count: abs(g * total - c),
+                points=2_049,
+            )
+            if abs(mix[outcome] - shadow) > 1.0 / 2_048 + 1e-12:
+                _fail(domain,
+                      f"cache ratio [{outcome}] {mix[outcome]} is "
+                      f"off the 1/2048-grid minimizer {shadow}")
+            ratio_sum += mix[outcome]
+        if abs(ratio_sum - 1.0) > 1e-9:
+            _fail(domain, f"cache ratios sum to {ratio_sum}, not 1")
+
+    # -- per-route fit: weights + hit cost vs counting shadows --
+    by_route = {}
+    for r in rows:
+        by_route.setdefault(r["route"], []).append(r)
+    for name, route_rows in sorted(by_route.items()):
+        fit = fit_route(route_rows, len(rows))
+        if abs(fit["weight"] - len(route_rows) / len(rows)) > 1e-12:
+            _fail(domain, f"route {name}: weight {fit['weight']} != "
+                          f"{len(route_rows)}/{len(rows)}")
+        fast = [r["total_ms"] for r in route_rows
+                if r["cache"] in ("hit", "stale")]
+        if fast:
+            shadow = _counting_quantile(fast, 50)
+            if fit["hit_ms"] != shadow:
+                _fail(domain, f"route {name}: hit_ms {fit['hit_ms']} "
+                              f"!= counting-loop median {shadow}")
+        route_renders = [r["render_ms"] for r in route_rows
+                         if r["cache"] == "miss" and r["render_ms"] > 0]
+        if fit["service"]["observed"] != bool(route_renders):
+            _fail(domain, f"route {name}: service.observed "
+                          f"{fit['service']['observed']} but shadow "
+                          f"saw {len(route_renders)} renders")
+        if not route_renders and set(fit["service"]["sample_ms"]) \
+                != {fit["hit_ms"]}:
+            _fail(domain, f"route {name}: unobserved service must "
+                          f"fall back to hit_ms exactly")
+
+    # -- stream summary vs independent loops --
+    summary = summarize_rows(rows)
+    latencies = [r["total_ms"] for r in rows
+                 if 200 <= r["status"] < 300]
+    duration = max(r["t_ms"] for r in rows) / 1000.0
+    duration = duration if duration > 0 else 1e-3
+    if abs(summary["goodput_rps"] - len(latencies) / duration) > 1e-9:
+        _fail(domain, f"goodput {summary['goodput_rps']} != "
+                      f"{len(latencies)}/{duration}")
+    for p, key in ((50, "p50_ms"), (99, "p99_ms")):
+        shadow = _counting_quantile(latencies, p)
+        if summary[key] != shadow:
+            _fail(domain, f"summary {key} {summary[key]} != "
+                          f"counting-loop quantile {shadow}")
+    cached = counts.get("hit", 0) + counts.get("stale", 0)
+    expected_hit = cached / total if total else 0.0
+    if abs(summary["hit_ratio"] - expected_hit) > 1e-12:
+        _fail(domain, f"hit ratio {summary['hit_ratio']} != "
+                      f"{cached}/{total}")
+
+    # -- arrival shape --
+    t_ms = [r["t_ms"] for r in rows]
+    shape = fit_arrivals(t_ms)
+    if len(rows) < MIN_SHAPE_EVENTS:
+        expected = len(rows) / duration
+        if abs(shape["base_rps"] - expected) > 1e-9 * max(1.0, expected):
+            _fail(domain, f"flat-path base rate {shape['base_rps']} "
+                          f"!= {len(rows)}/{duration}")
+        if shape["diurnal_amplitude"] != 0.0 \
+                or shape["flash_multiplier"] != 1.0:
+            _fail(domain, "flat path must fit zero amplitude and "
+                          "unit flash multiplier")
+    else:
+        if shape["base_rps"] <= 0:
+            _fail(domain, f"dense fit base rate {shape['base_rps']}")
+        if not 0.0 <= shape["diurnal_amplitude"] < 1.0:
+            _fail(domain, f"amplitude {shape['diurnal_amplitude']} "
+                          f"outside [0, 1)")
+        if shape["flash_multiplier"] < 1.0:
+            _fail(domain, f"flash multiplier "
+                          f"{shape['flash_multiplier']} < 1")
+        if not (0.0 <= shape["flash_start_s"] <= duration + 1e-9):
+            _fail(domain, f"flash start {shape['flash_start_s']} "
+                          f"outside the run")
+        if not (_math.isfinite(shape["curve_mape"])
+                and shape["curve_mape"] >= 0):
+            _fail(domain, f"curve MAPE {shape['curve_mape']}")

@@ -311,3 +311,16 @@ def serve_report(payload: dict) -> str:
     from repro.serve.report import format_serve_report
 
     return format_serve_report(payload)
+
+
+def calibrate_report(payload: dict) -> str:
+    """Digital-twin calibration summary (``python -m repro calibrate``).
+
+    The payload is the schema-validated ``repro-calibrate/1`` document
+    from :func:`repro.calibrate.run.run_calibrate`; the table renderer
+    lives next to the schema in :mod:`repro.calibrate.report`
+    (imported lazily, like the serve stack).
+    """
+    from repro.calibrate.report import format_calibration_report
+
+    return format_calibration_report(payload)

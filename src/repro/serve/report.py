@@ -73,6 +73,11 @@ class ServeReport:
     #: passed (the dequeue-time zombie shed)
     zombie_renders_avoided: int = 0
     bytes_in: int = 0
+    #: telemetry-ring overflow: events the bounded log discarded
+    #: (oldest-first).  Nonzero means the persisted JSONL is a
+    #: truncated view of the run — the calibration loop refuses such
+    #: streams beyond its drop bound instead of fitting a biased tail.
+    telemetry_dropped: int = 0
     duration_s: float = 0.0
     slo_target: float = SLO_GOODPUT_RATIO
     slo_ok: bool = False
@@ -130,6 +135,7 @@ def build_report(
             "serve.zombie_renders_avoided"
         ),
         bytes_in=load_result.bytes_in,
+        telemetry_dropped=server.telemetry.dropped,
         duration_s=load_result.duration_s,
     )
     report.slo_ok = report.goodput_ratio >= report.slo_target
@@ -154,7 +160,7 @@ def validate_serve_payload(payload: dict[str, Any]) -> None:
         )
     for name in ("offered", "answered", "ok", "connections",
                  "peak_connections", "shed", "timeouts", "renders",
-                 "coalesced", "bytes_in"):
+                 "coalesced", "bytes_in", "telemetry_dropped"):
         value = payload.get(name)
         if not isinstance(value, int) or value < 0:
             raise ValueError(
@@ -293,6 +299,8 @@ def format_serve_report(payload: dict[str, Any]) -> str:
          str(payload["zombie_renders_avoided"])],
         ["retries sent / denied",
          f"{payload['retries_sent']} / {payload['retries_denied']}"],
+        ["telemetry dropped",
+         str(payload.get("telemetry_dropped", 0))],
         ["duration", f"{payload['duration_s']:.2f} s"],
         ["SLO (goodput >= " + pct(payload["slo_target"], 0) + ")",
          "PASS" if payload["slo_ok"] else "FAIL"],

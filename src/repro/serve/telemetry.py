@@ -142,13 +142,30 @@ class TelemetryLog:
 
     @staticmethod
     def read_jsonl(path: str | Path) -> list[dict]:
-        """Load and schema-check a persisted telemetry stream."""
+        """Load and schema-check a persisted telemetry stream.
+
+        Malformed or truncated lines fail with ``path:lineno:`` in
+        the message so a corrupt capture points at the exact row —
+        calibration refuses such streams rather than fitting around
+        them.
+        """
+        path = Path(path)
         rows = []
-        for line in Path(path).read_text().splitlines():
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
             if not line.strip():
                 continue
-            row = json.loads(line)
-            validate_event_row(row)
+            try:
+                row = json.loads(line)
+                if not isinstance(row, dict):
+                    raise ValueError(
+                        f"expected a JSON object, got "
+                        f"{type(row).__name__}"
+                    )
+                validate_event_row(row)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from exc
             rows.append(row)
         return rows
 

@@ -1,0 +1,389 @@
+"""The digital-twin calibration loop, end to end.
+
+Four layers:
+
+* closed-form fitter checks — known means/variances/quantiles, the
+  empty / single-event / all-identical edges, arrival-shape recovery
+  on constructed streams;
+* input hygiene — malformed and truncated telemetry JSONL rejected
+  with ``path:lineno`` messages, ring-drop refusal beyond the bound,
+  full-ring drops surfaced through ``ServeReport``;
+* schema surface — ``repro-calibrate/1`` payloads and
+  ``repro-calibrate-history/1`` rows validate, corrupt ones do not;
+* the loop itself — the self-consistency gate passes its pinned MAPE
+  bars, is byte-identical at jobs=1 vs jobs=4, and a real
+  ``serve --smoke``-style run round-trips serve → telemetry JSONL →
+  calibrate within loose bars.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.calibrate.fit import (
+    QUANTILE_GRID,
+    SAMPLE_POINTS,
+    CalibrationError,
+    exponential_sample,
+    fit_arrivals,
+    fit_cache,
+    fit_route,
+    fit_service,
+    mape,
+    summarize_rows,
+)
+from repro.calibrate.report import (
+    CALIBRATE_HISTORY_SCHEMA,
+    CALIBRATE_SCHEMA,
+    MAPE_HIT_RATIO_BOUND,
+    MAPE_P99_BOUND,
+    calibrate_history_row,
+    format_calibration_report,
+    validate_calibrate_history_row,
+    validate_calibration_payload,
+)
+from repro.calibrate.run import calibrate_rows, run_calibrate, self_calibrate
+from repro.calibrate.twin import ground_truth_params, simulate_twin
+from repro.common.rng import DEFAULT_SEED, DeterministicRng
+from repro.serve.telemetry import TELEMETRY_SCHEMA, TelemetryLog
+
+
+def _row(t_ms, route="wordpress", cache="miss", queue=1.0, render=5.0,
+         status=200):
+    total = queue + render + 0.1 if cache == "miss" else 0.25
+    return {
+        "schema": TELEMETRY_SCHEMA, "t_ms": t_ms, "route": route,
+        "status": status, "cache": cache, "queue_wait_ms": queue,
+        "render_ms": render if cache == "miss" else 0.0,
+        "total_ms": total, "bytes_out": 1024, "shed": "", "ops": {},
+    }
+
+
+class TestFitService:
+    def test_known_moments(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        fit = fit_service(values)
+        assert fit["mean_ms"] == pytest.approx(5.0)
+        assert fit["std_ms"] == pytest.approx(2.0)
+        assert fit["cv"] == pytest.approx(0.4)
+        assert fit["count"] == 8
+
+    def test_known_quantiles_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]  # 1..100
+        fit = fit_service(values)
+        assert fit["p50_ms"] == 50.0
+        assert fit["p99_ms"] == 99.0
+        assert fit["quantiles"]["99.9"] == 100.0
+        assert fit["quantiles"]["1"] == 1.0
+
+    def test_sample_is_equiprobable_and_sorted(self):
+        values = [float(v) for v in range(1, 1001)]
+        fit = fit_service(values)
+        sample = fit["sample_ms"]
+        assert len(sample) == SAMPLE_POINTS
+        assert sample == sorted(sample)
+        # Uniform draws from the midpoint-quantile sample reproduce
+        # the source distribution's moments.
+        assert sum(sample) / len(sample) == pytest.approx(
+            fit["mean_ms"], rel=0.01
+        )
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(CalibrationError):
+            fit_service([])
+
+    def test_single_event_fits_exactly(self):
+        fit = fit_service([7.25])
+        assert fit["mean_ms"] == 7.25
+        assert fit["std_ms"] == 0.0
+        assert fit["cv"] == 0.0
+        assert set(fit["sample_ms"]) == {7.25}
+
+    def test_all_identical_fits_exactly_with_cv_zero(self):
+        # Regression: the fuzzer's first find — naive summation gave
+        # mean 9.678999999999998 for seventeen copies of 9.679.
+        fit = fit_service([9.679] * 17)
+        assert fit["mean_ms"] == 9.679
+        assert fit["cv"] == 0.0
+        assert set(fit["sample_ms"]) == {9.679}
+
+    def test_exponential_sample_matches_the_grid(self):
+        sample = exponential_sample(10.0)
+        assert len(sample) == SAMPLE_POINTS
+        assert list(sample) == sorted(sample)
+        assert sum(sample) / len(sample) == pytest.approx(10.0, rel=0.05)
+        with pytest.raises(CalibrationError):
+            exponential_sample(0.0)
+
+    def test_mape(self):
+        assert mape(11.0, 10.0) == pytest.approx(0.1)
+        assert mape(0.0, 0.0) == 0.0
+
+
+class TestFitCacheAndRoute:
+    def test_cache_ratios(self):
+        rows = (
+            [_row(i, cache="hit") for i in range(6)]
+            + [_row(i, cache="stale") for i in range(2)]
+            + [_row(i, cache="miss") for i in range(1)]
+            + [_row(i, cache="coalesced") for i in range(1)]
+        )
+        mix = fit_cache(rows)
+        assert mix["hit"] == 0.6
+        assert mix["stale"] == 0.2
+        assert mix["miss"] == 0.1
+        assert mix["coalesced"] == 0.1
+        assert mix["requests"] == 10
+
+    def test_route_weight_and_fallback_service(self):
+        rows = [_row(float(i), cache="hit") for i in range(10)]
+        fit = fit_route(rows, total_events=40)
+        assert fit["weight"] == 0.25
+        assert fit["service"]["observed"] is False
+        assert set(fit["service"]["sample_ms"]) == {fit["hit_ms"]}
+
+
+class TestFitArrivals:
+    def test_flat_path_below_min_events(self):
+        t_ms = [float(i) * 100.0 for i in range(1, 11)]
+        shape = fit_arrivals(t_ms)
+        assert shape["base_rps"] == pytest.approx(10.0)
+        assert shape["diurnal_amplitude"] == 0.0
+        assert shape["flash_multiplier"] == 1.0
+
+    def test_uniform_dense_stream_fits_no_flash(self):
+        t_ms = [i * 10.0 for i in range(1, 3001)]  # 100 rps, 30 s
+        shape = fit_arrivals(t_ms, duration_s=30.0)
+        assert shape["base_rps"] == pytest.approx(100.0, rel=0.05)
+        assert shape["diurnal_amplitude"] < 0.05
+        assert shape["flash_multiplier"] == 1.0
+        assert shape["curve_mape"] < 0.05
+
+    def test_flash_window_recovery(self):
+        # 100 rps for 30 s with a x3 flash in [10 s, 15 s).
+        t_ms, t = [], 0.0
+        while t < 30_000.0:
+            rate = 0.3 if 10_000.0 <= t < 15_000.0 else 0.1
+            t += 1.0 / rate
+            t_ms.append(round(t, 3))
+        shape = fit_arrivals(t_ms, duration_s=30.0)
+        assert shape["flash_multiplier"] == pytest.approx(3.0, rel=0.15)
+        assert shape["flash_start_s"] == pytest.approx(10.0, abs=1.0)
+        assert shape["flash_duration_s"] == pytest.approx(5.0, abs=1.5)
+
+    def test_empty_stream_raises(self):
+        with pytest.raises(CalibrationError):
+            fit_arrivals([])
+
+
+class TestSummarize:
+    def test_empty_and_unserved_streams_raise(self):
+        with pytest.raises(CalibrationError):
+            summarize_rows([])
+        with pytest.raises(CalibrationError):
+            summarize_rows([_row(1.0, status=503)])
+
+    def test_hit_ratio_counts_hit_and_stale(self):
+        rows = [_row(1.0, cache="hit"), _row(2.0, cache="stale"),
+                _row(3.0, cache="miss"), _row(4.0, cache="coalesced")]
+        assert summarize_rows(rows)["hit_ratio"] == 0.5
+
+
+class TestTelemetryHygiene:
+    def test_malformed_jsonl_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        good = json.dumps(_row(1.0), sort_keys=True)
+        path.write_text(good + "\n" + "{not json\n")
+        with pytest.raises(ValueError, match=r"telemetry\.jsonl:2:"):
+            TelemetryLog.read_jsonl(path)
+
+    def test_invalid_row_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        bad = dict(_row(1.0), cache="teleported")
+        path.write_text(
+            json.dumps(_row(1.0)) + "\n\n" + json.dumps(bad) + "\n"
+        )
+        with pytest.raises(ValueError, match=r"telemetry\.jsonl:3.*cache"):
+            TelemetryLog.read_jsonl(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match=r"telemetry\.jsonl:1"):
+            TelemetryLog.read_jsonl(path)
+
+    def test_truncated_stream_refused_beyond_bound(self):
+        rows = [_row(float(i + 1)) for i in range(50)]
+        with pytest.raises(CalibrationError, match="dropped"):
+            calibrate_rows(rows, seed=1, telemetry_dropped=10)
+
+    def test_truncated_stream_allowed_when_overridden(self):
+        truth = ground_truth_params(True)
+        rows = simulate_twin(
+            truth, DeterministicRng(DEFAULT_SEED).fork("calibrate/truth")
+        )
+        report = calibrate_rows(
+            rows, seed=DEFAULT_SEED, telemetry_dropped=len(rows),
+            allow_truncated=True,
+            duration_s=truth.shape.duration_s,
+            period_s=truth.shape.diurnal_period_s,
+        )
+        assert report.telemetry_dropped == len(rows)
+
+    def test_full_ring_drops_surface_in_serve_report(self):
+        # Satellite fix: the ring drops oldest events and the count
+        # must reach ServeReport so calibration can refuse the stream.
+        from repro.serve.report import ServeReport, validate_serve_payload
+        from repro.serve.telemetry import RequestEvent
+
+        log = TelemetryLog(max_events=4)
+        for i in range(7):
+            log.record(RequestEvent(
+                t_ms=float(i), route="wordpress", status=200,
+                cache="hit", queue_wait_ms=0.0, render_ms=0.0,
+                total_ms=0.2, bytes_out=64,
+            ))
+        assert log.dropped == 3
+        assert log.recorded == 7
+        assert len(log) == 4
+        # Oldest events are gone; the tail survives.
+        assert [e.t_ms for e in log] == [3.0, 4.0, 5.0, 6.0]
+        report = ServeReport(mode="smoke", telemetry_dropped=log.dropped)
+        payload = report.to_payload()
+        assert payload["telemetry_dropped"] == 3
+        validate_serve_payload(payload)
+        with pytest.raises(ValueError, match="telemetry_dropped"):
+            validate_serve_payload(
+                dict(payload, telemetry_dropped=-1)
+            )
+
+
+@pytest.fixture(scope="module")
+def smoke_payload() -> dict:
+    report = self_calibrate(seed=DEFAULT_SEED, smoke=True, jobs=1)
+    return report.to_payload()
+
+
+class TestPayloadSchema:
+    def test_payload_validates(self, smoke_payload):
+        validate_calibration_payload(smoke_payload)
+        assert smoke_payload["schema"] == CALIBRATE_SCHEMA
+
+    def test_validator_rejects_corrupt_payloads(self, smoke_payload):
+        for corrupt in (
+            {**smoke_payload, "schema": "repro-serve/1"},
+            {**smoke_payload, "mode": "fast"},
+            {**smoke_payload, "events": 0},
+            {**smoke_payload, "fitted": {"routes": {}}},
+            {**smoke_payload, "mape": {"overall": 0.1}},
+            {**smoke_payload, "what_if": {}},
+            {**smoke_payload, "ok": "yes"},
+            {**smoke_payload, "host": {}},
+        ):
+            with pytest.raises(ValueError):
+                validate_calibration_payload(corrupt)
+
+    def test_history_row_roundtrip(self, smoke_payload):
+        row = calibrate_history_row(smoke_payload)
+        validate_calibrate_history_row(row)
+        assert row["schema"] == CALIBRATE_HISTORY_SCHEMA
+        assert row["mape_p99"] == smoke_payload["mape"]["p99"]
+        with pytest.raises(ValueError):
+            validate_calibrate_history_row({**row, "events": 0})
+
+    def test_report_renders_with_verdict(self, smoke_payload):
+        text = format_calibration_report(smoke_payload)
+        assert "digital-twin calibration" in text
+        assert "PASS" in text
+        for route in ("wordpress", "drupal", "mediawiki"):
+            assert f"route {route}" in text
+
+
+class TestSelfConsistency:
+    def test_smoke_gate_meets_the_pinned_bars(self, smoke_payload):
+        assert smoke_payload["ok"] is True
+        assert smoke_payload["mape"]["p99"] <= MAPE_P99_BOUND
+        assert smoke_payload["mape"]["hit_ratio"] <= MAPE_HIT_RATIO_BOUND
+        recovery = smoke_payload["self_test"]["recovery"]
+        assert recovery["service_mean_err"] <= 0.10
+        assert recovery["amplitude_abs_err"] <= 0.10
+
+    def test_what_if_prices_both_distributions(self, smoke_payload):
+        what_if = smoke_payload["what_if"]
+        assert what_if["nodes_fitted"] is not None
+        # The fitted distribution never needs more nodes than the
+        # heavier-tailed exponential assumption at the same mean.
+        if what_if["nodes_assumed"] is not None:
+            assert what_if["nodes_fitted"] <= what_if["nodes_assumed"]
+
+    def test_jobs_byte_identity(self, tmp_path):
+        outs = []
+        for jobs in (1, 4):
+            out_dir = tmp_path / f"jobs{jobs}"
+            run_calibrate(
+                smoke=True, seed=DEFAULT_SEED, jobs=jobs,
+                out_dir=out_dir, history_path=tmp_path / "h.jsonl",
+                append_history=False,
+            )
+            outs.append((out_dir / "calibration.json").read_bytes())
+        assert outs[0] == outs[1]
+
+    def test_twin_rows_validate_and_are_sorted(self):
+        from repro.serve.telemetry import validate_event_row
+
+        truth = ground_truth_params(True)
+        rows = simulate_twin(
+            truth, DeterministicRng(99).fork("calibrate/truth")
+        )
+        assert len(rows) > 1000
+        t = [row["t_ms"] for row in rows]
+        assert t == sorted(t)
+        for row in rows[:50] + rows[-50:]:
+            validate_event_row(row)
+
+    def test_run_calibrate_writes_artifacts_and_history(self, tmp_path):
+        history = tmp_path / "history.jsonl"
+        payload = run_calibrate(
+            smoke=True, seed=DEFAULT_SEED, jobs=1,
+            out_dir=tmp_path, history_path=history,
+        )
+        assert (tmp_path / "calibration.json").exists()
+        assert (tmp_path / "calibration.txt").exists()
+        rows = [json.loads(line)
+                for line in history.read_text().splitlines()]
+        assert len(rows) == 1
+        validate_calibrate_history_row(rows[0])
+        assert rows[0]["ok"] == payload["ok"] is True
+
+
+class TestEndToEndServeRoundTrip:
+    def test_serve_telemetry_calibrates_within_loose_bars(self, tmp_path):
+        # The real loop: a live wall-clock serve run writes telemetry
+        # JSONL; calibration fits it and predicts. Wall-clock noise
+        # means loose bars here — the *tight* deterministic bars are
+        # the twin-self smoke gate's job.
+        from repro.serve.run import run_serve
+
+        serve_payload = run_serve(
+            smoke=True, seed=DEFAULT_SEED, out_dir=tmp_path,
+            history_path=tmp_path / "h.jsonl",
+        )
+        telemetry = tmp_path / "serve_telemetry.jsonl"
+        assert telemetry.exists(), "serve run must persist telemetry"
+        payload = run_calibrate(
+            smoke=True, seed=DEFAULT_SEED, jobs=1,
+            telemetry=telemetry,
+            telemetry_dropped=serve_payload.get("telemetry_dropped", 0),
+            out_dir=tmp_path, history_path=tmp_path / "h.jsonl",
+            append_history=False,
+        )
+        validate_calibration_payload(payload)
+        assert payload["source"].endswith("telemetry.jsonl")
+        assert payload["events"] > 50
+        # Cache behaviour is deterministic even under wall clocks.
+        assert payload["mape"]["hit_ratio"] <= 0.25
+        assert math.isfinite(payload["mape"]["overall"])
+        assert len(QUANTILE_GRID) == 13

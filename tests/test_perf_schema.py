@@ -201,8 +201,13 @@ class TestBenchHistory:
     """The append-only perf trajectory (``BENCH_history.jsonl``)."""
 
     def test_committed_rows_pass_the_validator(self):
-        # The trajectory file is shared: perf rows and serve rows
-        # interleave, each validated by its own schema's validator.
+        # The trajectory file is shared: perf, serve, and calibrate
+        # rows interleave, each dispatched to its own schema's
+        # validator.
+        from repro.calibrate.report import (
+            CALIBRATE_HISTORY_SCHEMA,
+            validate_calibrate_history_row,
+        )
         from repro.serve.report import (
             SERVE_HISTORY_SCHEMA,
             validate_serve_history_row,
@@ -220,6 +225,7 @@ class TestBenchHistory:
         validators = {
             HISTORY_SCHEMA: validate_history_row,
             SERVE_HISTORY_SCHEMA: validate_serve_history_row,
+            CALIBRATE_HISTORY_SCHEMA: validate_calibrate_history_row,
         }
         seen = set()
         for row in rows:
@@ -230,6 +236,10 @@ class TestBenchHistory:
             validators[schema](row)
             seen.add(schema)
         assert HISTORY_SCHEMA in seen, "no perf rows in the trajectory"
+        assert CALIBRATE_HISTORY_SCHEMA in seen, (
+            "no calibrate rows in the trajectory: run "
+            "`python -m repro calibrate --smoke`"
+        )
 
     def test_append_writes_one_row_per_measured_backend(
         self, payload, tmp_path
@@ -259,6 +269,34 @@ class TestBenchHistory:
         row = history_row(payload)
         del row["backend"]
         validate_history_row(row)
+
+    def test_calibrate_validator_rejects_corrupt_rows(self):
+        from repro.calibrate.report import (
+            CALIBRATE_HISTORY_SCHEMA,
+            validate_calibrate_history_row,
+        )
+
+        committed = [
+            json.loads(line)
+            for line in HISTORY_PATH.read_text().splitlines()
+            if line.strip()
+            and json.loads(line).get("schema") == CALIBRATE_HISTORY_SCHEMA
+        ]
+        assert committed, "no committed calibrate history row to corrupt"
+        good = committed[-1]
+        validate_calibrate_history_row(good)
+        for corrupt in (
+            {**good, "schema": "repro-serve-history/1"},
+            {**good, "mape_p99": -0.1},
+            {**good, "mape_overall": "small"},
+            {**good, "events": 0},
+            {**good, "ok": "yes"},
+            {**good, "seed": "42"},
+            {**good, "host": {}},
+            {**good, "recorded_utc": 12345},
+        ):
+            with pytest.raises(ValueError):
+                validate_calibrate_history_row(corrupt)
 
     def test_validator_rejects_corrupt_rows(self, payload):
         from repro.core.perf import history_row
