@@ -23,12 +23,29 @@ fi
 
 echo "== repro lint =="
 # Static analysis: determinism (DET0xx), pool purity (POOL0xx), cache
-# soundness (KEY0xx). Blocking; the JSON payload is kept for the CI
-# artifact upload whether or not the gate passes.
+# soundness (KEY0xx), async safety (ASY0xx), schema contracts
+# (SCH0xx). Blocking; the repro-lint/2 JSON payload is kept for the
+# CI artifact upload whether or not the gate passes.
 mkdir -p benchmarks/out/lint
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
     python -m repro lint --json > benchmarks/out/lint/findings.json \
     || { cat benchmarks/out/lint/findings.json; exit 1; }
+# One-line per-family count table, re-validated through the payload's
+# own schema checker; lands in the lint artifact next to the payload.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python - <<'PY' \
+    | tee benchmarks/out/lint/summary.txt
+import json
+from repro.analysis import RULES, rule_family, validate_lint_payload
+with open("benchmarks/out/lint/findings.json") as fh:
+    payload = json.load(fh)
+validate_lint_payload(payload)
+families = sorted({rule_family(rule) for rule in RULES})
+cells = "  ".join(
+    f"{family}={payload['families'].get(family, 0)}"
+    for family in families
+)
+print(f"lint families: {cells}  (total={len(payload['findings'])})")
+PY
 echo "repro lint clean"
 
 echo "== tier-1 tests =="

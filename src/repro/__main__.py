@@ -387,6 +387,13 @@ def _cmd_lint(args) -> None:
         if not changed:
             print("all cache-key-covers waivers already accurate")
     findings = analysis.run(paths)
+    if args.rule:
+        try:
+            selected = analysis.match_rules(args.rule)
+        except ValueError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+        findings = [f for f in findings if f.rule in selected]
     baseline_path = Path(args.baseline)
     if args.update_baseline:
         out = analysis.save_baseline(findings, baseline_path)
@@ -443,7 +450,8 @@ _COMMANDS = {
                   "fit the fleet twin to serve telemetry, report "
                   "prediction MAPE + fitted what-if capacity"),
     "lint": (_cmd_lint,
-             "static analysis: determinism / pool purity / cache keys"),
+             "static analysis: determinism / pool purity / cache keys "
+             "/ async safety / schema contracts"),
     "export": (_cmd_export, "write the evaluation as JSON"),
     "all": (_cmd_all, "everything above"),
 }
@@ -485,8 +493,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="process-pool workers for sweep commands "
                              "(default: REPRO_JOBS env, else 1)")
     parser.add_argument("--json", action="store_true",
-                        help="lint: emit the repro-lint/1 JSON payload "
-                             "instead of text")
+                        help="lint: emit the repro-lint/2 JSON payload "
+                             "instead of text (exit 0 = clean, 1 = "
+                             "fresh findings, 2 = usage error)")
+    parser.add_argument("--rule", type=str, default=None,
+                        help="lint: only report this rule id (ASY002) "
+                             "or family prefix (ASY) — cheap re-runs "
+                             "of one family")
     parser.add_argument("--fix-waivers", action="store_true",
                         help="lint: rewrite stale/missing cache-key-"
                              "covers waiver comments in place")

@@ -1,21 +1,24 @@
-"""Static-analysis suite: determinism, pool purity, cache soundness.
+"""Static-analysis suite: determinism, purity, async safety, schemas.
 
 The reproduction's core disciplines — seeded RNG everywhere,
 byte-identical ``map_cells`` fan-out at any ``--jobs``, experiment
-cache keys that cover every input a cell reads — are enforced
-dynamically by the conformance suite.  This package enforces them
-*statically*: an AST-based pass over ``src/repro`` with three rule
+cache keys that cover every input a cell reads, a live event loop no
+coroutine may stall or race, and ``repro-*/N`` artifacts whose
+producers and validators agree key-for-key — are enforced dynamically
+by the conformance suite.  This package enforces them *statically*:
+an AST-based interprocedural pass over ``src/repro`` with five rule
 families (DET0xx determinism, POOL0xx pool purity, KEY0xx cache
-soundness), in-source waiver directives, and a grandfathering
-baseline, gated in CI via ``python -m repro lint``.
+soundness, ASY0xx async safety, SCH0xx schema contracts), in-source
+waiver directives, and a grandfathering baseline, gated in CI via
+``python -m repro lint``.
 
 Library use::
 
     from repro import analysis
     findings = analysis.run(["src/repro"])   # -> list[Finding]
 
-See DESIGN.md ("Static analysis") for the rule catalog and waiver
-syntax.
+See DESIGN.md ("Static analysis" and "Async safety & schema
+contracts") for the rule catalog and waiver syntax.
 """
 
 from repro.analysis.engine import (
@@ -24,6 +27,7 @@ from repro.analysis.engine import (
     analyze_sources,
     default_paths,
     fix_waivers,
+    match_rules,
     run,
 )
 from repro.analysis.reporting import (
@@ -35,8 +39,10 @@ from repro.analysis.reporting import (
     load_baseline,
     render_json,
     render_text,
+    rule_family,
     save_baseline,
     to_json_payload,
+    validate_lint_payload,
 )
 
 __all__ = [
@@ -45,6 +51,7 @@ __all__ = [
     "analyze_sources",
     "default_paths",
     "fix_waivers",
+    "match_rules",
     "run",
     "BASELINE_SCHEMA",
     "REPORT_SCHEMA",
@@ -54,6 +61,8 @@ __all__ = [
     "load_baseline",
     "render_json",
     "render_text",
+    "rule_family",
     "save_baseline",
     "to_json_payload",
+    "validate_lint_payload",
 ]

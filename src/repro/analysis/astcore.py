@@ -82,6 +82,14 @@ class ModuleInfo:
     singletons: dict[str, int] = field(default_factory=dict)
     #: module-level names bound to literal-ish constants
     constants: set[str] = field(default_factory=set)
+    #: module-level names bound to string literals, with their values
+    #: (schema tags like ``PERF_SCHEMA = "repro-perf/2"``)
+    str_constants: dict[str, str] = field(default_factory=dict)
+    #: module-level names bound to tuples of string literals
+    #: (key lists like ``MAPE_METRICS = ("p50", "p99", ...)``)
+    tuple_constants: dict[str, tuple[str, ...]] = field(
+        default_factory=dict
+    )
     #: physical line -> waived rule ids
     line_waivers: dict[int, set[str]] = field(default_factory=dict)
     #: rule ids waived for the whole file
@@ -181,6 +189,17 @@ def _collect_bindings(info: ModuleInfo) -> None:
                     info.singletons[target.id] = node.lineno
                 elif _is_constant_expr(value):
                     info.constants.add(target.id)
+                    if isinstance(value, ast.Constant) and \
+                            isinstance(value.value, str):
+                        info.str_constants[target.id] = value.value
+                    elif isinstance(value, ast.Tuple) and all(
+                        isinstance(e, ast.Constant)
+                        and isinstance(e.value, str)
+                        for e in value.elts
+                    ):
+                        info.tuple_constants[target.id] = tuple(
+                            e.value for e in value.elts
+                        )
 
 
 def _stmt_lines(tree: ast.Module) -> list[int]:
@@ -292,3 +311,20 @@ def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
     for node in ast.walk(tree):
         if isinstance(node, ast.Call):
             yield node
+
+
+def iter_own_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs.
+
+    The async-safety rules reason about one coroutine frame at a
+    time: an ``await`` inside a nested ``async def`` belongs to the
+    nested coroutine, not to the enclosing one.
+    """
+    queue: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while queue:
+        node = queue.pop(0)
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        queue.extend(ast.iter_child_nodes(node))

@@ -1,15 +1,27 @@
-"""Intra-package call graph over module-level functions.
+"""Intra-package call graph over functions *and* methods.
 
 The pool-purity and cache-soundness rules reason about everything a
-sweep cell *transitively* executes.  This module builds the part of
-that picture that is statically resolvable: direct calls between
-module-level functions of the analyzed package, following import
-aliases (``from repro.core.experiment import run_app_experiment``).
+sweep cell *transitively* executes, and the async-safety rules reason
+about everything a coroutine can reach before its next ``await``.
+This module builds the part of that picture that is statically
+resolvable:
 
-Method bodies and dynamically dispatched callables are out of scope —
-a documented precision limit (see DESIGN.md): objects *constructed
-inside* a cell are per-cell state and cannot smuggle unkeyed inputs
-across cells, which is the failure mode these rules exist to catch.
+* module-level functions, following import aliases
+  (``from repro.core.experiment import run_app_experiment``);
+* methods of module-level classes, reachable three ways — as
+  ``ClassName.method`` references, as ``self.method(...)`` /
+  ``cls.method(...)`` calls from a sibling method, and as
+  ``instance.method(...)`` only when the receiver is a module-level
+  singleton whose constructor class is known.
+
+Each node records whether it is a coroutine (``is_async``) and its
+``await`` points, so the async rules never re-walk the tree.
+
+Dynamically dispatched callables (``getattr``, callables stored in
+containers, instance attributes rebound at runtime) remain out of
+scope — a documented precision limit (see DESIGN.md): the analyzers
+prefer missed findings over false alarms on code they cannot see
+through.
 """
 
 from __future__ import annotations
@@ -18,17 +30,22 @@ import ast
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
-from repro.analysis.astcore import ModuleInfo, iter_calls
+from repro.analysis.astcore import ModuleInfo, iter_calls, iter_own_nodes
 
 
 @dataclass
 class FunctionNode:
-    """One module-level function in the analyzed tree."""
+    """One function or method in the analyzed tree."""
 
-    qualname: str                  # "repro.core.experiment._evaluate_app_cell"
+    qualname: str                  # "repro.serve.httpd.MiniPhpServer.stop"
     module: ModuleInfo
     node: ast.FunctionDef
+    #: class name when this is a method of a module-level class
+    cls: Optional[str] = None
+    is_async: bool = False
     callees: set[str] = field(default_factory=set)
+    #: ``await`` expressions in *this* frame (nested defs excluded)
+    awaits: list[ast.Await] = field(default_factory=list)
 
     @property
     def name(self) -> str:
@@ -60,24 +77,63 @@ class CallGraph:
                                 reverse=True))
         return [self.functions[q] for q in seen]
 
+    def resolve_callee(self, caller: FunctionNode,
+                       call: ast.Call) -> Optional[FunctionNode]:
+        """Best-effort target of one call expression from ``caller``."""
+        resolved = caller.module.resolve_call(call)
+        node = self.lookup(resolved)
+        if node is not None:
+            return node
+        return self.lookup(self._method_candidate(caller, call))
 
-def _function_defs(module: ModuleInfo) -> Iterator[ast.FunctionDef]:
+    def _method_candidate(self, caller: FunctionNode,
+                          call: ast.Call) -> Optional[str]:
+        """``self.foo()`` / ``cls.foo()`` -> sibling-method qualname."""
+        if caller.cls is None:
+            return None
+        func = call.func
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name) and \
+                func.value.id in ("self", "cls"):
+            return (f"{caller.module.modname}.{caller.cls}"
+                    f".{func.attr}")
+        return None
+
+
+def _iter_defs(
+    module: ModuleInfo,
+) -> Iterator[tuple[Optional[str], ast.FunctionDef]]:
+    """``(class_name_or_None, def)`` for every analyzable def."""
     for node in module.tree.body:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            yield node
+            yield None, node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    yield node.name, item
 
 
 def build_call_graph(modules: dict[str, ModuleInfo]) -> CallGraph:
     graph = CallGraph()
     for modname, module in modules.items():
-        for fn in _function_defs(module):
-            qualname = f"{modname}.{fn.name}"
-            graph.functions[qualname] = FunctionNode(
-                qualname=qualname, module=module, node=fn
+        for cls, fn in _iter_defs(module):
+            qualname = f"{modname}.{cls}.{fn.name}" if cls \
+                else f"{modname}.{fn.name}"
+            is_async = isinstance(fn, ast.AsyncFunctionDef)
+            node = FunctionNode(
+                qualname=qualname, module=module, node=fn, cls=cls,
+                is_async=is_async,
             )
+            if is_async:
+                node.awaits = [
+                    n for n in iter_own_nodes(fn)
+                    if isinstance(n, ast.Await)
+                ]
+            graph.functions[qualname] = node
     for node in graph.functions.values():
         for call in iter_calls(node.node):
-            resolved = node.module.resolve_call(call)
-            if resolved in graph.functions:
-                node.callees.add(resolved)
+            callee = graph.resolve_callee(node, call)
+            if callee is not None:
+                node.callees.add(callee.qualname)
     return graph

@@ -2,9 +2,11 @@
 
 ``run(paths)`` loads every ``.py`` file under ``paths`` (default: the
 installed ``repro`` package), builds the intra-package call graph
-once, runs the three rule families, and filters the raw findings
-through the in-source waiver directives.  The CLI layers the baseline
-and output formats on top (see ``python -m repro lint``).
+once, runs the five rule families (determinism, pool purity, cache
+keys, async safety, schema contracts), and filters the raw findings
+through the in-source waiver directives.  The CLI layers the baseline,
+the ``--rule`` selector, and output formats on top (see
+``python -m repro lint``).
 """
 
 from __future__ import annotations
@@ -12,7 +14,13 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Callable, Iterable, Optional
 
-from repro.analysis import rules_det, rules_key, rules_pool
+from repro.analysis import (
+    rules_async,
+    rules_det,
+    rules_key,
+    rules_pool,
+    rules_schema,
+)
 from repro.analysis.astcore import ModuleInfo, load_module
 from repro.analysis.callgraph import CallGraph, build_call_graph
 from repro.analysis.reporting import Finding
@@ -30,6 +38,16 @@ RULES: dict[str, str] = {
     "KEY001": "cache-keyed cell reads an input its key does not cover",
     "KEY002": "stale cache-key-covers waiver entry",
     "KEY003": "keyed fan-out call site without a sweep label",
+    "ASY001": "blocking or heavy call reachable from a coroutine",
+    "ASY002": "shared state re-assigned across an await without "
+              "claim/re-check/lock",
+    "ASY003": "coroutine or task result dropped without await, "
+              "gather, or done-callback",
+    "ASY004": "external await with no asyncio.wait_for deadline on "
+              "some path",
+    "SCH001": "schema producer omits key(s) its validator requires",
+    "SCH002": "schema producer emits key(s) its validator never checks",
+    "SCH003": "producer/validator schema version drift",
 }
 
 #: Default baseline location, resolved against the working directory.
@@ -40,6 +58,8 @@ _FAMILIES: tuple[Callable[[dict[str, ModuleInfo], CallGraph],
     rules_det.check,
     rules_pool.check,
     rules_key.check,
+    rules_async.check,
+    rules_schema.check,
 )
 
 
@@ -112,6 +132,26 @@ def analyze_modules(modules: dict[str, ModuleInfo]) -> list[Finding]:
 def run(paths: Optional[Iterable[str | Path]] = None) -> list[Finding]:
     """The library entry point: lint ``paths`` (default: src/repro)."""
     return analyze_modules(load_modules(paths))
+
+
+def match_rules(selector: str) -> set[str]:
+    """Rule ids selected by ``--rule`` (exact id or family prefix).
+
+    Raises ``ValueError`` for a selector matching nothing — the CLI
+    maps that to exit code 2 (usage error), distinct from findings.
+    """
+    wanted = selector.strip().upper()
+    if wanted in RULES:
+        return {wanted}
+    matched = {r for r in RULES if r.rstrip("0123456789") == wanted}
+    if not matched:
+        known = sorted({r.rstrip("0123456789") for r in RULES})
+        raise ValueError(
+            f"unknown rule or family {selector!r} — expected one of "
+            f"{', '.join(sorted(RULES))} or a family prefix "
+            f"({', '.join(known)})"
+        )
+    return matched
 
 
 def analyze_sources(sources: dict[str, str]) -> list[Finding]:

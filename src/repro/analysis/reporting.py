@@ -7,8 +7,13 @@ above a grandfathered finding do not resurrect it; they include an
 occurrence index so two identical violations in one function stay
 distinct.
 
-The JSON payload is a stable schema (``repro-lint/1``) consumed by CI
-artifact tooling and locked by ``tests/test_analysis.py``.
+The JSON payload is a stable schema (``repro-lint/2``) consumed by CI
+artifact tooling and locked by ``tests/test_analysis.py``; ``/2``
+added the ``families`` per-family count block next to the per-rule
+``counts``.  :func:`validate_lint_payload` is the consumer-side
+contract — the same producer/validator pairing the SCH rules enforce
+for every other ``repro-*/N`` document applies to the linter's own
+output.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from pathlib import Path
 from typing import Any, Iterable, Optional
 
 #: JSON schema tags (bump on incompatible change, never silently).
-REPORT_SCHEMA = "repro-lint/1"
+REPORT_SCHEMA = "repro-lint/2"
 BASELINE_SCHEMA = "repro-lint-baseline/1"
 
 
@@ -80,6 +85,11 @@ def render_text(findings: list[Finding],
     return "\n".join(lines)
 
 
+def rule_family(rule: str) -> str:
+    """``ASY002`` -> ``ASY``: the rule's family prefix."""
+    return rule.rstrip("0123456789")
+
+
 def to_json_payload(
     findings: list[Finding],
     suppressed: int = 0,
@@ -87,18 +97,72 @@ def to_json_payload(
 ) -> dict[str, Any]:
     ordered = sorted(findings)
     counts: dict[str, int] = {}
+    families: dict[str, int] = {}
     for f in ordered:
         counts[f.rule] = counts.get(f.rule, 0) + 1
+        fam = rule_family(f.rule)
+        families[fam] = families.get(fam, 0) + 1
     return {
         "schema": REPORT_SCHEMA,
         "ok": not ordered,
         "counts": {k: counts[k] for k in sorted(counts)},
+        "families": {k: families[k] for k in sorted(families)},
         "findings": [f.to_dict() for f in ordered],
         "baseline": {
             "path": baseline_path,
             "suppressed": suppressed,
         },
     }
+
+
+def validate_lint_payload(payload: dict[str, Any]) -> None:
+    """Schema check for one ``repro-lint/2`` document."""
+    if payload.get("schema") != REPORT_SCHEMA:
+        raise ValueError(
+            f"unexpected lint schema: {payload.get('schema')!r}"
+        )
+    if not isinstance(payload.get("ok"), bool):
+        raise ValueError("lint payload ['ok'] must be a bool")
+    findings = payload.get("findings")
+    if not isinstance(findings, list):
+        raise ValueError("lint payload ['findings'] must be a list")
+    for row in findings:
+        if not isinstance(row, dict):
+            raise ValueError("lint payload finding must be an object")
+        for name in ("file", "rule", "symbol", "message", "severity"):
+            if not isinstance(row.get(name), str) or not row.get(name):
+                raise ValueError(
+                    f"lint finding [{name!r}] must be a non-empty "
+                    f"string, got {row.get(name)!r}"
+                )
+        for name in ("line", "col"):
+            if not isinstance(row.get(name), int) or row[name] < 0:
+                raise ValueError(
+                    f"lint finding [{name!r}] must be a non-negative "
+                    f"int, got {row.get(name)!r}"
+                )
+    if payload["ok"] and findings:
+        raise ValueError("lint payload ok=true but has findings")
+    for name in ("counts", "families"):
+        block = payload.get(name)
+        if not isinstance(block, dict) or any(
+            not isinstance(v, int) or v < 1 for v in block.values()
+        ):
+            raise ValueError(
+                f"lint payload [{name!r}] must map names to positive "
+                f"ints"
+            )
+        if sum(block.values()) != len(findings):
+            raise ValueError(
+                f"lint payload [{name!r}] totals disagree with the "
+                f"findings list"
+            )
+    baseline = payload.get("baseline")
+    if not isinstance(baseline, dict) or \
+            not isinstance(baseline.get("suppressed"), int):
+        raise ValueError(
+            "lint payload ['baseline']['suppressed'] must be an int"
+        )
 
 
 def render_json(findings: list[Finding],

@@ -1,0 +1,483 @@
+"""Async-safety rules (ASY0xx).
+
+The serving path (PRs 7–9) runs a real asyncio event loop: one stalled
+or racy coroutine degrades every in-flight request, and the failure
+modes are exactly the ones that never show up in unit tests — a
+blocking call that is fast on a dev laptop, a check-then-act race that
+needs two interleaved connections, a task whose exception nobody ever
+observes, a read that hangs forever on a half-dead peer.  These rules
+reject each of those shapes statically:
+
+=======  ==========================================================
+ASY001   blocking call (``time.sleep``, sync socket/file I/O,
+         ``subprocess``, heavy accel kernels) transitively reachable
+         from a coroutine — stalls the shared event loop
+ASY002   shared mutable state (``self.attr`` / module global) read
+         before and re-assigned after an intervening ``await``
+         without re-validation — a check-then-act race window
+ASY003   coroutine or ``create_task``/``ensure_future`` result that
+         is never awaited, gathered, or given a done-callback — its
+         exceptions vanish
+ASY004   ``await`` of an external operation (socket connect/read/
+         drain) with no ``asyncio.wait_for`` deadline on any path
+         from its task root
+=======  ==========================================================
+
+Sanctioned idioms the analyzer recognizes (see DESIGN.md):
+
+* **claim-before-await** — move the shared value into a local and
+  overwrite the attribute *before* the first ``await``
+  (``writer, self._writer = self._writer, None``); later awaits
+  operate on the claimed local, so no cross-await write remains.
+* **fresh re-read** — re-validate the attribute between the last
+  ``await`` and the write (double-checked publish); ASY002 stays
+  silent when a read of the same location sits in that window.
+* **lock discipline** — reads and the write share an enclosing
+  ``async with`` block.
+* **single-flight** — publishing a future into a shared dict
+  *synchronously* (the FragmentCache stampede defense) never spans
+  an await and is therefore never flagged.
+* **read-modify-write** — ``self.counter += 1`` (AugAssign) reads at
+  the write site by construction and is not a stale publish.
+
+The analysis is position-based (textual order approximates execution
+order within one frame) and syntactic — a documented precision limit
+shared with the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.astcore import (
+    ModuleInfo,
+    dotted_name,
+    enclosing_symbol,
+    iter_own_nodes,
+    parent_of,
+)
+from repro.analysis.callgraph import CallGraph, FunctionNode
+from repro.analysis.reporting import Finding
+
+#: Synchronous calls that park the whole event loop while they run.
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "os.system", "os.popen", "os.wait", "os.waitpid",
+    "socket.create_connection", "socket.getaddrinfo",
+    "socket.gethostbyname", "socket.gethostbyaddr",
+    "urllib.request.urlopen",
+    "open",
+})
+
+#: In-tree kernels heavy enough to stall a request loop; coroutines
+#: must ship them through ``run_in_executor`` instead.
+HEAVY_CALLS = frozenset({
+    "repro.workloads.templates.render_http_page",
+    "repro.core.experiment.full_evaluation",
+    "repro.core.experiment.run_app_experiment",
+})
+
+#: Awaited attribute calls that depend on a remote peer making
+#: progress — these hang forever without a deadline.
+EXTERNAL_AWAIT_METHODS = frozenset({
+    "readline", "readexactly", "readuntil", "read", "drain",
+})
+
+#: Awaited module-level calls that depend on a remote peer.
+EXTERNAL_AWAIT_CALLS = frozenset({
+    "asyncio.open_connection",
+})
+
+#: Task-spawn entry points: the coroutine argument runs as a new task
+#: root, outside any caller deadline.
+TASK_SPAWNERS = frozenset({
+    "asyncio.create_task", "asyncio.ensure_future",
+})
+
+_WAIT_FOR = "asyncio.wait_for"
+
+
+def _finding(module: ModuleInfo, node: ast.AST, rule: str,
+             message: str) -> Finding:
+    return Finding(
+        file=module.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        rule=rule,
+        symbol=enclosing_symbol(node),
+        message=message,
+    )
+
+
+def _pos(node: ast.AST) -> tuple[int, int]:
+    return (getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+
+
+def _dedupe(findings: list[Finding]) -> list[Finding]:
+    """Two coroutines reaching one defect report it once."""
+    seen: set[tuple] = set()
+    out: list[Finding] = []
+    for f in sorted(findings):
+        key = (f.file, f.line, f.col, f.rule)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(f)
+    return out
+
+
+# -- ASY001: blocking calls reachable from coroutines -----------------------
+
+
+def _blocking_calls_in(fn: FunctionNode) -> Iterator[tuple[ast.Call, str]]:
+    for node in iter_own_nodes(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = fn.module.resolve_call(node)
+        if resolved in BLOCKING_CALLS or resolved in HEAVY_CALLS:
+            yield node, resolved
+
+
+def _sync_reachable(root: FunctionNode,
+                    graph: CallGraph) -> list[FunctionNode]:
+    """``root`` plus transitively-called *sync* functions.
+
+    Async callees are skipped: each coroutine is its own ASY001
+    root, so a blocking call inside one is reported exactly once.
+    """
+    out: list[FunctionNode] = [root]
+    seen = {root.qualname}
+    stack = sorted(root.callees, reverse=True)
+    while stack:
+        qual = stack.pop()
+        node = graph.lookup(qual)
+        if node is None or qual in seen or node.is_async:
+            continue
+        seen.add(qual)
+        out.append(node)
+        stack.extend(sorted(node.callees, reverse=True))
+    return out
+
+
+def _check_blocking(graph: CallGraph) -> list[Finding]:
+    out: list[Finding] = []
+    for qual in sorted(graph.functions):
+        coro = graph.functions[qual]
+        if not coro.is_async:
+            continue
+        for fn in _sync_reachable(coro, graph):
+            for call, resolved in _blocking_calls_in(fn):
+                kind = "heavy kernel" if resolved in HEAVY_CALLS \
+                    else "blocking call"
+                via = "" if fn is coro \
+                    else f" via `{fn.qualname}`"
+                out.append(_finding(
+                    fn.module, call, "ASY001",
+                    f"{kind} `{resolved}` reachable from coroutine "
+                    f"`{coro.qualname}`{via} — stalls the event loop; "
+                    f"use an async equivalent or run_in_executor",
+                ))
+    return _dedupe(out)
+
+
+# -- ASY002: check-then-act races across awaits -----------------------------
+
+
+def _shared_key(node: ast.AST,
+                global_names: set[str]) -> Optional[tuple[str, str]]:
+    """Identity of a shared location: ``self.attr`` or module global."""
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and \
+            node.value.id == "self":
+        return ("self", node.attr)
+    if isinstance(node, ast.Name) and node.id in global_names:
+        return ("global", node.id)
+    return None
+
+
+def _assign_targets(stmt: ast.stmt) -> list[ast.AST]:
+    if isinstance(stmt, ast.Assign):
+        out: list[ast.AST] = []
+        for target in stmt.targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                out.extend(target.elts)
+            else:
+                out.append(target)
+        return out
+    if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        return [stmt.target]
+    return []
+
+
+def _async_with_ancestors(node: ast.AST, frame: ast.AST) -> set[int]:
+    out: set[int] = set()
+    cursor = parent_of(node)
+    while cursor is not None and cursor is not frame:
+        if isinstance(cursor, ast.AsyncWith):
+            out.add(id(cursor))
+        cursor = parent_of(cursor)
+    return out
+
+
+def _check_races(graph: CallGraph) -> list[Finding]:
+    out: list[Finding] = []
+    for qual in sorted(graph.functions):
+        fn = graph.functions[qual]
+        if not fn.is_async or not fn.awaits:
+            continue
+        global_names: set[str] = set()
+        for node in iter_own_nodes(fn.node):
+            if isinstance(node, ast.Global):
+                global_names.update(node.names)
+        await_positions = sorted(_pos(a) for a in fn.awaits)
+        loads: dict[tuple[str, str], list[ast.AST]] = {}
+        for node in iter_own_nodes(fn.node):
+            if not isinstance(getattr(node, "ctx", None), ast.Load):
+                continue
+            key = _shared_key(node, global_names)
+            if key is not None:
+                loads.setdefault(key, []).append(node)
+        for stmt in iter_own_nodes(fn.node):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            for target in _assign_targets(stmt):
+                key = _shared_key(target, global_names)
+                if key is None:
+                    continue
+                # The store completes when the whole statement does:
+                # ``self._server = await start_server(...)`` publishes
+                # *after* its own await, so the window closes at the
+                # statement's end, not its first token.
+                w = (getattr(stmt, "end_lineno", stmt.lineno),
+                     getattr(stmt, "end_col_offset", stmt.col_offset))
+                before = [p for p in await_positions if p < w]
+                if not before:
+                    continue  # claim-before-await: publish is sync
+                last_await = before[-1]
+                # The race needs a read of the same location with an
+                # await between it and the write (check-then-act).
+                race_reads = [
+                    n for n in loads.get(key, ())
+                    if _pos(n) < w
+                    and any(_pos(n) < a < w for a in await_positions)
+                ]
+                if not race_reads:
+                    continue
+                # Fresh re-read between the last await and the write
+                # re-validates the check: the double-checked publish.
+                if any(last_await < _pos(n) < w
+                       for n in loads.get(key, ())):
+                    continue
+                # Lock discipline: a shared ``async with`` block
+                # covering both the read and the write.
+                w_locks = _async_with_ancestors(stmt, fn.node)
+                if w_locks and any(
+                    w_locks & _async_with_ancestors(n, fn.node)
+                    for n in race_reads
+                ):
+                    continue
+                where = f"self.{key[1]}" if key[0] == "self" \
+                    else f"global `{key[1]}`"
+                out.append(_finding(
+                    fn.module, stmt, "ASY002",
+                    f"`{where}` read at line "
+                    f"{race_reads[0].lineno} and re-assigned here "
+                    f"across an await — another task can interleave; "
+                    f"claim it before the first await or re-validate "
+                    f"after the last one",
+                ))
+    return _dedupe(out)
+
+
+# -- ASY003: dropped coroutines and tasks -----------------------------------
+
+
+def _is_task_spawn(module: ModuleInfo, call: ast.Call) -> bool:
+    resolved = module.resolve_call(call)
+    if resolved in TASK_SPAWNERS:
+        return True
+    # ``loop.create_task(...)`` on an unresolvable receiver.
+    return isinstance(call.func, ast.Attribute) and \
+        call.func.attr in ("create_task", "ensure_future")
+
+
+def _check_dropped(graph: CallGraph) -> list[Finding]:
+    out: list[Finding] = []
+    for qual in sorted(graph.functions):
+        fn = graph.functions[qual]
+        name_loads: dict[str, int] = {}
+        for node in iter_own_nodes(fn.node):
+            if isinstance(node, ast.Name) and \
+                    isinstance(node.ctx, ast.Load):
+                name_loads[node.id] = name_loads.get(node.id, 0) + 1
+        for stmt in iter_own_nodes(fn.node):
+            if isinstance(stmt, ast.Expr) and \
+                    isinstance(stmt.value, ast.Call):
+                call = stmt.value
+                callee = graph.resolve_callee(fn, call)
+                if callee is not None and callee.is_async:
+                    out.append(_finding(
+                        fn.module, call, "ASY003",
+                        f"coroutine `{callee.qualname}` created but "
+                        f"never awaited — it will not run and its "
+                        f"exceptions vanish",
+                    ))
+                elif _is_task_spawn(fn.module, call):
+                    out.append(_finding(
+                        fn.module, call, "ASY003",
+                        "task result dropped — keep a reference and "
+                        "await/gather it or attach add_done_callback, "
+                        "or its exceptions vanish",
+                    ))
+            elif isinstance(stmt, ast.Assign) and \
+                    isinstance(stmt.value, ast.Call) and \
+                    _is_task_spawn(fn.module, stmt.value):
+                targets = [
+                    t for t in stmt.targets if isinstance(t, ast.Name)
+                ]
+                if targets and all(
+                    name_loads.get(t.id, 0) == 0 for t in targets
+                ):
+                    out.append(_finding(
+                        fn.module, stmt.value, "ASY003",
+                        f"task bound to `{targets[0].id}` is never "
+                        f"awaited, gathered, or given a "
+                        f"done-callback — its exceptions vanish",
+                    ))
+    return _dedupe(out)
+
+
+# -- ASY004: external awaits without a deadline -----------------------------
+
+
+def _external_name(fn: FunctionNode,
+                   call: ast.Call) -> Optional[str]:
+    resolved = fn.module.resolve_call(call)
+    if resolved in EXTERNAL_AWAIT_CALLS:
+        return resolved
+    if isinstance(call.func, ast.Attribute) and \
+            call.func.attr in EXTERNAL_AWAIT_METHODS:
+        base = dotted_name(call.func.value)
+        return f"{base}.{call.func.attr}" if base \
+            else f".{call.func.attr}"
+    return None
+
+
+def _awaited_call(awaitexpr: ast.Await) -> Optional[ast.Call]:
+    return awaitexpr.value if isinstance(awaitexpr.value, ast.Call) \
+        else None
+
+
+def _call_sites(
+    graph: CallGraph,
+) -> dict[str, list[tuple[FunctionNode, str]]]:
+    """callee qualname -> [(caller, kind)] with kind in
+    ``guarded`` (wait_for-wrapped await), ``awaited`` (bare await,
+    inherits the caller's deadline state), ``spawned`` (task root,
+    no ambient deadline)."""
+    sites: dict[str, list[tuple[FunctionNode, str]]] = {}
+
+    def record(callee: Optional[FunctionNode], caller: FunctionNode,
+               kind: str) -> None:
+        if callee is not None and callee.is_async:
+            sites.setdefault(callee.qualname, []).append(
+                (caller, kind)
+            )
+
+    for qual in sorted(graph.functions):
+        fn = graph.functions[qual]
+        awaited_ids: set[int] = set()
+        for awaitexpr in fn.awaits:
+            call = _awaited_call(awaitexpr)
+            if call is None:
+                continue
+            awaited_ids.add(id(call))
+            if fn.module.resolve_call(call) == _WAIT_FOR:
+                inner = call.args[0] if call.args else None
+                if isinstance(inner, ast.Call):
+                    awaited_ids.add(id(inner))
+                    record(graph.resolve_callee(fn, inner), fn,
+                           "guarded")
+            else:
+                record(graph.resolve_callee(fn, call), fn, "awaited")
+        for node in iter_own_nodes(fn.node):
+            if not isinstance(node, ast.Call) or \
+                    id(node) in awaited_ids:
+                continue
+            if _is_task_spawn(fn.module, node) and node.args and \
+                    isinstance(node.args[0], ast.Call):
+                record(graph.resolve_callee(fn, node.args[0]), fn,
+                       "spawned")
+            elif fn.module.resolve_call(node) == "asyncio.run" and \
+                    node.args and isinstance(node.args[0], ast.Call):
+                record(graph.resolve_callee(fn, node.args[0]), fn,
+                       "spawned")
+    return sites
+
+
+def _deadline_coverage(graph: CallGraph) -> dict[str, bool]:
+    """True iff every path that awaits the coroutine carries a
+    ``wait_for`` deadline.  Greatest fixpoint: start optimistic,
+    demote until stable — roots (no await sites: server callbacks,
+    spawned tasks, ``asyncio.run`` arguments) start uncovered."""
+    sites = _call_sites(graph)
+    covered: dict[str, bool] = {}
+    for qual in sorted(graph.functions):
+        if graph.functions[qual].is_async:
+            covered[qual] = bool(sites.get(qual))
+    changed = True
+    while changed:
+        changed = False
+        for qual in sorted(covered):
+            if not covered[qual]:
+                continue
+            for caller, kind in sites.get(qual, ()):
+                ok = kind == "guarded" or (
+                    kind == "awaited"
+                    and covered.get(caller.qualname, False)
+                )
+                if not ok:
+                    covered[qual] = False
+                    changed = True
+                    break
+    return covered
+
+
+def _check_deadlines(graph: CallGraph) -> list[Finding]:
+    covered = _deadline_coverage(graph)
+    out: list[Finding] = []
+    for qual in sorted(graph.functions):
+        fn = graph.functions[qual]
+        if not fn.is_async or covered.get(qual, False):
+            continue
+        for awaitexpr in fn.awaits:
+            call = _awaited_call(awaitexpr)
+            if call is None:
+                continue
+            if fn.module.resolve_call(call) == _WAIT_FOR:
+                continue
+            external = _external_name(fn, call)
+            if external is None:
+                continue
+            out.append(_finding(
+                fn.module, awaitexpr, "ASY004",
+                f"external await `{external}` has no deadline on "
+                f"some path into `{fn.qualname}` — a stalled peer "
+                f"parks this task forever; wrap it (or a caller) in "
+                f"asyncio.wait_for",
+            ))
+    return _dedupe(out)
+
+
+def check(modules: dict[str, ModuleInfo],
+          graph: CallGraph) -> list[Finding]:
+    del modules  # the call graph already spans every module
+    out: list[Finding] = []
+    out.extend(_check_blocking(graph))
+    out.extend(_check_races(graph))
+    out.extend(_check_dropped(graph))
+    out.extend(_check_deadlines(graph))
+    return sorted(out)

@@ -106,6 +106,10 @@ def resolve_payload(
                           f"functions")
         return None, (f"payload `{name}` does not resolve to a "
                       f"top-level function in the analyzed tree")
+    if node.cls is not None:
+        return None, (f"payload `{name}` is a method of "
+                      f"`{node.cls}` — pool cells must be top-level "
+                      f"functions")
     return node, None
 
 

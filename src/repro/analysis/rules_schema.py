@@ -1,0 +1,468 @@
+"""Schema-contract rules (SCH0xx).
+
+Every JSONL/JSON artifact this repo persists is self-describing via a
+``repro-<family>/N`` tag, produced by one function and re-checked by a
+``validate_*`` sibling.  Those two key sets are maintained by hand, so
+they drift: a producer grows a field the validator never looks at
+(silent corruption passes the gate), or a validator demands a field
+the producer stopped emitting (every artifact fails).  These rules
+extract both sides statically and diff them:
+
+=======  ==========================================================
+SCH001   producer omits key(s) the paired validator requires —
+         every artifact it writes will fail validation
+SCH002   producer emits key(s) the paired validator never checks —
+         unvalidated payload surface, corruption passes the gate
+SCH003   producer's schema version drifts from the only validator
+         in its family (``repro-serve/2`` vs ``repro-serve/1``)
+=======  ==========================================================
+
+**Validator** = a function body containing
+``if <row>.get("schema") != <CONST>: raise ...`` where ``CONST``
+resolves to a ``repro-*/N`` string.  Required keys are ``.get(k)``
+with no default and ``row[k]`` subscript reads; optional keys are
+``.get(k, default)`` and ``"k" in row`` membership tests; keys read
+in ``for name in (<tuple of strings>)`` loops — including module
+tuple constants and ``TUPLE + ("extra",)`` concatenations — are
+expanded.  Only reads on the compared receiver count: nested
+sub-object checks are out of scope.
+
+**Producer** = a dict literal carrying a resolvable
+``"schema": <CONST>`` entry.  Its key set is the literal's constant
+keys plus statement-level follow-ups on the binding
+(``payload["host"] = ...``, ``payload.update({...})``) and
+``dataclasses.asdict(self)`` expansions resolved against the
+enclosing dataclass's fields.  A producer with any key the analyzer
+cannot resolve to a constant string is skipped silently — the
+documented precision limit: prefer missed findings over false alarms.
+
+Producers whose schema family has no validator at all (e.g. the
+conformance fuzzer's summary document) are not findings; the contract
+only exists once somebody validates.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.astcore import (
+    ModuleInfo,
+    dotted_name,
+    enclosing_symbol,
+    iter_own_nodes,
+    parent_of,
+)
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.reporting import Finding
+
+SCHEMA_RE = re.compile(r"\Arepro-[a-z0-9-]+/\d+\Z")
+
+_ASDICT = "dataclasses.asdict"
+
+
+def _finding(module: ModuleInfo, node: ast.AST, rule: str,
+             message: str) -> Finding:
+    return Finding(
+        file=module.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        rule=rule,
+        symbol=enclosing_symbol(node),
+        message=message,
+    )
+
+
+# -- constant resolution ----------------------------------------------------
+
+
+def _const_str(module: ModuleInfo, node: ast.AST,
+               modules: dict[str, ModuleInfo]) -> Optional[str]:
+    """Resolve an expression to a string constant, cross-module."""
+    if isinstance(node, ast.Constant):
+        return node.value if isinstance(node.value, str) else None
+    name = dotted_name(node)
+    qual = module.resolve(name)
+    if qual is None:
+        return None
+    mod, _, attr = qual.rpartition(".")
+    target = modules.get(mod)
+    if target is not None and attr in target.str_constants:
+        return target.str_constants[attr]
+    return None
+
+
+def _const_str_tuple(
+    module: ModuleInfo, node: ast.AST, modules: dict[str, ModuleInfo]
+) -> Optional[tuple[str, ...]]:
+    """Resolve an expression to a tuple of string constants."""
+    if isinstance(node, ast.Tuple):
+        out: list[str] = []
+        for elt in node.elts:
+            value = _const_str(module, elt, modules)
+            if value is None:
+                return None
+            out.append(value)
+        return tuple(out)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = _const_str_tuple(module, node.left, modules)
+        right = _const_str_tuple(module, node.right, modules)
+        if left is not None and right is not None:
+            return left + right
+        return None
+    name = dotted_name(node)
+    qual = module.resolve(name)
+    if qual is None:
+        return None
+    mod, _, attr = qual.rpartition(".")
+    target = modules.get(mod)
+    if target is not None and attr in target.tuple_constants:
+        return target.tuple_constants[attr]
+    return None
+
+
+# -- validator extraction ---------------------------------------------------
+
+
+@dataclass
+class ValidatorInfo:
+    schema: str
+    qualname: str
+    module: ModuleInfo
+    required: set[str] = field(default_factory=set)
+    optional: set[str] = field(default_factory=set)
+
+
+def _schema_guard(
+    fn: ast.FunctionDef, module: ModuleInfo,
+    modules: dict[str, ModuleInfo],
+) -> Optional[tuple[str, str]]:
+    """``(receiver_name, schema)`` for the validator entry guard."""
+    for node in iter_own_nodes(fn):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        if not (isinstance(test, ast.Compare)
+                and len(test.ops) == 1
+                and isinstance(test.ops[0], ast.NotEq)):
+            continue
+        left = test.left
+        if not (isinstance(left, ast.Call)
+                and isinstance(left.func, ast.Attribute)
+                and left.func.attr == "get"
+                and isinstance(left.func.value, ast.Name)
+                and left.args
+                and isinstance(left.args[0], ast.Constant)
+                and left.args[0].value == "schema"):
+            continue
+        if not any(isinstance(n, ast.Raise)
+                   for n in ast.walk(node)):
+            continue
+        schema = _const_str(module, test.comparators[0], modules)
+        if schema is not None and SCHEMA_RE.match(schema):
+            return left.func.value.id, schema
+    return None
+
+
+def _loop_values_for(
+    node: ast.Name, module: ModuleInfo,
+    modules: dict[str, ModuleInfo],
+) -> Optional[tuple[str, ...]]:
+    """Constant string tuple the nearest enclosing ``for`` binding
+    this name iterates (``for name in ("a", "b"): row.get(name)``).
+
+    Resolved by ancestry, not a function-wide map: validators routinely
+    reuse one loop variable for several key tuples.
+    """
+    cursor = parent_of(node)
+    while cursor is not None:
+        if isinstance(cursor, ast.For) and \
+                isinstance(cursor.target, ast.Name) and \
+                cursor.target.id == node.id:
+            return _const_str_tuple(module, cursor.iter, modules)
+        cursor = parent_of(cursor)
+    return None
+
+
+def _extract_validator(
+    fn: ast.FunctionDef, qualname: str, module: ModuleInfo,
+    modules: dict[str, ModuleInfo],
+) -> Optional[ValidatorInfo]:
+    guard = _schema_guard(fn, module, modules)
+    if guard is None:
+        return None
+    receiver, schema = guard
+    info = ValidatorInfo(schema=schema, qualname=qualname,
+                         module=module)
+
+    def keys_of(node: ast.AST) -> tuple[str, ...]:
+        if isinstance(node, ast.Constant) and \
+                isinstance(node.value, str):
+            return (node.value,)
+        if isinstance(node, ast.Name):
+            values = _loop_values_for(node, module, modules)
+            if values is not None:
+                return values
+        return ()
+
+    for node in iter_own_nodes(fn):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "get" and \
+                isinstance(node.func.value, ast.Name) and \
+                node.func.value.id == receiver and node.args:
+            bucket = info.required if len(node.args) == 1 \
+                else info.optional
+            bucket.update(keys_of(node.args[0]))
+        elif isinstance(node, ast.Subscript) and \
+                isinstance(node.value, ast.Name) and \
+                node.value.id == receiver and \
+                isinstance(node.ctx, ast.Load):
+            info.required.update(keys_of(node.slice))
+        elif isinstance(node, ast.Compare) and \
+                len(node.ops) == 1 and \
+                isinstance(node.ops[0], (ast.In, ast.NotIn)) and \
+                isinstance(node.comparators[0], ast.Name) and \
+                node.comparators[0].id == receiver:
+            info.optional.update(keys_of(node.left))
+    info.optional -= info.required
+    return info
+
+
+def collect_validators(
+    modules: dict[str, ModuleInfo],
+) -> dict[str, ValidatorInfo]:
+    """schema string -> its validator (first by qualname wins)."""
+    out: dict[str, ValidatorInfo] = {}
+    for modname in sorted(modules):
+        module = modules[modname]
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            symbol = enclosing_symbol(node)
+            prefix = modname if symbol == "<module>" \
+                else f"{modname}.{symbol}"
+            info = _extract_validator(node, f"{prefix}.{node.name}",
+                                      module, modules)
+            if info is not None and info.schema not in out:
+                out[info.schema] = info
+    return out
+
+
+# -- producer extraction ----------------------------------------------------
+
+
+@dataclass
+class ProducerInfo:
+    schema: str
+    module: ModuleInfo
+    node: ast.Dict
+    keys: set[str] = field(default_factory=set)
+    #: False when any key escaped static resolution — skip silently
+    closed: bool = True
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> Optional[set[str]]:
+    decorated = any(
+        (isinstance(d, ast.Name) and d.id == "dataclass")
+        or (isinstance(d, ast.Call) and isinstance(d.func, ast.Name)
+            and d.func.id == "dataclass")
+        or dotted_name(d) == "dataclasses.dataclass"
+        or (isinstance(d, ast.Call)
+            and dotted_name(d.func) == "dataclasses.dataclass")
+        for d in cls.decorator_list
+    )
+    if not decorated:
+        return None
+    return {
+        item.target.id for item in cls.body
+        if isinstance(item, ast.AnnAssign)
+        and isinstance(item.target, ast.Name)
+    }
+
+
+def _enclosing(node: ast.AST, kinds: tuple) -> Optional[ast.AST]:
+    cursor = parent_of(node)
+    while cursor is not None:
+        if isinstance(cursor, kinds):
+            return cursor
+        cursor = parent_of(cursor)
+    return cursor
+
+
+def _asdict_self_fields(
+    module: ModuleInfo, call: ast.Call, origin: ast.AST,
+) -> Optional[set[str]]:
+    """Fields added by ``asdict(self)`` inside a dataclass method."""
+    if module.resolve_call(call) != _ASDICT:
+        return None
+    if not (len(call.args) == 1
+            and isinstance(call.args[0], ast.Name)
+            and call.args[0].id == "self"):
+        return None
+    cls = _enclosing(origin, (ast.ClassDef,))
+    if cls is None:
+        return None
+    return _dataclass_fields(cls)
+
+
+def _absorb_update_arg(
+    producer: ProducerInfo, arg: ast.AST, origin: ast.AST,
+    modules: dict[str, ModuleInfo],
+) -> None:
+    if isinstance(arg, ast.Dict):
+        _absorb_dict(producer, arg, origin, modules)
+        return
+    if isinstance(arg, ast.Call):
+        fields = _asdict_self_fields(producer.module, arg, origin)
+        if fields is not None:
+            producer.keys.update(fields)
+            return
+    producer.closed = False
+
+
+def _absorb_dict(
+    producer: ProducerInfo, node: ast.Dict, origin: ast.AST,
+    modules: dict[str, ModuleInfo],
+) -> None:
+    for key, value in zip(node.keys, node.values):
+        if key is None:  # ``**expansion``
+            _absorb_update_arg(producer, value, origin, modules)
+        elif isinstance(key, ast.Constant) and \
+                isinstance(key.value, str):
+            producer.keys.add(key.value)
+        else:
+            producer.closed = False
+
+
+def _enclosing_stmt(node: ast.AST) -> Optional[ast.stmt]:
+    cursor: Optional[ast.AST] = node
+    while cursor is not None and not isinstance(cursor, ast.stmt):
+        cursor = parent_of(cursor)
+    return cursor
+
+
+def _follow_mutations(
+    producer: ProducerInfo, modules: dict[str, ModuleInfo],
+) -> None:
+    """Absorb ``payload[...] = ...`` / ``payload.update(...)`` after
+    the binding statement, within the same function frame."""
+    stmt = _enclosing_stmt(producer.node)
+    if stmt is None or not isinstance(stmt, (ast.Assign,
+                                             ast.AnnAssign)):
+        return
+    targets = stmt.targets if isinstance(stmt, ast.Assign) \
+        else [stmt.target]
+    if len(targets) != 1 or not isinstance(targets[0], ast.Name):
+        return
+    name = targets[0].id
+    frame = _enclosing(producer.node,
+                       (ast.FunctionDef, ast.AsyncFunctionDef))
+    if frame is None:
+        return
+    origin = (stmt.lineno, stmt.col_offset)
+    for node in iter_own_nodes(frame):
+        if (getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0)) <= origin:
+            continue
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) and \
+                        isinstance(target.value, ast.Name) and \
+                        target.value.id == name:
+                    if isinstance(target.slice, ast.Constant) and \
+                            isinstance(target.slice.value, str):
+                        producer.keys.add(target.slice.value)
+                    else:
+                        producer.closed = False
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "update" and \
+                isinstance(node.func.value, ast.Name) and \
+                node.func.value.id == name and node.args:
+            _absorb_update_arg(producer, node.args[0],
+                               producer.node, modules)
+
+
+def collect_producers(
+    modules: dict[str, ModuleInfo],
+) -> list[ProducerInfo]:
+    out: list[ProducerInfo] = []
+    for modname in sorted(modules):
+        module = modules[modname]
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Dict):
+                continue
+            schema = None
+            for key, value in zip(node.keys, node.values):
+                if isinstance(key, ast.Constant) and \
+                        key.value == "schema":
+                    schema = _const_str(module, value, modules)
+            if schema is None or not SCHEMA_RE.match(schema):
+                continue
+            producer = ProducerInfo(schema=schema, module=module,
+                                    node=node)
+            _absorb_dict(producer, node, node, modules)
+            _follow_mutations(producer, modules)
+            out.append(producer)
+    return out
+
+
+# -- the diff ---------------------------------------------------------------
+
+
+def _family(schema: str) -> str:
+    return schema.partition("/")[0]
+
+
+def check(modules: dict[str, ModuleInfo],
+          graph: CallGraph) -> list[Finding]:
+    del graph  # schema pairing is by tag, not by call edge
+    validators = collect_validators(modules)
+    by_family: dict[str, list[str]] = {}
+    for schema in validators:
+        by_family.setdefault(_family(schema), []).append(schema)
+    out: list[Finding] = []
+    for producer in collect_producers(modules):
+        validator = validators.get(producer.schema)
+        if validator is None:
+            siblings = sorted(by_family.get(
+                _family(producer.schema), ()
+            ))
+            if siblings:
+                out.append(_finding(
+                    producer.module, producer.node, "SCH003",
+                    f"producer emits schema "
+                    f"`{producer.schema}` but the only validator in "
+                    f"this family checks `{siblings[0]}` "
+                    f"(`{validators[siblings[0]].qualname}`) — "
+                    f"version drift",
+                ))
+            continue
+        if not producer.closed:
+            continue  # dynamically-built key set: out of scope
+        missing = sorted(validator.required - producer.keys)
+        if missing:
+            out.append(_finding(
+                producer.module, producer.node, "SCH001",
+                f"producer omits required key(s) "
+                f"{', '.join(repr(k) for k in missing)} checked by "
+                f"`{validator.qualname}` — every `{producer.schema}` "
+                f"artifact it writes will fail validation",
+            ))
+        extras = sorted(
+            producer.keys - validator.required - validator.optional
+        )
+        if extras:
+            out.append(_finding(
+                producer.module, producer.node, "SCH002",
+                f"producer emits key(s) "
+                f"{', '.join(repr(k) for k in extras)} that "
+                f"`{validator.qualname}` never checks — extend the "
+                f"validator or drop them from the `{producer.schema}` "
+                f"payload",
+            ))
+    return sorted(out)

@@ -216,6 +216,23 @@ def validate_calibration_payload(payload: dict[str, Any]) -> None:
                 f"calibrate payload ['what_if'][{name!r}] must be a "
                 f"positive int or null, got {value!r}"
             )
+    for name in ("self_test", "history_context"):
+        value = payload.get(name)
+        if value is not None and not isinstance(value, dict):
+            raise ValueError(
+                f"calibrate payload [{name!r}] must be an object or "
+                f"null, got {value!r}"
+            )
+    bounds = payload.get("bounds")
+    if not isinstance(bounds, dict):
+        raise ValueError("calibrate payload ['bounds'] missing")
+    for name in ("mape_p99", "mape_hit_ratio"):
+        value = bounds.get(name)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(
+                f"calibrate payload ['bounds'][{name!r}] must be "
+                f"positive, got {value!r}"
+            )
     if not isinstance(payload.get("ok"), bool):
         raise ValueError("calibrate payload ['ok'] must be a bool")
     host = payload.get("host")

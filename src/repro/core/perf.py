@@ -518,6 +518,28 @@ def validate_perf_payload(payload: dict[str, Any]) -> None:
         raise ValueError(
             f"unexpected perf schema: {payload.get('schema')!r}"
         )
+    if not isinstance(payload.get("smoke"), bool):
+        raise ValueError("perf payload ['smoke'] must be a bool")
+    if not isinstance(payload.get("seed"), int):
+        raise ValueError("perf payload ['seed'] must be an int")
+    host = payload.get("host")
+    if not isinstance(host, dict) or not host.get("python"):
+        raise ValueError("perf payload ['host'] must name the python")
+    backends = payload.get("backends")
+    if not isinstance(backends, list) or not backends or any(
+        not isinstance(row, dict) or not row.get("name")
+        for row in backends
+    ):
+        raise ValueError(
+            "perf payload ['backends'] must be a non-empty list of "
+            "named backend rows"
+        )
+    floors = payload.get("floors")
+    if not isinstance(floors, dict) or \
+            not isinstance(floors.get("asserted"), bool):
+        raise ValueError(
+            "perf payload ['floors']['asserted'] must be a bool"
+        )
     metrics = payload.get("metrics")
     if not isinstance(metrics, dict):
         raise ValueError("perf payload missing 'metrics' mapping")

@@ -118,6 +118,8 @@ class ServeConfig:
     max_header_bytes: int = 16384
     #: grace for in-flight requests at graceful shutdown, seconds
     drain_timeout_s: float = 5.0
+    #: per-read deadline on idle/slow client sockets, seconds
+    idle_timeout_s: float = 30.0
     #: bounded telemetry ring size
     telemetry_max_events: int = 50_000
     #: listen backlog (connection storms arrive faster than accepts)
@@ -138,6 +140,8 @@ class ServeConfig:
             raise ValueError("max_header_bytes must be >= 256")
         if self.drain_timeout_s < 0:
             raise ValueError("drain_timeout_s cannot be negative")
+        if self.idle_timeout_s <= 0:
+            raise ValueError("idle_timeout_s must be positive")
 
 
 class FragmentCache:
@@ -282,14 +286,19 @@ class MiniPhpServer:
             thread_name_prefix="repro-render",
         )
         limit = self.config.max_header_bytes + 1024
-        self._server = await asyncio.start_server(
+        server = await asyncio.start_server(
             self._on_connection,
             host=self.config.host,
             port=self.config.port,
             backlog=self.config.backlog,
             limit=limit,
         )
-        self.port = self._server.sockets[0].getsockname()[1]
+        if self._server is not None:
+            # A concurrent start() won the race while we awaited.
+            server.close()
+            raise RuntimeError("server already started")
+        self._server = server
+        self.port = server.sockets[0].getsockname()[1]
 
     async def stop(self, drain: bool = True) -> None:
         """Stop accepting; drain in-flight work; release the pool.
@@ -301,9 +310,12 @@ class MiniPhpServer:
         mid-flight.  ``drain=False`` cancels everything.
         """
         self._draining = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        # Claim the listener before the first await so a concurrent
+        # stop() cannot close it twice.
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
         idle = [t for t in self._conn_tasks if t not in self._busy_tasks]
         for task in idle:
             task.cancel()
@@ -335,7 +347,6 @@ class MiniPhpServer:
         if self._pool is not None:
             self._pool.shutdown(wait=drain)
             self._pool = None
-        self._server = None
 
     @property
     def open_connections(self) -> int:
@@ -363,7 +374,8 @@ class MiniPhpServer:
         except asyncio.CancelledError:
             self.stats.bump("serve.conn_cancelled")
         except (ConnectionResetError, BrokenPipeError,
-                asyncio.IncompleteReadError, TimeoutError, OSError):
+                asyncio.IncompleteReadError, asyncio.TimeoutError,
+                TimeoutError, OSError):
             # The client vanished mid-read or mid-write; the
             # connection dies, the server does not.
             self.stats.bump("serve.conn_aborted")
@@ -405,7 +417,12 @@ class MiniPhpServer:
         self, reader: asyncio.StreamReader
     ) -> Optional[_Request]:
         try:
-            line = await reader.readline()
+            line = await asyncio.wait_for(
+                reader.readline(), self.config.idle_timeout_s
+            )
+        except asyncio.TimeoutError:
+            # Idle keep-alive connection: close quietly, no response.
+            return None
         except (ValueError, asyncio.LimitOverrunError):
             raise _HttpError(414, "request line exceeds limit") from None
         if not line:
@@ -426,7 +443,12 @@ class MiniPhpServer:
         total = 0
         while True:
             try:
-                raw = await reader.readline()
+                raw = await asyncio.wait_for(
+                    reader.readline(), self.config.idle_timeout_s
+                )
+            except asyncio.TimeoutError:
+                raise _HttpError(408, "timed out mid-headers") \
+                    from None
             except (ValueError, asyncio.LimitOverrunError):
                 raise _HttpError(431, "header line exceeds limit") \
                     from None
@@ -710,7 +732,9 @@ class MiniPhpServer:
         status_ok = False
         try:
             writer.write(head + body)
-            await writer.drain()
+            await asyncio.wait_for(
+                writer.drain(), self.config.idle_timeout_s
+            )
             status_ok = True
         finally:
             now = clock.monotonic()

@@ -268,9 +268,14 @@ class _Worker:
     async def _connect(self) -> None:
         if self._writer is not None:
             return
-        self._reader, self._writer = await asyncio.open_connection(
+        reader, writer = await asyncio.open_connection(
             self.host, self.port
         )
+        if self._writer is not None:
+            # Another entry connected while we awaited; keep theirs.
+            writer.close()
+            return
+        self._reader, self._writer = reader, writer
 
     async def _close(self) -> None:
         if self._writer is None:

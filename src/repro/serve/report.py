@@ -158,14 +158,27 @@ def validate_serve_payload(payload: dict[str, Any]) -> None:
         raise ValueError(
             "serve payload ['backend'] must be a non-empty string"
         )
+    if not isinstance(payload.get("seed"), int):
+        raise ValueError("serve payload ['seed'] must be an int")
     for name in ("offered", "answered", "ok", "connections",
                  "peak_connections", "shed", "timeouts", "renders",
-                 "coalesced", "bytes_in", "telemetry_dropped"):
+                 "coalesced", "bytes_in", "telemetry_dropped",
+                 "client_conn_errors", "retries_sent",
+                 "retries_denied", "zombie_renders_avoided"):
         value = payload.get(name)
         if not isinstance(value, int) or value < 0:
             raise ValueError(
                 f"serve payload [{name!r}] must be a non-negative "
                 f"int, got {value!r}"
+            )
+    for name in ("cache_outcomes", "statuses"):
+        block = payload.get(name)
+        if not isinstance(block, dict) or any(
+            not isinstance(v, int) or v < 0 for v in block.values()
+        ):
+            raise ValueError(
+                f"serve payload [{name!r}] must map outcomes to "
+                f"non-negative ints"
             )
     for name in ("goodput_rps", "goodput_ratio", "cache_hit_ratio",
                  "duration_s"):
@@ -190,6 +203,13 @@ def validate_serve_payload(payload: dict[str, Any]) -> None:
     if payload["ok"] > 0 and latency["count"] == 0:
         raise ValueError(
             "serve payload served requests but has no latency samples"
+        )
+    slo_target = payload.get("slo_target")
+    if not isinstance(slo_target, (int, float)) or \
+            not 0.0 < slo_target <= 1.0:
+        raise ValueError(
+            f"serve payload ['slo_target'] must be in (0, 1], "
+            f"got {slo_target!r}"
         )
     for name in ("slo_ok", "oracle_ok"):
         if not isinstance(payload.get(name), bool):

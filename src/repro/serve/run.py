@@ -112,21 +112,28 @@ async def _fetch_page(
     return status, body
 
 
+#: per-fetch deadline inside the oracle session, seconds
+_ORACLE_TIMEOUT_S = 30.0
+
+
 async def _oracle_session(
-    cases: list[tuple[str, int, int]], config: Optional[ServeConfig]
+    cases: list[tuple[str, int, int, bytes]],
+    config: Optional[ServeConfig],
 ) -> list[dict]:
     server = MiniPhpServer(config or oracle_server_config())
     await server.start()
     mismatches: list[dict] = []
     try:
-        for app, seed, vary in cases:
-            expected = render_http_page(app, seed, vary)[0] \
-                .encode("utf-8")
+        for app, seed, vary, expected in cases:
             # Twice: the first render fills the fragment cache, the
             # second serves from it — both must be byte-identical.
             for pass_name in ("render", "cached"):
-                status, body = await _fetch_page(
-                    server.config.host, server.port, app, seed, vary
+                status, body = await asyncio.wait_for(
+                    _fetch_page(
+                        server.config.host, server.port,
+                        app, seed, vary,
+                    ),
+                    _ORACLE_TIMEOUT_S,
                 )
                 if status != 200:
                     mismatches.append({
@@ -166,7 +173,14 @@ def serve_oracle_mismatches(
     """
     case_list = list(cases) if cases is not None \
         else list(PINNED_ORACLE_CASES)
-    return asyncio.run(_oracle_session(case_list, config))
+    # Direct renders happen here, off the event loop: the interpreter
+    # is CPU-heavy and must not stall the oracle session's coroutine.
+    expanded = [
+        (app, seed, vary,
+         render_http_page(app, seed, vary)[0].encode("utf-8"))
+        for app, seed, vary in case_list
+    ]
+    return asyncio.run(_oracle_session(expanded, config))
 
 
 def _bench_configs(

@@ -1,12 +1,15 @@
 """Static-analysis suite: rule fixtures, waivers, baseline, CLI gate.
 
-Each rule family gets positive *and* negative fixtures run through
+Each rule family — DET/POOL/KEY plus the interprocedural ASY
+async-safety rules and the SCH schema-contract diff — gets positive
+*and* negative fixtures run through
 :func:`repro.analysis.analyze_sources` (in-memory modules, no disk),
 the waiver directives are exercised in both directions (suppression
 and the KEY002 staleness check that keeps them honest), the baseline
-round-trips, the ``repro-lint/1`` JSON schema is locked, and a
-meta-test asserts the shipped ``src/repro`` tree is clean — the same
-gate ``scripts/check.sh`` enforces in CI.
+round-trips, the ``repro-lint/2`` JSON schema is locked (with the
+consumer-side :func:`validate_lint_payload` rejecting corrupt
+documents), and a meta-test asserts the shipped ``src/repro`` tree is
+clean — the same gate ``scripts/check.sh`` enforces in CI.
 """
 
 from __future__ import annotations
@@ -352,6 +355,437 @@ class TestKeyRules:
             """)) == []
 
 
+# -- ASY0xx: async safety ---------------------------------------------------
+
+
+class TestAsyncBlockingRules:
+    def test_asy001_blocking_call_in_coroutine(self):
+        findings = lint("""\
+            import time
+
+            async def handler():
+                time.sleep(0.1)
+            """)
+        assert rules_of(findings) == ["ASY001"]
+        assert "time.sleep" in findings[0].message
+        assert findings[0].symbol == "handler"
+
+    def test_asy001_transitive_through_sync_helper(self):
+        findings = lint("""\
+            import subprocess
+
+            def _shell(cmd):
+                return subprocess.run(cmd)
+
+            async def handler(cmd):
+                return _shell(cmd)
+            """)
+        assert rules_of(findings) == ["ASY001"]
+        assert "via `fix.mod._shell`" in findings[0].message
+
+    def test_asy001_heavy_kernel_in_coroutine(self):
+        findings = lint("""\
+            from repro.workloads.templates import render_http_page
+
+            async def handler(app, seed):
+                return render_http_page(app, seed, 0)
+            """)
+        assert rules_of(findings) == ["ASY001"]
+        assert "heavy kernel" in findings[0].message
+
+    def test_asy001_sync_only_caller_is_clean(self):
+        assert lint("""\
+            import time
+
+            def pause():
+                time.sleep(0.1)
+
+            def caller():
+                pause()
+            """) == []
+
+    def test_asy001_nested_coroutine_reports_once(self):
+        # The inner coroutine is its own ASY001 root; the awaiting
+        # outer coroutine must not duplicate the finding.
+        findings = lint("""\
+            import time
+
+            async def inner():
+                time.sleep(0.1)
+
+            async def outer():
+                await inner()
+            """)
+        assert rules_of(findings) == ["ASY001"]
+        assert "inner" in findings[0].symbol
+
+
+class TestAsyncRaceRules:
+    def test_asy002_check_then_act_on_self_attr(self):
+        findings = lint("""\
+            import asyncio
+
+            class Conn:
+                async def _dial(self):
+                    await asyncio.sleep(0)
+                    return object()
+
+                async def connect(self):
+                    if self._writer is None:
+                        self._writer = await self._dial()
+            """)
+        assert rules_of(findings) == ["ASY002"]
+        assert "self._writer" in findings[0].message
+
+    def test_asy002_check_then_act_on_module_global(self):
+        findings = lint("""\
+            import asyncio
+
+            CACHE = None
+
+            async def _load():
+                await asyncio.sleep(0)
+                return 1
+
+            async def fill():
+                global CACHE
+                if CACHE is None:
+                    CACHE = await _load()
+            """)
+        assert rules_of(findings) == ["ASY002"]
+        assert "CACHE" in findings[0].message
+
+    def test_asy002_claim_before_await_is_clean(self):
+        assert lint("""\
+            class Conn:
+                async def close(self):
+                    writer, self._writer = self._writer, None
+                    writer.close()
+                    await writer.wait_closed()
+            """) == []
+
+    def test_asy002_fresh_reread_is_clean(self):
+        assert lint("""\
+            import asyncio
+
+            class Conn:
+                async def _dial(self):
+                    await asyncio.sleep(0)
+                    return object()
+
+                async def connect(self):
+                    if self._writer is None:
+                        writer = await self._dial()
+                        if self._writer is None:
+                            self._writer = writer
+            """) == []
+
+    def test_asy002_shared_async_with_lock_is_clean(self):
+        assert lint("""\
+            import asyncio
+
+            class Conn:
+                async def _dial(self):
+                    await asyncio.sleep(0)
+                    return object()
+
+                async def connect(self):
+                    async with self._lock:
+                        if self._writer is None:
+                            self._writer = await self._dial()
+            """) == []
+
+    def test_asy002_augassign_rmw_is_clean(self):
+        assert lint("""\
+            import asyncio
+
+            class Counter:
+                async def bump(self):
+                    await asyncio.sleep(0)
+                    self.count += 1
+            """) == []
+
+
+class TestAsyncDroppedRules:
+    def test_asy003_unawaited_coroutine_call(self):
+        findings = lint("""\
+            import asyncio
+
+            async def job():
+                await asyncio.sleep(0)
+
+            async def main():
+                job()
+            """)
+        assert rules_of(findings) == ["ASY003"]
+        assert "never awaited" in findings[0].message
+
+    def test_asy003_dropped_task_spawn(self):
+        findings = lint("""\
+            import asyncio
+
+            async def job():
+                await asyncio.sleep(0)
+
+            async def main():
+                asyncio.create_task(job())
+            """)
+        assert rules_of(findings) == ["ASY003"]
+        assert "task result dropped" in findings[0].message
+
+    def test_asy003_task_bound_but_never_used(self):
+        findings = lint("""\
+            import asyncio
+
+            async def job():
+                await asyncio.sleep(0)
+
+            async def main():
+                t = asyncio.create_task(job())
+            """)
+        assert rules_of(findings) == ["ASY003"]
+        assert "`t`" in findings[0].message
+
+    def test_asy003_awaited_task_is_clean(self):
+        assert lint("""\
+            import asyncio
+
+            async def job():
+                await asyncio.sleep(0)
+
+            async def main():
+                t = asyncio.create_task(job())
+                await t
+            """) == []
+
+
+class TestAsyncDeadlineRules:
+    def test_asy004_bare_external_await(self):
+        findings = lint("""\
+            async def fetch(reader):
+                return await reader.readline()
+            """)
+        assert rules_of(findings) == ["ASY004"]
+        assert "wait_for" in findings[0].message
+
+    def test_asy004_wait_for_wrapped_await_is_clean(self):
+        assert lint("""\
+            import asyncio
+
+            async def fetch(reader):
+                return await asyncio.wait_for(reader.readline(), 1.0)
+            """) == []
+
+    def test_asy004_caller_guard_covers_callee(self):
+        # The interprocedural fixpoint: the only await site of
+        # ``_fetch`` carries a wait_for deadline, so its external
+        # reads inherit the coverage.
+        assert lint("""\
+            import asyncio
+
+            async def _fetch(reader):
+                return await reader.readline()
+
+            async def fetch(reader):
+                return await asyncio.wait_for(_fetch(reader), 1.0)
+            """) == []
+
+    def test_asy004_spawned_task_root_is_uncovered(self):
+        # Spawning the same coroutine as a task root escapes the
+        # caller's deadline: coverage must demote to False even
+        # though a guarded site exists too.
+        findings = lint("""\
+            import asyncio
+
+            async def _fetch(reader):
+                return await reader.readline()
+
+            async def fetch(reader):
+                return await asyncio.wait_for(_fetch(reader), 1.0)
+
+            def kickoff(reader):
+                asyncio.ensure_future(_fetch(reader))
+            """)
+        assert sorted(rules_of(findings)) == ["ASY003", "ASY004"]
+
+    def test_asy004_open_connection_needs_deadline(self):
+        findings = lint("""\
+            import asyncio
+
+            async def dial(host, port):
+                return await asyncio.open_connection(host, port)
+            """)
+        assert rules_of(findings) == ["ASY004"]
+        assert "asyncio.open_connection" in findings[0].message
+
+
+# -- SCH0xx: schema contracts -----------------------------------------------
+
+_SCH_PAIR = """\
+    SCHEMA = "repro-demo/1"
+
+    def produce():
+        return {{"schema": SCHEMA, {producer_keys}}}
+
+    def validate(payload):
+        if payload.get("schema") != SCHEMA:
+            raise ValueError("bad schema")
+        {validator_body}
+    """
+
+
+def sch_pair(producer_keys: str, validator_body: str) -> str:
+    return _SCH_PAIR.format(producer_keys=producer_keys,
+                            validator_body=validator_body)
+
+
+class TestSchemaRules:
+    def test_sch001_producer_omits_required_key(self):
+        findings = lint(sch_pair(
+            '"count": 1',
+            'if payload["count"] < 0 or payload.get("mode") is None:\n'
+            '            raise ValueError("bad")',
+        ))
+        assert rules_of(findings) == ["SCH001"]
+        assert "'mode'" in findings[0].message
+
+    def test_sch002_producer_emits_unchecked_key(self):
+        findings = lint(sch_pair(
+            '"count": 1, "debug": True',
+            'if payload["count"] < 0:\n'
+            '            raise ValueError("bad")',
+        ))
+        assert rules_of(findings) == ["SCH002"]
+        assert "'debug'" in findings[0].message
+
+    def test_sch003_schema_version_drift(self):
+        findings = lint("""\
+            def produce():
+                return {"schema": "repro-demo/2", "count": 1}
+
+            def validate(payload):
+                if payload.get("schema") != "repro-demo/1":
+                    raise ValueError("bad schema")
+                if payload["count"] < 0:
+                    raise ValueError("bad")
+            """)
+        assert rules_of(findings) == ["SCH003"]
+        assert "repro-demo/2" in findings[0].message
+
+    def test_matching_pair_is_clean(self):
+        assert lint(sch_pair(
+            '"count": 1, "mode": "smoke"',
+            'if payload["count"] < 0 or payload.get("mode") is None:\n'
+            '            raise ValueError("bad")',
+        )) == []
+
+    def test_for_loop_key_tuples_are_expanded(self):
+        findings = lint(sch_pair(
+            '"a": 1',
+            'for name in ("a", "b"):\n'
+            '            if payload.get(name) is None:\n'
+            '                raise ValueError(name)',
+        ))
+        assert rules_of(findings) == ["SCH001"]
+        assert "'b'" in findings[0].message
+
+    def test_get_with_default_is_optional(self):
+        # ``.get(k, default)`` and ``"k" in payload`` are optional:
+        # the producer may emit or omit them freely.
+        body = ('if payload["count"] < 0:\n'
+                '            raise ValueError("bad")\n'
+                '        extra = payload.get("extra", 0)\n'
+                '        present = "flag" in payload')
+        assert lint(sch_pair('"count": 1, "extra": 2', body)) == []
+        assert lint(sch_pair('"count": 1', body)) == []
+
+    def test_unresolvable_producer_key_is_skipped(self):
+        assert lint("""\
+            SCHEMA = "repro-demo/1"
+
+            def produce(key):
+                return {"schema": SCHEMA, key: 1}
+
+            def validate(payload):
+                if payload.get("schema") != SCHEMA:
+                    raise ValueError("bad schema")
+                if payload["count"] < 0:
+                    raise ValueError("bad")
+            """) == []
+
+    def test_producer_without_any_validator_is_silent(self):
+        assert lint("""\
+            def produce():
+                return {"schema": "repro-lonely/1", "count": 1}
+            """) == []
+
+    def test_followup_mutations_extend_the_key_set(self):
+        assert lint("""\
+            SCHEMA = "repro-demo/1"
+
+            def produce():
+                payload = {"schema": SCHEMA}
+                payload["count"] = 1
+                payload.update({"mode": "smoke"})
+                return payload
+
+            def validate(payload):
+                if payload.get("schema") != SCHEMA:
+                    raise ValueError("bad schema")
+                if payload["count"] < 0 or payload["mode"] is None:
+                    raise ValueError("bad")
+            """) == []
+
+    def test_asdict_expansion_resolves_dataclass_fields(self):
+        findings = lint("""\
+            from dataclasses import asdict, dataclass
+
+            SCHEMA = "repro-demo/1"
+
+            @dataclass
+            class Report:
+                count: int = 0
+
+                def to_payload(self):
+                    payload = {"schema": SCHEMA}
+                    payload.update(asdict(self))
+                    return payload
+
+            def validate(payload):
+                if payload.get("schema") != SCHEMA:
+                    raise ValueError("bad schema")
+                if payload["count"] < 0 or payload["host"] is None:
+                    raise ValueError("bad")
+            """)
+        assert rules_of(findings) == ["SCH001"]
+        assert "'host'" in findings[0].message
+
+    def test_cross_module_schema_constants_resolve(self):
+        findings = analyze_sources({
+            "fix.consts": 'DEMO_SCHEMA = "repro-demo/1"\n',
+            "fix.writer": textwrap.dedent("""\
+                from fix.consts import DEMO_SCHEMA
+
+                def produce():
+                    return {"schema": DEMO_SCHEMA, "count": 1}
+                """),
+            "fix.checker": textwrap.dedent("""\
+                from fix.consts import DEMO_SCHEMA
+
+                def validate(payload):
+                    if payload.get("schema") != DEMO_SCHEMA:
+                        raise ValueError("bad schema")
+                    if payload["count"] < 0:
+                        raise ValueError("bad")
+                    if payload.get("host") is None:
+                        raise ValueError("bad")
+                """),
+        })
+        assert rules_of(findings) == ["SCH001"]
+        assert findings[0].file.endswith("writer.py")
+        assert "'host'" in findings[0].message
+
+
 # -- waiver directives ------------------------------------------------------
 
 
@@ -406,6 +840,29 @@ class TestWaivers:
             """)
         assert rules_of(findings) == ["DET001"]
         assert findings[0].line == 5
+
+    def test_allow_suppresses_asy_findings(self):
+        assert lint("""\
+            import time
+
+            async def warmup():
+                time.sleep(0.1)  # repro: allow(ASY001) startup only
+            """) == []
+
+    def test_allow_suppresses_sch_findings(self):
+        assert lint("""\
+            SCHEMA = "repro-demo/1"
+
+            def produce():
+                # repro: allow(SCH002) extra debug surface
+                return {"schema": SCHEMA, "count": 1, "debug": True}
+
+            def validate(payload):
+                if payload.get("schema") != SCHEMA:
+                    raise ValueError("bad schema")
+                if payload["count"] < 0:
+                    raise ValueError("bad")
+            """) == []
 
 
 # -- --fix-waivers ----------------------------------------------------------
@@ -528,6 +985,33 @@ class TestBaseline:
     def test_missing_baseline_is_empty(self, tmp_path):
         assert analysis.load_baseline(tmp_path / "nope.json") == set()
 
+    def test_asy_and_sch_findings_round_trip(self, tmp_path):
+        findings = lint("""\
+            import time
+
+            SCHEMA = "repro-demo/1"
+
+            async def warmup():
+                time.sleep(0.1)
+
+            def produce():
+                return {"schema": SCHEMA, "count": 1, "debug": True}
+
+            def validate(payload):
+                if payload.get("schema") != SCHEMA:
+                    raise ValueError("bad schema")
+                if payload["count"] < 0:
+                    raise ValueError("bad")
+            """)
+        assert sorted(rules_of(findings)) == ["ASY001", "SCH002"]
+        path = tmp_path / "baseline.json"
+        analysis.save_baseline(findings, path)
+        fresh, suppressed = analysis.apply_baseline(
+            findings, analysis.load_baseline(path)
+        )
+        assert fresh == []
+        assert suppressed == 2
+
     def test_unknown_schema_is_rejected(self, tmp_path):
         path = tmp_path / "baseline.json"
         path.write_text(json.dumps({"schema": "bogus/9",
@@ -544,11 +1028,13 @@ class TestReporting:
         findings = lint(_DIRTY)
         payload = analysis.to_json_payload(findings, suppressed=2,
                                            baseline_path="b.json")
-        assert set(payload) == {"schema", "ok", "counts", "findings",
-                                "baseline"}
+        assert set(payload) == {"schema", "ok", "counts", "families",
+                                "findings", "baseline"}
         assert payload["schema"] == REPORT_SCHEMA
+        assert REPORT_SCHEMA == "repro-lint/2"
         assert payload["ok"] is False
         assert payload["counts"] == {"DET001": 1}
+        assert payload["families"] == {"DET": 1}
         assert payload["baseline"] == {"path": "b.json",
                                        "suppressed": 2}
         assert set(payload["findings"][0]) == {
@@ -560,6 +1046,47 @@ class TestReporting:
         payload = analysis.to_json_payload([])
         assert payload["ok"] is True
         assert payload["findings"] == []
+        assert payload["families"] == {}
+
+    def test_families_aggregate_across_rules(self):
+        findings = lint("""\
+            import time
+
+            def stamp(name):
+                return hash(name), time.time()
+
+            async def warmup():
+                time.sleep(0.1)
+            """)
+        payload = analysis.to_json_payload(findings)
+        assert payload["counts"] == {"ASY001": 1, "DET001": 1,
+                                     "DET005": 1}
+        assert payload["families"] == {"ASY": 1, "DET": 2}
+        assert analysis.rule_family("SCH003") == "SCH"
+
+    def test_validate_lint_payload_accepts_own_output(self):
+        for findings in ([], lint(_DIRTY)):
+            analysis.validate_lint_payload(
+                analysis.to_json_payload(findings)
+            )
+
+    @pytest.mark.parametrize("corrupt,match", [
+        (lambda p: p.update(schema="repro-lint/1"), "schema"),
+        (lambda p: p.update(ok=True), "ok=true"),
+        (lambda p: p.update(ok="yes"), "bool"),
+        (lambda p: p.pop("families"), "families"),
+        (lambda p: p["families"].update(DET=7), "totals"),
+        (lambda p: p["counts"].update(DET001=0), "positive"),
+        (lambda p: p["findings"][0].update(rule=""), "rule"),
+        (lambda p: p["findings"][0].update(line=-1), "line"),
+        (lambda p: p.update(baseline=None), "baseline"),
+    ])
+    def test_validate_lint_payload_rejects_corruption(self, corrupt,
+                                                      match):
+        payload = analysis.to_json_payload(lint(_DIRTY))
+        corrupt(payload)
+        with pytest.raises(ValueError, match=match):
+            analysis.validate_lint_payload(payload)
 
     def test_text_rendering(self):
         findings = lint(_DIRTY)
@@ -581,14 +1108,38 @@ class TestReporting:
         assert sorted([b, a]) == [a, b]
 
 
+class TestMatchRules:
+    def test_exact_rule_id(self):
+        assert analysis.match_rules("ASY002") == {"ASY002"}
+
+    def test_family_prefix_expands(self):
+        assert analysis.match_rules("asy") == {
+            "ASY001", "ASY002", "ASY003", "ASY004",
+        }
+        assert analysis.match_rules("SCH") == {
+            "SCH001", "SCH002", "SCH003",
+        }
+
+    def test_unknown_selector_raises(self):
+        with pytest.raises(ValueError, match="NOPE"):
+            analysis.match_rules("NOPE")
+
+
 # -- the gate itself --------------------------------------------------------
 
 
 class TestLiveTree:
     def test_shipped_tree_is_clean(self):
         # The same invariant scripts/check.sh enforces: zero findings
-        # on src/repro with no baseline debt for DET rules.
+        # on src/repro with no baseline debt — now including the ASY
+        # async-safety and SCH schema-contract families.
         assert analysis.run() == []
+
+    def test_rule_catalog_covers_all_five_families(self):
+        families = {analysis.rule_family(r) for r in RULES}
+        assert families == {"DET", "POOL", "KEY", "ASY", "SCH"}
+        assert {"ASY001", "ASY002", "ASY003", "ASY004",
+                "SCH001", "SCH002", "SCH003"} <= set(RULES)
 
     def test_shipped_baseline_is_empty(self):
         baseline = REPO_ROOT / ".repro-lint-baseline.json"
@@ -620,6 +1171,45 @@ class TestLintCli:
          "def sweep(cells):\n"
          "    return map_cells(_cell, cells, cache=EXPERIMENT_CACHE,\n"
          "                     key_parts=lambda c: (c,))\n"),
+        ("ASY001",
+         "import time\n\nasync def handler():\n    time.sleep(0.1)\n"),
+        ("ASY002",
+         "import asyncio\n\n"
+         "class Conn:\n"
+         "    async def _dial(self):\n"
+         "        await asyncio.sleep(0)\n\n"
+         "    async def connect(self):\n"
+         "        if self._writer is None:\n"
+         "            self._writer = await self._dial()\n"),
+        ("ASY003",
+         "import asyncio\n\n"
+         "async def job():\n    await asyncio.sleep(0)\n\n"
+         "async def main():\n    asyncio.create_task(job())\n"),
+        ("ASY004",
+         "async def fetch(reader):\n"
+         "    return await reader.readline()\n"),
+        ("SCH001",
+         'SCHEMA = "repro-demo/1"\n\n'
+         "def produce():\n"
+         '    return {"schema": SCHEMA}\n\n'
+         "def validate(p):\n"
+         '    if p.get("schema") != SCHEMA:\n'
+         "        raise ValueError(p)\n"
+         '    if p["count"] < 0:\n'
+         "        raise ValueError(p)\n"),
+        ("SCH002",
+         'SCHEMA = "repro-demo/1"\n\n'
+         "def produce():\n"
+         '    return {"schema": SCHEMA, "debug": True}\n\n'
+         "def validate(p):\n"
+         '    if p.get("schema") != SCHEMA:\n'
+         "        raise ValueError(p)\n"),
+        ("SCH003",
+         "def produce():\n"
+         '    return {"schema": "repro-demo/2"}\n\n'
+         "def validate(p):\n"
+         '    if p.get("schema") != "repro-demo/1":\n'
+         "        raise ValueError(p)\n"),
     ])
     def test_injected_violation_exits_nonzero(self, tmp_path, capsys,
                                               family, source):
@@ -644,6 +1234,59 @@ class TestLintCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is True
         assert payload["baseline"]["suppressed"] == 1
+
+    def test_rule_filter_narrows_the_report(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import time\n\n"
+            "def stamp():\n    return time.time()\n\n"
+            "async def pause():\n    time.sleep(0.1)\n"
+        )
+        base = ["lint", "--paths", str(bad),
+                "--baseline", str(tmp_path / "none.json")]
+        with pytest.raises(SystemExit) as exc:
+            main(base + ["--rule", "ASY001", "--json"])
+        assert exc.value.code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"ASY001": 1}
+        assert payload["families"] == {"ASY": 1}
+        with pytest.raises(SystemExit) as exc:
+            main(base + ["--rule", "det"])
+        assert exc.value.code == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "ASY001" not in out
+
+    def test_rule_filter_can_report_clean(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+        assert main(["lint", "--paths", str(bad),
+                     "--baseline", str(tmp_path / "none.json"),
+                     "--rule", "SCH"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_unknown_rule_selector_is_a_usage_error(self, tmp_path,
+                                                    capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", "--paths", str(tmp_path), "--rule", "NOPE"])
+        assert exc.value.code == 2
+        assert "NOPE" in capsys.readouterr().err
+
+    def test_json_is_byte_identical_across_runs_and_jobs(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import time\n\n"
+            "async def pause():\n    time.sleep(0.1)\n"
+        )
+        outputs = []
+        for extra in ([], [], ["--jobs", "4"]):
+            with pytest.raises(SystemExit):
+                main(["lint", "--json", "--paths", str(bad),
+                      "--baseline", str(tmp_path / "none.json")]
+                     + extra)
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1] == outputs[2]
 
     def test_fix_waivers_flag_repairs_the_tree(self, tmp_path, capsys):
         mod = tmp_path / "sweepmod.py"
